@@ -1,0 +1,42 @@
+//! Ablation: the legacy windowed-sinc Hamming FIR (the paper's filter) vs a
+//! modern Butterworth IIR `filtfilt` at matched band edges — design cost
+//! and application cost.
+
+use arp_dsp::fir::{BandPass, FirFilter};
+use arp_dsp::iir::IirFilter;
+use arp_dsp::window::WindowKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_filter_families(c: &mut Criterion) {
+    let dt = 0.01;
+    let band = BandPass::new(0.1, 0.2, 20.0, 24.0).unwrap();
+
+    let mut group = c.benchmark_group("ablation/filter_design");
+    group.sample_size(20);
+    group.bench_function("fir_hamming", |b| {
+        b.iter(|| FirFilter::band_pass(band, dt, WindowKind::Hamming).unwrap())
+    });
+    group.bench_function("iir_butterworth4", |b| {
+        b.iter(|| IirFilter::butterworth_band_pass(4, 0.15, 22.0, dt).unwrap())
+    });
+    group.finish();
+
+    let fir = FirFilter::band_pass(band, dt, WindowKind::Hamming).unwrap();
+    let iir = IirFilter::butterworth_band_pass(4, 0.15, 22.0, dt).unwrap();
+    let mut group = c.benchmark_group("ablation/filter_apply");
+    group.sample_size(20);
+    for &n in &[2000usize, 10000] {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64 * 0.1 - 4.0).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fir_fft", n), &x, |b, x| {
+            b.iter(|| fir.apply_fft(x))
+        });
+        group.bench_with_input(BenchmarkId::new("iir_filtfilt", n), &x, |b, x| {
+            b.iter(|| iir.filtfilt(x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_families);
+criterion_main!(benches);

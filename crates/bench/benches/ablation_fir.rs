@@ -1,0 +1,41 @@
+//! Ablation: direct `O(N·taps)` convolution vs FFT-based `O(N log N)`
+//! application of the Hamming band-pass filter — the crossover justifies the
+//! pipeline's choice of the FFT path for its long default filters.
+
+use arp_dsp::fir::{BandPass, FirFilter};
+use arp_dsp::window::WindowKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fir_application(c: &mut Criterion) {
+    let dt = 0.01;
+    let mut group = c.benchmark_group("ablation/fir_apply");
+    group.sample_size(10);
+
+    // A narrow transition band forces many taps (the pipeline's default
+    // long-period cut); a wide one keeps the filter short.
+    let bands = [
+        ("short_filter", BandPass::new(1.0, 3.0, 20.0, 24.0).unwrap()),
+        ("long_filter", BandPass::DEFAULT),
+    ];
+    for (tag, band) in bands {
+        let filt = FirFilter::band_pass(band, dt, WindowKind::Hamming).unwrap();
+        for &n in &[2000usize, 8000] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 101) as f64 - 50.0) * 0.1).collect();
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{tag}_{}taps_direct", filt.taps()), n),
+                &x,
+                |b, x| b.iter(|| filt.apply(x)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{tag}_{}taps_fft", filt.taps()), n),
+                &x,
+                |b, x| b.iter(|| filt.apply_fft(x)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fir_application);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: the legacy Duhamel kernel (`O(D²)` per period) vs the exact
+//! Nigam–Jennings recurrence (`O(D)` per period). Demonstrates the paper's
+//! stated sequential complexity of process #16 and quantifies what its
+//! "advanced optimization" future work would buy.
+
+use arp_dsp::respspec::{sdof_peaks, ResponseMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn record(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.01;
+            (2.0 * std::f64::consts::PI * 1.3 * t).sin() * (-((t - 5.0) / 4.0f64).powi(2)).exp()
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/respspec_kernel");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000, 2000] {
+        let acc = record(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("duhamel", n), &acc, |b, acc| {
+            b.iter(|| sdof_peaks(acc, 0.01, 0.5, 0.05, ResponseMethod::Duhamel).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nigam_jennings", n), &acc, |b, acc| {
+            b.iter(|| sdof_peaks(acc, 0.01, 0.5, 0.05, ResponseMethod::NigamJennings).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

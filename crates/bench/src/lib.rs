@@ -1,0 +1,593 @@
+//! # arp-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§VII):
+//!
+//! * [`table1`] — Table I: per-event wall times of the four implementations
+//!   plus the overall speedup;
+//! * [`fig11`] — Fig. 11: per-stage sequential vs fully-parallel times for
+//!   the largest event;
+//! * [`fig12_svg`] — Fig. 12: grouped bars of the four implementations per
+//!   event;
+//! * [`fig13`] / [`fig13_svg`] — Fig. 13: speedup and throughput vs problem
+//!   size.
+//!
+//! The `report` binary drives these from the command line; the Criterion
+//! benches reuse the same building blocks at reduced scale.
+
+#![warn(missing_docs)]
+
+use arp_core::report::StageTiming;
+use arp_core::{
+    run_pipeline_labeled, run_stages_sequential, ImplKind, PipelineConfig, PipelineError,
+    RunContext, RunReport, StageId,
+};
+use arp_synth::{paper_event, write_event_inputs, EventSpec, PAPER_EVENT_SHAPES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Results of running one event under every implementation.
+#[derive(Debug, Clone)]
+pub struct EventRun {
+    /// Event label (Table I row name).
+    pub label: String,
+    /// Number of V1 files.
+    pub v1_files: usize,
+    /// Total data points.
+    pub data_points: usize,
+    /// Wall time per implementation.
+    pub times: BTreeMap<&'static str, Duration>,
+    /// Full reports per implementation.
+    pub reports: Vec<RunReport>,
+}
+
+impl EventRun {
+    /// Wall time of one implementation.
+    pub fn time_of(&self, kind: ImplKind) -> Duration {
+        self.times[kind.label()]
+    }
+
+    /// Overall speedup: Sequential Original vs Fully Parallelized
+    /// (Table I's right-most column).
+    pub fn speedup(&self) -> f64 {
+        let seq = self.time_of(ImplKind::SequentialOriginal).as_secs_f64();
+        let par = self.time_of(ImplKind::FullyParallel).as_secs_f64();
+        if par > 0.0 {
+            seq / par
+        } else {
+            0.0
+        }
+    }
+
+    /// Data points per second of the fully parallelized run.
+    pub fn throughput(&self) -> f64 {
+        let par = self.time_of(ImplKind::FullyParallel).as_secs_f64();
+        if par > 0.0 {
+            self.data_points as f64 / par
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Scratch directory for harness runs.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("arp-bench-{tag}-{}", std::process::id()))
+}
+
+/// Stages an event's input files into a fresh directory.
+pub fn stage_event_inputs(event: &EventSpec, tag: &str) -> Result<PathBuf, PipelineError> {
+    let dir = scratch(&format!("in-{tag}"));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
+    }
+    std::fs::create_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
+    write_event_inputs(event, &dir)?;
+    Ok(dir)
+}
+
+/// Runs one event under one implementation in a fresh work directory,
+/// returning the report. The work directory is deleted afterwards.
+pub fn run_once(
+    input_dir: &Path,
+    config: &PipelineConfig,
+    kind: ImplKind,
+    label: &str,
+) -> Result<RunReport, PipelineError> {
+    let work = scratch(&format!("w-{label}-{}", kind.label().replace([' ', '.'], "")));
+    if work.exists() {
+        std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
+    }
+    let ctx = RunContext::new(input_dir, &work, config.clone())?;
+    let report = run_pipeline_labeled(&ctx, kind, label)?;
+    std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
+    Ok(report)
+}
+
+/// Runs one event under all four implementations.
+pub fn run_event_all_impls(
+    event: &EventSpec,
+    config: &PipelineConfig,
+    label: &str,
+) -> Result<EventRun, PipelineError> {
+    run_event_all_impls_reps(event, config, label, 1)
+}
+
+/// As [`run_event_all_impls`], repeating each measurement `reps` times and
+/// keeping the median total (reduces filesystem-cache noise).
+pub fn run_event_all_impls_reps(
+    event: &EventSpec,
+    config: &PipelineConfig,
+    label: &str,
+    reps: usize,
+) -> Result<EventRun, PipelineError> {
+    let reps = reps.max(1);
+    let input_dir = stage_event_inputs(event, label)?;
+    let mut times = BTreeMap::new();
+    let mut reports = Vec::with_capacity(4);
+    let mut v1_files = 0;
+    let mut data_points = 0;
+    for kind in ImplKind::ALL {
+        let mut samples = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let report = run_once(&input_dir, config, kind, label)?;
+            samples.push(report.total);
+            last = Some(report);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mut report = last.expect("reps >= 1");
+        report.total = median;
+        v1_files = report.v1_files;
+        data_points = report.data_points;
+        times.insert(kind.label(), median);
+        reports.push(report);
+    }
+    std::fs::remove_dir_all(&input_dir).map_err(|e| PipelineError::io(&input_dir, e))?;
+    Ok(EventRun {
+        label: label.to_string(),
+        v1_files,
+        data_points,
+        times,
+        reports,
+    })
+}
+
+/// Runs the full six-event Table I experiment at the given scale.
+pub fn table1(scale: f64, config: &PipelineConfig) -> Result<Vec<EventRun>, PipelineError> {
+    table1_reps(scale, config, 1)
+}
+
+/// As [`table1`] with `reps` repetitions per measurement (median kept).
+pub fn table1_reps(
+    scale: f64,
+    config: &PipelineConfig,
+    reps: usize,
+) -> Result<Vec<EventRun>, PipelineError> {
+    let mut rows = Vec::with_capacity(PAPER_EVENT_SHAPES.len());
+    for (i, &(label, _, _, _)) in PAPER_EVENT_SHAPES.iter().enumerate() {
+        let event = paper_event(i, scale);
+        rows.push(run_event_all_impls_reps(&event, config, label, reps)?);
+    }
+    Ok(rows)
+}
+
+/// Formats Table I as fixed-width text (same columns as the paper).
+pub fn format_table1(rows: &[EventRun]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
+        "Event", "V1 Files", "Points", "Seq.Ori.", "Seq.Opt.", "Part.Par.", "Full.Par.", "SpeedUp"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7.2}x\n",
+            r.label,
+            r.v1_files,
+            r.data_points,
+            r.time_of(ImplKind::SequentialOriginal).as_secs_f64(),
+            r.time_of(ImplKind::SequentialOptimized).as_secs_f64(),
+            r.time_of(ImplKind::PartiallyParallel).as_secs_f64(),
+            r.time_of(ImplKind::FullyParallel).as_secs_f64(),
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Emits Table I as CSV.
+pub fn table1_csv(rows: &[EventRun]) -> String {
+    let mut out =
+        String::from("event,v1_files,data_points,seq_ori_s,seq_opt_s,part_par_s,full_par_s,speedup\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.4}\n",
+            r.label,
+            r.v1_files,
+            r.data_points,
+            r.time_of(ImplKind::SequentialOriginal).as_secs_f64(),
+            r.time_of(ImplKind::SequentialOptimized).as_secs_f64(),
+            r.time_of(ImplKind::PartiallyParallel).as_secs_f64(),
+            r.time_of(ImplKind::FullyParallel).as_secs_f64(),
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Fig. 11 data: per-stage `(sequential, fully parallel)` times for one
+/// event (the paper uses the largest, index 5).
+pub struct Fig11 {
+    /// Event label.
+    pub label: String,
+    /// Stage timings of the sequential execution (11 stages).
+    pub sequential: Vec<StageTiming>,
+    /// Stage timings of the fully parallel execution.
+    pub parallel: Vec<StageTiming>,
+}
+
+impl Fig11 {
+    /// Per-stage speedups `(stage, seq, par, speedup)`.
+    pub fn speedups(&self) -> Vec<(StageId, f64, f64, f64)> {
+        self.sequential
+            .iter()
+            .zip(&self.parallel)
+            .map(|(s, p)| {
+                let sq = s.elapsed.as_secs_f64();
+                let pr = p.elapsed.as_secs_f64();
+                (s.stage, sq, pr, if pr > 0.0 { sq / pr } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// Fraction of total sequential time spent in a stage.
+    pub fn sequential_fraction(&self, id: StageId) -> f64 {
+        let total: f64 = self.sequential.iter().map(|s| s.elapsed.as_secs_f64()).sum();
+        let stage = self
+            .sequential
+            .iter()
+            .find(|s| s.stage == id)
+            .map(|s| s.elapsed.as_secs_f64())
+            .unwrap_or(0.0);
+        if total > 0.0 {
+            stage / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the Fig. 11 experiment: per-stage times, sequential vs fully
+/// parallel, for the chosen paper event.
+pub fn fig11(
+    event_index: usize,
+    scale: f64,
+    config: &PipelineConfig,
+) -> Result<Fig11, PipelineError> {
+    fig11_reps(event_index, scale, config, 1)
+}
+
+/// As [`fig11`], repeating each measurement `reps` times and keeping the
+/// per-stage median.
+pub fn fig11_reps(
+    event_index: usize,
+    scale: f64,
+    config: &PipelineConfig,
+    reps: usize,
+) -> Result<Fig11, PipelineError> {
+    let reps = reps.max(1);
+    let label = PAPER_EVENT_SHAPES[event_index].0;
+    let event = paper_event(event_index, scale);
+    let input_dir = stage_event_inputs(&event, &format!("fig11-{label}"))?;
+
+    let median_stages = |samples: Vec<Vec<StageTiming>>| -> Vec<StageTiming> {
+        let stages = samples[0].len();
+        (0..stages)
+            .map(|k| {
+                let mut times: Vec<Duration> =
+                    samples.iter().map(|run| run[k].elapsed).collect();
+                times.sort();
+                StageTiming {
+                    stage: samples[0][k].stage,
+                    elapsed: times[times.len() / 2],
+                }
+            })
+            .collect()
+    };
+
+    // Sequential per-stage baseline (median of reps runs).
+    let mut seq_samples = Vec::with_capacity(reps);
+    for r in 0..reps {
+        let work_seq = scratch(&format!("fig11-seq-{r}"));
+        let _ = std::fs::remove_dir_all(&work_seq);
+        let ctx = RunContext::new(&input_dir, &work_seq, config.clone())?;
+        seq_samples.push(run_stages_sequential(&ctx)?);
+        std::fs::remove_dir_all(&work_seq).map_err(|e| PipelineError::io(&work_seq, e))?;
+    }
+    let sequential = median_stages(seq_samples);
+
+    // Fully parallel runs (median of reps).
+    let mut par_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let report = run_once(&input_dir, config, ImplKind::FullyParallel, label)?;
+        par_samples.push(report.stages);
+    }
+    let parallel = median_stages(par_samples);
+
+    std::fs::remove_dir_all(&input_dir).map_err(|e| PipelineError::io(&input_dir, e))?;
+
+    Ok(Fig11 {
+        label: label.to_string(),
+        sequential,
+        parallel,
+    })
+}
+
+/// Runs a throwaway small pipeline to warm caches and the allocator before
+/// measurement.
+pub fn warmup(config: &PipelineConfig) -> Result<(), PipelineError> {
+    let event = paper_event(0, 0.002);
+    let input_dir = stage_event_inputs(&event, "warmup")?;
+    let _ = run_once(&input_dir, config, ImplKind::SequentialOptimized, "warmup")?;
+    std::fs::remove_dir_all(&input_dir).map_err(|e| PipelineError::io(&input_dir, e))?;
+    Ok(())
+}
+
+/// Formats Fig. 11 as a text table.
+pub fn format_fig11(f: &Fig11) -> String {
+    let mut out = format!(
+        "Per-stage timings, event {} (sequential vs fully parallel)\n{:<6} {:>12} {:>12} {:>9} {:>8}\n",
+        f.label, "Stage", "Seq (s)", "Par (s)", "Speedup", "Seq %"
+    );
+    let total: f64 = f.sequential.iter().map(|s| s.elapsed.as_secs_f64()).sum();
+    for (stage, seq, par, speedup) in f.speedups() {
+        out.push_str(&format!(
+            "{:<6} {:>12.4} {:>12.4} {:>8.2}x {:>7.1}%\n",
+            stage.label(),
+            seq,
+            par,
+            speedup,
+            if total > 0.0 { 100.0 * seq / total } else { 0.0 }
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 12 (grouped bars per event) as SVG.
+pub fn fig12_svg(rows: &[EventRun]) -> String {
+    let chart = arp_plot::GroupedBarChart {
+        title: "Execution time per event and implementation".into(),
+        y_label: "Time (s)".into(),
+        groups: rows.iter().map(|r| r.label.clone()).collect(),
+        series: ImplKind::ALL
+            .iter()
+            .map(|&k| {
+                (
+                    k.label().to_string(),
+                    rows.iter().map(|r| r.time_of(k).as_secs_f64()).collect(),
+                )
+            })
+            .collect(),
+    };
+    chart.to_svg(760.0, 420.0)
+}
+
+/// Fig. 13 series: per event `(data_points, speedup, throughput)`.
+pub fn fig13(rows: &[EventRun]) -> Vec<(usize, f64, f64)> {
+    rows.iter()
+        .map(|r| (r.data_points, r.speedup(), r.throughput()))
+        .collect()
+}
+
+/// Formats Fig. 13 as CSV.
+pub fn fig13_csv(rows: &[EventRun]) -> String {
+    let mut out = String::from("data_points,speedup,points_per_second\n");
+    for (points, speedup, tput) in fig13(rows) {
+        out.push_str(&format!("{points},{speedup:.4},{tput:.1}\n"));
+    }
+    out
+}
+
+/// Renders Fig. 13 (speedup and throughput vs problem size) as SVG.
+pub fn fig13_svg(rows: &[EventRun]) -> String {
+    let series = fig13(rows);
+    let xs: Vec<f64> = series.iter().map(|&(p, _, _)| p as f64).collect();
+    let speedups: Vec<f64> = series.iter().map(|&(_, s, _)| s).collect();
+    let tputs: Vec<f64> = series.iter().map(|&(_, _, t)| t).collect();
+    let panels = vec![
+        arp_plot::LineChart::new("Overall speedup vs problem size")
+            .labels("Data points per event", "Speedup (x)")
+            .with_series(arp_plot::Series::from_xy("speedup", &xs, &speedups)),
+        arp_plot::LineChart::new("Throughput vs problem size")
+            .labels("Data points per event", "Data points / s")
+            .with_series(arp_plot::Series::from_xy("throughput", &xs, &tputs)),
+    ];
+    arp_plot::Figure::new(panels).to_svg()
+}
+
+/// Scaling experiment — the paper's §VII-C claim that "execution time is
+/// linearly proportional to the total amount of data points". Runs one
+/// event at several data scales and returns `(data_points, seconds)` pairs
+/// for the chosen implementation.
+pub fn scaling_experiment(
+    event_index: usize,
+    scales: &[f64],
+    config: &PipelineConfig,
+    kind: ImplKind,
+) -> Result<Vec<(usize, f64)>, PipelineError> {
+    let label = PAPER_EVENT_SHAPES[event_index].0;
+    let mut rows = Vec::with_capacity(scales.len());
+    for (k, &scale) in scales.iter().enumerate() {
+        let event = paper_event(event_index, scale);
+        let input_dir = stage_event_inputs(&event, &format!("scal-{label}-{k}"))?;
+        let report = run_once(&input_dir, config, kind, label)?;
+        std::fs::remove_dir_all(&input_dir).map_err(|e| PipelineError::io(&input_dir, e))?;
+        rows.push((report.data_points, report.total.as_secs_f64()));
+    }
+    Ok(rows)
+}
+
+/// Least-squares fit of `time = a + b·points`; returns `(a, b, r²)`.
+pub fn linear_fit(rows: &[(usize, f64)]) -> (f64, f64, f64) {
+    let n = rows.len() as f64;
+    if rows.len() < 2 {
+        return (0.0, 0.0, 0.0);
+    }
+    let sx: f64 = rows.iter().map(|(p, _)| *p as f64).sum();
+    let sy: f64 = rows.iter().map(|(_, t)| *t).sum();
+    let sxx: f64 = rows.iter().map(|(p, _)| (*p as f64).powi(2)).sum();
+    let sxy: f64 = rows.iter().map(|(p, t)| *p as f64 * t).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (sy / n, 0.0, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    // R² against the fit.
+    let mean_y = sy / n;
+    let ss_tot: f64 = rows.iter().map(|(_, t)| (t - mean_y).powi(2)).sum();
+    let ss_res: f64 = rows
+        .iter()
+        .map(|(p, t)| (t - (a + b * *p as f64)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    (a, b, r2)
+}
+
+/// Thread-count sweep: overall speedup of the fully parallelized pipeline
+/// at each virtual processor count (the Amdahl curve the paper's Fig. 13
+/// gestures at). Returns `(threads, speedup)` pairs.
+pub fn thread_sweep(
+    event_index: usize,
+    scale: f64,
+    base_config: &PipelineConfig,
+    thread_counts: &[usize],
+) -> Result<Vec<(usize, f64)>, PipelineError> {
+    use arp_core::config::TimingModel;
+    let label = PAPER_EVENT_SHAPES[event_index].0;
+    let event = paper_event(event_index, scale);
+    let input_dir = stage_event_inputs(&event, &format!("sweep-{label}"))?;
+
+    let mut seq_config = base_config.clone();
+    seq_config.timing = TimingModel::Simulated { threads: 1 };
+    let baseline = run_once(&input_dir, &seq_config, ImplKind::SequentialOriginal, label)?;
+    let base_secs = baseline.total.as_secs_f64();
+
+    let mut results = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let mut config = base_config.clone();
+        config.timing = TimingModel::Simulated { threads };
+        let report = run_once(&input_dir, &config, ImplKind::FullyParallel, label)?;
+        results.push((threads, base_secs / report.total.as_secs_f64().max(1e-12)));
+    }
+    std::fs::remove_dir_all(&input_dir).map_err(|e| PipelineError::io(&input_dir, e))?;
+    Ok(results)
+}
+
+/// Formats a thread sweep as CSV.
+pub fn sweep_csv(rows: &[(usize, f64)]) -> String {
+    let mut out = String::from("threads,speedup\n");
+    for (t, s) in rows {
+        out.push_str(&format!("{t},{s:.4}\n"));
+    }
+    out
+}
+
+/// Amdahl check: estimates the serial fraction from the Fig. 11 data and
+/// returns `(serial_fraction, predicted_speedup)` for `threads` processors.
+pub fn amdahl_prediction(f: &Fig11, threads: usize) -> (f64, f64) {
+    let seq_total: f64 = f.sequential.iter().map(|s| s.elapsed.as_secs_f64()).sum();
+    let par_total: f64 = f.parallel.iter().map(|s| s.elapsed.as_secs_f64()).sum();
+    if seq_total <= 0.0 || threads <= 1 {
+        return (1.0, 1.0);
+    }
+    let speedup = seq_total / par_total.max(1e-12);
+    let p = threads as f64;
+    // Solve Amdahl for the serial fraction s: speedup = 1 / (s + (1-s)/p).
+    let s = ((1.0 / speedup) - 1.0 / p) / (1.0 - 1.0 / p);
+    let s = s.clamp(0.0, 1.0);
+    let predicted = 1.0 / (s + (1.0 - s) / p);
+    (s, predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PipelineConfig {
+        PipelineConfig::fast()
+    }
+
+    #[test]
+    fn run_event_all_impls_produces_four_reports() {
+        let event = paper_event(0, 0.002);
+        let run = run_event_all_impls(&event, &tiny_config(), "tiny").unwrap();
+        assert_eq!(run.reports.len(), 4);
+        assert_eq!(run.v1_files, 5);
+        assert!(run.data_points > 0);
+        assert!(run.speedup() > 0.0);
+        assert!(run.throughput() > 0.0);
+        let text = format_table1(std::slice::from_ref(&run));
+        assert!(text.contains("tiny"));
+        let csv = table1_csv(std::slice::from_ref(&run));
+        assert!(csv.lines().count() == 2);
+    }
+
+    #[test]
+    fn fig11_produces_eleven_stage_rows() {
+        let f = fig11(0, 0.002, &tiny_config()).unwrap();
+        assert_eq!(f.sequential.len(), 11);
+        assert_eq!(f.parallel.len(), 11);
+        let rows = f.speedups();
+        assert_eq!(rows.len(), 11);
+        let frac: f64 = StageId::ALL
+            .iter()
+            .map(|&s| f.sequential_fraction(s))
+            .sum();
+        assert!((frac - 1.0).abs() < 1e-9);
+        let text = format_fig11(&f);
+        assert!(text.contains("IX"));
+    }
+
+    #[test]
+    fn figure_emitters_produce_svg() {
+        let event = paper_event(0, 0.002);
+        let run = run_event_all_impls(&event, &tiny_config(), "svg").unwrap();
+        let rows = vec![run];
+        assert!(fig12_svg(&rows).starts_with("<svg"));
+        assert!(fig13_svg(&rows).starts_with("<svg"));
+        assert!(fig13_csv(&rows).contains("data_points"));
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let rows: Vec<(usize, f64)> = (1..10).map(|k| (k * 100, 0.5 + 0.002 * (k * 100) as f64)).collect();
+        let (a, b, r2) = linear_fit(&rows);
+        assert!((a - 0.5).abs() < 1e-9);
+        assert!((b - 0.002).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+        // Degenerate inputs don't panic.
+        assert_eq!(linear_fit(&[]), (0.0, 0.0, 0.0));
+        assert_eq!(linear_fit(&[(5, 1.0)]), (0.0, 0.0, 0.0));
+        let same_x = [(10usize, 1.0), (10usize, 3.0)];
+        let (a, b, _) = linear_fit(&same_x);
+        assert_eq!(b, 0.0);
+        assert!((a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_csv_format() {
+        let csv = sweep_csv(&[(1, 1.0), (8, 2.5)]);
+        assert!(csv.starts_with("threads,speedup"));
+        assert!(csv.contains("8,2.5000"));
+    }
+
+    #[test]
+    fn amdahl_prediction_bounds() {
+        let f = fig11(0, 0.002, &tiny_config()).unwrap();
+        let (s, predicted) = amdahl_prediction(&f, 8);
+        assert!((0.0..=1.0).contains(&s));
+        assert!((1.0..=8.0).contains(&predicted));
+    }
+}

@@ -1,0 +1,226 @@
+//! Multi-event batch processing.
+//!
+//! The observatory does not process one event in isolation: records arrive
+//! in batches (the Salvadoran repository logged 241 events in a single
+//! month). [`run_batch`] drives the pipeline over many event input
+//! directories, each into its own work directory, and aggregates the
+//! reports — the unit the paper's "scaling our approach to larger
+//! experimental accelerographic datasets" future work asks about.
+
+use crate::config::PipelineConfig;
+use crate::context::RunContext;
+use crate::error::{PipelineError, Result};
+use crate::executor::run_pipeline_labeled;
+use crate::report::{ImplKind, RunReport};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One event to process: an input directory of `<station>.v1` files.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Event label used in reports.
+    pub label: String,
+    /// Input directory.
+    pub input_dir: PathBuf,
+}
+
+/// Aggregated result of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-event reports, in input order.
+    pub events: Vec<RunReport>,
+    /// Total wall time of the whole batch.
+    pub total: Duration,
+}
+
+impl BatchReport {
+    /// Total data points processed.
+    pub fn data_points(&self) -> usize {
+        self.events.iter().map(|r| r.data_points).sum()
+    }
+
+    /// Aggregate throughput (points per second of batch wall time).
+    pub fn throughput(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        self.data_points() as f64 / self.total.as_secs_f64()
+    }
+
+    /// Formats a per-event summary table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<16} {:>8} {:>10} {:>10}\n",
+            "event", "files", "points", "time (s)"
+        );
+        for r in &self.events {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>10} {:>10.3}\n",
+                r.event,
+                r.v1_files,
+                r.data_points,
+                r.total.as_secs_f64()
+            ));
+        }
+        out.push_str(&format!(
+            "batch total: {:.3}s, {:.0} points/s\n",
+            self.total.as_secs_f64(),
+            self.throughput()
+        ));
+        out
+    }
+}
+
+/// Processes every event in order with the chosen implementation. Each
+/// event gets `work_root/<label>/` as its work directory. Fails fast on the
+/// first event error (a malformed event must not silently vanish from the
+/// batch).
+pub fn run_batch(
+    items: &[BatchItem],
+    work_root: &Path,
+    config: &PipelineConfig,
+    kind: ImplKind,
+) -> Result<BatchReport> {
+    let mut events = Vec::with_capacity(items.len());
+    let mut total = Duration::ZERO;
+    for item in items {
+        if item.label.is_empty() || item.label.contains(['/', '\\']) {
+            return Err(PipelineError::Config(format!(
+                "bad batch label {:?}",
+                item.label
+            )));
+        }
+        let work = work_root.join(&item.label);
+        let ctx = RunContext::new(&item.input_dir, &work, config.clone())?;
+        let report = run_pipeline_labeled(&ctx, kind, &item.label)?;
+        total += report.total;
+        events.push(report);
+    }
+    Ok(BatchReport { events, total })
+}
+
+/// Discovers batch items under a root directory: every subdirectory that
+/// contains at least one `.v1` file becomes an item (sorted by name).
+pub fn discover_batch(root: &Path) -> Result<Vec<BatchItem>> {
+    let mut items = Vec::new();
+    let entries = std::fs::read_dir(root).map_err(|e| PipelineError::io(root, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PipelineError::io(root, e))?;
+        if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+            continue;
+        }
+        let dir = entry.path();
+        let has_v1 = std::fs::read_dir(&dir)
+            .map_err(|e| PipelineError::io(&dir, e))?
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".v1"));
+        if has_v1 {
+            items.push(BatchItem {
+                label: entry.file_name().to_string_lossy().into_owned(),
+                input_dir: dir,
+            });
+        }
+    }
+    items.sort_by(|a, b| a.label.cmp(&b.label));
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage_two_events(base: &Path) -> Vec<BatchItem> {
+        let mut items = Vec::new();
+        for (i, label) in ["ev-a", "ev-b"].iter().enumerate() {
+            let dir = base.join("batch").join(label);
+            std::fs::create_dir_all(&dir).unwrap();
+            let event = arp_synth::paper_event(i, 0.002);
+            arp_synth::write_event_inputs(&event, &dir).unwrap();
+            items.push(BatchItem {
+                label: label.to_string(),
+                input_dir: dir,
+            });
+        }
+        items
+    }
+
+    #[test]
+    fn batch_processes_every_event() {
+        let base = std::env::temp_dir().join(format!("arp-batch-{}", std::process::id()));
+        let items = stage_two_events(&base);
+        let report = run_batch(
+            &items,
+            &base.join("work"),
+            &PipelineConfig::fast(),
+            ImplKind::FullyParallel,
+        )
+        .unwrap();
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[0].event, "ev-a");
+        assert!(report.data_points() > 0);
+        assert!(report.throughput() > 0.0);
+        let table = report.to_table();
+        assert!(table.contains("ev-b"));
+        // Both work dirs exist with products.
+        assert!(base.join("work/ev-a").join("max-values.txt").exists());
+        assert!(base.join("work/ev-b").join("max-values.txt").exists());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn discover_finds_only_event_dirs() {
+        let base = std::env::temp_dir().join(format!("arp-batch-disc-{}", std::process::id()));
+        let items_in = stage_two_events(&base);
+        // A distractor directory without .v1 files and a stray file.
+        std::fs::create_dir_all(base.join("batch/not-an-event")).unwrap();
+        std::fs::write(base.join("batch/README.txt"), "hi").unwrap();
+
+        let found = discover_batch(&base.join("batch")).unwrap();
+        assert_eq!(found.len(), items_in.len());
+        assert_eq!(found[0].label, "ev-a");
+        assert_eq!(found[1].label, "ev-b");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn batch_fails_fast_on_bad_event() {
+        let base = std::env::temp_dir().join(format!("arp-batch-bad-{}", std::process::id()));
+        let mut items = stage_two_events(&base);
+        // Corrupt the second event.
+        let victim_dir = &items[1].input_dir;
+        let victim = std::fs::read_dir(victim_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".v1"))
+            .unwrap()
+            .path();
+        std::fs::write(&victim, "garbage").unwrap();
+        items.rotate_left(0);
+        let err = run_batch(
+            &items,
+            &base.join("work"),
+            &PipelineConfig::fast(),
+            ImplKind::SequentialOptimized,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn bad_labels_rejected() {
+        let items = vec![BatchItem {
+            label: "has/slash".into(),
+            input_dir: PathBuf::from("/tmp"),
+        }];
+        let base = std::env::temp_dir().join("arp-batch-label");
+        let err = run_batch(&items, &base, &PipelineConfig::fast(), ImplKind::FullyParallel)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)));
+    }
+
+    #[test]
+    fn missing_root_errors() {
+        assert!(discover_batch(Path::new("/nonexistent/arp-batch")).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! The four pipeline implementations (§III–§VI of the paper).
+//!
+//! * [`ImplKind::SequentialOriginal`] — all twenty processes in numeric
+//!   order, sequentially;
+//! * [`ImplKind::SequentialOptimized`] — the same minus the redundant
+//!   processes #6, #12, #14;
+//! * [`ImplKind::PartiallyParallel`] — the eleven-stage plan with stages I,
+//!   II, VI, X, XI parallel;
+//! * [`ImplKind::FullyParallel`] — all stages parallel except VII, with
+//!   stages IV, V, VIII running through the temp-folder staging protocol.
+//!
+//! All four produce **identical artifacts** in the work directory; they
+//! differ only in ordering, parallelism, and (for the original) the
+//! redundant work. The integration suite asserts this equivalence.
+
+use crate::context::RunContext;
+use crate::error::{PipelineError, Result};
+use crate::plan::{StageId, Strategy, STAGE_TABLE};
+use crate::process::filter::CorrectionPass;
+use crate::process::{self, ProcessId};
+use crate::report::{ImplKind, ProcessTiming, RunReport, StageTiming};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Runs one process by number. `parallel` enables its internal loop
+/// parallelism; `staged` routes the Fortran-binary processes (#4, #7, #13)
+/// through the temp-folder protocol.
+fn run_process(ctx: &RunContext, p: u8, parallel: bool, staged: bool) -> Result<()> {
+    match p {
+        0 => process::flags::init_flags(ctx),
+        1 => process::gather::gather_inputs(ctx, parallel),
+        2 => process::filterinit::init_filter_params(ctx),
+        3 => process::separate::separate_components(ctx, parallel),
+        4 => {
+            if staged {
+                process::filter::correct_signals_staged(ctx, CorrectionPass::Default, parallel)
+            } else {
+                process::filter::correct_signals(ctx, CorrectionPass::Default, parallel)
+            }
+        }
+        5 => process::metainit::init_main_metadata(ctx),
+        6 => process::plots::plot_uncorrected(ctx, parallel),
+        7 => {
+            if staged {
+                process::fourier::fourier_transform_staged(ctx, parallel)
+            } else {
+                process::fourier::fourier_transform(ctx, parallel)
+            }
+        }
+        8 => process::metainit::init_fourier_graph(ctx),
+        9 => process::plots::plot_fourier_spectrum(ctx, parallel),
+        10 => process::analyze::analyze_fourier(ctx, parallel),
+        11 => process::flags::reinit_flags(ctx),
+        12 => process::separate::separate_components(ctx, parallel),
+        13 => {
+            if staged {
+                process::filter::correct_signals_staged(ctx, CorrectionPass::Definitive, parallel)
+            } else {
+                process::filter::correct_signals(ctx, CorrectionPass::Definitive, parallel)
+            }
+        }
+        14 => process::metainit::init_main_metadata(ctx),
+        15 => process::plots::plot_accelerograph(ctx, parallel),
+        16 => process::respspec::response_spectrum_calc(ctx, parallel),
+        17 => process::metainit::init_response_graph(ctx),
+        18 => process::plots::plot_response_spectrum(ctx, parallel),
+        19 => process::gemgen::generate_gem_files(ctx, parallel),
+        _ => Err(PipelineError::Config(format!("unknown process {p}"))),
+    }
+}
+
+/// Measures the shape of the input event: `(v1_files, data_points)`.
+/// Data points are counted as acceleration samples per station (each
+/// station file declares its component length in its first `BEGIN ACC`
+/// header).
+pub fn measure_input_shape(ctx: &RunContext) -> Result<(usize, usize)> {
+    let names = crate::context::list_v1_station_files(&ctx.input_dir)?;
+    let mut points = 0usize;
+    for name in &names {
+        let path = ctx.input_dir.join(name);
+        let text = std::fs::read_to_string(&path).map_err(|e| PipelineError::io(&path, e))?;
+        let n = text
+            .lines()
+            .find_map(|l| {
+                let mut parts = l.split_whitespace();
+                if parts.next() == Some("BEGIN") && parts.next() == Some("ACC") {
+                    parts.next()?.parse::<usize>().ok()
+                } else {
+                    None
+                }
+            })
+            .unwrap_or(0);
+        points += n;
+    }
+    Ok((names.len(), points))
+}
+
+/// Runs the pipeline with the selected implementation, returning the timing
+/// report. The work directory receives every artifact.
+pub fn run_pipeline(ctx: &RunContext, kind: ImplKind) -> Result<RunReport> {
+    run_pipeline_labeled(ctx, kind, "unlabeled")
+}
+
+/// As [`run_pipeline`], attaching an event label to the report.
+pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Result<RunReport> {
+    let (v1_files, data_points) = measure_input_shape(ctx)?;
+    let saved0 = ctx.saved_snapshot();
+    let started = Instant::now();
+    let (processes, stages) = match kind {
+        ImplKind::SequentialOriginal => (run_sequential(ctx, true)?, Vec::new()),
+        ImplKind::SequentialOptimized => (run_sequential(ctx, false)?, Vec::new()),
+        ImplKind::PartiallyParallel => run_staged_plan(ctx, |s| s.partial)?,
+        ImplKind::FullyParallel => run_staged_plan(ctx, |s| s.full)?,
+    };
+    if ctx.config.emit_rotd {
+        let parallel = matches!(kind, ImplKind::FullyParallel | ImplKind::PartiallyParallel);
+        process::rotdgen::generate_rotd(ctx, parallel)?;
+    }
+    // In simulated-timing mode, parallel constructs execute sequentially
+    // but credit the difference between real and simulated makespan; the
+    // reported total is the virtual wall time.
+    let total = started
+        .elapsed()
+        .saturating_sub(ctx.saved_snapshot() - saved0);
+    Ok(RunReport {
+        implementation: kind,
+        event: event.to_string(),
+        v1_files,
+        data_points,
+        total,
+        processes,
+        stages,
+    })
+}
+
+/// Sequential chain in numeric process order; `include_redundant` selects
+/// the original (20-process) vs optimized (17-process) variant.
+fn run_sequential(ctx: &RunContext, include_redundant: bool) -> Result<Vec<ProcessTiming>> {
+    let mut timings = Vec::new();
+    for p in 0u8..20 {
+        if !include_redundant && matches!(p, 6 | 12 | 14) {
+            continue;
+        }
+        let t0 = Instant::now();
+        run_process(ctx, p, false, false)?;
+        timings.push(ProcessTiming {
+            process: ProcessId(p),
+            elapsed: t0.elapsed(),
+        });
+    }
+    Ok(timings)
+}
+
+/// Executes the eleven-stage plan with per-stage strategies.
+fn run_staged_plan(
+    ctx: &RunContext,
+    strategy_of: impl Fn(&crate::plan::StageInfo) -> Strategy,
+) -> Result<(Vec<ProcessTiming>, Vec<StageTiming>)> {
+    let process_timings: Mutex<Vec<ProcessTiming>> = Mutex::new(Vec::new());
+    let mut stage_timings = Vec::with_capacity(STAGE_TABLE.len());
+
+    for stage in &STAGE_TABLE {
+        let strategy = strategy_of(stage);
+        let stage_saved0 = ctx.saved_snapshot();
+        let t0 = Instant::now();
+        match strategy {
+            Strategy::Sequential => {
+                for &p in stage.processes {
+                    let pt0 = Instant::now();
+                    run_process(ctx, p, false, false)?;
+                    process_timings.lock().push(ProcessTiming {
+                        process: ProcessId(p),
+                        elapsed: pt0.elapsed(),
+                    });
+                }
+            }
+            Strategy::Tasks => {
+                let tasks: Vec<Box<dyn FnOnce() -> Result<()> + Send + '_>> = stage
+                    .processes
+                    .iter()
+                    .map(|&p| {
+                        let timings = &process_timings;
+                        Box::new(move || {
+                            let pt0 = Instant::now();
+                            run_process(ctx, p, false, false)?;
+                            timings.lock().push(ProcessTiming {
+                                process: ProcessId(p),
+                                elapsed: pt0.elapsed(),
+                            });
+                            Ok(())
+                        }) as Box<dyn FnOnce() -> Result<()> + Send + '_>
+                    })
+                    .collect();
+                ctx.tasks(tasks)?;
+            }
+            Strategy::Loop | Strategy::StagedLoop => {
+                let staged = strategy == Strategy::StagedLoop;
+                for &p in stage.processes {
+                    let pt0 = Instant::now();
+                    let psaved0 = ctx.saved_snapshot();
+                    run_process(ctx, p, true, staged)?;
+                    process_timings.lock().push(ProcessTiming {
+                        process: ProcessId(p),
+                        elapsed: pt0
+                            .elapsed()
+                            .saturating_sub(ctx.saved_snapshot() - psaved0),
+                    });
+                }
+            }
+        }
+        stage_timings.push(StageTiming {
+            stage: stage.id,
+            elapsed: t0
+                .elapsed()
+                .saturating_sub(ctx.saved_snapshot() - stage_saved0),
+        });
+    }
+
+    let mut timings = process_timings.into_inner();
+    timings.sort_by_key(|t| t.process);
+    Ok((timings, stage_timings))
+}
+
+/// Measures per-stage timings of a *sequential* execution following the
+/// eleven-stage ordering — the "Sequential Original" bars of the paper's
+/// Fig. 11 (per-stage sequential baseline).
+pub fn run_stages_sequential(ctx: &RunContext) -> Result<Vec<StageTiming>> {
+    let mut stage_timings = Vec::with_capacity(STAGE_TABLE.len());
+    for stage in &STAGE_TABLE {
+        let t0 = Instant::now();
+        for &p in stage.processes {
+            run_process(ctx, p, false, false)?;
+        }
+        stage_timings.push(StageTiming {
+            stage: stage.id,
+            elapsed: t0.elapsed(),
+        });
+    }
+    Ok(stage_timings)
+}
+
+/// Convenience: total wall time of a report's stages (sanity checks).
+pub fn stages_total(stages: &[StageTiming]) -> Duration {
+    stages.iter().map(|s| s.elapsed).sum()
+}
+
+/// Convenience: find a stage's time in a timing list.
+pub fn stage_elapsed(stages: &[StageTiming], id: StageId) -> Option<Duration> {
+    stages.iter().find(|s| s.stage == id).map(|s| s.elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    fn prepare(tag: &str, scale: f64) -> (std::path::PathBuf, std::path::PathBuf) {
+        let base = std::env::temp_dir().join(format!("arp-exec-{tag}-{}", std::process::id()));
+        let input = base.join("in");
+        std::fs::create_dir_all(&input).unwrap();
+        let event = arp_synth::paper_event(0, scale);
+        arp_synth::write_event_inputs(&event, &input).unwrap();
+        (base, input)
+    }
+
+    #[test]
+    fn sequential_original_runs_all_twenty() {
+        let (base, input) = prepare("seq", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let report = run_pipeline_labeled(&ctx, ImplKind::SequentialOriginal, "ev0").unwrap();
+        assert_eq!(report.processes.len(), 20);
+        assert_eq!(report.v1_files, 5);
+        assert!(report.data_points > 0);
+        assert!(report.stages.is_empty());
+        assert_eq!(report.event, "ev0");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn optimized_skips_redundant_processes() {
+        let (base, input) = prepare("opt", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let report = run_pipeline(&ctx, ImplKind::SequentialOptimized).unwrap();
+        assert_eq!(report.processes.len(), 17);
+        for t in &report.processes {
+            assert!(!matches!(t.process.0, 6 | 12 | 14));
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn parallel_implementations_record_stage_timings() {
+        let (base, input) = prepare("par", 0.002);
+        for kind in [ImplKind::PartiallyParallel, ImplKind::FullyParallel] {
+            let ctx = RunContext::new(
+                &input,
+                base.join(format!("w-{:?}", kind)),
+                PipelineConfig::fast(),
+            )
+            .unwrap();
+            let report = run_pipeline(&ctx, kind).unwrap();
+            assert_eq!(report.stages.len(), 11);
+            assert_eq!(report.processes.len(), 17);
+            assert!(stage_elapsed(&report.stages, StageId::IX).is_some());
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn measure_input_shape_counts_points() {
+        let (base, input) = prepare("shape", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let (files, points) = measure_input_shape(&ctx).unwrap();
+        assert_eq!(files, 5);
+        let expected = arp_synth::paper_event(0, 0.002).total_data_points();
+        assert_eq!(points, expected);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn stages_sequential_covers_all_stages() {
+        let (base, input) = prepare("stageseq", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let stages = run_stages_sequential(&ctx).unwrap();
+        assert_eq!(stages.len(), 11);
+        assert!(stages_total(&stages) > Duration::ZERO);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

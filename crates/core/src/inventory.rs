@@ -1,0 +1,199 @@
+//! Artifact inventory: what a completed run must contain, and verification
+//! that it does.
+//!
+//! Downstream consumers (observatory dashboards, GEM exports) need a cheap
+//! way to confirm a work directory holds a complete, well-formed run
+//! before ingesting it. [`expected_artifacts`] enumerates the products for
+//! a station set; [`verify_run`] checks presence *and* parses every product
+//! with its typed reader.
+
+use crate::context::RunContext;
+use crate::error::Result;
+use arp_formats::{names, Component, FFile, FilterParams, GemFile, MaxValues, Quantity, RFile, V2File};
+
+/// One expected artifact and its kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedArtifact {
+    /// File name within the work directory.
+    pub name: String,
+    /// Artifact class (used to pick the validating parser).
+    pub kind: ArtifactKind,
+}
+
+/// Classes of final products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// Corrected record (`.v2`).
+    V2,
+    /// Fourier spectrum (`.f`).
+    Fourier,
+    /// Response spectrum (`.r`).
+    Response,
+    /// GEM product (`.gem`).
+    Gem,
+    /// PostScript plot (`.ps`).
+    Plot,
+    /// Max-values metadata.
+    MaxValues,
+    /// Filter-params metadata.
+    FilterParams,
+}
+
+/// Enumerates every final product a completed run must contain for the
+/// given stations.
+pub fn expected_artifacts(stations: &[String]) -> Vec<ExpectedArtifact> {
+    let mut out = Vec::new();
+    for s in stations {
+        for c in Component::ALL {
+            out.push(ExpectedArtifact {
+                name: names::v2_component(s, c),
+                kind: ArtifactKind::V2,
+            });
+            out.push(ExpectedArtifact {
+                name: names::f_component(s, c),
+                kind: ArtifactKind::Fourier,
+            });
+            out.push(ExpectedArtifact {
+                name: names::r_component(s, c),
+                kind: ArtifactKind::Response,
+            });
+            for from_r in [false, true] {
+                for q in Quantity::ALL {
+                    out.push(ExpectedArtifact {
+                        name: names::gem(s, c, from_r, q),
+                        kind: ArtifactKind::Gem,
+                    });
+                }
+            }
+        }
+        for plot in [names::plot_acc(s), names::plot_fourier(s), names::plot_response(s)] {
+            out.push(ExpectedArtifact {
+                name: plot,
+                kind: ArtifactKind::Plot,
+            });
+        }
+    }
+    out.push(ExpectedArtifact {
+        name: MaxValues::FILE_NAME.to_string(),
+        kind: ArtifactKind::MaxValues,
+    });
+    out.push(ExpectedArtifact {
+        name: FilterParams::FILE_NAME.to_string(),
+        kind: ArtifactKind::FilterParams,
+    });
+    out
+}
+
+/// A verification problem found by [`verify_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyIssue {
+    /// The artifact file does not exist.
+    Missing(String),
+    /// The artifact exists but failed to parse/validate.
+    Corrupt {
+        /// File name.
+        name: String,
+        /// Parser error text.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for VerifyIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyIssue::Missing(name) => write!(f, "missing: {name}"),
+            VerifyIssue::Corrupt { name, error } => write!(f, "corrupt: {name} ({error})"),
+        }
+    }
+}
+
+/// Verifies a completed run: every expected artifact exists and parses with
+/// its typed reader. Returns the issues found (empty = verified).
+pub fn verify_run(ctx: &RunContext) -> Result<Vec<VerifyIssue>> {
+    let stations = ctx.stations()?;
+    let mut issues = Vec::new();
+    for artifact in expected_artifacts(&stations) {
+        let path = ctx.artifact(&artifact.name);
+        if !path.exists() {
+            issues.push(VerifyIssue::Missing(artifact.name));
+            continue;
+        }
+        let parse_result: std::result::Result<(), String> = match artifact.kind {
+            ArtifactKind::V2 => V2File::read(&path).map(|_| ()).map_err(|e| e.to_string()),
+            ArtifactKind::Fourier => FFile::read(&path).map(|_| ()).map_err(|e| e.to_string()),
+            ArtifactKind::Response => RFile::read(&path).map(|_| ()).map_err(|e| e.to_string()),
+            ArtifactKind::Gem => GemFile::read(&path).map(|_| ()).map_err(|e| e.to_string()),
+            ArtifactKind::MaxValues => {
+                MaxValues::read(&path).map(|_| ()).map_err(|e| e.to_string())
+            }
+            ArtifactKind::FilterParams => {
+                FilterParams::read(&path).map(|_| ()).map_err(|e| e.to_string())
+            }
+            ArtifactKind::Plot => std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    if text.starts_with("%!PS-Adobe") {
+                        Ok(())
+                    } else {
+                        Err("not a PostScript document".to_string())
+                    }
+                }),
+        };
+        if let Err(error) = parse_result {
+            issues.push(VerifyIssue::Corrupt {
+                name: artifact.name,
+                error,
+            });
+        }
+    }
+    Ok(issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::executor::run_pipeline;
+    use crate::report::ImplKind;
+
+    #[test]
+    fn expected_count_per_station() {
+        let stations = vec!["AAA".to_string(), "BBB".to_string()];
+        let expected = expected_artifacts(&stations);
+        // Per station: 3 v2 + 3 f + 3 r + 18 gem + 3 plots = 30; plus 2 shared.
+        assert_eq!(expected.len(), 2 * 30 + 2);
+    }
+
+    #[test]
+    fn verify_passes_on_complete_run_and_detects_damage() {
+        let base = std::env::temp_dir().join(format!("arp-verify-{}", std::process::id()));
+        let input = base.join("in");
+        std::fs::create_dir_all(&input).unwrap();
+        arp_synth::write_event_inputs(&arp_synth::paper_event(0, 0.003), &input).unwrap();
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        run_pipeline(&ctx, ImplKind::FullyParallel).unwrap();
+
+        assert!(verify_run(&ctx).unwrap().is_empty());
+
+        // Delete one product -> Missing.
+        let stations = ctx.stations().unwrap();
+        let victim = names::r_component(&stations[0], Component::Vertical);
+        std::fs::remove_file(ctx.artifact(&victim)).unwrap();
+        let issues = verify_run(&ctx).unwrap();
+        assert!(issues.contains(&VerifyIssue::Missing(victim.clone())), "{issues:?}");
+
+        // Corrupt another -> Corrupt.
+        let corrupt_name = names::v2_component(&stations[0], Component::Vertical);
+        std::fs::write(ctx.artifact(&corrupt_name), "junk").unwrap();
+        let issues = verify_run(&ctx).unwrap();
+        assert!(
+            issues.iter().any(|i| matches!(i, VerifyIssue::Corrupt { name, .. } if name == &corrupt_name)),
+            "{issues:?}"
+        );
+        // Display impl renders readably.
+        let text = issues.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        assert!(text.contains("missing:") && text.contains("corrupt:"));
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

@@ -1,0 +1,52 @@
+//! # arp-core — the accelerographic-records processing pipeline
+//!
+//! Reproduction of "Parallelizing Accelerographic Records Processing"
+//! (IPPS 2024): twenty file-to-file processes (Fig. 5), reordered into
+//! eleven stages (Fig. 9), executed by four implementations:
+//!
+//! | Implementation | Paper § | Processes | Parallel stages |
+//! |---|---|---|---|
+//! | [`ImplKind::SequentialOriginal`] | III | 20 | 0 |
+//! | [`ImplKind::SequentialOptimized`] | IV | 17 | 0 |
+//! | [`ImplKind::PartiallyParallel`] | V | 17 | 5 (I, II, VI, X, XI) |
+//! | [`ImplKind::FullyParallel`] | VI | 17 | 10 (all but VII) |
+//!
+//! ```no_run
+//! use arp_core::{run_pipeline, ImplKind, PipelineConfig, RunContext};
+//!
+//! let ctx = RunContext::new("inputs", "work", PipelineConfig::default())?;
+//! let report = run_pipeline(&ctx, ImplKind::FullyParallel)?;
+//! println!("processed {} points in {:?}", report.data_points, report.total);
+//! # Ok::<(), arp_core::PipelineError>(())
+//! ```
+//!
+//! All four implementations produce identical final artifacts; the paper's
+//! claim under test is their relative wall time.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod executor;
+pub mod inventory;
+pub mod output;
+pub mod plan;
+pub mod process;
+pub mod report;
+pub mod stagedir;
+pub mod summary;
+pub mod timeline;
+
+pub use batch::{discover_batch, run_batch, BatchItem, BatchReport};
+pub use config::{ParallelBackend, PipelineConfig};
+pub use inventory::{expected_artifacts, verify_run, VerifyIssue};
+pub use summary::{event_summary, summary_csv, SummaryRow};
+pub use timeline::timeline_svg;
+pub use context::RunContext;
+pub use error::{PipelineError, Result};
+pub use executor::{measure_input_shape, run_pipeline, run_pipeline_labeled, run_stages_sequential};
+pub use plan::{StageId, Strategy, STAGE_TABLE};
+pub use process::{ProcessId, ProcessKind, PROCESS_TABLE};
+pub use report::{ImplKind, RunReport, StageTiming};

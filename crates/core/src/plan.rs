@@ -1,0 +1,280 @@
+//! The eleven-stage execution plan (Fig. 9 of the paper).
+//!
+//! The twenty processes are reordered into eleven stages with valid
+//! dependencies; each stage carries the parallelization strategy used by the
+//! partially and fully parallelized implementations:
+//!
+//! | Stage | Processes | Partial | Full |
+//! |-------|-----------|---------|------|
+//! | I     | 0, 1      | Task    | Task |
+//! | II    | 2, 5, 8, 17 | Task  | Task |
+//! | III   | 3         | Seq     | Loop (Fortran `OMP DO`) |
+//! | IV    | 4         | Seq     | Loop (temp folders) |
+//! | V     | 7         | Seq     | Loop (temp folders) |
+//! | VI    | 10        | Loop    | Loop |
+//! | VII   | 11        | Seq     | Seq (never parallelized) |
+//! | VIII  | 13        | Seq     | Loop (temp folders) |
+//! | IX    | 16        | Seq     | Loop (Fortran `OMP DO`) |
+//! | X     | 19        | Loop    | Loop |
+//! | XI    | 9, 15, 18 | Task    | Task |
+
+use serde::{Deserialize, Serialize};
+
+/// Stage identifier (I–XI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StageId {
+    /// Stage I — flags + input gathering.
+    I,
+    /// Stage II — metadata initialization.
+    II,
+    /// Stage III — component separation.
+    III,
+    /// Stage IV — default filtering.
+    IV,
+    /// Stage V — Fourier transformation.
+    V,
+    /// Stage VI — FPL/FSL analysis.
+    VI,
+    /// Stage VII — flag re-initialization (never parallel).
+    VII,
+    /// Stage VIII — definitive correction.
+    VIII,
+    /// Stage IX — response spectra.
+    IX,
+    /// Stage X — GEM generation.
+    X,
+    /// Stage XI — plotting.
+    XI,
+}
+
+impl StageId {
+    /// All stages in execution order.
+    pub const ALL: [StageId; 11] = [
+        StageId::I,
+        StageId::II,
+        StageId::III,
+        StageId::IV,
+        StageId::V,
+        StageId::VI,
+        StageId::VII,
+        StageId::VIII,
+        StageId::IX,
+        StageId::X,
+        StageId::XI,
+    ];
+
+    /// Roman-numeral label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageId::I => "I",
+            StageId::II => "II",
+            StageId::III => "III",
+            StageId::IV => "IV",
+            StageId::V => "V",
+            StageId::VI => "VI",
+            StageId::VII => "VII",
+            StageId::VIII => "VIII",
+            StageId::IX => "IX",
+            StageId::X => "X",
+            StageId::XI => "XI",
+        }
+    }
+}
+
+/// How a stage is executed in a given implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Run sequentially.
+    Sequential,
+    /// OpenMP-style task parallelism over heterogeneous processes.
+    Tasks,
+    /// Parallel loop over stations/files.
+    Loop,
+    /// Parallel loop through the temp-folder staging protocol.
+    StagedLoop,
+}
+
+/// Static description of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageInfo {
+    /// Stage identifier.
+    pub id: StageId,
+    /// The processes the stage runs (in order, for sequential execution).
+    pub processes: &'static [u8],
+    /// Strategy in the partially parallelized implementation.
+    pub partial: Strategy,
+    /// Strategy in the fully parallelized implementation.
+    pub full: Strategy,
+}
+
+/// The full stage table in execution order.
+pub const STAGE_TABLE: [StageInfo; 11] = {
+    use StageId::*;
+    use Strategy::*;
+    [
+        StageInfo { id: I, processes: &[0, 1], partial: Tasks, full: Tasks },
+        StageInfo { id: II, processes: &[2, 5, 8, 17], partial: Tasks, full: Tasks },
+        StageInfo { id: III, processes: &[3], partial: Sequential, full: Loop },
+        StageInfo { id: IV, processes: &[4], partial: Sequential, full: StagedLoop },
+        StageInfo { id: V, processes: &[7], partial: Sequential, full: StagedLoop },
+        StageInfo { id: VI, processes: &[10], partial: Loop, full: Loop },
+        StageInfo { id: VII, processes: &[11], partial: Sequential, full: Sequential },
+        StageInfo { id: VIII, processes: &[13], partial: Sequential, full: StagedLoop },
+        StageInfo { id: IX, processes: &[16], partial: Sequential, full: Loop },
+        StageInfo { id: X, processes: &[19], partial: Loop, full: Loop },
+        StageInfo { id: XI, processes: &[9, 15, 18], partial: Tasks, full: Tasks },
+    ]
+};
+
+/// Looks up a stage description.
+pub fn stage_info(id: StageId) -> &'static StageInfo {
+    &STAGE_TABLE[StageId::ALL.iter().position(|&s| s == id).unwrap()]
+}
+
+/// Declared input/output artifacts per process, used to validate the plan.
+/// Artifact classes are coarse (file families, not individual stations).
+pub fn process_reads(p: u8) -> &'static [&'static str] {
+    match p {
+        0 => &[],
+        1 => &["input-dir"],
+        2 => &[],
+        3 => &["v1list", "v1-station"],
+        4 => &["v1list", "filter-params", "v1-component"],
+        5 | 8 | 17 | 14 => &["v1list"],
+        6 => &["v1list", "v1-station"],
+        7 => &["v1list", "v2"],
+        9 => &["v1list", "f"],
+        10 => &["v1list", "f", "filter-params"],
+        11 => &[],
+        12 => &["v1list", "v1-station"],
+        13 => &["v1list", "filter-params", "v1-component"],
+        15 => &["v1list", "v2"],
+        16 => &["v1list", "v2"],
+        18 => &["v1list", "r"],
+        19 => &["v1list", "v2", "r"],
+        _ => panic!("unknown process {p}"),
+    }
+}
+
+/// Declared outputs per process (see [`process_reads`]).
+pub fn process_writes(p: u8) -> &'static [&'static str] {
+    match p {
+        0 | 11 => &["flags"],
+        1 => &["v1list", "v1-station"],
+        2 => &["filter-params"],
+        3 | 12 => &["v1-component"],
+        4 | 13 => &["v2", "max-values"],
+        5 | 14 => &["acc-graph", "fourier", "response"],
+        6 => &["ps-acc"],
+        7 => &["f"],
+        8 => &["fourier-graph"],
+        9 => &["ps-fourier"],
+        10 => &["filter-params"],
+        15 => &["ps-acc"],
+        16 => &["r"],
+        17 => &["response-graph"],
+        18 => &["ps-response"],
+        19 => &["gem"],
+        _ => panic!("unknown process {p}"),
+    }
+}
+
+/// Checks that the stage ordering satisfies every read-after-write
+/// dependency: any artifact a process reads must have been written by an
+/// earlier stage (or an earlier process in the same stage for sequential
+/// stages). Returns the violations found.
+pub fn validate_plan() -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut written: Vec<&'static str> = vec!["input-dir"];
+    for stage in &STAGE_TABLE {
+        // Within a stage, processes may run concurrently (tasks), so reads
+        // must be satisfied by *prior stages* only — except purely
+        // sequential single-process stages.
+        let stage_written: Vec<&'static str> = stage
+            .processes
+            .iter()
+            .flat_map(|&p| process_writes(p).iter().copied())
+            .collect();
+        for &p in stage.processes {
+            for &artifact in process_reads(p) {
+                if !written.contains(&artifact) {
+                    // A same-stage producer is fine only when it is the same
+                    // process (self-update like #10's filter-params).
+                    let self_writes = process_writes(p).contains(&artifact);
+                    if !self_writes {
+                        violations.push(format!(
+                            "stage {} process #{p} reads {artifact:?} before it is written",
+                            stage.id.label()
+                        ));
+                    }
+                }
+            }
+        }
+        written.extend(stage_written);
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_table_covers_all_non_redundant_processes() {
+        let mut covered: Vec<u8> = STAGE_TABLE
+            .iter()
+            .flat_map(|s| s.processes.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        // 17 processes (the optimized set: 20 minus #6, #12, #14).
+        assert_eq!(covered.len(), 17);
+        for p in 0..20u8 {
+            let redundant = matches!(p, 6 | 12 | 14);
+            assert_eq!(covered.contains(&p), !redundant, "process {p}");
+        }
+    }
+
+    #[test]
+    fn partial_parallelizes_exactly_five_stages() {
+        let parallel: Vec<&str> = STAGE_TABLE
+            .iter()
+            .filter(|s| s.partial != Strategy::Sequential)
+            .map(|s| s.id.label())
+            .collect();
+        assert_eq!(parallel, vec!["I", "II", "VI", "X", "XI"]);
+    }
+
+    #[test]
+    fn full_parallelizes_all_but_stage_vii() {
+        for s in &STAGE_TABLE {
+            if s.id == StageId::VII {
+                assert_eq!(s.full, Strategy::Sequential);
+            } else {
+                assert_ne!(s.full, Strategy::Sequential, "stage {}", s.id.label());
+            }
+        }
+        let parallel = STAGE_TABLE.iter().filter(|s| s.full != Strategy::Sequential).count();
+        assert_eq!(parallel, 10); // "10 out of 11 stages"
+    }
+
+    #[test]
+    fn plan_has_no_dependency_violations() {
+        let v = validate_plan();
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn stage_lookup() {
+        assert_eq!(stage_info(StageId::IX).processes, &[16]);
+        assert_eq!(stage_info(StageId::XI).processes, &[9, 15, 18]);
+        assert_eq!(StageId::IX.label(), "IX");
+    }
+
+    #[test]
+    fn reads_writes_defined_for_all_processes() {
+        for p in 0..20u8 {
+            let _ = process_reads(p);
+            let _ = process_writes(p);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Process #2 — initialize filter parameters.
+//!
+//! Writes the filter-params metadata file holding the default band-pass
+//! corners. Process #10 later appends the per-station FSL/FPL corners.
+
+use crate::context::RunContext;
+use crate::error::Result;
+use arp_formats::FilterParams;
+
+/// Runs process #2.
+pub fn init_filter_params(ctx: &RunContext) -> Result<()> {
+    FilterParams::new(ctx.config.default_band)
+        .write(&ctx.artifact(FilterParams::FILE_NAME))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    #[test]
+    fn writes_default_band() {
+        let base = std::env::temp_dir().join(format!("arp-fpinit-{}", std::process::id()));
+        let ctx = RunContext::new(&base, base.join("w"), PipelineConfig::fast()).unwrap();
+        init_filter_params(&ctx).unwrap();
+        let fp = FilterParams::read(&ctx.artifact(FilterParams::FILE_NAME)).unwrap();
+        assert_eq!(fp.default_band, ctx.config.default_band);
+        assert!(fp.stations.is_empty());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

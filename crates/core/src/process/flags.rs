@@ -1,0 +1,57 @@
+//! Processes #0 and #11 — flag initialization.
+//!
+//! The legacy system gates its control flow on ten flag files; both flag
+//! processes write all ten. Process #11 is the only process never
+//! parallelized in the paper (its runtime is under two milliseconds).
+
+use crate::context::RunContext;
+use crate::error::Result;
+use arp_formats::FlagFile;
+
+/// Number of flag files the legacy pipeline maintains.
+pub const FLAG_COUNT: usize = 10;
+
+/// Process #0: writes the ten flag files with value `false` (fresh run).
+pub fn init_flags(ctx: &RunContext) -> Result<()> {
+    write_flags(ctx, false)
+}
+
+/// Process #11: re-initializes the ten flags to `true` (the "definitive
+/// correction pass has started" markers).
+pub fn reinit_flags(ctx: &RunContext) -> Result<()> {
+    write_flags(ctx, true)
+}
+
+fn write_flags(ctx: &RunContext, value: bool) -> Result<()> {
+    for index in 0..FLAG_COUNT {
+        let f = FlagFile { index, value };
+        f.write(&ctx.artifact(&FlagFile::file_name(index)))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    #[test]
+    fn writes_ten_flags_and_reinit_flips() {
+        let base = std::env::temp_dir().join(format!("arp-flags-{}", std::process::id()));
+        let ctx = RunContext::new(&base, base.join("w"), PipelineConfig::fast()).unwrap();
+
+        init_flags(&ctx).unwrap();
+        for i in 0..FLAG_COUNT {
+            let f = FlagFile::read(&ctx.artifact(&FlagFile::file_name(i))).unwrap();
+            assert_eq!(f.index, i);
+            assert!(!f.value);
+        }
+
+        reinit_flags(&ctx).unwrap();
+        for i in 0..FLAG_COUNT {
+            let f = FlagFile::read(&ctx.artifact(&FlagFile::file_name(i))).unwrap();
+            assert!(f.value);
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

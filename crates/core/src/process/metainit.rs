@@ -1,0 +1,116 @@
+//! Processes #5, #8, #14, #17 — metadata (file-list) initialization.
+//!
+//! These lightweight Fortran programs derive, from the station list, the
+//! file lists later processes iterate over:
+//!
+//! * **#5** (and its redundant twin **#14**): `acc-graph` (V2 names for the
+//!   accelerograph plots), `fourier` (V2 names feeding the Fourier
+//!   transform), and `response` (V2 names feeding the response-spectrum
+//!   calculation);
+//! * **#8**: `fourier-graph` (F names for the spectrum plots and analysis);
+//! * **#17**: `response-graph` (R names for the response plots).
+
+use crate::context::RunContext;
+use crate::error::Result;
+use arp_formats::{names, Component, FileList};
+
+/// Artifact name for the `acc-graph` list.
+pub const ACC_GRAPH: &str = "acc-graph.txt";
+/// Artifact name for the `fourier` list.
+pub const FOURIER: &str = "fourier.txt";
+/// Artifact name for the `response` list.
+pub const RESPONSE: &str = "response.txt";
+/// Artifact name for the `fourier-graph` list.
+pub const FOURIER_GRAPH: &str = "fourier-graph.txt";
+/// Artifact name for the `response-graph` list.
+pub const RESPONSE_GRAPH: &str = "response-graph.txt";
+
+fn component_names(stations: &[String], f: impl Fn(&str, Component) -> String) -> Vec<String> {
+    let mut names = Vec::with_capacity(stations.len() * Component::ALL.len());
+    for s in stations {
+        for &c in &Component::ALL {
+            names.push(f(s, c));
+        }
+    }
+    names
+}
+
+/// Process #5 (and #14): writes `acc-graph`, `fourier`, and `response`.
+pub fn init_main_metadata(ctx: &RunContext) -> Result<()> {
+    let stations = ctx.stations()?;
+    let v2 = component_names(&stations, names::v2_component);
+    FileList::new("acc-graph", v2.clone())?.write(&ctx.artifact(ACC_GRAPH))?;
+    FileList::new("fourier", v2.clone())?.write(&ctx.artifact(FOURIER))?;
+    FileList::new("response", v2)?.write(&ctx.artifact(RESPONSE))?;
+    Ok(())
+}
+
+/// Process #8: writes `fourier-graph` (the F-file list).
+pub fn init_fourier_graph(ctx: &RunContext) -> Result<()> {
+    let stations = ctx.stations()?;
+    let f = component_names(&stations, names::f_component);
+    FileList::new("fourier-graph", f)?.write(&ctx.artifact(FOURIER_GRAPH))?;
+    Ok(())
+}
+
+/// Process #17: writes `response-graph` (the R-file list).
+pub fn init_response_graph(ctx: &RunContext) -> Result<()> {
+    let stations = ctx.stations()?;
+    let r = component_names(&stations, names::r_component);
+    FileList::new("response-graph", r)?.write(&ctx.artifact(RESPONSE_GRAPH))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use arp_formats::FileList;
+
+    fn ctx_with_stations(tag: &str, stations: &[&str]) -> (std::path::PathBuf, RunContext) {
+        let base = std::env::temp_dir().join(format!("arp-meta-{tag}-{}", std::process::id()));
+        let ctx = RunContext::new(base.join("in"), base.join("w"), PipelineConfig::fast()).unwrap();
+        let entries: Vec<String> = stations.iter().map(|s| format!("{s}.v1")).collect();
+        FileList::new("v1list", entries)
+            .unwrap()
+            .write(&ctx.artifact(crate::process::gather::V1LIST))
+            .unwrap();
+        (base, ctx)
+    }
+
+    #[test]
+    fn main_metadata_lists_all_components() {
+        let (base, ctx) = ctx_with_stations("main", &["AAA", "BBB"]);
+        init_main_metadata(&ctx).unwrap();
+        let acc = FileList::read(&ctx.artifact(ACC_GRAPH)).unwrap();
+        assert_eq!(
+            acc.entries,
+            vec!["AAAl.v2", "AAAt.v2", "AAAv.v2", "BBBl.v2", "BBBt.v2", "BBBv.v2"]
+        );
+        let fr = FileList::read(&ctx.artifact(FOURIER)).unwrap();
+        assert_eq!(fr.entries, acc.entries);
+        let rs = FileList::read(&ctx.artifact(RESPONSE)).unwrap();
+        assert_eq!(rs.entries.len(), 6);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn graph_lists_use_right_extensions() {
+        let (base, ctx) = ctx_with_stations("graph", &["ZZZ"]);
+        init_fourier_graph(&ctx).unwrap();
+        init_response_graph(&ctx).unwrap();
+        let fg = FileList::read(&ctx.artifact(FOURIER_GRAPH)).unwrap();
+        assert_eq!(fg.entries, vec!["ZZZl.f", "ZZZt.f", "ZZZv.f"]);
+        let rg = FileList::read(&ctx.artifact(RESPONSE_GRAPH)).unwrap();
+        assert_eq!(rg.entries, vec!["ZZZl.r", "ZZZt.r", "ZZZv.r"]);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn requires_v1list() {
+        let base = std::env::temp_dir().join(format!("arp-meta-miss-{}", std::process::id()));
+        let ctx = RunContext::new(base.join("in"), base.join("w"), PipelineConfig::fast()).unwrap();
+        assert!(init_main_metadata(&ctx).is_err());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

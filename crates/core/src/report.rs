@@ -1,0 +1,164 @@
+//! Run reports: per-process and per-stage timings.
+//!
+//! Every executor returns a [`RunReport`]; the bench harness aggregates
+//! them into the paper's Table I and Figures 11–13.
+
+use crate::plan::StageId;
+use crate::process::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which of the four implementations produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImplKind {
+    /// The 20-process original sequential chain (§III).
+    SequentialOriginal,
+    /// The 17-process optimized sequential chain (§IV).
+    SequentialOptimized,
+    /// Five parallel stages (§V).
+    PartiallyParallel,
+    /// Ten parallel stages (§VI).
+    FullyParallel,
+}
+
+impl ImplKind {
+    /// All implementations in the paper's comparison order.
+    pub const ALL: [ImplKind; 4] = [
+        ImplKind::SequentialOriginal,
+        ImplKind::SequentialOptimized,
+        ImplKind::PartiallyParallel,
+        ImplKind::FullyParallel,
+    ];
+
+    /// Short display label (Table I column headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            ImplKind::SequentialOriginal => "Seq. Ori.",
+            ImplKind::SequentialOptimized => "Seq. Opt.",
+            ImplKind::PartiallyParallel => "Part. Par.",
+            ImplKind::FullyParallel => "Full Par.",
+        }
+    }
+}
+
+/// Timing of one process execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessTiming {
+    /// Which process ran.
+    pub process: ProcessId,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+/// Timing of one stage execution (parallel implementations only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Which stage ran.
+    pub stage: StageId,
+    /// Wall time of the whole stage.
+    pub elapsed: Duration,
+}
+
+/// The result of one pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Implementation used.
+    pub implementation: ImplKind,
+    /// Event label (for the harness tables).
+    pub event: String,
+    /// Number of V1 station files processed.
+    pub v1_files: usize,
+    /// Total data points of the event.
+    pub data_points: usize,
+    /// Total wall time.
+    pub total: Duration,
+    /// Per-process wall times in execution order.
+    pub processes: Vec<ProcessTiming>,
+    /// Per-stage wall times (empty for the sequential implementations).
+    pub stages: Vec<StageTiming>,
+}
+
+impl RunReport {
+    /// Data points processed per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        self.data_points as f64 / self.total.as_secs_f64()
+    }
+
+    /// Wall time of a specific process, if it ran.
+    pub fn process_time(&self, id: ProcessId) -> Option<Duration> {
+        self.processes
+            .iter()
+            .find(|t| t.process == id)
+            .map(|t| t.elapsed)
+    }
+
+    /// Wall time of a specific stage, if recorded.
+    pub fn stage_time(&self, id: StageId) -> Option<Duration> {
+        self.stages.iter().find(|t| t.stage == id).map(|t| t.elapsed)
+    }
+
+    /// Speedup of this run relative to a baseline run of the same event.
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        baseline.total.as_secs_f64() / self.total.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total_ms: u64) -> RunReport {
+        RunReport {
+            implementation: ImplKind::FullyParallel,
+            event: "EV".into(),
+            v1_files: 5,
+            data_points: 56_000,
+            total: Duration::from_millis(total_ms),
+            processes: vec![ProcessTiming {
+                process: ProcessId(16),
+                elapsed: Duration::from_millis(total_ms / 2),
+            }],
+            stages: vec![StageTiming {
+                stage: StageId::IX,
+                elapsed: Duration::from_millis(total_ms / 2),
+            }],
+        }
+    }
+
+    #[test]
+    fn throughput_and_speedup() {
+        let fast = report(1_000);
+        let slow = report(2_900);
+        assert!((fast.throughput() - 56_000.0).abs() < 1e-6);
+        assert!((fast.speedup_vs(&slow) - 2.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookups() {
+        let r = report(100);
+        assert!(r.process_time(ProcessId(16)).is_some());
+        assert!(r.process_time(ProcessId(3)).is_none());
+        assert!(r.stage_time(StageId::IX).is_some());
+        assert!(r.stage_time(StageId::I).is_none());
+    }
+
+    #[test]
+    fn zero_total_guards() {
+        let mut r = report(100);
+        r.total = Duration::ZERO;
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.speedup_vs(&report(100)), 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ImplKind::SequentialOriginal.label(), "Seq. Ori.");
+        assert_eq!(ImplKind::ALL.len(), 4);
+    }
+}

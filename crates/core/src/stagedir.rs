@@ -1,0 +1,195 @@
+//! The temp-folder staging protocol (paper §VI-C/§VI-D).
+//!
+//! The legacy Fortran programs behind processes #4, #7, and #13 keep global
+//! state and cannot run multithreaded within one working directory. The
+//! paper's solution — reproduced here — executes one instance per station
+//! inside its own temporary folder:
+//!
+//! 1. *(parallel)* create `tmp-<tag>-<i>/` and copy the station's input
+//!    files (and shared parameter files) into it;
+//! 2. *(sequential, "to avoid races")* place the executable in each folder —
+//!    modeled by writing a kernel marker file;
+//! 3. *(parallel)* run the kernel inside the folder and move its outputs
+//!    back to the work directory;
+//! 4. *(parallel)* delete the remaining temporary files.
+//!
+//! The protocol's file movement is performed for real (copies, renames,
+//! deletes), so its I/O overhead — the paper's main caveat about these
+//! stages — is present in measurements.
+
+use crate::context::RunContext;
+use crate::error::{PipelineError, Result};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A kernel to run under the staging protocol.
+pub struct StagedKernel<'a> {
+    /// Short tag used in temp-folder names (e.g. `p04`).
+    pub tag: &'a str,
+    /// Input file names (in the work dir) each station's folder needs.
+    pub inputs: &'a (dyn Fn(&str) -> Vec<String> + Sync),
+    /// Output file names the kernel produces inside the folder.
+    pub outputs: &'a (dyn Fn(&str) -> Vec<String> + Sync),
+    /// The kernel body: runs with the temp folder as its working directory.
+    /// Receives `(folder, station_index, station)`.
+    pub run: &'a (dyn Fn(&Path, usize, &str) -> Result<()> + Sync),
+    /// Disk-contention fraction of the kernel phase (phase 3), used by the
+    /// simulated timing model.
+    pub serial_fraction: f64,
+}
+
+/// Disk-contention fraction of the pure file-movement phases (1 and 4).
+const MOVE_SERIAL_FRACTION: f64 = 0.55;
+
+/// Marker file standing in for the relocated legacy executable.
+const EXE_MARKER: &str = "kernel.exe";
+
+/// Executes `kernel` for every station through the staging protocol.
+pub fn run_staged(
+    ctx: &RunContext,
+    stations: &[String],
+    parallel: bool,
+    kernel: &StagedKernel<'_>,
+) -> Result<()> {
+    let n = stations.len();
+    let folder = |i: usize| -> PathBuf { ctx.work_dir.join(format!("tmp-{}-{i}", kernel.tag)) };
+
+    let for_each = |beta: f64, body: &(dyn Fn(usize) -> Result<()> + Sync)| -> Result<()> {
+        if parallel {
+            ctx.par_for_profiled(n, beta, body)
+        } else {
+            ctx.seq_for(n, body)
+        }
+    };
+
+    // Phase 1 (parallel): create folders and copy inputs in.
+    for_each(MOVE_SERIAL_FRACTION, &|i| {
+        let dir = folder(i);
+        fs::create_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
+        for name in (kernel.inputs)(&stations[i]) {
+            let src = ctx.artifact(&name);
+            let dst = dir.join(&name);
+            fs::copy(&src, &dst).map_err(|e| PipelineError::io(&src, e))?;
+        }
+        Ok(())
+    })?;
+
+    // Phase 2 (sequential, as in the paper — "Seq. to avoid races"): place
+    // the executable in each folder.
+    for i in 0..n {
+        let dst = folder(i).join(EXE_MARKER);
+        fs::write(&dst, kernel.tag).map_err(|e| PipelineError::io(&dst, e))?;
+    }
+
+    // Phase 3 (parallel): run the kernel in each folder and move outputs
+    // back to the work directory.
+    for_each(kernel.serial_fraction, &|i| {
+        let dir = folder(i);
+        (kernel.run)(&dir, i, &stations[i])?;
+        for name in (kernel.outputs)(&stations[i]) {
+            let src = dir.join(&name);
+            let dst = ctx.artifact(&name);
+            // Same filesystem: rename is the "move" of the paper's protocol.
+            fs::rename(&src, &dst).map_err(|e| PipelineError::io(&src, e))?;
+        }
+        Ok(())
+    })?;
+
+    // Phase 4 (parallel): delete the remaining temp files.
+    for_each(MOVE_SERIAL_FRACTION, &|i| {
+        let dir = folder(i);
+        fs::remove_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    fn make_ctx(tag: &str) -> (PathBuf, RunContext) {
+        let base = std::env::temp_dir().join(format!("arp-staged-{tag}-{}", std::process::id()));
+        let ctx = RunContext::new(base.join("in"), base.join("w"), PipelineConfig::fast()).unwrap();
+        (base, ctx)
+    }
+
+    #[test]
+    fn protocol_moves_inputs_and_outputs() {
+        let (base, ctx) = make_ctx("basic");
+        let stations = vec!["AAA".to_string(), "BBB".to_string()];
+        for s in &stations {
+            std::fs::write(ctx.artifact(&format!("{s}.in")), format!("input-{s}")).unwrap();
+        }
+        let kernel = StagedKernel {
+            tag: "test",
+            serial_fraction: 0.5,
+            inputs: &|s| vec![format!("{s}.in")],
+            outputs: &|s| vec![format!("{s}.out")],
+            run: &|dir, _i, s| {
+                // Kernel sees its input inside the folder...
+                let input = std::fs::read_to_string(dir.join(format!("{s}.in"))).unwrap();
+                assert_eq!(input, format!("input-{s}"));
+                // ...and the sequentially-placed executable marker.
+                assert!(dir.join(EXE_MARKER).exists());
+                std::fs::write(dir.join(format!("{s}.out")), format!("output-{s}")).unwrap();
+                Ok(())
+            },
+        };
+        for parallel in [false, true] {
+            run_staged(&ctx, &stations, parallel, &kernel).unwrap();
+            for s in &stations {
+                let out = std::fs::read_to_string(ctx.artifact(&format!("{s}.out"))).unwrap();
+                assert_eq!(out, format!("output-{s}"));
+                assert!(!ctx.work_dir.join("tmp-test-0").exists());
+            }
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn missing_input_fails_cleanly() {
+        let (base, ctx) = make_ctx("missing");
+        let stations = vec!["GONE".to_string()];
+        let kernel = StagedKernel {
+            tag: "test",
+            serial_fraction: 0.5,
+            inputs: &|s| vec![format!("{s}.in")],
+            outputs: &|_| vec![],
+            run: &|_, _, _| Ok(()),
+        };
+        assert!(run_staged(&ctx, &stations, false, &kernel).is_err());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn kernel_error_propagates() {
+        let (base, ctx) = make_ctx("kerr");
+        let stations = vec!["AAA".to_string()];
+        std::fs::write(ctx.artifact("AAA.in"), "x").unwrap();
+        let kernel = StagedKernel {
+            tag: "test",
+            serial_fraction: 0.5,
+            inputs: &|s| vec![format!("{s}.in")],
+            outputs: &|_| vec![],
+            run: &|_, _, _| Err(PipelineError::Config("kernel exploded".into())),
+        };
+        let err = run_staged(&ctx, &stations, false, &kernel).unwrap_err();
+        assert!(err.to_string().contains("kernel exploded"));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn empty_station_list_is_noop() {
+        let (base, ctx) = make_ctx("empty");
+        let kernel = StagedKernel {
+            tag: "test",
+            serial_fraction: 0.5,
+            inputs: &|_| vec![],
+            outputs: &|_| vec![],
+            run: &|_, _, _| Ok(()),
+        };
+        run_staged(&ctx, &[], true, &kernel).unwrap();
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

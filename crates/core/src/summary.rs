@@ -1,0 +1,152 @@
+//! Event-level summary export.
+//!
+//! The paper closes its pipeline description with "This information ... is
+//! of considerable significance to structural engineers": the per-station
+//! scalar measures engineers actually consume. This module aggregates a
+//! completed run into one table — peaks, intensity measures, filter
+//! corners, and spectral ordinates at standard periods — exported as CSV.
+
+use crate::context::RunContext;
+use crate::error::Result;
+use arp_dsp::peaks::intensity_measures;
+use arp_formats::{names, Component, RFile, V2File};
+
+/// Spectral ordinate periods engineers quote (s).
+pub const SUMMARY_PERIODS: [f64; 3] = [0.3, 1.0, 3.0];
+
+/// One station-component row of the event summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Station code.
+    pub station: String,
+    /// Component code.
+    pub component: Component,
+    /// Peak ground acceleration (cm/s²).
+    pub pga: f64,
+    /// Peak ground velocity (cm/s).
+    pub pgv: f64,
+    /// Peak ground displacement (cm).
+    pub pgd: f64,
+    /// Arias intensity (cm/s).
+    pub arias: f64,
+    /// 5–95% significant duration (s).
+    pub duration_595: f64,
+    /// 5%-damped SA at [`SUMMARY_PERIODS`] (cm/s²).
+    pub sa: [f64; 3],
+    /// Definitive low-side corners `(fsl, fpl)` (Hz).
+    pub corners: (f64, f64),
+}
+
+/// Builds the summary for a completed run.
+pub fn event_summary(ctx: &RunContext) -> Result<Vec<SummaryRow>> {
+    let stations = ctx.stations()?;
+    let mut rows = Vec::with_capacity(stations.len() * 3);
+    for station in &stations {
+        for comp in Component::ALL {
+            let v2 = V2File::read(&ctx.artifact(&names::v2_component(station, comp)))?;
+            let r = RFile::read(&ctx.artifact(&names::r_component(station, comp)))?;
+            let spec = r
+                .at_damping(0.05)
+                .expect("validated RFile has at least one damping");
+            let im = intensity_measures(&v2.data.acc, v2.header.dt)?;
+
+            let mut sa = [0.0; 3];
+            for (k, &target) in SUMMARY_PERIODS.iter().enumerate() {
+                // Nearest archived period.
+                let idx = spec
+                    .periods
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (a.1 - target)
+                            .abs()
+                            .partial_cmp(&(b.1 - target).abs())
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                sa[k] = spec.sa[idx];
+            }
+
+            rows.push(SummaryRow {
+                station: station.clone(),
+                component: comp,
+                pga: v2.peaks.pga,
+                pgv: v2.peaks.pgv,
+                pgd: v2.peaks.pgd,
+                arias: im.arias,
+                duration_595: im.duration_595,
+                sa,
+                corners: (v2.band.fsl, v2.band.fpl),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the summary as CSV.
+pub fn summary_csv(rows: &[SummaryRow]) -> String {
+    let mut out = String::from(
+        "station,component,pga_cm_s2,pgv_cm_s,pgd_cm,arias_cm_s,d595_s,sa_0.3s,sa_1.0s,sa_3.0s,fsl_hz,fpl_hz\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.5},{:.6},{:.6},{:.6},{:.3},{:.5},{:.5},{:.5},{:.4},{:.4}\n",
+            r.station,
+            r.component.code(),
+            r.pga,
+            r.pgv,
+            r.pgd,
+            r.arias,
+            r.duration_595,
+            r.sa[0],
+            r.sa[1],
+            r.sa[2],
+            r.corners.0,
+            r.corners.1
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::executor::run_pipeline;
+    use crate::report::ImplKind;
+
+    #[test]
+    fn summary_covers_every_component_with_sane_values() {
+        let base = std::env::temp_dir().join(format!("arp-summary-{}", std::process::id()));
+        let input = base.join("in");
+        std::fs::create_dir_all(&input).unwrap();
+        arp_synth::write_event_inputs(&arp_synth::paper_event(0, 0.003), &input).unwrap();
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        run_pipeline(&ctx, ImplKind::FullyParallel).unwrap();
+
+        let rows = event_summary(&ctx).unwrap();
+        let stations = ctx.stations().unwrap();
+        assert_eq!(rows.len(), stations.len() * 3);
+        for r in &rows {
+            assert!(r.pga > 0.0, "{r:?}");
+            assert!(r.pgv > 0.0);
+            assert!(r.arias >= 0.0);
+            assert!(r.sa.iter().all(|&v| v >= 0.0));
+            assert!(r.corners.0 < r.corners.1);
+        }
+
+        let csv = summary_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.starts_with("station,component"));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn summary_requires_completed_run() {
+        let base = std::env::temp_dir().join(format!("arp-summary2-{}", std::process::id()));
+        let ctx = RunContext::new(base.join("in"), base.join("w"), PipelineConfig::fast()).unwrap();
+        assert!(event_summary(&ctx).is_err());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

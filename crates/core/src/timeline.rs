@@ -1,0 +1,149 @@
+//! Stage-timeline visualization: renders a [`RunReport`]'s stage timings as
+//! a Gantt-style SVG, the visual counterpart of the paper's Fig. 8/10 stage
+//! diagrams with real measured widths.
+
+use crate::report::RunReport;
+use arp_plot::{Anchor, Backend, Color, Svg};
+
+/// Renders the report's stages as a horizontal timeline (one bar per stage,
+/// widths proportional to elapsed time). Returns an SVG document; reports
+/// without stage timings (sequential implementations) render the
+/// per-process chain instead.
+pub fn timeline_svg(report: &RunReport) -> String {
+    let width = 760.0;
+    let row_h = 22.0;
+    let margin_left = 70.0;
+    let margin_top = 40.0;
+
+    let rows: Vec<(String, f64)> = if report.stages.is_empty() {
+        report
+            .processes
+            .iter()
+            .map(|p| (format!("#{}", p.process.0), p.elapsed.as_secs_f64()))
+            .collect()
+    } else {
+        report
+            .stages
+            .iter()
+            .map(|s| (s.stage.label().to_string(), s.elapsed.as_secs_f64()))
+            .collect()
+    };
+
+    let height = margin_top + rows.len() as f64 * row_h + 30.0;
+    let mut be: Box<dyn Backend> = Box::new(Svg::new(width, height));
+
+    let total: f64 = rows.iter().map(|(_, t)| t).sum();
+    be.text(
+        width / 2.0,
+        20.0,
+        12.0,
+        Anchor::Middle,
+        &format!(
+            "{} — {} ({:.3}s total, {} points)",
+            report.event,
+            report.implementation.label(),
+            report.total.as_secs_f64(),
+            report.data_points
+        ),
+    );
+
+    let plot_w = width - margin_left - 90.0;
+    let scale = if total > 0.0 { plot_w / total } else { 0.0 };
+    let mut x = margin_left;
+    for (i, (label, secs)) in rows.iter().enumerate() {
+        let y = margin_top + i as f64 * row_h;
+        let w = (secs * scale).max(0.5);
+        be.text(margin_left - 6.0, y + row_h * 0.7, 10.0, Anchor::End, label);
+        be.fill_rect(
+            x,
+            y + 3.0,
+            w,
+            row_h - 6.0,
+            Color::PALETTE[i % Color::PALETTE.len()],
+        );
+        be.text(
+            x + w + 4.0,
+            y + row_h * 0.7,
+            8.0,
+            Anchor::Start,
+            &format!("{:.4}s", secs),
+        );
+        x += w;
+    }
+    be.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::StageId;
+    use crate::process::ProcessId;
+    use crate::report::{ImplKind, ProcessTiming, StageTiming};
+    use std::time::Duration;
+
+    fn report_with_stages() -> RunReport {
+        RunReport {
+            implementation: ImplKind::FullyParallel,
+            event: "EV-TEST".into(),
+            v1_files: 5,
+            data_points: 1000,
+            total: Duration::from_millis(100),
+            processes: vec![],
+            stages: StageId::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| StageTiming {
+                    stage: s,
+                    elapsed: Duration::from_millis(5 + i as u64),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stage_timeline_renders_all_stages() {
+        let svg = timeline_svg(&report_with_stages());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("EV-TEST"));
+        for s in StageId::ALL {
+            assert!(svg.contains(&format!(">{}<", s.label())), "{}", s.label());
+        }
+        // One colored bar per stage.
+        assert!(svg.matches("<rect").count() >= 11);
+    }
+
+    #[test]
+    fn sequential_reports_fall_back_to_processes() {
+        let report = RunReport {
+            implementation: ImplKind::SequentialOriginal,
+            event: "EV".into(),
+            v1_files: 1,
+            data_points: 10,
+            total: Duration::from_millis(10),
+            processes: (0..20u8)
+                .map(|p| ProcessTiming {
+                    process: ProcessId(p),
+                    elapsed: Duration::from_millis(1),
+                })
+                .collect(),
+            stages: vec![],
+        };
+        let svg = timeline_svg(&report);
+        assert!(svg.contains("#19"));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = RunReport {
+            implementation: ImplKind::SequentialOptimized,
+            event: "E".into(),
+            v1_files: 0,
+            data_points: 0,
+            total: Duration::ZERO,
+            processes: vec![],
+            stages: vec![],
+        };
+        let svg = timeline_svg(&report);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Baseline correction of acceleration records.
+//!
+//! Raw accelerograms carry instrument offsets and low-frequency drift; before
+//! filtering and integration, the processing pipeline removes a baseline.
+//! This module implements the standard options: mean removal, least-squares
+//! linear detrend, and low-order polynomial detrend (fit with orthogonal
+//! Legendre-like polynomials on `[-1, 1]` so the normal equations stay
+//! well-conditioned even for long records).
+
+use crate::error::DspError;
+
+/// Baseline model to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Subtract the arithmetic mean.
+    Mean,
+    /// Subtract the least-squares straight line.
+    Linear,
+    /// Subtract a least-squares polynomial of the given degree (0..=10).
+    Polynomial(usize),
+}
+
+/// Removes the chosen baseline in place.
+pub fn remove_baseline(data: &mut [f64], model: Baseline) -> Result<(), DspError> {
+    match model {
+        Baseline::Mean => {
+            remove_mean(data);
+            Ok(())
+        }
+        Baseline::Linear => remove_polynomial(data, 1),
+        Baseline::Polynomial(deg) => remove_polynomial(data, deg),
+    }
+}
+
+/// Subtracts the mean in place. No-op on empty input.
+pub fn remove_mean(data: &mut [f64]) {
+    if data.is_empty() {
+        return;
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    for x in data.iter_mut() {
+        *x -= mean;
+    }
+}
+
+/// Fits and subtracts a degree-`deg` polynomial (least squares) in place.
+///
+/// Uses a Gram–Schmidt-orthogonalized polynomial basis evaluated on the
+/// normalized abscissa `t in [-1, 1]`, which keeps the fit numerically stable
+/// for degrees up to 10 and record lengths in the tens of thousands.
+pub fn remove_polynomial(data: &mut [f64], deg: usize) -> Result<(), DspError> {
+    if deg > 10 {
+        return Err(DspError::InvalidArgument(format!(
+            "polynomial degree {deg} > 10"
+        )));
+    }
+    let n = data.len();
+    if n == 0 {
+        return Ok(());
+    }
+    if n <= deg {
+        return Err(DspError::TooShort { needed: deg + 1, got: n });
+    }
+
+    // Normalized abscissa.
+    let ts: Vec<f64> = if n == 1 {
+        vec![0.0]
+    } else {
+        (0..n).map(|i| 2.0 * i as f64 / (n - 1) as f64 - 1.0).collect()
+    };
+
+    // Build orthogonal basis phi_0..phi_deg over the sample points via
+    // modified Gram-Schmidt on the monomials, then project and subtract.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(deg + 1);
+    for d in 0..=deg {
+        let mut v: Vec<f64> = ts.iter().map(|t| t.powi(d as i32)).collect();
+        for b in &basis {
+            let dot = dot(&v, b);
+            for (x, y) in v.iter_mut().zip(b.iter()) {
+                *x -= dot * y;
+            }
+        }
+        let norm = dot(&v, &v).sqrt();
+        if norm < 1e-14 {
+            // Degenerate (e.g. n too small relative to degree) — skip.
+            continue;
+        }
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+        basis.push(v);
+    }
+
+    for b in &basis {
+        let coef = dot(data, b);
+        for (x, y) in data.iter_mut().zip(b.iter()) {
+            *x -= coef * y;
+        }
+    }
+    Ok(())
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs(x: &[f64]) -> f64 {
+        x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    #[test]
+    fn mean_removal_zeroes_mean() {
+        let mut x: Vec<f64> = (0..100).map(|i| i as f64 + 5.0).collect();
+        remove_mean(&mut x);
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        assert!(mean.abs() < 1e-10);
+    }
+
+    #[test]
+    fn mean_removal_empty_ok() {
+        let mut x: Vec<f64> = vec![];
+        remove_mean(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn linear_detrend_kills_ramp() {
+        let mut x: Vec<f64> = (0..500).map(|i| 3.0 + 0.25 * i as f64).collect();
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+        assert!(max_abs(&x) < 1e-8, "residual {}", max_abs(&x));
+    }
+
+    #[test]
+    fn linear_detrend_preserves_oscillation() {
+        let n = 1000;
+        let osc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut x: Vec<f64> = osc.iter().enumerate().map(|(i, &o)| o + 2.0 + 0.01 * i as f64).collect();
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+        // The oscillation survives nearly intact (its projection on 1,t is tiny).
+        let rms_diff = (x.iter().zip(&osc).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n as f64).sqrt();
+        assert!(rms_diff < 0.05, "rms diff {rms_diff}");
+    }
+
+    #[test]
+    fn cubic_detrend_kills_cubic() {
+        let n = 300;
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                1.0 - 2.0 * t + 3.0 * t * t - 4.0 * t * t * t
+            })
+            .collect();
+        remove_baseline(&mut x, Baseline::Polynomial(3)).unwrap();
+        assert!(max_abs(&x) < 1e-8);
+    }
+
+    #[test]
+    fn degree_zero_equals_mean_removal() {
+        let mut a: Vec<f64> = (0..50).map(|i| (i as f64).sin() + 7.0).collect();
+        let mut b = a.clone();
+        remove_mean(&mut a);
+        remove_baseline(&mut b, Baseline::Polynomial(0)).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn too_short_errors() {
+        let mut x = vec![1.0, 2.0];
+        assert!(matches!(
+            remove_baseline(&mut x, Baseline::Polynomial(5)),
+            Err(DspError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn excessive_degree_errors() {
+        let mut x = vec![0.0; 100];
+        assert!(remove_polynomial(&mut x, 11).is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let mut x: Vec<f64> = vec![];
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin() + 0.002 * i as f64).collect();
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+        let once = x.clone();
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+        for (a, b) in once.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_degree_stable_on_long_record() {
+        let n = 20_000;
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (t * 40.0).sin() + t.powi(7) * 5.0
+            })
+            .collect();
+        remove_baseline(&mut x, Baseline::Polynomial(8)).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Polynomial part removed: remaining energy is close to the sine alone.
+        let rms = (x.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
+        assert!((rms - (0.5f64).sqrt()).abs() < 0.05, "rms {rms}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Butterworth IIR band-pass filtering.
+//!
+//! The legacy pipeline uses windowed-sinc FIR filters ([`crate::fir`]);
+//! modern strong-motion processing (ObsPy, USGS PRISM) favours Butterworth
+//! IIR filters applied forward–backward for zero phase. This module
+//! implements the classic design chain — analog Butterworth prototype →
+//! band-pass transform → bilinear transform → cascaded biquad sections —
+//! and serves as the filter-design ablation.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+
+/// One second-order section (biquad), direct-form coefficients normalized
+/// so `a0 = 1`: `y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    /// Numerator coefficients.
+    pub b: [f64; 3],
+    /// Denominator coefficients `a1`, `a2` (`a0` is 1).
+    pub a: [f64; 2],
+}
+
+impl Biquad {
+    /// Runs the section over a signal (direct form II transposed).
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        let mut out = Vec::with_capacity(x.len());
+        for &v in x {
+            let y = self.b[0] * v + s1;
+            s1 = self.b[1] * v - self.a[0] * y + s2;
+            s2 = self.b[2] * v - self.a[1] * y;
+            out.push(y);
+        }
+        out
+    }
+
+    /// True when both poles are strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        // Jury criterion for a quadratic 1 + a1 z^-1 + a2 z^-2.
+        let (a1, a2) = (self.a[0], self.a[1]);
+        a2 < 1.0 && (a1.abs() - 1.0) < a2
+    }
+}
+
+/// A cascaded-biquad IIR filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IirFilter {
+    sections: Vec<Biquad>,
+    gain: f64,
+    dt: f64,
+}
+
+impl IirFilter {
+    /// Designs a Butterworth band-pass of prototype `order` (the digital
+    /// filter has `2·order` poles) with passband `[f_lo, f_hi]` Hz for
+    /// signals sampled at `dt` seconds.
+    pub fn butterworth_band_pass(
+        order: usize,
+        f_lo: f64,
+        f_hi: f64,
+        dt: f64,
+    ) -> Result<Self, DspError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(DspError::InvalidSampling(dt));
+        }
+        let nyquist = 0.5 / dt;
+        if !(0.0 < f_lo && f_lo < f_hi && f_hi < nyquist) {
+            return Err(DspError::InvalidBand(format!(
+                "band [{f_lo}, {f_hi}] must satisfy 0 < lo < hi < Nyquist ({nyquist})"
+            )));
+        }
+        if !(1..=12).contains(&order) {
+            return Err(DspError::InvalidArgument(format!(
+                "Butterworth order {order} outside 1..=12"
+            )));
+        }
+
+        // Pre-warped analog band edges.
+        let warp = |f: f64| 2.0 / dt * (std::f64::consts::PI * f * dt).tan();
+        let w_lo = warp(f_lo);
+        let w_hi = warp(f_hi);
+        let w0 = (w_lo * w_hi).sqrt();
+        let bw = w_hi - w_lo;
+
+        // Analog Butterworth prototype poles (left half-plane unit circle).
+        let mut analog_poles = Vec::with_capacity(2 * order);
+        for k in 0..order {
+            let theta = std::f64::consts::PI * (2.0 * k as f64 + order as f64 + 1.0)
+                / (2.0 * order as f64);
+            let p = Complex::cis(theta); // Re < 0 by construction
+            // Low-pass -> band-pass: s_lp = (s^2 + w0^2)/(B s); each
+            // prototype pole yields two band-pass poles.
+            let pb2 = p.scale(bw / 2.0);
+            let disc = (pb2 * pb2 - Complex::from_re(w0 * w0)).sqrt();
+            analog_poles.push(pb2 + disc);
+            analog_poles.push(pb2 - disc);
+        }
+
+        // Bilinear transform z = (1 + sT/2)/(1 - sT/2).
+        let bilinear = |s: Complex| -> Complex {
+            let half = s.scale(dt / 2.0);
+            (Complex::ONE + half) / (Complex::ONE - half)
+        };
+        let digital_poles: Vec<Complex> = analog_poles.iter().map(|&p| bilinear(p)).collect();
+        // Band-pass zeros: `order` at s=0 (z=+1) and `order` at s=inf (z=-1).
+
+        // Pair poles into conjugate (or real) pairs to form biquads.
+        let mut remaining = digital_poles;
+        let mut sections = Vec::with_capacity(order);
+        while let Some(p) = remaining.pop() {
+            let partner_idx = if p.im.abs() > 1e-12 {
+                remaining
+                    .iter()
+                    .position(|q| (q.re - p.re).abs() < 1e-9 && (q.im + p.im).abs() < 1e-9)
+            } else {
+                remaining.iter().position(|q| q.im.abs() <= 1e-12)
+            };
+            let q = match partner_idx {
+                Some(idx) => remaining.swap_remove(idx),
+                None => {
+                    return Err(DspError::InvalidArgument(
+                        "internal: unpaired pole in Butterworth design".into(),
+                    ))
+                }
+            };
+            // (1 - p z^-1)(1 - q z^-1) = 1 - (p+q) z^-1 + pq z^-2; for a
+            // conjugate/real pair the coefficients are real.
+            let a1 = -(p + q).re;
+            let a2 = (p * q).re;
+            sections.push(Biquad {
+                // One zero at z=+1 and one at z=-1 per section: (1 - z^-2).
+                b: [1.0, 0.0, -1.0],
+                a: [a1, a2],
+            });
+        }
+
+        let mut filter = IirFilter {
+            sections,
+            gain: 1.0,
+            dt,
+        };
+        // Normalize to unit gain at the (digital) center frequency.
+        let fc = (f_lo * f_hi).sqrt();
+        let g = filter.gain_at(fc);
+        if g <= 0.0 || !g.is_finite() {
+            return Err(DspError::InvalidArgument(
+                "internal: degenerate Butterworth gain".into(),
+            ));
+        }
+        filter.gain = 1.0 / g;
+        Ok(filter)
+    }
+
+    /// Number of biquad sections (= prototype order).
+    pub fn sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when every section is stable.
+    pub fn is_stable(&self) -> bool {
+        self.sections.iter().all(|s| s.is_stable())
+    }
+
+    /// Magnitude response at `f` Hz.
+    pub fn gain_at(&self, f: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f * self.dt;
+        let z1 = Complex::cis(-w); // z^{-1}
+        let z2 = z1 * z1;
+        let mut h = Complex::from_re(self.gain);
+        for s in &self.sections {
+            let num = Complex::from_re(s.b[0]) + z1.scale(s.b[1]) + z2.scale(s.b[2]);
+            let den = Complex::ONE + z1.scale(s.a[0]) + z2.scale(s.a[1]);
+            h *= num / den;
+        }
+        h.abs()
+    }
+
+    /// Causal (single-pass) filtering.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y: Vec<f64> = x.iter().map(|&v| v * self.gain).collect();
+        for s in &self.sections {
+            y = s.apply(&y);
+        }
+        y
+    }
+
+    /// Zero-phase filtering: forward pass, then backward pass (squares the
+    /// magnitude response, cancels the phase) — `filtfilt`.
+    pub fn filtfilt(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.apply(x);
+        y.reverse();
+        let mut z = self.apply(&y);
+        z.reverse();
+        z
+    }
+}
+
+impl Complex {
+    /// Principal square root.
+    pub(crate) fn sqrt(self) -> Complex {
+        let r = self.abs().sqrt();
+        let theta = self.arg() / 2.0;
+        Complex::cis(theta).scale(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(f: f64, dt: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * f * i as f64 * dt).sin()).collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(IirFilter::butterworth_band_pass(4, 0.1, 20.0, 0.01).is_ok());
+        assert!(IirFilter::butterworth_band_pass(0, 0.1, 20.0, 0.01).is_err());
+        assert!(IirFilter::butterworth_band_pass(13, 0.1, 20.0, 0.01).is_err());
+        assert!(IirFilter::butterworth_band_pass(4, 20.0, 0.1, 0.01).is_err());
+        assert!(IirFilter::butterworth_band_pass(4, 0.1, 60.0, 0.01).is_err()); // above Nyquist
+        assert!(IirFilter::butterworth_band_pass(4, 0.1, 20.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn sections_match_order_and_are_stable() {
+        for order in 1..=8 {
+            let f = IirFilter::butterworth_band_pass(order, 0.2, 15.0, 0.01).unwrap();
+            assert_eq!(f.sections(), order);
+            assert!(f.is_stable(), "order {order} unstable");
+        }
+    }
+
+    #[test]
+    fn gain_profile_is_band_pass() {
+        let f = IirFilter::butterworth_band_pass(4, 0.5, 10.0, 0.01).unwrap();
+        // Unit gain at the geometric center.
+        let fc = (0.5f64 * 10.0).sqrt();
+        assert!((f.gain_at(fc) - 1.0).abs() < 1e-9);
+        // Near-unit gain inside the band.
+        assert!(f.gain_at(3.0) > 0.85);
+        // Strong attenuation outside.
+        assert!(f.gain_at(0.05) < 0.05, "low stop {}", f.gain_at(0.05));
+        assert!(f.gain_at(40.0) < 0.05, "high stop {}", f.gain_at(40.0));
+    }
+
+    #[test]
+    fn butterworth_passband_is_flat() {
+        // Maximally flat: mid-band gains are monotone toward the edges.
+        let f = IirFilter::butterworth_band_pass(4, 0.5, 10.0, 0.005).unwrap();
+        let g2 = f.gain_at(2.0);
+        let g3 = f.gain_at(3.0);
+        assert!((g2 - g3).abs() < 0.05, "{g2} vs {g3}");
+    }
+
+    #[test]
+    fn tone_filtering_matches_gain() {
+        let dt = 0.005;
+        let filt = IirFilter::butterworth_band_pass(4, 0.5, 10.0, dt).unwrap();
+        let n = 16384;
+        for &f in &[2.0f64, 0.1, 30.0] {
+            let y = filt.apply(&tone(f, dt, n));
+            let steady = rms(&y[n / 2..]);
+            let expect = filt.gain_at(f) / (2.0f64).sqrt();
+            assert!(
+                (steady - expect).abs() < 0.05 * expect.max(0.01),
+                "tone {f} Hz: rms {steady} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn filtfilt_is_zero_phase() {
+        let dt = 0.01;
+        let filt = IirFilter::butterworth_band_pass(3, 0.5, 15.0, dt).unwrap();
+        let n = 2001;
+        let mut x = vec![0.0; n];
+        x[n / 2] = 1.0;
+        let y = filt.filtfilt(&x);
+        // Response is symmetric around the impulse position.
+        for k in 1..200 {
+            assert!(
+                (y[n / 2 + k] - y[n / 2 - k]).abs() < 1e-9,
+                "asymmetry at lag {k}"
+            );
+        }
+        // Peak stays centered.
+        let peak = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, n / 2);
+    }
+
+    #[test]
+    fn filtfilt_squares_attenuation() {
+        let dt = 0.005;
+        let filt = IirFilter::butterworth_band_pass(2, 0.5, 10.0, dt).unwrap();
+        let n = 16384;
+        let f_stop = 25.0;
+        let single = rms(&filt.apply(&tone(f_stop, dt, n))[n / 2..]);
+        let double = rms(&filt.filtfilt(&tone(f_stop, dt, n))[n / 4..3 * n / 4]);
+        assert!(double < single, "filtfilt {double} vs single {single}");
+    }
+
+    #[test]
+    fn output_length_preserved() {
+        let filt = IirFilter::butterworth_band_pass(4, 0.5, 10.0, 0.01).unwrap();
+        for n in [0usize, 1, 7, 100] {
+            assert_eq!(filt.apply(&vec![1.0; n]).len(), n);
+            assert_eq!(filt.filtfilt(&vec![1.0; n]).len(), n);
+        }
+    }
+
+    #[test]
+    fn complex_sqrt_correct() {
+        let z = Complex::new(-3.0, 4.0);
+        let r = z.sqrt();
+        let back = r * r;
+        assert!((back.re - z.re).abs() < 1e-12 && (back.im - z.im).abs() < 1e-12);
+        // Principal branch: non-negative real part.
+        assert!(r.re >= 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! FPL/FSL extraction from the velocity Fourier spectrum (process #10).
+//!
+//! At long periods a real record's velocity spectrum stops decaying and turns
+//! upward, because double-integrated low-frequency noise dominates the
+//! signal. The period at which the slope changes sign — the *inflection
+//! point* highlighted in Fig. 3 of the paper — marks where the record stops
+//! being trustworthy; the definitive band-pass low-side corners (`FPL` =
+//! low-pass frequency, `FSL` = low-stop frequency) are placed there.
+//!
+//! The search mirrors the paper's `CalculateInflectionPoint`: scan the
+//! smoothed velocity spectrum in the period domain, *only for periods greater
+//! than one second*, and **terminate early** at the first confirmed slope
+//! change.
+
+use crate::error::DspError;
+use crate::spectrum::{smooth_moving_average, FourierSpectrum};
+
+/// Result of the inflection-point search.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FilterCorners {
+    /// Low-pass frequency in Hz (signals above pass).
+    pub fpl: f64,
+    /// Low-stop frequency in Hz (signals below are rejected).
+    pub fsl: f64,
+    /// Period (s) of the detected inflection point, for diagnostics.
+    pub inflection_period: f64,
+}
+
+/// Tuning knobs for the inflection search.
+#[derive(Debug, Clone, Copy)]
+pub struct InflectionConfig {
+    /// Periods below this are never inspected (paper: 1 s).
+    pub min_period: f64,
+    /// Half-width of the moving-average smoothing window (spectral bins).
+    pub smooth_half_width: usize,
+    /// Number of consecutive rising samples required to confirm the turn.
+    pub confirm_points: usize,
+    /// `fsl = fpl / stop_ratio`; 2 places the stop corner an octave below.
+    pub stop_ratio: f64,
+    /// Fallback corner frequency (Hz) when no inflection is found.
+    pub fallback_fpl: f64,
+}
+
+impl Default for InflectionConfig {
+    fn default() -> Self {
+        InflectionConfig {
+            min_period: 1.0,
+            smooth_half_width: 4,
+            confirm_points: 3,
+            stop_ratio: 2.0,
+            fallback_fpl: 0.10,
+        }
+    }
+}
+
+/// Finds the FPL/FSL corners from a component's Fourier spectrum.
+///
+/// Scans the smoothed velocity amplitude spectrum from the `min_period`
+/// boundary toward longer periods (i.e. descending frequency) and stops at
+/// the first point where the amplitude has risen for `confirm_points`
+/// consecutive samples — the early-termination strategy of §V-B. If the
+/// spectrum never turns upward (an unusually clean record), the configured
+/// fallback corner is used.
+pub fn find_filter_corners(
+    spectrum: &FourierSpectrum,
+    config: &InflectionConfig,
+) -> Result<FilterCorners, DspError> {
+    if spectrum.len() < 4 {
+        return Err(DspError::TooShort {
+            needed: 4,
+            got: spectrum.len(),
+        });
+    }
+    if config.min_period <= 0.0 || config.stop_ratio <= 1.0 {
+        return Err(DspError::InvalidArgument(format!(
+            "min_period {} must be > 0 and stop_ratio {} > 1",
+            config.min_period, config.stop_ratio
+        )));
+    }
+
+    let smoothed = smooth_moving_average(&spectrum.velocity, config.smooth_half_width);
+
+    // Frequencies ascend; periods > min_period correspond to bins with
+    // 0 < f < 1/min_period. Scan from the highest such frequency downward
+    // (period ascending past 1 s), skipping DC.
+    let f_max = 1.0 / config.min_period;
+    let mut start = None;
+    for (k, &f) in spectrum.frequency_hz.iter().enumerate().skip(1) {
+        if f < f_max {
+            start = Some(k);
+        }
+    }
+    // `start` is the last bin below f_max; scanning downward in k means
+    // ascending period. Find the largest bin index below f_max:
+    let Some(hi) = start else {
+        // Record too short/low-resolution to have any bin beyond 1 s period.
+        return Ok(fallback(config));
+    };
+
+    let confirm = config.confirm_points.max(1);
+    let mut rising = 0usize;
+    let mut candidate: Option<usize> = None;
+
+    // Walk k = hi, hi-1, ..., 1 (period increasing). Amplitude "rising with
+    // period" means smoothed[k-1] > smoothed[k].
+    for k in (1..=hi).rev() {
+        if smoothed[k - 1] > smoothed[k] {
+            if rising == 0 {
+                candidate = Some(k);
+            }
+            rising += 1;
+            if rising >= confirm {
+                // Early termination: confirmed inflection.
+                let idx = candidate.unwrap();
+                let f_inf = spectrum.frequency_hz[idx];
+                return Ok(FilterCorners {
+                    fpl: f_inf,
+                    fsl: f_inf / config.stop_ratio,
+                    inflection_period: 1.0 / f_inf,
+                });
+            }
+        } else {
+            rising = 0;
+            candidate = None;
+        }
+    }
+
+    Ok(fallback(config))
+}
+
+fn fallback(config: &InflectionConfig) -> FilterCorners {
+    FilterCorners {
+        fpl: config.fallback_fpl,
+        fsl: config.fallback_fpl / config.stop_ratio,
+        inflection_period: 1.0 / config.fallback_fpl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::fourier_spectrum;
+    use std::f64::consts::PI;
+
+    /// Builds a synthetic spectrum directly: velocity amplitude as a function
+    /// of frequency on a uniform grid.
+    fn synthetic_spectrum(df: f64, n: usize, vel: impl Fn(f64) -> f64) -> FourierSpectrum {
+        let frequency_hz: Vec<f64> = (0..n).map(|k| k as f64 * df).collect();
+        let velocity: Vec<f64> = frequency_hz.iter().map(|&f| vel(f)).collect();
+        let acceleration = velocity
+            .iter()
+            .zip(&frequency_hz)
+            .map(|(&v, &f)| v * 2.0 * PI * f)
+            .collect();
+        let displacement = velocity
+            .iter()
+            .zip(&frequency_hz)
+            .map(|(&v, &f)| if f > 0.0 { v / (2.0 * PI * f) } else { 0.0 })
+            .collect();
+        FourierSpectrum {
+            frequency_hz,
+            acceleration,
+            velocity,
+            displacement,
+        }
+    }
+
+    #[test]
+    fn detects_noise_turnup() {
+        // Velocity spectrum: signal hump at ~1 Hz + 1/f^2 noise rising at low f.
+        // Noise dominates below ~0.3 Hz, so the inflection is near there.
+        let spec = synthetic_spectrum(0.01, 3000, |f| {
+            if f == 0.0 {
+                return 0.0;
+            }
+            let signal = (-((f - 1.0) / 0.8).powi(2)).exp();
+            let noise = 0.002 / (f * f);
+            signal + noise
+        });
+        let corners = find_filter_corners(&spec, &InflectionConfig::default()).unwrap();
+        assert!(
+            corners.fpl > 0.05 && corners.fpl < 0.6,
+            "fpl = {}",
+            corners.fpl
+        );
+        assert!((corners.fsl - corners.fpl / 2.0).abs() < 1e-12);
+        assert!(corners.inflection_period > 1.0);
+    }
+
+    #[test]
+    fn clean_spectrum_falls_back() {
+        // Monotonically increasing with frequency => never rises with period.
+        let spec = synthetic_spectrum(0.01, 500, |f| f);
+        let cfg = InflectionConfig::default();
+        let corners = find_filter_corners(&spec, &cfg).unwrap();
+        assert_eq!(corners.fpl, cfg.fallback_fpl);
+        assert_eq!(corners.fsl, cfg.fallback_fpl / cfg.stop_ratio);
+    }
+
+    #[test]
+    fn never_reports_corner_above_one_hz() {
+        // Rising bump just above 1 Hz period boundary (f in 1..2 Hz) must be
+        // ignored: the search only looks at periods > 1 s (f < 1 Hz).
+        let spec = synthetic_spectrum(0.01, 1000, |f| {
+            if f > 1.2 && f < 1.8 {
+                10.0
+            } else {
+                1.0 + f
+            }
+        });
+        let cfg = InflectionConfig::default();
+        let corners = find_filter_corners(&spec, &cfg).unwrap();
+        assert!(corners.fpl <= 1.0 / cfg.min_period + 1e-9);
+    }
+
+    #[test]
+    fn too_short_spectrum_errors() {
+        let spec = synthetic_spectrum(0.5, 3, |f| f);
+        assert!(find_filter_corners(&spec, &InflectionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_config_errors() {
+        let spec = synthetic_spectrum(0.01, 100, |f| f);
+        let cfg = InflectionConfig { min_period: 0.0, ..Default::default() };
+        assert!(find_filter_corners(&spec, &cfg).is_err());
+        let cfg2 = InflectionConfig { stop_ratio: 1.0, ..Default::default() };
+        assert!(find_filter_corners(&spec, &cfg2).is_err());
+    }
+
+    #[test]
+    fn low_resolution_spectrum_falls_back() {
+        // df = 2 Hz: no bins below 1 Hz at all.
+        let spec = synthetic_spectrum(2.0, 50, |f| 1.0 / (f + 1.0));
+        let cfg = InflectionConfig::default();
+        let corners = find_filter_corners(&spec, &cfg).unwrap();
+        assert_eq!(corners.fpl, cfg.fallback_fpl);
+    }
+
+    #[test]
+    fn works_on_real_fft_spectrum() {
+        // Build a time-domain record: band-limited signal + low-frequency drift
+        // noise, run the real spectrum path end to end.
+        let dt = 0.01;
+        let n = 16384;
+        let acc: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (2.0 * PI * 2.0 * t).sin() * (-((t - 60.0) / 30.0).powi(2)).exp()
+                    + 0.05 * (2.0 * PI * 0.04 * t).sin()
+            })
+            .collect();
+        let spec = fourier_spectrum(&acc, dt).unwrap();
+        let corners = find_filter_corners(&spec, &InflectionConfig::default()).unwrap();
+        assert!(corners.fpl > 0.0 && corners.fpl <= 1.0);
+        assert!(corners.fsl < corners.fpl);
+    }
+
+    #[test]
+    fn confirm_points_guard_against_single_blip() {
+        // One isolated rising sample (narrow spike) should not trigger with
+        // confirm_points = 3; search should continue and fall back.
+        let spec = synthetic_spectrum(0.01, 400, |f| {
+            if (f - 0.5).abs() < 0.005 {
+                5.0
+            } else {
+                1.0 + f
+            }
+        });
+        let cfg = InflectionConfig {
+            smooth_half_width: 0, // keep the blip sharp
+            confirm_points: 3,
+            ..Default::default()
+        };
+        let corners = find_filter_corners(&spec, &cfg).unwrap();
+        assert_eq!(corners.fpl, cfg.fallback_fpl, "blip must not confirm");
+    }
+}

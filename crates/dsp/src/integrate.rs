@@ -1,0 +1,160 @@
+//! Numerical integration and differentiation of uniformly sampled signals.
+//!
+//! V1 records store acceleration; velocity and displacement traces are
+//! produced by cumulative trapezoidal integration (the convention used by
+//! strong-motion Vol.2 processing).
+
+use crate::error::DspError;
+
+/// Cumulative trapezoidal integral. `out[0] = 0`; `out[i]` approximates
+/// `∫_0^{t_i} x dt` with sampling interval `dt`.
+pub fn cumtrapz(x: &[f64], dt: f64) -> Result<Vec<f64>, DspError> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(DspError::InvalidSampling(dt));
+    }
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = 0.0;
+    let half_dt = 0.5 * dt;
+    for (i, &v) in x.iter().enumerate() {
+        if i == 0 {
+            out.push(0.0);
+        } else {
+            acc += (x[i - 1] + v) * half_dt;
+            out.push(acc);
+        }
+    }
+    Ok(out)
+}
+
+/// Total trapezoidal integral over the whole record.
+pub fn trapz(x: &[f64], dt: f64) -> Result<f64, DspError> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(DspError::InvalidSampling(dt));
+    }
+    if x.len() < 2 {
+        return Ok(0.0);
+    }
+    let interior: f64 = x[1..x.len() - 1].iter().sum();
+    Ok(dt * (0.5 * (x[0] + x[x.len() - 1]) + interior))
+}
+
+/// Central-difference derivative (forward/backward at the edges).
+pub fn differentiate(x: &[f64], dt: f64) -> Result<Vec<f64>, DspError> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(DspError::InvalidSampling(dt));
+    }
+    let n = x.len();
+    match n {
+        0 => return Ok(Vec::new()),
+        1 => return Ok(vec![0.0]),
+        _ => {}
+    }
+    let mut out = Vec::with_capacity(n);
+    out.push((x[1] - x[0]) / dt);
+    for i in 1..n - 1 {
+        out.push((x[i + 1] - x[i - 1]) / (2.0 * dt));
+    }
+    out.push((x[n - 1] - x[n - 2]) / dt);
+    Ok(out)
+}
+
+/// Velocity and displacement derived from an acceleration trace by double
+/// cumulative trapezoidal integration.
+pub fn acc_to_vel_disp(acc: &[f64], dt: f64) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+    let vel = cumtrapz(acc, dt)?;
+    let disp = cumtrapz(&vel, dt)?;
+    Ok((vel, disp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn cumtrapz_of_constant_is_ramp() {
+        let x = vec![2.0; 11];
+        let y = cumtrapz(&x, 0.5).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cumtrapz_of_ramp_is_quadratic() {
+        let dt = 0.1;
+        let x: Vec<f64> = (0..101).map(|i| i as f64 * dt).collect(); // x(t)=t
+        let y = cumtrapz(&x, dt).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            let t = i as f64 * dt;
+            assert!((v - 0.5 * t * t).abs() < 1e-9, "at {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn trapz_sine_over_period_is_zero() {
+        let n = 10_001;
+        let dt = 2.0 * PI / (n - 1) as f64;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * dt).sin()).collect();
+        assert!(trapz(&x, dt).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn trapz_short_inputs() {
+        assert_eq!(trapz(&[], 0.1).unwrap(), 0.0);
+        assert_eq!(trapz(&[5.0], 0.1).unwrap(), 0.0);
+        assert!((trapz(&[1.0, 3.0], 0.5).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_of_sine_is_cosine() {
+        let dt = 0.001;
+        let n = 5000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * dt).sin()).collect();
+        let d = differentiate(&x, dt).unwrap();
+        for (i, &v) in d.iter().enumerate().take(n - 1).skip(1) {
+            let want = (i as f64 * dt).cos();
+            assert!((v - want).abs() < 1e-5, "at {i}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn derivative_edge_cases() {
+        assert!(differentiate(&[], 0.1).unwrap().is_empty());
+        assert_eq!(differentiate(&[7.0], 0.1).unwrap(), vec![0.0]);
+        let d = differentiate(&[0.0, 1.0], 0.5).unwrap();
+        assert_eq!(d, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn integrate_then_differentiate_roundtrip() {
+        let dt = 0.01;
+        let x: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.05).sin() * (i as f64 * 0.003).cos()).collect();
+        let integral = cumtrapz(&x, dt).unwrap();
+        let back = differentiate(&integral, dt).unwrap();
+        // interior points round-trip to second-order accuracy
+        #[allow(clippy::needless_range_loop)]
+        for i in 2..x.len() - 2 {
+            assert!((back[i] - x[i]).abs() < 2e-3, "at {i}");
+        }
+    }
+
+    #[test]
+    fn acc_to_vel_disp_constant_acceleration() {
+        // a = 2 => v = 2t, d = t^2
+        let dt = 0.01;
+        let n = 1001;
+        let acc = vec![2.0; n];
+        let (vel, disp) = acc_to_vel_disp(&acc, dt).unwrap();
+        let t_end = (n - 1) as f64 * dt;
+        assert!((vel[n - 1] - 2.0 * t_end).abs() < 1e-9);
+        assert!((disp[n - 1] - t_end * t_end).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_bad_dt() {
+        assert!(cumtrapz(&[1.0], 0.0).is_err());
+        assert!(trapz(&[1.0], -1.0).is_err());
+        assert!(differentiate(&[1.0], f64::NAN).is_err());
+    }
+}

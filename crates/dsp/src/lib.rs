@@ -1,0 +1,60 @@
+//! # arp-dsp — signal-processing substrate for strong-motion records
+//!
+//! Everything numeric the accelerographic-records pipeline needs, implemented
+//! from scratch:
+//!
+//! * [`complex`] / [`fft`] — complex arithmetic and FFTs (radix-2 +
+//!   Bluestein for arbitrary lengths), FFT convolution.
+//! * [`window`] / [`fir`] — window functions and the windowed-sinc
+//!   "Hamming band-pass" filter of processes #4 and #13.
+//! * [`baseline`] / [`integrate`] — baseline correction and trapezoidal
+//!   integration from acceleration to velocity/displacement.
+//! * [`spectrum`] — Fourier amplitude spectra (the `F` files of process #7).
+//! * [`inflection`] — FPL/FSL corner extraction from the velocity spectrum
+//!   (process #10), with the paper's early-termination search.
+//! * [`peaks`] — PGA/PGV/PGD and intensity measures ("max values" files).
+//! * [`respspec`] — elastic response spectra (process #16), with both the
+//!   legacy `O(D²)`-per-period Duhamel kernel and the exact Nigam–Jennings
+//!   recurrence.
+//! * [`resample`] / [`stats`] — sampling-rate utilities and statistics.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod complex;
+pub mod error;
+pub mod fft;
+pub mod fir;
+pub mod hvsr;
+pub mod iir;
+pub mod inflection;
+pub mod integrate;
+pub mod peaks;
+pub mod resample;
+pub mod respspec;
+pub mod rotd;
+pub mod smoothing;
+pub mod spectrum;
+pub mod stats;
+pub mod trigger;
+pub mod window;
+pub mod xcorr;
+
+pub use baseline::{remove_baseline, Baseline};
+pub use complex::Complex;
+pub use error::DspError;
+pub use fir::{BandPass, FirFilter};
+pub use inflection::{find_filter_corners, FilterCorners, InflectionConfig};
+pub use peaks::{intensity_measures, peak_values, IntensityMeasures, PeakValues};
+pub use respspec::{
+    response_spectrum, sdof_peaks, standard_periods, ResponseMethod, ResponseSpectrum,
+    STANDARD_DAMPINGS,
+};
+pub use hvsr::{hvsr, Hvsr};
+pub use iir::IirFilter;
+pub use rotd::{rotd_sd, rotd_spectrum, RotD};
+pub use smoothing::konno_ohmachi;
+pub use spectrum::{fourier_spectrum, FourierSpectrum};
+pub use trigger::{detect_triggers, sta_lta_ratio, StaLtaConfig, Trigger};
+pub use window::WindowKind;
+pub use xcorr::{best_alignment, cross_correlate};

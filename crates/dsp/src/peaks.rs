@@ -1,0 +1,207 @@
+//! Peak values and ground-motion intensity measures.
+//!
+//! Process #4/#13 archive the "max values" of each corrected component; the
+//! GEM products additionally consume standard intensity measures. All of the
+//! usual strong-motion scalars are computed here.
+
+use crate::error::DspError;
+use crate::integrate::{acc_to_vel_disp, cumtrapz};
+
+/// Peak values of one processed component.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PeakValues {
+    /// Peak ground acceleration (absolute), input units.
+    pub pga: f64,
+    /// Time (s) at which PGA occurs.
+    pub pga_time: f64,
+    /// Peak ground velocity (absolute).
+    pub pgv: f64,
+    /// Time (s) of PGV.
+    pub pgv_time: f64,
+    /// Peak ground displacement (absolute).
+    pub pgd: f64,
+    /// Time (s) of PGD.
+    pub pgd_time: f64,
+}
+
+/// Extended intensity measures used by GEM-style products.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IntensityMeasures {
+    /// Arias intensity `Ia = π/(2g) ∫ a(t)² dt` (units depend on input; with
+    /// acceleration in cm/s², this uses g = 980.665 cm/s²).
+    pub arias: f64,
+    /// Significant duration: time between 5% and 75% of the Arias build-up.
+    pub duration_575: f64,
+    /// Significant duration: time between 5% and 95% of the Arias build-up.
+    pub duration_595: f64,
+    /// Cumulative absolute velocity `∫ |a(t)| dt`.
+    pub cav: f64,
+    /// Root-mean-square acceleration over the whole record.
+    pub arms: f64,
+}
+
+/// Standard gravity in cm/s² (records are in cm/s², "gal" convention).
+pub const GRAVITY_CM_S2: f64 = 980.665;
+
+/// Finds the absolute peak and its index; `(0.0, 0)` for empty input.
+pub fn abs_peak(x: &[f64]) -> (f64, usize) {
+    let mut best = 0.0f64;
+    let mut idx = 0usize;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        if a > best {
+            best = a;
+            idx = i;
+        }
+    }
+    (best, idx)
+}
+
+/// Computes PGA/PGV/PGD from an acceleration trace by integration.
+pub fn peak_values(acc: &[f64], dt: f64) -> Result<PeakValues, DspError> {
+    if acc.is_empty() {
+        return Err(DspError::TooShort { needed: 1, got: 0 });
+    }
+    let (vel, disp) = acc_to_vel_disp(acc, dt)?;
+    let (pga, ia) = abs_peak(acc);
+    let (pgv, iv) = abs_peak(&vel);
+    let (pgd, id) = abs_peak(&disp);
+    Ok(PeakValues {
+        pga,
+        pga_time: ia as f64 * dt,
+        pgv,
+        pgv_time: iv as f64 * dt,
+        pgd,
+        pgd_time: id as f64 * dt,
+    })
+}
+
+/// Computes the extended intensity-measure set.
+pub fn intensity_measures(acc: &[f64], dt: f64) -> Result<IntensityMeasures, DspError> {
+    if acc.len() < 2 {
+        return Err(DspError::TooShort { needed: 2, got: acc.len() });
+    }
+    let sq: Vec<f64> = acc.iter().map(|&a| a * a).collect();
+    let cum = cumtrapz(&sq, dt)?;
+    let total = *cum.last().unwrap();
+    let arias = std::f64::consts::PI / (2.0 * GRAVITY_CM_S2) * total;
+
+    let t_at = |frac: f64| -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let target = frac * total;
+        match cum.iter().position(|&c| c >= target) {
+            Some(i) => i as f64 * dt,
+            None => (cum.len() - 1) as f64 * dt,
+        }
+    };
+    let t05 = t_at(0.05);
+    let duration_575 = (t_at(0.75) - t05).max(0.0);
+    let duration_595 = (t_at(0.95) - t05).max(0.0);
+
+    let abs: Vec<f64> = acc.iter().map(|a| a.abs()).collect();
+    let cav = crate::integrate::trapz(&abs, dt)?;
+    let arms = (sq.iter().sum::<f64>() / acc.len() as f64).sqrt();
+
+    Ok(IntensityMeasures {
+        arias,
+        duration_575,
+        duration_595,
+        cav,
+        arms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_peak_basic() {
+        assert_eq!(abs_peak(&[1.0, -5.0, 3.0]), (5.0, 1));
+        assert_eq!(abs_peak(&[]), (0.0, 0));
+        assert_eq!(abs_peak(&[0.0, 0.0]), (0.0, 0));
+    }
+
+    #[test]
+    fn peaks_of_constant_acceleration() {
+        let dt = 0.01;
+        let n = 1001;
+        let acc = vec![3.0; n];
+        let p = peak_values(&acc, dt).unwrap();
+        assert_eq!(p.pga, 3.0);
+        assert_eq!(p.pga_time, 0.0);
+        // velocity grows linearly: peak at the end = 3 * T
+        let t_end = (n - 1) as f64 * dt;
+        assert!((p.pgv - 3.0 * t_end).abs() < 1e-9);
+        assert!((p.pgv_time - t_end).abs() < 1e-9);
+        // displacement ~ 1.5 t^2, peak at the end
+        assert!((p.pgd - 1.5 * t_end * t_end).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pga_time_of_pulse() {
+        let dt = 0.005;
+        let mut acc = vec![0.0; 400];
+        acc[100] = -9.0;
+        acc[200] = 4.0;
+        let p = peak_values(&acc, dt).unwrap();
+        assert_eq!(p.pga, 9.0);
+        assert!((p.pga_time - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_acc_errors() {
+        assert!(peak_values(&[], 0.01).is_err());
+        assert!(intensity_measures(&[1.0], 0.01).is_err());
+    }
+
+    #[test]
+    fn arias_of_constant_matches_closed_form() {
+        // a(t) = A constant: Ia = pi/(2g) * A^2 * T
+        let dt = 0.01;
+        let n = 2001;
+        let a = 10.0;
+        let acc = vec![a; n];
+        let m = intensity_measures(&acc, dt).unwrap();
+        let t_end = (n - 1) as f64 * dt;
+        let want = std::f64::consts::PI / (2.0 * GRAVITY_CM_S2) * a * a * t_end;
+        assert!((m.arias - want).abs() < 1e-6 * want);
+        // CAV of constant = A*T
+        assert!((m.cav - a * t_end).abs() < 1e-9);
+        // RMS of constant = A
+        assert!((m.arms - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_ordered_and_bounded() {
+        let dt = 0.01;
+        let n = 4000;
+        // Energy concentrated in the middle third.
+        let acc: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                if (0.33..0.67).contains(&t) {
+                    (i as f64 * 0.7).sin() * 5.0
+                } else {
+                    0.01 * (i as f64 * 0.3).sin()
+                }
+            })
+            .collect();
+        let m = intensity_measures(&acc, dt).unwrap();
+        assert!(m.duration_575 <= m.duration_595);
+        assert!(m.duration_595 > 0.0);
+        // Energy lives in ~1/3 of the 40 s record.
+        assert!(m.duration_595 < 0.5 * n as f64 * dt, "d595 = {}", m.duration_595);
+    }
+
+    #[test]
+    fn zero_record_yields_zero_measures() {
+        let m = intensity_measures(&vec![0.0; 100], 0.01).unwrap();
+        assert_eq!(m.arias, 0.0);
+        assert_eq!(m.cav, 0.0);
+        assert_eq!(m.arms, 0.0);
+        assert_eq!(m.duration_575, 0.0);
+    }
+}

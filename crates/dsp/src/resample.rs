@@ -1,0 +1,94 @@
+//! Resampling of uniformly sampled records.
+//!
+//! The experimental dataset mixes instruments with different sampling rates
+//! (paper §VIII: "a variety of equipment types and sampling rates"); the
+//! generator and tests use these helpers to produce and normalize them.
+
+use crate::error::DspError;
+
+/// Linear interpolation of `x` (sampled at `dt_in`) onto a grid with
+/// interval `dt_out`, covering the same time span.
+pub fn resample_linear(x: &[f64], dt_in: f64, dt_out: f64) -> Result<Vec<f64>, DspError> {
+    if !(dt_in.is_finite() && dt_in > 0.0) {
+        return Err(DspError::InvalidSampling(dt_in));
+    }
+    if !(dt_out.is_finite() && dt_out > 0.0) {
+        return Err(DspError::InvalidSampling(dt_out));
+    }
+    if x.len() < 2 {
+        return Ok(x.to_vec());
+    }
+    let span = (x.len() - 1) as f64 * dt_in;
+    let n_out = (span / dt_out).floor() as usize + 1;
+    let mut out = Vec::with_capacity(n_out);
+    for i in 0..n_out {
+        let t = i as f64 * dt_out;
+        let pos = t / dt_in;
+        let idx = pos.floor() as usize;
+        if idx + 1 >= x.len() {
+            out.push(x[x.len() - 1]);
+        } else {
+            let frac = pos - idx as f64;
+            out.push(x[idx] * (1.0 - frac) + x[idx + 1] * frac);
+        }
+    }
+    Ok(out)
+}
+
+/// Integer decimation: keeps every `factor`-th sample. A proper pipeline
+/// low-pass-filters first; callers are expected to have band-limited input.
+pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidArgument("decimation factor 0".into()));
+    }
+    Ok(x.iter().step_by(factor).copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resample() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = resample_linear(&x, 0.1, 0.1).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn upsample_ramp_is_exact() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y = resample_linear(&x, 0.1, 0.05).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - i as f64 * 0.5).abs() < 1e-12, "at {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn downsample_halves_count() {
+        let x: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let y = resample_linear(&x, 0.01, 0.02).unwrap();
+        assert_eq!(y.len(), 51);
+        assert!((y[50] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_inputs_pass_through() {
+        assert_eq!(resample_linear(&[], 0.1, 0.2).unwrap(), Vec::<f64>::new());
+        assert_eq!(resample_linear(&[7.0], 0.1, 0.2).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn bad_dt_rejected() {
+        assert!(resample_linear(&[1.0, 2.0], 0.0, 0.1).is_err());
+        assert!(resample_linear(&[1.0, 2.0], 0.1, -0.1).is_err());
+    }
+
+    #[test]
+    fn decimate_basic() {
+        let x = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(decimate(&x, 2).unwrap(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(decimate(&x, 1).unwrap(), x);
+        assert!(decimate(&x, 0).is_err());
+    }
+}

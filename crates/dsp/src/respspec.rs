@@ -1,0 +1,480 @@
+//! Elastic response spectra (process #16 — the pipeline's dominant cost).
+//!
+//! For every oscillator period `T` and damping ratio `ζ`, the peak response
+//! of a single-degree-of-freedom system driven by the ground acceleration is
+//! computed: relative displacement `SD`, relative velocity `SV`, and absolute
+//! acceleration `SA` (plus the pseudo-quantities `PSV = ω·SD`,
+//! `PSA = ω²·SD`).
+//!
+//! Two solvers are provided:
+//!
+//! * [`ResponseMethod::Duhamel`] — direct evaluation of the Duhamel
+//!   convolution integral, `O(D²)` in the record length per period. This is
+//!   the method class behind the paper's stated sequential complexity of
+//!   `O(9000 · N · D²)` for process #16, and is kept as the faithful
+//!   reproduction of the legacy Fortran kernel.
+//! * [`ResponseMethod::NigamJennings`] — the exact piecewise-linear
+//!   recurrence (Nigam & Jennings, 1969), `O(D)` per period; used as the
+//!   fast alternative and as an ablation of the paper's "advanced
+//!   optimization" future work.
+
+use crate::error::DspError;
+use rayon::prelude::*;
+
+/// Solver used for the SDOF time-history integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ResponseMethod {
+    /// Direct Duhamel integral, `O(D²)` per period (legacy-faithful).
+    Duhamel,
+    /// Exact recursive solution for piecewise-linear input, `O(D)` per period.
+    NigamJennings,
+}
+
+/// Peak SDOF responses for one `(period, damping)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SdofPeaks {
+    /// Peak relative displacement.
+    pub sd: f64,
+    /// Peak relative velocity.
+    pub sv: f64,
+    /// Peak absolute acceleration.
+    pub sa: f64,
+}
+
+/// A full response spectrum over a period grid at one damping ratio.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResponseSpectrum {
+    /// Oscillator periods (s), ascending.
+    pub periods: Vec<f64>,
+    /// Damping ratio (fraction of critical, e.g. 0.05).
+    pub damping: f64,
+    /// Peak relative displacement per period.
+    pub sd: Vec<f64>,
+    /// Peak relative velocity per period.
+    pub sv: Vec<f64>,
+    /// Peak absolute acceleration per period.
+    pub sa: Vec<f64>,
+}
+
+impl ResponseSpectrum {
+    /// Pseudo-velocity spectrum `PSV = ω · SD`.
+    pub fn psv(&self) -> Vec<f64> {
+        self.periods
+            .iter()
+            .zip(&self.sd)
+            .map(|(&t, &sd)| 2.0 * std::f64::consts::PI / t * sd)
+            .collect()
+    }
+
+    /// Pseudo-acceleration spectrum `PSA = ω² · SD`.
+    pub fn psa(&self) -> Vec<f64> {
+        self.periods
+            .iter()
+            .zip(&self.sd)
+            .map(|(&t, &sd)| {
+                let w = 2.0 * std::f64::consts::PI / t;
+                w * w * sd
+            })
+            .collect()
+    }
+
+    /// Number of spectral ordinates.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True when the spectrum has no ordinates.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+}
+
+/// The standard 91-period grid used by classic Vol.3 processing: log-spaced
+/// between 0.04 s and 15 s.
+pub fn standard_periods() -> Vec<f64> {
+    log_spaced_periods(0.04, 15.0, 91)
+}
+
+/// `count` log-spaced periods between `t_lo` and `t_hi` seconds.
+pub fn log_spaced_periods(t_lo: f64, t_hi: f64, count: usize) -> Vec<f64> {
+    assert!(t_lo > 0.0 && t_hi > t_lo && count >= 2, "bad period grid spec");
+    let l0 = t_lo.ln();
+    let step = (t_hi.ln() - l0) / (count - 1) as f64;
+    (0..count).map(|i| (l0 + step * i as f64).exp()).collect()
+}
+
+/// The damping set archived in `R` files: 0%, 2%, 5%, 10%, 20% of critical.
+pub const STANDARD_DAMPINGS: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
+
+/// Computes the peak response of one SDOF oscillator.
+///
+/// `period` in seconds, `damping` as a fraction of critical in `[0, 0.99]`.
+pub fn sdof_peaks(
+    acc: &[f64],
+    dt: f64,
+    period: f64,
+    damping: f64,
+    method: ResponseMethod,
+) -> Result<SdofPeaks, DspError> {
+    validate_sdof_args(acc, dt, period, damping)?;
+    Ok(match method {
+        ResponseMethod::Duhamel => duhamel_peaks(acc, dt, period, damping),
+        ResponseMethod::NigamJennings => nigam_jennings_peaks(acc, dt, period, damping),
+    })
+}
+
+fn validate_sdof_args(acc: &[f64], dt: f64, period: f64, damping: f64) -> Result<(), DspError> {
+    if acc.len() < 2 {
+        return Err(DspError::TooShort { needed: 2, got: acc.len() });
+    }
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(DspError::InvalidSampling(dt));
+    }
+    if !(period.is_finite() && period > 0.0) {
+        return Err(DspError::InvalidArgument(format!("period {period} must be > 0")));
+    }
+    if !(0.0..0.99).contains(&damping) {
+        return Err(DspError::InvalidArgument(format!(
+            "damping {damping} must be in [0, 0.99)"
+        )));
+    }
+    Ok(())
+}
+
+/// Direct Duhamel integral: `u(t) = -(1/ωd) ∫ a(τ) e^{-ζω(t-τ)} sin(ωd(t-τ)) dτ`,
+/// evaluated with the rectangle rule at every output sample — `O(D²)`.
+/// Velocity comes from the companion cosine kernel; absolute acceleration
+/// from the equation of motion.
+fn duhamel_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> SdofPeaks {
+    let w = 2.0 * std::f64::consts::PI / period;
+    let wd = w * (1.0 - damping * damping).sqrt();
+    let bw = damping * w;
+    let n = acc.len();
+
+    let mut sd = 0.0f64;
+    let mut sv = 0.0f64;
+    let mut sa = 0.0f64;
+
+    for j in 0..n {
+        // u(t_j), u'(t_j) via the convolution sums.
+        let mut sum_sin = 0.0;
+        let mut sum_cos = 0.0;
+        let tj = j as f64 * dt;
+        for (i, &a) in acc.iter().take(j + 1).enumerate() {
+            let lag = tj - i as f64 * dt;
+            let decay = (-bw * lag).exp();
+            let (s, c) = (wd * lag).sin_cos();
+            sum_sin += a * decay * s;
+            sum_cos += a * decay * c;
+        }
+        let u = -(dt / wd) * sum_sin;
+        // u'(t) = d/dt of the integral: -(dt) * [cos kernel - (ζω/ωd) sin kernel]
+        let v = -dt * (sum_cos - (bw / wd) * sum_sin);
+        let a_abs = -(2.0 * bw * v + w * w * u);
+        sd = sd.max(u.abs());
+        sv = sv.max(v.abs());
+        sa = sa.max(a_abs.abs());
+    }
+
+    SdofPeaks { sd, sv, sa }
+}
+
+/// Exact recurrence for piecewise-linear ground acceleration
+/// (Nigam–Jennings). For each step the analytic solution of
+/// `u'' + 2ζω u' + ω² u = -a_g(τ)` with `a_g` linear on the step is used to
+/// advance `(u, v)` — `O(D)`.
+fn nigam_jennings_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> SdofPeaks {
+    let w = 2.0 * std::f64::consts::PI / period;
+    let wd = w * (1.0 - damping * damping).sqrt();
+    let bw = damping * w;
+    let w2 = w * w;
+
+    let e = (-bw * dt).exp();
+    let (s, c) = (wd * dt).sin_cos();
+
+    let mut u = 0.0f64;
+    let mut v = 0.0f64;
+    let mut sd = 0.0f64;
+    let mut sv = 0.0f64;
+    // At rest, absolute acceleration -(2ζω v + ω² u) is zero.
+    let mut sa = 0.0f64;
+
+    for i in 0..acc.len() - 1 {
+        let a0 = acc[i];
+        let a1 = acc[i + 1];
+        let gamma = (a1 - a0) / dt;
+
+        // Particular solution u_p = cc + dd·τ for forcing -(a0 + γτ).
+        let dd = -gamma / w2;
+        let cc = (-a0 - 2.0 * bw * dd) / w2;
+
+        // Homogeneous constants from initial conditions at τ = 0.
+        let p = u - cc;
+        let q = (v - dd + bw * p) / wd;
+
+        // Advance to τ = dt.
+        let u_next = e * (p * c + q * s) + cc + dd * dt;
+        let v_next = e * (-bw * (p * c + q * s) + wd * (q * c - p * s)) + dd;
+
+        u = u_next;
+        v = v_next;
+
+        let a_abs = -(2.0 * bw * v + w2 * u);
+        sd = sd.max(u.abs());
+        sv = sv.max(v.abs());
+        sa = sa.max(a_abs.abs());
+        // Guard against numerical blow-up on absurd inputs.
+        debug_assert!(u.is_finite() && v.is_finite());
+    }
+
+    SdofPeaks { sd, sv, sa }
+}
+
+/// Computes a response spectrum over `periods` at one damping ratio.
+pub fn response_spectrum(
+    acc: &[f64],
+    dt: f64,
+    periods: &[f64],
+    damping: f64,
+    method: ResponseMethod,
+) -> Result<ResponseSpectrum, DspError> {
+    let mut sd = Vec::with_capacity(periods.len());
+    let mut sv = Vec::with_capacity(periods.len());
+    let mut sa = Vec::with_capacity(periods.len());
+    for &t in periods {
+        let p = sdof_peaks(acc, dt, t, damping, method)?;
+        sd.push(p.sd);
+        sv.push(p.sv);
+        sa.push(p.sa);
+    }
+    Ok(ResponseSpectrum {
+        periods: periods.to_vec(),
+        damping,
+        sd,
+        sv,
+        sa,
+    })
+}
+
+/// As [`response_spectrum`] but evaluating periods in parallel with rayon.
+/// Used by the intra-kernel parallelization ablation; the pipeline's Stage IX
+/// parallelizes across component files instead.
+pub fn response_spectrum_parallel(
+    acc: &[f64],
+    dt: f64,
+    periods: &[f64],
+    damping: f64,
+    method: ResponseMethod,
+) -> Result<ResponseSpectrum, DspError> {
+    let peaks: Result<Vec<SdofPeaks>, DspError> = periods
+        .par_iter()
+        .map(|&t| sdof_peaks(acc, dt, t, damping, method))
+        .collect();
+    let peaks = peaks?;
+    Ok(ResponseSpectrum {
+        periods: periods.to_vec(),
+        damping,
+        sd: peaks.iter().map(|p| p.sd).collect(),
+        sv: peaks.iter().map(|p| p.sv).collect(),
+        sa: peaks.iter().map(|p| p.sa).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(f: f64, dt: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * f * i as f64 * dt).sin()).collect()
+    }
+
+    #[test]
+    fn period_grids() {
+        let p = standard_periods();
+        assert_eq!(p.len(), 91);
+        assert!((p[0] - 0.04).abs() < 1e-12);
+        assert!((p[90] - 15.0).abs() < 1e-9);
+        for w in p.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_period_grid_panics() {
+        log_spaced_periods(1.0, 0.5, 10);
+    }
+
+    #[test]
+    fn argument_validation() {
+        let acc = vec![1.0, 2.0, 3.0];
+        assert!(sdof_peaks(&acc, 0.01, 0.0, 0.05, ResponseMethod::NigamJennings).is_err());
+        assert!(sdof_peaks(&acc, 0.01, 1.0, -0.1, ResponseMethod::NigamJennings).is_err());
+        assert!(sdof_peaks(&acc, 0.01, 1.0, 1.0, ResponseMethod::NigamJennings).is_err());
+        assert!(sdof_peaks(&acc, 0.0, 1.0, 0.05, ResponseMethod::NigamJennings).is_err());
+        assert!(sdof_peaks(&[1.0], 0.01, 1.0, 0.05, ResponseMethod::NigamJennings).is_err());
+    }
+
+    #[test]
+    fn resonant_response_grows() {
+        // An oscillator driven at its own frequency responds much more
+        // strongly than one far off resonance.
+        let dt = 0.005;
+        let n = 4000;
+        let f0 = 2.0; // 0.5 s period
+        let acc = tone(f0, dt, n);
+        let on = sdof_peaks(&acc, dt, 0.5, 0.05, ResponseMethod::NigamJennings).unwrap();
+        // A stiff oscillator far above the driving frequency barely deflects.
+        let off = sdof_peaks(&acc, dt, 0.05, 0.05, ResponseMethod::NigamJennings).unwrap();
+        assert!(on.sd > 100.0 * off.sd, "on {} off {}", on.sd, off.sd);
+    }
+
+    #[test]
+    fn steady_state_amplitude_matches_theory() {
+        // Driven SDOF at resonance with damping ζ reaches dynamic
+        // amplification 1/(2ζ) over the static response a0/ω².
+        let dt = 0.002;
+        let n = 60_000; // long record so the transient dies out
+        let period = 0.75;
+        let zeta = 0.05;
+        let f0 = 1.0 / period;
+        let acc = tone(f0, dt, n);
+        let p = sdof_peaks(&acc, dt, period, zeta, ResponseMethod::NigamJennings).unwrap();
+        let w = 2.0 * PI / period;
+        let want = 1.0 / (2.0 * zeta) / (w * w); // amplitude 1 forcing
+        assert!(
+            (p.sd - want).abs() / want < 0.03,
+            "sd {} vs theory {}",
+            p.sd,
+            want
+        );
+    }
+
+    #[test]
+    fn short_period_sa_approaches_pga() {
+        // A very stiff oscillator rides the ground: SA -> PGA.
+        let dt = 0.001;
+        let n = 8000;
+        let acc: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (2.0 * PI * 1.0 * t).sin() * (-((t - 4.0) / 2.0).powi(2)).exp() * 50.0
+            })
+            .collect();
+        let pga = acc.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let p = sdof_peaks(&acc, dt, 0.02, 0.05, ResponseMethod::NigamJennings).unwrap();
+        assert!((p.sa - pga).abs() / pga < 0.05, "sa {} pga {}", p.sa, pga);
+    }
+
+    #[test]
+    fn duhamel_and_nigam_jennings_agree() {
+        let dt = 0.01;
+        let n = 600;
+        let acc: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (2.0 * PI * 1.3 * t).sin() * (-(t - 3.0f64).powi(2) / 4.0).exp() * 20.0
+            })
+            .collect();
+        for &period in &[0.2, 0.5, 1.0, 2.0] {
+            for &z in &[0.02, 0.05, 0.10] {
+                let a = sdof_peaks(&acc, dt, period, z, ResponseMethod::Duhamel).unwrap();
+                let b = sdof_peaks(&acc, dt, period, z, ResponseMethod::NigamJennings).unwrap();
+                // Duhamel uses a rectangle rule: agreement is first-order in dt.
+                let tol = 0.08;
+                assert!(
+                    (a.sd - b.sd).abs() / b.sd.max(1e-12) < tol,
+                    "sd T={period} z={z}: duhamel {} nj {}",
+                    a.sd,
+                    b.sd
+                );
+                assert!(
+                    (a.sa - b.sa).abs() / b.sa.max(1e-12) < tol,
+                    "sa T={period} z={z}: duhamel {} nj {}",
+                    a.sa,
+                    b.sa
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_damping_means_less_response() {
+        let dt = 0.005;
+        let acc = tone(1.0, dt, 8000);
+        let mut last = f64::INFINITY;
+        for &z in &[0.02, 0.05, 0.10, 0.20] {
+            let p = sdof_peaks(&acc, dt, 1.0, z, ResponseMethod::NigamJennings).unwrap();
+            assert!(p.sd < last, "damping {z} did not reduce response");
+            last = p.sd;
+        }
+    }
+
+    #[test]
+    fn zero_damping_supported() {
+        let dt = 0.01;
+        let acc = tone(0.8, dt, 1000);
+        let p = sdof_peaks(&acc, dt, 0.7, 0.0, ResponseMethod::NigamJennings).unwrap();
+        assert!(p.sd.is_finite() && p.sd > 0.0);
+    }
+
+    #[test]
+    fn spectrum_shapes() {
+        let dt = 0.01;
+        let acc = tone(2.0, dt, 3000);
+        let periods = log_spaced_periods(0.1, 5.0, 30);
+        let spec = response_spectrum(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
+        assert_eq!(spec.len(), 30);
+        assert!(!spec.is_empty());
+        // Peak of SD-based pseudo-acceleration near the driving period 0.5 s.
+        let psa = spec.psa();
+        let max_idx = psa
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak_period = spec.periods[max_idx];
+        assert!(
+            (peak_period - 0.5).abs() < 0.15,
+            "psa peak at {peak_period} s, expected ~0.5 s"
+        );
+        // PSV = w * SD consistency
+        let psv = spec.psv();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..spec.len() {
+            let w = 2.0 * PI / spec.periods[i];
+            assert!((psv[i] - w * spec.sd[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let dt = 0.01;
+        let acc = tone(1.5, dt, 2000);
+        let periods = log_spaced_periods(0.05, 10.0, 40);
+        let a = response_spectrum(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
+        let b = response_spectrum_parallel(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pseudo_velocity_close_to_velocity_at_moderate_damping() {
+        // For light damping and mid periods PSV ≈ SV (classic result).
+        let dt = 0.005;
+        let n = 20_000;
+        let acc: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                ((2.0 * PI * 1.1 * t).sin() + 0.6 * (2.0 * PI * 2.7 * t).sin())
+                    * (-((t - 25.0) / 12.0).powi(2)).exp()
+                    * 30.0
+            })
+            .collect();
+        let p = sdof_peaks(&acc, dt, 1.0, 0.05, ResponseMethod::NigamJennings).unwrap();
+        let w = 2.0 * PI / 1.0;
+        let psv = w * p.sd;
+        assert!((psv - p.sv).abs() / p.sv < 0.25, "psv {psv} sv {}", p.sv);
+    }
+}

@@ -1,0 +1,188 @@
+//! Orientation-independent spectral measures (RotD50 / RotD100).
+//!
+//! GEM's hazard toolchain consumes RotD-type intensity measures (Boore,
+//! 2010): the two horizontal components are rotated through all azimuths,
+//! the oscillator response is computed for each rotation, and the
+//! percentile over azimuths is reported — RotD100 is the maximum, RotD50
+//! the median. This removes the arbitrary as-installed sensor orientation
+//! from the measure, an extension the Salvadoran pipeline's GEM consumers
+//! ask for.
+
+use crate::error::DspError;
+use crate::respspec::{sdof_peaks, ResponseMethod};
+
+/// RotD percentile results for one oscillator period.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RotD {
+    /// Oscillator period (s).
+    pub period: f64,
+    /// Median over rotation angles (RotD50).
+    pub rotd50: f64,
+    /// Maximum over rotation angles (RotD100).
+    pub rotd100: f64,
+    /// Minimum over rotation angles (RotD00).
+    pub rotd00: f64,
+}
+
+/// Computes RotD spectral-displacement percentiles at one period from two
+/// orthogonal horizontal acceleration components.
+///
+/// `angles` rotation steps span 0..180° (the response is π-periodic).
+pub fn rotd_sd(
+    acc_1: &[f64],
+    acc_2: &[f64],
+    dt: f64,
+    period: f64,
+    damping: f64,
+    angles: usize,
+    method: ResponseMethod,
+) -> Result<RotD, DspError> {
+    if acc_1.len() != acc_2.len() {
+        return Err(DspError::InvalidArgument(format!(
+            "component length mismatch: {} vs {}",
+            acc_1.len(),
+            acc_2.len()
+        )));
+    }
+    if angles < 2 {
+        return Err(DspError::InvalidArgument("need at least 2 angles".into()));
+    }
+
+    let mut peaks = Vec::with_capacity(angles);
+    let mut rotated = vec![0.0; acc_1.len()];
+    for k in 0..angles {
+        let theta = std::f64::consts::PI * k as f64 / angles as f64;
+        let (s, c) = theta.sin_cos();
+        for (i, r) in rotated.iter_mut().enumerate() {
+            *r = c * acc_1[i] + s * acc_2[i];
+        }
+        let p = sdof_peaks(&rotated, dt, period, damping, method)?;
+        peaks.push(p.sd);
+    }
+    peaks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(RotD {
+        period,
+        rotd50: median_sorted(&peaks),
+        rotd100: *peaks.last().unwrap(),
+        rotd00: peaks[0],
+    })
+}
+
+/// Computes the RotD set over a period grid.
+#[allow(clippy::too_many_arguments)]
+pub fn rotd_spectrum(
+    acc_1: &[f64],
+    acc_2: &[f64],
+    dt: f64,
+    periods: &[f64],
+    damping: f64,
+    angles: usize,
+    method: ResponseMethod,
+) -> Result<Vec<RotD>, DspError> {
+    periods
+        .iter()
+        .map(|&t| rotd_sd(acc_1, acc_2, dt, t, damping, angles, method))
+        .collect()
+}
+
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(f: f64, dt: f64, n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 * dt + phase).sin())
+            .collect()
+    }
+
+    #[test]
+    fn ordering_invariants() {
+        let dt = 0.01;
+        let n = 2000;
+        let a1 = tone(1.0, dt, n, 0.0);
+        let a2 = tone(1.3, dt, n, 0.7);
+        let r = rotd_sd(&a1, &a2, dt, 0.8, 0.05, 10, ResponseMethod::NigamJennings).unwrap();
+        assert!(r.rotd00 <= r.rotd50 && r.rotd50 <= r.rotd100);
+        assert!(r.rotd100 > 0.0);
+    }
+
+    #[test]
+    fn isotropic_motion_has_flat_rotd() {
+        // Equal-amplitude quadrature components: the rotated trace has the
+        // same amplitude at every azimuth, so RotD00 == RotD100.
+        let dt = 0.01;
+        let n = 6000;
+        let f0 = 1.25; // oscillator resonance
+        let a1 = tone(f0, dt, n, 0.0);
+        let a2 = tone(f0, dt, n, PI / 2.0);
+        let r = rotd_sd(&a1, &a2, dt, 1.0 / f0, 0.05, 12, ResponseMethod::NigamJennings).unwrap();
+        let spread = (r.rotd100 - r.rotd00) / r.rotd50;
+        assert!(spread < 0.05, "spread {spread}");
+    }
+
+    #[test]
+    fn polarized_motion_has_large_rotd_spread() {
+        // All energy on one component: at the orthogonal azimuth the
+        // response collapses.
+        let dt = 0.01;
+        let n = 6000;
+        let a1 = tone(1.25, dt, n, 0.0);
+        let a2 = vec![0.0; n];
+        let r = rotd_sd(&a1, &a2, dt, 0.8, 0.05, 18, ResponseMethod::NigamJennings).unwrap();
+        assert!(r.rotd00 < 0.2 * r.rotd100, "{r:?}");
+    }
+
+    #[test]
+    fn rotd100_at_least_component_response() {
+        let dt = 0.01;
+        let n = 3000;
+        let a1 = tone(0.9, dt, n, 0.3);
+        let a2 = tone(1.7, dt, n, 1.1);
+        let period = 1.0;
+        let r = rotd_sd(&a1, &a2, dt, period, 0.05, 36, ResponseMethod::NigamJennings).unwrap();
+        let p1 = sdof_peaks(&a1, dt, period, 0.05, ResponseMethod::NigamJennings).unwrap();
+        // Angle 0 is included in the sweep, so RotD100 >= component-1 SD.
+        assert!(r.rotd100 >= p1.sd * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn spectrum_over_periods() {
+        let dt = 0.01;
+        let n = 1500;
+        let a1 = tone(1.0, dt, n, 0.0);
+        let a2 = tone(2.0, dt, n, 0.5);
+        let periods = [0.3, 0.5, 1.0, 2.0];
+        let rs = rotd_spectrum(&a1, &a2, dt, &periods, 0.05, 8, ResponseMethod::NigamJennings)
+            .unwrap();
+        assert_eq!(rs.len(), 4);
+        for (r, &t) in rs.iter().zip(periods.iter()) {
+            assert_eq!(r.period, t);
+            assert!(r.rotd50 > 0.0);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let a = vec![1.0; 10];
+        let b = vec![1.0; 9];
+        assert!(rotd_sd(&a, &b, 0.01, 1.0, 0.05, 8, ResponseMethod::NigamJennings).is_err());
+        let b = vec![1.0; 10];
+        assert!(rotd_sd(&a, &b, 0.01, 1.0, 0.05, 1, ResponseMethod::NigamJennings).is_err());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Small statistics helpers shared across the pipeline.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0 for fewer than 2 samples.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Root mean square; 0 for empty input.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|&v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// `(min, max)` of the slice; `(0, 0)` for empty input.
+pub fn min_max(x: &[f64]) -> (f64, f64) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = x[0];
+    let mut hi = x[0];
+    for &v in &x[1..] {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn rms_of_square_wave() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        assert!((rms(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_finds_extremes() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0, 0.0]), (-1.0, 7.0));
+        assert_eq!(min_max(&[5.0]), (5.0, 5.0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-correlation and alignment of records.
+//!
+//! Observatory QA uses cross-correlation to check inter-station timing
+//! (GPS-clock faults show up as lags) and to align components before
+//! computing combined measures. Both the direct `O(N·L)` form and an
+//! FFT-based `O(N log N)` form are provided.
+
+use crate::error::DspError;
+use crate::fft::{fft_convolve, next_pow2};
+
+/// Full cross-correlation `r[k] = Σ a[i]·b[i+k-(len_b-1)]` for lags
+/// `-(len_b-1) ..= len_a-1`, computed via FFT. Output length is
+/// `len_a + len_b - 1`; index `len_b - 1` corresponds to zero lag.
+pub fn cross_correlate(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let reversed: Vec<f64> = b.iter().rev().copied().collect();
+    fft_convolve(a, &reversed)
+}
+
+/// Normalized cross-correlation at the best lag: returns `(lag, coefficient)`
+/// where `lag` is the shift (in samples) to apply to `b` so it best aligns
+/// with `a`, and `coefficient` is in `[-1, 1]`.
+pub fn best_alignment(a: &[f64], b: &[f64]) -> Result<(isize, f64), DspError> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: a.len().min(b.len()),
+        });
+    }
+    let r = cross_correlate(a, b);
+    let norm_a: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let denom = norm_a * norm_b;
+    if denom <= 0.0 {
+        return Ok((0, 0.0));
+    }
+    let (idx, peak) = r
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap())
+        .expect("non-empty correlation");
+    let lag = idx as isize - (b.len() as isize - 1);
+    Ok((lag, peak / denom))
+}
+
+/// Direct-form cross-correlation (reference implementation; used in tests
+/// and exposed for the ablation benches).
+pub fn cross_correlate_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let mut out = vec![0.0; out_len];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            // lag index: i - j + (len_b - 1)
+            out[i + b.len() - 1 - j] += x * y;
+        }
+    }
+    out
+}
+
+/// Padded FFT length the correlation uses (exposed for capacity planning).
+pub fn correlation_fft_size(len_a: usize, len_b: usize) -> usize {
+    next_pow2(len_a + len_b - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_direct() {
+        let a: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+        let fast = cross_correlate(&a, &b);
+        let slow = cross_correlate_direct(&a, &b);
+        assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero_lag() {
+        let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.17).sin()).collect();
+        let (lag, coef) = best_alignment(&a, &a).unwrap();
+        assert_eq!(lag, 0);
+        assert!((coef - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_known_shift() {
+        let n = 400;
+        let base: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                (t * 9.0).sin() * (-(t - 2.0f64).powi(2)).exp()
+            })
+            .collect();
+        for shift in [17isize, -23] {
+            let shifted: Vec<f64> = (0..n)
+                .map(|i| {
+                    let j = i as isize - shift;
+                    if (0..n as isize).contains(&j) {
+                        base[j as usize]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let (lag, coef) = best_alignment(&base, &shifted).unwrap();
+            assert_eq!(lag, -shift, "shift {shift}");
+            assert!(coef > 0.9, "coef {coef}");
+        }
+    }
+
+    #[test]
+    fn anticorrelated_signals_have_negative_coefficient() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|v| -v).collect();
+        let (lag, coef) = best_alignment(&a, &b).unwrap();
+        assert_eq!(lag, 0);
+        assert!((coef + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(cross_correlate(&[], &[1.0]).is_empty());
+        assert!(best_alignment(&[1.0], &[1.0, 2.0]).is_err());
+        let zeros = vec![0.0; 16];
+        let (lag, coef) = best_alignment(&zeros, &zeros).unwrap();
+        assert_eq!((lag, coef), (0, 0.0));
+    }
+
+    #[test]
+    fn fft_size_is_padded_power_of_two() {
+        assert_eq!(correlation_fft_size(100, 50), 256);
+        assert_eq!(correlation_fft_size(1, 1), 1);
+    }
+}

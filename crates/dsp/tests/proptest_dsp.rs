@@ -1,0 +1,144 @@
+//! Property tests for filtering, baseline correction, integration, peaks,
+//! and response spectra.
+
+use arp_dsp::baseline::{remove_baseline, Baseline};
+use arp_dsp::fir::{BandPass, FirFilter};
+use arp_dsp::integrate::{acc_to_vel_disp, cumtrapz, differentiate};
+use arp_dsp::peaks::{intensity_measures, peak_values};
+use arp_dsp::respspec::{sdof_peaks, ResponseMethod};
+use arp_dsp::spectrum::smooth_moving_average;
+use arp_dsp::window::WindowKind;
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-500.0f64..500.0, 16..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_detrend_is_idempotent(mut x in record_strategy()) {
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+        let once = x.clone();
+        remove_baseline(&mut x, Baseline::Linear).unwrap();
+        let scale = once.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in once.iter().zip(x.iter()) {
+            prop_assert!((a - b).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn detrend_removes_any_affine_part(
+        x in record_strategy(),
+        offset in -1e3f64..1e3,
+        slope in -10f64..10.0,
+    ) {
+        // detrend(x + affine) == detrend(x)
+        let mut plain = x.clone();
+        remove_baseline(&mut plain, Baseline::Linear).unwrap();
+        let mut shifted: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + offset + slope * i as f64)
+            .collect();
+        remove_baseline(&mut shifted, Baseline::Linear).unwrap();
+        let scale = plain.iter().fold(1.0f64, |m, v| m.max(v.abs())) + offset.abs() + slope.abs() * x.len() as f64;
+        for (a, b) in plain.iter().zip(shifted.iter()) {
+            prop_assert!((a - b).abs() < 1e-8 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn filtering_is_linear_and_bounded(x in record_strategy(), k in -5.0f64..5.0) {
+        let dt = 0.01;
+        let filt = FirFilter::band_pass(BandPass::DEFAULT, dt, WindowKind::Hamming).unwrap();
+        let fx = filt.apply_fft(&x);
+        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+        let fs = filt.apply_fft(&scaled);
+        let scale = fx.iter().fold(1.0f64, |m, v| m.max(v.abs())) * k.abs().max(1.0);
+        for (a, b) in fs.iter().zip(fx.iter()) {
+            prop_assert!((a - b * k).abs() < 1e-7 * scale.max(1.0));
+        }
+        // Output magnitude is bounded by input magnitude times the filter's
+        // l1 norm.
+        let l1: f64 = filt.coeffs().iter().map(|c| c.abs()).sum();
+        let in_max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for v in &fx {
+            prop_assert!(v.abs() <= l1 * in_max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn integration_roundtrip_is_exact_smoother(x in record_strategy()) {
+        // The central difference of the trapezoidal cumulative integral is
+        // exactly the 1-2-1 smoothing of the input at interior points.
+        let dt = 0.02;
+        let integral = cumtrapz(&x, dt).unwrap();
+        let back = differentiate(&integral, dt).unwrap();
+        let scale = x.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for i in 1..x.len() - 1 {
+            let smoothed = (x[i - 1] + 2.0 * x[i] + x[i + 1]) / 4.0;
+            prop_assert!(
+                (back[i] - smoothed).abs() <= 1e-9 * scale.max(1.0),
+                "at {i}: {} vs {smoothed}",
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn peaks_are_consistent(x in record_strategy()) {
+        let dt = 0.01;
+        let p = peak_values(&x, dt).unwrap();
+        let (vel, disp) = acc_to_vel_disp(&x, dt).unwrap();
+        prop_assert_eq!(p.pga, x.iter().fold(0.0f64, |m, &v| m.max(v.abs())));
+        prop_assert!(p.pgv >= vel.iter().fold(0.0f64, |m, &v| m.max(v.abs())) - 1e-12);
+        prop_assert!(p.pgd >= disp.iter().fold(0.0f64, |m, &v| m.max(v.abs())) - 1e-12);
+        prop_assert!(p.pga_time >= 0.0 && p.pga_time <= x.len() as f64 * dt);
+    }
+
+    #[test]
+    fn intensity_measures_are_nonnegative_and_ordered(x in record_strategy()) {
+        let m = intensity_measures(&x, 0.01).unwrap();
+        prop_assert!(m.arias >= 0.0);
+        prop_assert!(m.cav >= 0.0);
+        prop_assert!(m.arms >= 0.0);
+        prop_assert!(m.duration_575 <= m.duration_595 + 1e-12);
+    }
+
+    #[test]
+    fn response_scales_linearly(x in record_strategy(), k in 0.1f64..10.0) {
+        let dt = 0.01;
+        let a = sdof_peaks(&x, dt, 0.5, 0.05, ResponseMethod::NigamJennings).unwrap();
+        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+        let b = sdof_peaks(&scaled, dt, 0.5, 0.05, ResponseMethod::NigamJennings).unwrap();
+        prop_assert!((b.sd - a.sd * k).abs() <= 1e-9 * (a.sd * k).max(1e-12));
+        prop_assert!((b.sa - a.sa * k).abs() <= 1e-9 * (a.sa * k).max(1e-12));
+    }
+
+    #[test]
+    fn damping_monotonically_reduces_displacement_response(x in record_strategy()) {
+        let dt = 0.01;
+        // Strict damping monotonicity holds for steady-state (tested with
+        // harmonic input in the unit suite); for arbitrary short transients
+        // the peak can wobble slightly, so assert the bounded version here.
+        let mut last = f64::INFINITY;
+        for z in [0.02, 0.10, 0.30] {
+            let p = sdof_peaks(&x, dt, 0.8, z, ResponseMethod::NigamJennings).unwrap();
+            prop_assert!(p.sd <= last * 1.25 + 1e-12, "z={z}: {} vs {}", p.sd, last);
+            last = p.sd;
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_bounds(x in record_strategy(), hw in 0usize..8) {
+        let y = smooth_moving_average(&x, hw);
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(y.len(), x.len());
+        for v in &y {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+        }
+    }
+}

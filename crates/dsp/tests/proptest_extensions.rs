@@ -1,0 +1,136 @@
+//! Property tests for the extension modules: IIR filters, RotD, smoothing,
+//! STA/LTA, and cross-correlation.
+
+use arp_dsp::iir::IirFilter;
+use arp_dsp::rotd::rotd_sd;
+use arp_dsp::respspec::{sdof_peaks, ResponseMethod};
+use arp_dsp::smoothing::konno_ohmachi;
+use arp_dsp::trigger::{detect_triggers, StaLtaConfig};
+use arp_dsp::window::{bessel_i0, WindowKind};
+use arp_dsp::xcorr::{best_alignment, cross_correlate, cross_correlate_direct};
+use proptest::prelude::*;
+
+fn signal(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn iir_designs_are_stable_and_band_passing(
+        order in 1usize..8,
+        f_lo in 0.1f64..2.0,
+        bw in 1.0f64..15.0,
+    ) {
+        let dt = 0.005; // 200 sps, Nyquist 100 Hz
+        let f_hi = f_lo + bw;
+        let filt = IirFilter::butterworth_band_pass(order, f_lo, f_hi, dt).unwrap();
+        prop_assert!(filt.is_stable());
+        prop_assert_eq!(filt.sections(), order);
+        // Unit gain at the geometric center, attenuation far outside.
+        let fc = (f_lo * f_hi).sqrt();
+        prop_assert!((filt.gain_at(fc) - 1.0).abs() < 1e-6);
+        prop_assert!(filt.gain_at(f_lo / 20.0) < 0.5);
+        prop_assert!(filt.gain_at((f_hi * 4.0).min(95.0)) < 0.8);
+    }
+
+    #[test]
+    fn iir_filtering_is_linear(x in signal(16..200), k in -4.0f64..4.0) {
+        let filt = IirFilter::butterworth_band_pass(3, 0.5, 20.0, 0.01).unwrap();
+        let fx = filt.filtfilt(&x);
+        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+        let fs = filt.filtfilt(&scaled);
+        let scale = fx.iter().fold(1.0f64, |m, v| m.max(v.abs())) * k.abs().max(1.0);
+        for (a, b) in fs.iter().zip(fx.iter()) {
+            prop_assert!((a - b * k).abs() <= 1e-7 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn rotd_ordering_always_holds(
+        a in signal(32..150),
+        period in 0.2f64..3.0,
+        angles in 2usize..12,
+    ) {
+        let b: Vec<f64> = a.iter().rev().copied().collect();
+        let r = rotd_sd(&a, &b, 0.01, period, 0.05, angles, ResponseMethod::NigamJennings).unwrap();
+        prop_assert!(r.rotd00 <= r.rotd50 + 1e-12);
+        prop_assert!(r.rotd50 <= r.rotd100 + 1e-12);
+        prop_assert!(r.rotd00 >= 0.0);
+        // RotD100 bounded by the worst single-component response times sqrt(2)
+        // (the rotated trace is a unit-norm combination of the components).
+        let pa = sdof_peaks(&a, 0.01, period, 0.05, ResponseMethod::NigamJennings).unwrap().sd;
+        let pb = sdof_peaks(&b, 0.01, period, 0.05, ResponseMethod::NigamJennings).unwrap().sd;
+        prop_assert!(r.rotd100 <= (pa + pb) * 1.0000001);
+    }
+
+    #[test]
+    fn konno_ohmachi_preserves_bounds(amp in signal(8..150), bw in 5.0f64..80.0) {
+        let freq: Vec<f64> = (0..amp.len()).map(|i| 0.1 + i as f64 * 0.1).collect();
+        let smoothed = konno_ohmachi(&freq, &amp, bw).unwrap();
+        let lo = amp.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = amp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(smoothed.len(), amp.len());
+        for v in &smoothed {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sta_lta_ratio_is_nonnegative_and_triggers_are_ordered(
+        x in signal(2200..3000),
+    ) {
+        let cfg = StaLtaConfig {
+            sta_seconds: 0.5,
+            lta_seconds: 10.0,
+            trigger_on: 3.0,
+            trigger_off: 1.5,
+        };
+        let triggers = detect_triggers(&x, 0.01, &cfg).unwrap();
+        let mut last_end = f64::NEG_INFINITY;
+        for t in &triggers {
+            prop_assert!(t.onset >= 0.0);
+            prop_assert!(t.end >= t.onset);
+            prop_assert!(t.onset >= last_end, "overlapping triggers");
+            prop_assert!(t.peak_ratio >= cfg.trigger_on);
+            last_end = t.end;
+        }
+    }
+
+    #[test]
+    fn xcorr_fft_matches_direct(a in signal(2..60), b in signal(2..60)) {
+        let fast = cross_correlate(&a, &b);
+        let slow = cross_correlate_direct(&a, &b);
+        let scale = slow.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            prop_assert!((x - y).abs() < 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn alignment_coefficient_is_bounded(a in signal(8..100), b in signal(8..100)) {
+        let n = a.len().min(b.len());
+        let (lag, coef) = best_alignment(&a[..n], &b[..n]).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&coef), "coef {coef}");
+        prop_assert!(lag.unsigned_abs() < n);
+    }
+
+    #[test]
+    fn bessel_i0_monotone_and_even_argument_growth(x in 0.0f64..20.0, dx in 0.01f64..5.0) {
+        // I0 is increasing on [0, inf) and >= 1.
+        let a = bessel_i0(x);
+        let b = bessel_i0(x + dx);
+        prop_assert!(a >= 1.0);
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn kaiser_window_bounded_unit(beta in 0.0f64..15.0, len in 2usize..80) {
+        let w = WindowKind::Kaiser(beta).samples(len);
+        for v in &w {
+            prop_assert!(*v >= -1e-12 && *v <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the FFT engine.
+
+use arp_dsp::complex::Complex;
+use arp_dsp::fft::{dft_naive, fft, fft_convolve, ifft, irfft, rfft};
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..max_len)
+}
+
+fn complex_signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ifft_inverts_fft(x in complex_signal_strategy(200)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6_f64.max(1e-9 * b.re.abs()));
+            prop_assert!((a.im - b.im).abs() < 1e-6_f64.max(1e-9 * b.im.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(x in complex_signal_strategy(64)) {
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        let scale: f64 = x.iter().map(|z| z.abs()).sum::<f64>().max(1.0);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 * scale, "{a:?} vs {b:?}");
+            prop_assert!((a.im - b.im).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved(x in complex_signal_strategy(128)) {
+        let n = x.len() as f64;
+        let spec = fft(&x);
+        let et: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ef: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((et - ef).abs() <= 1e-6 * et.max(1.0));
+    }
+
+    #[test]
+    fn rfft_spectrum_is_conjugate_symmetric(x in signal_strategy(150)) {
+        let n = x.len();
+        let spec = rfft(&x);
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            let scale = a.abs().max(1.0);
+            prop_assert!((a.re - b.re).abs() < 1e-7 * scale);
+            prop_assert!((a.im - b.im).abs() < 1e-7 * scale);
+        }
+        let back = irfft(&spec);
+        for (u, v) in back.iter().zip(x.iter()) {
+            prop_assert!((u - v).abs() < 1e-6_f64.max(1e-9 * v.abs()));
+        }
+    }
+
+    #[test]
+    fn convolution_matches_direct(
+        a in signal_strategy(40),
+        b in signal_strategy(40),
+    ) {
+        let fast = fft_convolve(&a, &b);
+        let mut slow = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                slow[i + j] += x * y;
+            }
+        }
+        let scale: f64 = slow.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        prop_assert_eq!(fast.len(), slow.len());
+        for (u, v) in fast.iter().zip(slow.iter()) {
+            prop_assert!((u - v).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn fft_linearity(
+        pair in complex_signal_strategy(100).prop_flat_map(|x| {
+            let n = x.len();
+            (Just(x), complex_signal_strategy(n + 1).prop_map(move |mut y| {
+                y.resize(n, Complex::ZERO);
+                y
+            }))
+        }),
+        alpha in -10.0f64..10.0,
+    ) {
+        let (x, y) = pair;
+        let combo: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a.scale(alpha) + b).collect();
+        let lhs = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let scale: f64 = lhs.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        for k in 0..x.len() {
+            let rhs = fx[k].scale(alpha) + fy[k];
+            prop_assert!((lhs[k].re - rhs.re).abs() < 1e-7 * scale);
+            prop_assert!((lhs[k].im - rhs.im).abs() < 1e-7 * scale);
+        }
+    }
+}

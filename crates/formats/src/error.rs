@@ -1,0 +1,129 @@
+//! Error type for file-format parsing and writing.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors produced while reading or writing pipeline files.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure, annotated with the path involved.
+    Io {
+        /// File being accessed.
+        path: PathBuf,
+        /// OS error.
+        source: io::Error,
+    },
+    /// The file's leading magic line did not match the expected format.
+    BadMagic {
+        /// Expected magic token.
+        expected: &'static str,
+        /// What the file actually started with.
+        found: String,
+    },
+    /// A syntactic problem at a specific line (1-based).
+    Syntax {
+        /// Line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A required header field was absent.
+    MissingField(&'static str),
+    /// A data block declared `expected` values but contained `found`.
+    CountMismatch {
+        /// Block name.
+        block: String,
+        /// Declared count.
+        expected: usize,
+        /// Values actually present.
+        found: usize,
+    },
+    /// A header value failed validation (e.g. non-positive dt).
+    InvalidValue(String),
+}
+
+impl FormatError {
+    /// Helper to wrap an I/O error with its path.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        FormatError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Helper for syntax errors.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        FormatError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            FormatError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
+            FormatError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            FormatError::MissingField(name) => write!(f, "missing header field {name}"),
+            FormatError::CountMismatch {
+                block,
+                expected,
+                found,
+            } => write!(
+                f,
+                "block {block}: declared {expected} values but found {found}"
+            ),
+            FormatError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = FormatError::io("/tmp/x.v1", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("/tmp/x.v1"));
+        assert!(FormatError::syntax(7, "junk").to_string().contains("line 7"));
+        assert!(FormatError::MissingField("DT").to_string().contains("DT"));
+        let c = FormatError::CountMismatch {
+            block: "ACC".into(),
+            expected: 10,
+            found: 9,
+        };
+        assert!(c.to_string().contains("ACC"));
+        assert!(FormatError::BadMagic {
+            expected: "ARP-V1",
+            found: "nope".into()
+        }
+        .to_string()
+        .contains("ARP-V1"));
+        assert!(FormatError::InvalidValue("dt".into()).to_string().contains("dt"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = FormatError::io("/x", io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(FormatError::MissingField("X").source().is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! Filesystem helpers shared by the format readers/writers.
+
+use crate::error::FormatError;
+use std::fs;
+use std::path::Path;
+
+/// Reads a whole file to a string, wrapping errors with the path.
+pub fn read_file(path: &Path) -> Result<String, FormatError> {
+    fs::read_to_string(path).map_err(|e| FormatError::io(path, e))
+}
+
+/// Writes a string to a file, creating parent directories as needed.
+pub fn write_file(path: &Path, contents: &str) -> Result<(), FormatError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| FormatError::io(parent, e))?;
+        }
+    }
+    fs::write(path, contents).map_err(|e| FormatError::io(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let dir = std::env::temp_dir().join(format!("arp-fsio-{}", std::process::id()));
+        let path = dir.join("nested/deep/file.txt");
+        write_file(&path, "hello\n").unwrap();
+        assert_eq!(read_file(&path).unwrap(), "hello\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let err = read_file(Path::new("/nonexistent/arp/file")).unwrap_err();
+        assert!(matches!(err, FormatError::Io { .. }));
+    }
+}

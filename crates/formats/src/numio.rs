@@ -1,0 +1,345 @@
+//! Shared low-level reader/writer for the text file formats.
+//!
+//! All pipeline files share one scheme:
+//!
+//! ```text
+//! <MAGIC> 1.0            e.g.  ARP-V2 1.0
+//! KEY: value             header fields, one per line
+//! ...
+//! BEGIN <BLOCK> <count>  numeric blocks
+//!   v v v v v v          six values per line, %.16e (full f64 round-trip precision)
+//! END <BLOCK>
+//! ```
+//!
+//! [`Scanner`] provides a line-cursor over file contents with positioned
+//! errors; the `write_*` helpers produce the same layout.
+
+use crate::error::FormatError;
+use std::fmt::Write as _;
+
+/// Values printed per line in numeric blocks.
+const VALUES_PER_LINE: usize = 6;
+
+/// A positioned line cursor over file contents.
+pub struct Scanner<'a> {
+    lines: Vec<&'a str>,
+    /// Zero-based index of the next line to consume.
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    /// Creates a scanner over the full text of a file.
+    pub fn new(text: &'a str) -> Self {
+        Scanner {
+            lines: text.lines().collect(),
+            pos: 0,
+        }
+    }
+
+    /// 1-based line number of the next unread line.
+    pub fn line_number(&self) -> usize {
+        self.pos + 1
+    }
+
+    /// True when all lines are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.lines.len()
+    }
+
+    /// Returns the next non-empty line without consuming it.
+    pub fn peek(&mut self) -> Option<&'a str> {
+        while self.pos < self.lines.len() && self.lines[self.pos].trim().is_empty() {
+            self.pos += 1;
+        }
+        self.lines.get(self.pos).copied()
+    }
+
+    /// Consumes and returns the next non-empty line.
+    pub fn next_line(&mut self) -> Result<&'a str, FormatError> {
+        match self.peek() {
+            Some(line) => {
+                self.pos += 1;
+                Ok(line)
+            }
+            None => Err(FormatError::syntax(
+                self.line_number(),
+                "unexpected end of file",
+            )),
+        }
+    }
+
+    /// Consumes the magic line, checking the leading token.
+    pub fn expect_magic(&mut self, magic: &'static str) -> Result<(), FormatError> {
+        let line = self.next_line()?;
+        if line.split_whitespace().next() != Some(magic) {
+            return Err(FormatError::BadMagic {
+                expected: magic,
+                found: line.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes a `KEY: value` line with the given key; returns the value.
+    pub fn expect_kv(&mut self, key: &'static str) -> Result<&'a str, FormatError> {
+        let ln = self.line_number();
+        let line = self.next_line()?;
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| FormatError::syntax(ln, format!("expected `{key}: ...`, got {line:?}")))?;
+        if k.trim() != key {
+            return Err(FormatError::syntax(
+                ln,
+                format!("expected key {key:?}, got {:?}", k.trim()),
+            ));
+        }
+        Ok(v.trim())
+    }
+
+    /// Like [`Scanner::expect_kv`] but parses the value as `f64`.
+    pub fn expect_kv_f64(&mut self, key: &'static str) -> Result<f64, FormatError> {
+        let ln = self.line_number();
+        let v = self.expect_kv(key)?;
+        v.parse::<f64>()
+            .map_err(|e| FormatError::syntax(ln, format!("bad number for {key}: {e}")))
+    }
+
+    /// Like [`Scanner::expect_kv`] but parses the value as `usize`.
+    pub fn expect_kv_usize(&mut self, key: &'static str) -> Result<usize, FormatError> {
+        let ln = self.line_number();
+        let v = self.expect_kv(key)?;
+        v.parse::<usize>()
+            .map_err(|e| FormatError::syntax(ln, format!("bad integer for {key}: {e}")))
+    }
+
+    /// Reads a `BEGIN <name> <count> ... END <name>` numeric block.
+    pub fn read_block(&mut self, name: &str) -> Result<Vec<f64>, FormatError> {
+        let ln = self.line_number();
+        let line = self.next_line()?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("BEGIN") {
+            return Err(FormatError::syntax(
+                ln,
+                format!("expected `BEGIN {name} <count>`, got {line:?}"),
+            ));
+        }
+        let got_name = parts
+            .next()
+            .ok_or_else(|| FormatError::syntax(ln, "BEGIN missing block name"))?;
+        if got_name != name {
+            return Err(FormatError::syntax(
+                ln,
+                format!("expected block {name:?}, got {got_name:?}"),
+            ));
+        }
+        let count: usize = parts
+            .next()
+            .ok_or_else(|| FormatError::syntax(ln, "BEGIN missing count"))?
+            .parse()
+            .map_err(|e| FormatError::syntax(ln, format!("bad count: {e}")))?;
+
+        let mut values = Vec::with_capacity(count);
+        loop {
+            let ln = self.line_number();
+            let line = self.next_line()?;
+            let trimmed = line.trim();
+            if let Some(rest) = trimmed.strip_prefix("END") {
+                let end_name = rest.trim();
+                if !end_name.is_empty() && end_name != name {
+                    return Err(FormatError::syntax(
+                        ln,
+                        format!("END {end_name:?} does not match BEGIN {name:?}"),
+                    ));
+                }
+                break;
+            }
+            for tok in trimmed.split_whitespace() {
+                let v: f64 = tok
+                    .parse()
+                    .map_err(|e| FormatError::syntax(ln, format!("bad value {tok:?}: {e}")))?;
+                values.push(v);
+            }
+            if values.len() > count {
+                return Err(FormatError::CountMismatch {
+                    block: name.to_string(),
+                    expected: count,
+                    found: values.len(),
+                });
+            }
+        }
+        if values.len() != count {
+            return Err(FormatError::CountMismatch {
+                block: name.to_string(),
+                expected: count,
+                found: values.len(),
+            });
+        }
+        Ok(values)
+    }
+}
+
+/// Appends the magic line.
+pub fn write_magic(out: &mut String, magic: &str) {
+    out.push_str(magic);
+    out.push_str(" 1.0\n");
+}
+
+/// Appends a `KEY: value` line.
+pub fn write_kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "{key}: {value}");
+}
+
+/// Appends a numeric block in the standard layout.
+pub fn write_block(out: &mut String, name: &str, values: &[f64]) {
+    let _ = writeln!(out, "BEGIN {name} {}", values.len());
+    for chunk in values.chunks(VALUES_PER_LINE) {
+        let mut first = true;
+        for v in chunk {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v:.16e}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "END {name}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_roundtrip() {
+        let mut s = String::new();
+        write_magic(&mut s, "ARP-TEST");
+        write_kv(&mut s, "STATION", "SSLB");
+        write_kv(&mut s, "DT", 0.01);
+        write_kv(&mut s, "NPTS", 42usize);
+
+        let mut sc = Scanner::new(&s);
+        sc.expect_magic("ARP-TEST").unwrap();
+        assert_eq!(sc.expect_kv("STATION").unwrap(), "SSLB");
+        assert!((sc.expect_kv_f64("DT").unwrap() - 0.01).abs() < 1e-15);
+        assert_eq!(sc.expect_kv_usize("NPTS").unwrap(), 42);
+        assert!(sc.at_end());
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_values() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.377).sin() * 1e-3).collect();
+        let mut s = String::new();
+        write_block(&mut s, "ACC", &values);
+        let mut sc = Scanner::new(&s);
+        let back = sc.read_block("ACC").unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(values.iter()) {
+            assert!((a - b).abs() < 1e-12 * b.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let mut s = String::new();
+        write_block(&mut s, "EMPTY", &[]);
+        let mut sc = Scanner::new(&s);
+        assert!(sc.read_block("EMPTY").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut sc = Scanner::new("WRONG 1.0\n");
+        match sc.expect_magic("RIGHT") {
+            Err(FormatError::BadMagic { expected, .. }) => assert_eq!(expected, "RIGHT"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let mut sc = Scanner::new("FOO: 1\n");
+        assert!(sc.expect_kv("BAR").is_err());
+    }
+
+    #[test]
+    fn missing_colon_detected() {
+        let mut sc = Scanner::new("FOO 1\n");
+        assert!(sc.expect_kv("FOO").is_err());
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let text = "BEGIN X 5\n1 2 3\nEND X\n";
+        let mut sc = Scanner::new(text);
+        match sc.read_block("X") {
+            Err(FormatError::CountMismatch {
+                expected, found, ..
+            }) => {
+                assert_eq!(expected, 5);
+                assert_eq!(found, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_count_detected() {
+        let text = "BEGIN X 2\n1 2 3 4\nEND X\n";
+        let mut sc = Scanner::new(text);
+        assert!(matches!(
+            sc.read_block("X"),
+            Err(FormatError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_block_name_detected() {
+        let text = "BEGIN Y 1\n1\nEND Y\n";
+        let mut sc = Scanner::new(text);
+        assert!(sc.read_block("X").is_err());
+    }
+
+    #[test]
+    fn mismatched_end_name_detected() {
+        let text = "BEGIN X 1\n1\nEND Y\n";
+        let mut sc = Scanner::new(text);
+        assert!(sc.read_block("X").is_err());
+    }
+
+    #[test]
+    fn garbage_value_detected() {
+        let text = "BEGIN X 2\n1 banana\nEND X\n";
+        let mut sc = Scanner::new(text);
+        match sc.read_block("X") {
+            Err(FormatError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let text = "BEGIN X 10\n1 2 3\n";
+        let mut sc = Scanner::new(text);
+        assert!(sc.read_block("X").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "\n\nKEY: v\n\n";
+        let mut sc = Scanner::new(text);
+        assert_eq!(sc.expect_kv("KEY").unwrap(), "v");
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let values = vec![0.0, -0.0, 1e-300, -1e300, 123.456789];
+        let mut s = String::new();
+        write_block(&mut s, "B", &values);
+        let mut sc = Scanner::new(&s);
+        let back = sc.read_block("B").unwrap();
+        for (a, b) in back.iter().zip(values.iter()) {
+            assert!((a - b).abs() <= 1e-9 * b.abs());
+        }
+    }
+}

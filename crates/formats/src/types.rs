@@ -1,0 +1,337 @@
+//! Shared domain types: components, stations, record headers.
+
+use crate::error::FormatError;
+use std::fmt;
+
+/// The three motion components a strong-motion sensor records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Component {
+    /// Longitudinal (horizontal, along instrument axis) — code `l`.
+    Longitudinal,
+    /// Transversal (horizontal, across instrument axis) — code `t`.
+    Transversal,
+    /// Vertical — code `v`.
+    Vertical,
+}
+
+impl Component {
+    /// All components in canonical order (L, T, V).
+    pub const ALL: [Component; 3] = [
+        Component::Longitudinal,
+        Component::Transversal,
+        Component::Vertical,
+    ];
+
+    /// One-letter code used in file names (`l`, `t`, `v`).
+    pub fn code(self) -> char {
+        match self {
+            Component::Longitudinal => 'l',
+            Component::Transversal => 't',
+            Component::Vertical => 'v',
+        }
+    }
+
+    /// Parses a one-letter code (case-insensitive).
+    pub fn from_code(c: char) -> Result<Self, FormatError> {
+        match c.to_ascii_lowercase() {
+            'l' => Ok(Component::Longitudinal),
+            't' => Ok(Component::Transversal),
+            'v' => Ok(Component::Vertical),
+            other => Err(FormatError::InvalidValue(format!(
+                "unknown component code {other:?}"
+            ))),
+        }
+    }
+
+    /// Full name used in file headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Longitudinal => "LONGITUDINAL",
+            Component::Transversal => "TRANSVERSAL",
+            Component::Vertical => "VERTICAL",
+        }
+    }
+
+    /// Parses the header name (case-insensitive); accepts the one-letter
+    /// code too.
+    pub fn from_name(s: &str) -> Result<Self, FormatError> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "LONGITUDINAL" | "L" => Ok(Component::Longitudinal),
+            "TRANSVERSAL" | "T" => Ok(Component::Transversal),
+            "VERTICAL" | "V" => Ok(Component::Vertical),
+            other => Err(FormatError::InvalidValue(format!(
+                "unknown component name {other:?}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The three ground-motion quantities stored in processed files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Quantity {
+    /// Acceleration — code `A`.
+    Acceleration,
+    /// Velocity — code `V`.
+    Velocity,
+    /// Displacement — code `D`.
+    Displacement,
+}
+
+impl Quantity {
+    /// All quantities in canonical order (A, V, D).
+    pub const ALL: [Quantity; 3] = [
+        Quantity::Acceleration,
+        Quantity::Velocity,
+        Quantity::Displacement,
+    ];
+
+    /// One-letter code used in GEM file names.
+    pub fn code(self) -> char {
+        match self {
+            Quantity::Acceleration => 'A',
+            Quantity::Velocity => 'V',
+            Quantity::Displacement => 'D',
+        }
+    }
+
+    /// Parses the one-letter code (case-insensitive).
+    pub fn from_code(c: char) -> Result<Self, FormatError> {
+        match c.to_ascii_uppercase() {
+            'A' => Ok(Quantity::Acceleration),
+            'V' => Ok(Quantity::Velocity),
+            'D' => Ok(Quantity::Displacement),
+            other => Err(FormatError::InvalidValue(format!(
+                "unknown quantity code {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Metadata carried in every record file header.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecordHeader {
+    /// Station code, e.g. `SSLB` (alphanumeric, non-empty).
+    pub station: String,
+    /// Event identifier, e.g. `ES-2019-0731`.
+    pub event_id: String,
+    /// Event origin time, ISO-8601 text (treated as opaque).
+    pub origin_time: String,
+    /// Sampling interval in seconds (> 0).
+    pub dt: f64,
+    /// Acceleration units label (the pipeline uses `cm/s2`).
+    pub units: String,
+    /// Instrument description (free text).
+    pub instrument: String,
+}
+
+impl RecordHeader {
+    /// Creates a header, validating the station code and dt.
+    pub fn new(
+        station: impl Into<String>,
+        event_id: impl Into<String>,
+        origin_time: impl Into<String>,
+        dt: f64,
+    ) -> Result<Self, FormatError> {
+        let h = RecordHeader {
+            station: station.into(),
+            event_id: event_id.into(),
+            origin_time: origin_time.into(),
+            dt,
+            units: "cm/s2".to_string(),
+            instrument: "synthetic".to_string(),
+        };
+        h.validate()?;
+        Ok(h)
+    }
+
+    /// Checks invariants: non-empty alphanumeric station, positive finite dt.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.station.is_empty() || !self.station.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(FormatError::InvalidValue(format!(
+                "station code {:?} must be non-empty alphanumeric",
+                self.station
+            )));
+        }
+        if !(self.dt.is_finite() && self.dt > 0.0) {
+            return Err(FormatError::InvalidValue(format!(
+                "dt {} must be positive and finite",
+                self.dt
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Acceleration, velocity and displacement traces of one component, all the
+/// same length and sampling interval.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MotionTriple {
+    /// Acceleration trace (cm/s²).
+    pub acc: Vec<f64>,
+    /// Velocity trace (cm/s).
+    pub vel: Vec<f64>,
+    /// Displacement trace (cm).
+    pub disp: Vec<f64>,
+}
+
+impl MotionTriple {
+    /// Builds the triple from acceleration by trapezoidal integration.
+    pub fn from_acceleration(acc: Vec<f64>, dt: f64) -> Result<Self, FormatError> {
+        let (vel, disp) = arp_dsp::integrate::acc_to_vel_disp(&acc, dt)
+            .map_err(|e| FormatError::InvalidValue(e.to_string()))?;
+        Ok(MotionTriple { acc, vel, disp })
+    }
+
+    /// Number of samples (acceleration length).
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// True when the traces are empty.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Checks that all three traces have equal length.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.acc.len() != self.vel.len() || self.acc.len() != self.disp.len() {
+            return Err(FormatError::InvalidValue(format!(
+                "trace length mismatch: acc {} vel {} disp {}",
+                self.acc.len(),
+                self.vel.len(),
+                self.disp.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Selects the trace for a [`Quantity`].
+    pub fn get(&self, q: Quantity) -> &[f64] {
+        match q {
+            Quantity::Acceleration => &self.acc,
+            Quantity::Velocity => &self.vel,
+            Quantity::Displacement => &self.disp,
+        }
+    }
+}
+
+/// File-name helpers implementing the pipeline's naming scheme.
+pub mod names {
+    use super::{Component, Quantity};
+
+    /// `<station>.v1` — raw multi-component record.
+    pub fn v1_station(station: &str) -> String {
+        format!("{station}.v1")
+    }
+
+    /// `<station><c>.v1` — single-component uncorrected record.
+    pub fn v1_component(station: &str, comp: Component) -> String {
+        format!("{station}{}.v1", comp.code())
+    }
+
+    /// `<station><c>.v2` — corrected record.
+    pub fn v2_component(station: &str, comp: Component) -> String {
+        format!("{station}{}.v2", comp.code())
+    }
+
+    /// `<station><c>.f` — Fourier spectrum file.
+    pub fn f_component(station: &str, comp: Component) -> String {
+        format!("{station}{}.f", comp.code())
+    }
+
+    /// `<station><c>.r` — response spectrum file.
+    pub fn r_component(station: &str, comp: Component) -> String {
+        format!("{station}{}.r", comp.code())
+    }
+
+    /// `<station><c>GEM<2|R><A|V|D>.gem` — GEM product file.
+    pub fn gem(station: &str, comp: Component, from_response: bool, quantity: Quantity) -> String {
+        format!(
+            "{station}{}GEM{}{}.gem",
+            comp.code(),
+            if from_response { 'R' } else { '2' },
+            quantity.code()
+        )
+    }
+
+    /// `<station>.ps` — accelerograph plot.
+    pub fn plot_acc(station: &str) -> String {
+        format!("{station}.ps")
+    }
+
+    /// `<station>f.ps` — Fourier spectrum plot.
+    pub fn plot_fourier(station: &str) -> String {
+        format!("{station}f.ps")
+    }
+
+    /// `<station>r.ps` — response spectrum plot.
+    pub fn plot_response(station: &str) -> String {
+        format!("{station}r.ps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_codes_roundtrip() {
+        for c in Component::ALL {
+            assert_eq!(Component::from_code(c.code()).unwrap(), c);
+            assert_eq!(Component::from_name(c.name()).unwrap(), c);
+        }
+        assert_eq!(Component::from_code('L').unwrap(), Component::Longitudinal);
+        assert!(Component::from_code('x').is_err());
+        assert!(Component::from_name("sideways").is_err());
+    }
+
+    #[test]
+    fn quantity_codes_roundtrip() {
+        for q in Quantity::ALL {
+            assert_eq!(Quantity::from_code(q.code()).unwrap(), q);
+        }
+        assert_eq!(Quantity::from_code('a').unwrap(), Quantity::Acceleration);
+        assert!(Quantity::from_code('z').is_err());
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(RecordHeader::new("SSLB", "EV1", "2019-07-31T03:04:05Z", 0.01).is_ok());
+        assert!(RecordHeader::new("", "EV1", "t", 0.01).is_err());
+        assert!(RecordHeader::new("BAD CODE", "EV1", "t", 0.01).is_err());
+        assert!(RecordHeader::new("OK1", "EV1", "t", 0.0).is_err());
+        assert!(RecordHeader::new("OK1", "EV1", "t", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn file_names() {
+        use names::*;
+        assert_eq!(v1_station("SSLB"), "SSLB.v1");
+        assert_eq!(v1_component("SSLB", Component::Longitudinal), "SSLBl.v1");
+        assert_eq!(v2_component("SSLB", Component::Transversal), "SSLBt.v2");
+        assert_eq!(f_component("SSLB", Component::Vertical), "SSLBv.f");
+        assert_eq!(r_component("SSLB", Component::Longitudinal), "SSLBl.r");
+        assert_eq!(
+            gem("SSLB", Component::Longitudinal, false, Quantity::Acceleration),
+            "SSLBlGEM2A.gem"
+        );
+        assert_eq!(
+            gem("SSLB", Component::Vertical, true, Quantity::Displacement),
+            "SSLBvGEMRD.gem"
+        );
+        assert_eq!(plot_acc("X1"), "X1.ps");
+        assert_eq!(plot_fourier("X1"), "X1f.ps");
+        assert_eq!(plot_response("X1"), "X1r.ps");
+    }
+
+    #[test]
+    fn component_display() {
+        assert_eq!(Component::Vertical.to_string(), "VERTICAL");
+    }
+}

@@ -1,0 +1,351 @@
+//! `V1` files — uncorrected accelerographic records.
+//!
+//! Two shapes exist in the pipeline:
+//!
+//! * `<station>.v1` — the raw file a sensor uploads, holding all three
+//!   components ([`V1StationFile`]). Process #3 splits it.
+//! * `<station><c>.v1` — one component ([`V1ComponentFile`]), the unit the
+//!   filtering processes (#4, #13) consume.
+//!
+//! Per the paper (§II) a V1 file stores acceleration, velocity, and
+//! displacement over the recorded window.
+
+use crate::error::FormatError;
+use crate::fsio::{read_file, write_file};
+use crate::numio::{write_block, write_kv, write_magic, Scanner};
+use crate::types::{Component, MotionTriple, RecordHeader};
+use std::path::Path;
+
+const MAGIC_STATION: &str = "ARP-V1S";
+const MAGIC_COMPONENT: &str = "ARP-V1C";
+
+/// A raw multi-component station record (`<station>.v1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct V1StationFile {
+    /// Record metadata.
+    pub header: RecordHeader,
+    /// Component traces in canonical (L, T, V) order.
+    pub components: Vec<(Component, MotionTriple)>,
+}
+
+/// A single-component uncorrected record (`<station><c>.v1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct V1ComponentFile {
+    /// Record metadata.
+    pub header: RecordHeader,
+    /// Which component this file holds.
+    pub component: Component,
+    /// The motion traces.
+    pub data: MotionTriple,
+}
+
+fn write_header(out: &mut String, h: &RecordHeader) {
+    write_kv(out, "STATION", &h.station);
+    write_kv(out, "EVENT", &h.event_id);
+    write_kv(out, "ORIGIN", &h.origin_time);
+    write_kv(out, "DT", format!("{:.16e}", h.dt));
+    write_kv(out, "UNITS", &h.units);
+    write_kv(out, "INSTRUMENT", &h.instrument);
+}
+
+fn read_header(sc: &mut Scanner<'_>) -> Result<RecordHeader, FormatError> {
+    let station = sc.expect_kv("STATION")?.to_string();
+    let event_id = sc.expect_kv("EVENT")?.to_string();
+    let origin_time = sc.expect_kv("ORIGIN")?.to_string();
+    let dt = sc.expect_kv_f64("DT")?;
+    let units = sc.expect_kv("UNITS")?.to_string();
+    let instrument = sc.expect_kv("INSTRUMENT")?.to_string();
+    let h = RecordHeader {
+        station,
+        event_id,
+        origin_time,
+        dt,
+        units,
+        instrument,
+    };
+    h.validate()?;
+    Ok(h)
+}
+
+fn write_triple(out: &mut String, t: &MotionTriple) {
+    write_block(out, "ACC", &t.acc);
+    write_block(out, "VEL", &t.vel);
+    write_block(out, "DISP", &t.disp);
+}
+
+fn read_triple(sc: &mut Scanner<'_>) -> Result<MotionTriple, FormatError> {
+    let acc = sc.read_block("ACC")?;
+    let vel = sc.read_block("VEL")?;
+    let disp = sc.read_block("DISP")?;
+    let t = MotionTriple { acc, vel, disp };
+    t.validate()?;
+    Ok(t)
+}
+
+impl V1StationFile {
+    /// Validates header and traces (equal lengths, known components,
+    /// no duplicate components).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        self.header.validate()?;
+        if self.components.is_empty() {
+            return Err(FormatError::InvalidValue(
+                "station file has no components".into(),
+            ));
+        }
+        let mut seen = Vec::new();
+        for (c, t) in &self.components {
+            if seen.contains(c) {
+                return Err(FormatError::InvalidValue(format!(
+                    "duplicate component {c}"
+                )));
+            }
+            seen.push(*c);
+            t.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Total number of data points across all components and quantities
+    /// counted as acceleration samples (the paper's "data points" measure
+    /// counts acceleration samples per component).
+    pub fn data_points(&self) -> usize {
+        self.components.iter().map(|(_, t)| t.len()).sum()
+    }
+
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        write_magic(&mut out, MAGIC_STATION);
+        write_header(&mut out, &self.header);
+        write_kv(&mut out, "COMPONENTS", self.components.len());
+        for (c, t) in &self.components {
+            write_kv(&mut out, "COMPONENT", c.name());
+            write_triple(&mut out, t);
+        }
+        out
+    }
+
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        let mut sc = Scanner::new(text);
+        sc.expect_magic(MAGIC_STATION)?;
+        let header = read_header(&mut sc)?;
+        let count = sc.expect_kv_usize("COMPONENTS")?;
+        let mut components = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = sc.expect_kv("COMPONENT")?;
+            let comp = Component::from_name(name)?;
+            let triple = read_triple(&mut sc)?;
+            components.push((comp, triple));
+        }
+        let file = V1StationFile { header, components };
+        file.validate()?;
+        Ok(file)
+    }
+
+    /// Writes to `path`.
+    pub fn write(&self, path: &Path) -> Result<(), FormatError> {
+        write_file(path, &self.to_text())
+    }
+
+    /// Reads from `path`.
+    pub fn read(path: &Path) -> Result<Self, FormatError> {
+        Self::from_text(&read_file(path)?)
+    }
+
+    /// Splits into per-component files (process #3's transformation).
+    pub fn split(&self) -> Vec<V1ComponentFile> {
+        self.components
+            .iter()
+            .map(|(c, t)| V1ComponentFile {
+                header: self.header.clone(),
+                component: *c,
+                data: t.clone(),
+            })
+            .collect()
+    }
+}
+
+impl V1ComponentFile {
+    /// Validates header and traces.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        self.header.validate()?;
+        self.data.validate()
+    }
+
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        write_magic(&mut out, MAGIC_COMPONENT);
+        write_header(&mut out, &self.header);
+        write_kv(&mut out, "COMPONENT", self.component.name());
+        write_triple(&mut out, &self.data);
+        out
+    }
+
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        let mut sc = Scanner::new(text);
+        sc.expect_magic(MAGIC_COMPONENT)?;
+        let header = read_header(&mut sc)?;
+        let comp = Component::from_name(sc.expect_kv("COMPONENT")?)?;
+        let data = read_triple(&mut sc)?;
+        let file = V1ComponentFile {
+            header,
+            component: comp,
+            data,
+        };
+        file.validate()?;
+        Ok(file)
+    }
+
+    /// Writes to `path`.
+    pub fn write(&self, path: &Path) -> Result<(), FormatError> {
+        write_file(path, &self.to_text())
+    }
+
+    /// Reads from `path`.
+    pub fn read(path: &Path) -> Result<Self, FormatError> {
+        Self::from_text(&read_file(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> RecordHeader {
+        RecordHeader::new("SSLB", "ES-2019-0731", "2019-07-31T03:04:05Z", 0.01).unwrap()
+    }
+
+    fn sample_triple(n: usize, seed: f64) -> MotionTriple {
+        let acc: Vec<f64> = (0..n).map(|i| ((i as f64 + seed) * 0.37).sin()).collect();
+        MotionTriple::from_acceleration(acc, 0.01).unwrap()
+    }
+
+    #[test]
+    fn station_file_roundtrip() {
+        let file = V1StationFile {
+            header: sample_header(),
+            components: Component::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, sample_triple(50, i as f64)))
+                .collect(),
+        };
+        let text = file.to_text();
+        let back = V1StationFile::from_text(&text).unwrap();
+        assert_eq!(file.header, back.header);
+        assert_eq!(file.components.len(), back.components.len());
+        for ((c1, t1), (c2, t2)) in file.components.iter().zip(&back.components) {
+            assert_eq!(c1, c2);
+            for (a, b) in t1.acc.iter().zip(&t2.acc) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn component_file_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("arp-v1-{}", std::process::id()));
+        let file = V1ComponentFile {
+            header: sample_header(),
+            component: Component::Transversal,
+            data: sample_triple(33, 0.0),
+        };
+        let path = dir.join("SSLBt.v1");
+        file.write(&path).unwrap();
+        let back = V1ComponentFile::read(&path).unwrap();
+        assert_eq!(back.component, Component::Transversal);
+        assert_eq!(back.data.len(), 33);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn split_produces_per_component_files() {
+        let file = V1StationFile {
+            header: sample_header(),
+            components: vec![
+                (Component::Longitudinal, sample_triple(10, 0.0)),
+                (Component::Vertical, sample_triple(10, 1.0)),
+            ],
+        };
+        let parts = file.split();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].component, Component::Longitudinal);
+        assert_eq!(parts[1].component, Component::Vertical);
+        assert_eq!(parts[0].header, file.header);
+    }
+
+    #[test]
+    fn data_points_counts_acc_samples() {
+        let file = V1StationFile {
+            header: sample_header(),
+            components: vec![
+                (Component::Longitudinal, sample_triple(10, 0.0)),
+                (Component::Transversal, sample_triple(20, 0.0)),
+            ],
+        };
+        assert_eq!(file.data_points(), 30);
+    }
+
+    #[test]
+    fn rejects_duplicate_components() {
+        let file = V1StationFile {
+            header: sample_header(),
+            components: vec![
+                (Component::Vertical, sample_triple(10, 0.0)),
+                (Component::Vertical, sample_triple(10, 0.0)),
+            ],
+        };
+        assert!(file.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_station_file() {
+        let file = V1StationFile {
+            header: sample_header(),
+            components: vec![],
+        };
+        assert!(file.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_trace_lengths() {
+        let mut t = sample_triple(10, 0.0);
+        t.vel.pop();
+        let file = V1ComponentFile {
+            header: sample_header(),
+            component: Component::Longitudinal,
+            data: t,
+        };
+        assert!(file.validate().is_err());
+        let text = file.to_text();
+        assert!(V1ComponentFile::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn corrupt_text_rejected() {
+        assert!(V1ComponentFile::from_text("garbage").is_err());
+        assert!(V1StationFile::from_text("ARP-V1S 1.0\nSTATION: X\n").is_err());
+        // wrong magic for the type
+        let file = V1ComponentFile {
+            header: sample_header(),
+            component: Component::Longitudinal,
+            data: sample_triple(5, 0.0),
+        };
+        assert!(V1StationFile::from_text(&file.to_text()).is_err());
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let file = V1ComponentFile {
+            header: sample_header(),
+            component: Component::Longitudinal,
+            data: sample_triple(20, 0.0),
+        };
+        let text = file.to_text();
+        let cut = &text[..text.len() / 2];
+        assert!(V1ComponentFile::from_text(cut).is_err());
+    }
+}

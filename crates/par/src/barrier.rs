@@ -1,0 +1,132 @@
+//! A reusable cyclic barrier (generation-counted), analogous to OpenMP's
+//! implicit barrier at the end of a worksharing construct.
+
+use parking_lot::{Condvar, Mutex};
+
+struct BarrierState {
+    /// Threads still expected in the current generation.
+    waiting: usize,
+    /// Generation counter; incremented when a generation completes.
+    generation: u64,
+}
+
+/// A cyclic barrier for a fixed party of threads.
+pub struct CyclicBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+impl CyclicBarrier {
+    /// Creates a barrier for `parties` threads (must be >= 1).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        CyclicBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                waiting: parties,
+                generation: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all parties have arrived. Returns `true` for exactly one
+    /// "leader" thread per generation (the last to arrive).
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.waiting -= 1;
+        if st.waiting == 0 {
+            // Last arrival: open the next generation and release everyone.
+            st.waiting = self.parties;
+            st.generation += 1;
+            self.cond.notify_all();
+            true
+        } else {
+            while st.generation == gen {
+                self.cond.wait(&mut st);
+            }
+            false
+        }
+    }
+
+    /// Number of parties the barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = CyclicBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let parties = 4;
+        let b = Arc::new(CyclicBarrier::new(parties));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..parties)
+            .map(|_| {
+                let b = b.clone();
+                let leaders = leaders.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn phases_are_synchronized() {
+        // No thread may enter phase k+1 until all have finished phase k.
+        let parties = 3;
+        let b = Arc::new(CyclicBarrier::new(parties));
+        let phase_counts = Arc::new([
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ]);
+        let threads: Vec<_> = (0..parties)
+            .map(|_| {
+                let b = b.clone();
+                let pc = phase_counts.clone();
+                std::thread::spawn(move || {
+                    for phase in 0..3 {
+                        pc[phase].fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier, every thread must have bumped
+                        // this phase's counter.
+                        assert_eq!(pc[phase].load(Ordering::SeqCst), parties);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parties_rejected() {
+        CyclicBarrier::new(0);
+    }
+}

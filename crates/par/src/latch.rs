@@ -1,0 +1,116 @@
+//! A counting latch: blocks waiters until a preset number of completions.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot countdown latch.
+///
+/// Created with a count; [`CountdownLatch::count_down`] decrements it and
+/// [`CountdownLatch::wait`] blocks until it reaches zero. Used to implement
+/// the `taskwait` semantics of the parallel runtime.
+pub struct CountdownLatch {
+    remaining: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl CountdownLatch {
+    /// Creates a latch that opens after `count` decrements.
+    pub fn new(count: usize) -> Self {
+        CountdownLatch {
+            remaining: Mutex::new(count),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Records one completion. Panics if called more times than the count.
+    pub fn count_down(&self) {
+        let mut rem = self.remaining.lock();
+        assert!(*rem > 0, "count_down called too many times");
+        *rem -= 1;
+        if *rem == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until the count reaches zero. Returns immediately if it
+    /// already has.
+    pub fn wait(&self) {
+        let mut rem = self.remaining.lock();
+        while *rem > 0 {
+            self.cond.wait(&mut rem);
+        }
+    }
+
+    /// Waits until the count reaches zero or the timeout elapses; returns
+    /// `true` when the latch is open. Used by helping waiters that must
+    /// periodically check the work queue.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        let mut rem = self.remaining.lock();
+        if *rem == 0 {
+            return true;
+        }
+        self.cond.wait_for(&mut rem, timeout);
+        *rem == 0
+    }
+
+    /// True when the count has reached zero.
+    pub fn is_open(&self) -> bool {
+        *self.remaining.lock() == 0
+    }
+
+    /// Current count (for diagnostics; racy by nature).
+    pub fn remaining(&self) -> usize {
+        *self.remaining.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_count_opens_immediately() {
+        let l = CountdownLatch::new(0);
+        l.wait(); // must not block
+    }
+
+    #[test]
+    fn opens_after_counts() {
+        let l = Arc::new(CountdownLatch::new(3));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || l.count_down())
+            })
+            .collect();
+        l.wait();
+        assert_eq!(l.remaining(), 0);
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn many_waiters_released() {
+        let l = Arc::new(CountdownLatch::new(1));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || l.wait())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        l.count_down();
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_count_panics() {
+        let l = CountdownLatch::new(1);
+        l.count_down();
+        l.count_down();
+    }
+}

@@ -1,0 +1,30 @@
+//! # arp-par — an OpenMP-style parallel runtime
+//!
+//! The paper parallelizes its pipeline with OpenMP `parallel for` loops,
+//! Fortran `OMP DO` loops, and `task`/`taskwait` blocks. Rayon covers the
+//! same ground but hides the scheduling policy; this crate implements the
+//! OpenMP constructs directly on `std::thread` + atomics so the pipeline can
+//! reproduce — and ablate — the original scheduling choices:
+//!
+//! * [`ThreadPool`] — fixed worker pool (the `OMP_NUM_THREADS` team);
+//! * [`ThreadPool::parallel_for`] with [`Schedule::Static`],
+//!   [`Schedule::Dynamic`], and [`Schedule::Guided`] — the `schedule`
+//!   clause;
+//! * [`ThreadPool::scope`] — `task` + `taskwait`;
+//! * [`CyclicBarrier`] — the implicit worksharing barrier;
+//! * [`CountdownLatch`] — the completion primitive underneath.
+//!
+//! The calling thread always participates in work, which makes nested
+//! constructs deadlock-free by construction.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod latch;
+pub mod pool;
+pub mod sim;
+
+pub use barrier::CyclicBarrier;
+pub use latch::CountdownLatch;
+pub use pool::{PoolStatsSnapshot, Schedule, TaskScope, ThreadPool};
+pub use sim::{loop_makespan, resource_bounded_makespan, tasks_makespan};

@@ -1,0 +1,677 @@
+//! The worker pool and its worksharing constructs.
+//!
+//! [`ThreadPool`] keeps a fixed set of worker threads fed from a channel, and
+//! offers the two constructs the paper's parallelization uses:
+//!
+//! * [`ThreadPool::parallel_for`] — an OpenMP `parallel for`/`OMP DO`
+//!   equivalent with [`Schedule::Static`], [`Schedule::Dynamic`], and
+//!   [`Schedule::Guided`] chunking;
+//! * [`ThreadPool::scope`] — OpenMP `task` + `taskwait`: spawn a set of
+//!   heterogeneous tasks, return when all have completed.
+//!
+//! The **calling thread always participates** in the work, so constructs
+//! complete even when every pool worker is busy elsewhere (this is what
+//! makes nesting deadlock-free: the nested construct can be finished
+//! entirely by its caller).
+
+use crate::latch::CountdownLatch;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Loop-scheduling policy, mirroring OpenMP's `schedule` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks of roughly `n / threads` iterations.
+    Static,
+    /// Fixed-size chunks claimed on demand (the argument is the chunk size;
+    /// 0 is treated as 1).
+    Dynamic(usize),
+    /// Exponentially shrinking chunks: each claim takes
+    /// `max(min_chunk, remaining / (2 · threads))`.
+    Guided(usize),
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A borrowed task accepted by [`ThreadPool::run_tasks`].
+pub type BorrowedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Observability counters for a pool (all monotonically increasing).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Jobs executed by dedicated worker threads.
+    jobs_on_workers: AtomicU64,
+    /// Jobs executed by *helping* threads (blocked constructs draining the
+    /// queue while they wait).
+    jobs_helped: AtomicU64,
+    /// `parallel_for` constructs completed.
+    loops_completed: AtomicU64,
+    /// Panics caught inside jobs.
+    panics_caught: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// Jobs executed by dedicated workers.
+    pub jobs_on_workers: u64,
+    /// Jobs executed by helping (blocked) threads.
+    pub jobs_helped: u64,
+    /// Completed `parallel_for` constructs.
+    pub loops_completed: u64,
+    /// Panics caught inside jobs.
+    pub panics_caught: u64,
+}
+
+/// A fixed-size worker pool.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    /// Kept so blocked constructs can *help*: a thread waiting for its
+    /// latch drains queued jobs instead of sleeping, which is what makes
+    /// nested constructs deadlock-free even when every worker is busy.
+    receiver: Receiver<Job>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    stats: Arc<PoolStats>,
+}
+
+/// Shared state of one `parallel_for` invocation.
+struct ForState<'f> {
+    cursor: AtomicUsize,
+    start: usize,
+    end: usize,
+    threads: usize,
+    schedule: Schedule,
+    body: &'f (dyn Fn(usize) + Sync),
+    panicked: AtomicBool,
+}
+
+impl ForState<'_> {
+    /// Claims the next chunk, returning a sub-range or `None` when the
+    /// iteration space is exhausted.
+    fn claim(&self) -> Option<Range<usize>> {
+        let n = self.end - self.start;
+        let chunk_for = |claimed: usize| -> usize {
+            match self.schedule {
+                Schedule::Static => n.div_ceil(self.threads).max(1),
+                Schedule::Dynamic(c) => c.max(1),
+                Schedule::Guided(min) => {
+                    let remaining = n.saturating_sub(claimed);
+                    (remaining / (2 * self.threads)).max(min.max(1))
+                }
+            }
+        };
+        loop {
+            let claimed = self.cursor.load(Ordering::Relaxed);
+            if claimed >= n {
+                return None;
+            }
+            let size = chunk_for(claimed).min(n - claimed);
+            match self.cursor.compare_exchange_weak(
+                claimed,
+                claimed + size,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let lo = self.start + claimed;
+                    return Some(lo..lo + size);
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Runs chunks until the space is exhausted or a panic is observed.
+    fn drive(&self) {
+        while !self.panicked.load(Ordering::Relaxed) {
+            let Some(chunk) = self.claim() else { break };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in chunk {
+                    (self.body)(i);
+                }
+            }));
+            if result.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let stats = Arc::new(PoolStats::default());
+        let workers = (0..threads)
+            .map(|k| {
+                let rx = receiver.clone();
+                let stats = stats.clone();
+                std::thread::Builder::new()
+                    .name(format!("arp-par-{k}"))
+                    .spawn(move || {
+                        // Jobs carry their own completion/panic accounting;
+                        // a panicking job must not kill the worker.
+                        while let Ok(job) = rx.recv() {
+                            stats.jobs_on_workers.fetch_add(1, Ordering::Relaxed);
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            receiver,
+            workers,
+            threads,
+            stats,
+        }
+    }
+
+    /// Snapshot of the pool's observability counters.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            jobs_on_workers: self.stats.jobs_on_workers.load(Ordering::Relaxed),
+            jobs_helped: self.stats.jobs_helped.load(Ordering::Relaxed),
+            loops_completed: self.stats.loops_completed.load(Ordering::Relaxed),
+            panics_caught: self.stats.panics_caught.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs queued jobs until `latch` opens. This is the cooperative wait
+    /// that makes nesting safe: if all workers are blocked inside outer
+    /// constructs, the blocked threads themselves drain the queue.
+    fn help_until_open(&self, latch: &CountdownLatch) {
+        loop {
+            if latch.is_open() {
+                return;
+            }
+            match self.receiver.try_recv() {
+                Ok(job) => {
+                    self.stats.jobs_helped.fetch_add(1, Ordering::Relaxed);
+                    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                        self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    if latch.wait_timeout(std::time::Duration::from_micros(200)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The process-wide shared pool, sized to the machine's parallelism.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            ThreadPool::new(n)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `body(i)` for every `i` in `range`, in parallel, returning
+    /// when all iterations are complete.
+    ///
+    /// The calling thread participates; pool workers join as they become
+    /// free. Panics in any iteration are collected and re-raised on the
+    /// caller after every in-flight chunk has finished.
+    pub fn parallel_for<F>(&self, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if range.is_empty() {
+            return;
+        }
+        let state = ForState {
+            cursor: AtomicUsize::new(0),
+            start: range.start,
+            end: range.end,
+            threads: self.threads,
+            schedule,
+            body: &body,
+            panicked: AtomicBool::new(false),
+        };
+
+        // Helpers get a raw pointer to the stack-held state. Soundness: the
+        // latch guarantees every helper has returned before `state` (and the
+        // borrowed `body`) go out of scope — including on the panic path,
+        // because the latch decrement lives in a drop guard inside the job.
+        let helpers = self.threads.min(self.end_helpers(range.end - range.start));
+        let latch = Arc::new(CountdownLatch::new(helpers));
+        let state_ptr = &state as *const ForState<'_> as usize;
+        for _ in 0..helpers {
+            let latch = latch.clone();
+            let job: Job = Box::new(move || {
+                struct Guard(Arc<CountdownLatch>);
+                impl Drop for Guard {
+                    fn drop(&mut self) {
+                        self.0.count_down();
+                    }
+                }
+                let _guard = Guard(latch);
+                // SAFETY: the caller blocks on the latch before the state is
+                // dropped, so the pointee outlives this access.
+                let state = unsafe { &*(state_ptr as *const ForState<'static>) };
+                state.drive();
+            });
+            // The channel only closes on pool drop; a send failure would
+            // mean using a pool mid-teardown, which the API can't express.
+            self.sender
+                .as_ref()
+                .expect("pool is shutting down")
+                .send(job)
+                .expect("worker channel closed");
+        }
+
+        state.drive();
+        self.help_until_open(&latch);
+        self.stats.loops_completed.fetch_add(1, Ordering::Relaxed);
+
+        if state.panicked.load(Ordering::Relaxed) {
+            panic!("a parallel_for iteration panicked");
+        }
+    }
+
+    /// Caps helper count so tiny loops don't enqueue useless jobs.
+    fn end_helpers(&self, n: usize) -> usize {
+        n.saturating_sub(1).min(self.threads)
+    }
+
+    /// Runs a set of heterogeneous tasks to completion (OpenMP
+    /// `task`/`taskwait`). See [`ThreadPool::scope`] for the borrowing
+    /// variant.
+    pub fn run_tasks(&self, tasks: Vec<BorrowedTask<'_>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let slots: Vec<parking_lot::Mutex<Option<BorrowedTask<'_>>>> =
+            tasks.into_iter().map(|t| parking_lot::Mutex::new(Some(t))).collect();
+        self.parallel_for(0..slots.len(), Schedule::Dynamic(1), |i| {
+            if let Some(task) = slots[i].lock().take() {
+                task();
+            }
+        });
+    }
+
+    /// Parallel map: applies `f` to every index and collects the results in
+    /// index order. Built on [`ThreadPool::parallel_for`], so the calling
+    /// thread participates and nesting is safe.
+    pub fn parallel_map<T, F>(&self, n: usize, schedule: Schedule, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let slots: Vec<parking_lot::Mutex<Option<T>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        self.parallel_for(0..n, schedule, |i| {
+            *slots[i].lock() = Some(f(i));
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("parallel_for visits every index"))
+            .collect()
+    }
+
+    /// Parallel reduction: maps every index through `f` and folds the
+    /// results with `combine` (which must be associative; the combination
+    /// order is unspecified). Returns `identity` for an empty range.
+    pub fn parallel_reduce<T, F, C>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        f: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Clone,
+        F: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        let acc = parking_lot::Mutex::new(identity);
+        self.parallel_for(0..n, schedule, |i| {
+            let v = f(i);
+            let mut guard = acc.lock();
+            let current = guard.clone();
+            *guard = combine(current, v);
+        });
+        acc.into_inner()
+    }
+
+    /// Spawns tasks that may borrow from the enclosing scope and waits for
+    /// all of them — the runtime's `#pragma omp task` + `taskwait`.
+    ///
+    /// ```
+    /// let pool = arp_par::ThreadPool::new(4);
+    /// let mut a = 0u64;
+    /// let mut b = 0u64;
+    /// pool.scope(|s| {
+    ///     s.spawn(|| a = 1);
+    ///     s.spawn(|| b = 2);
+    /// });
+    /// assert_eq!((a, b), (1, 2));
+    /// ```
+    pub fn scope<'env, F>(&self, build: F)
+    where
+        F: FnOnce(&mut TaskScope<'env>),
+    {
+        let mut scope = TaskScope { tasks: Vec::new() };
+        build(&mut scope);
+        self.run_tasks(scope.tasks);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers' recv loops.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Collects tasks for [`ThreadPool::scope`].
+pub struct TaskScope<'env> {
+    tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+}
+
+impl<'env> TaskScope<'env> {
+    /// Registers a task. Tasks run when the scope closure returns; there are
+    /// no ordering guarantees between them.
+    pub fn spawn<F>(&mut self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.tasks.push(Box::new(f));
+    }
+
+    /// Number of tasks registered so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if no tasks registered.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let p = pool();
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic(1),
+            Schedule::Dynamic(7),
+            Schedule::Guided(1),
+            Schedule::Guided(4),
+        ] {
+            let n = 1000;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            p.parallel_for(0..n, schedule, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} under {schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_nonzero_start() {
+        let p = pool();
+        let sum = AtomicU64::new(0);
+        p.parallel_for(10..20, Schedule::Dynamic(3), |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..20).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let p = pool();
+        p.parallel_for(5..5, Schedule::Static, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_iteration_runs_on_caller() {
+        let p = pool();
+        let hit = AtomicUsize::new(0);
+        p.parallel_for(0..1, Schedule::Static, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn matches_sequential_result() {
+        let p = pool();
+        let n = 10_000;
+        let par: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        p.parallel_for(0..n, Schedule::Guided(8), |i| {
+            par[i].store((i * i) as u64 % 97, Ordering::Relaxed);
+        });
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            assert_eq!(par[i].load(Ordering::Relaxed), (i * i) as u64 % 97);
+        }
+    }
+
+    #[test]
+    fn uses_multiple_threads() {
+        use std::collections::HashSet;
+        let p = ThreadPool::new(4);
+        let ids = parking_lot::Mutex::new(HashSet::new());
+        p.parallel_for(0..64, Schedule::Dynamic(1), |_| {
+            // Make work slow enough that helpers join in.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            ids.lock().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().len() >= 2, "only {} thread(s) used", ids.lock().len());
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        let p = pool();
+        let total = AtomicUsize::new(0);
+        p.parallel_for(0..8, Schedule::Dynamic(1), |_| {
+            p.parallel_for(0..8, Schedule::Dynamic(1), |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let p = pool();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.parallel_for(0..100, Schedule::Dynamic(1), |i| {
+                if i == 37 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let ok = AtomicUsize::new(0);
+        p.parallel_for(0..10, Schedule::Static, |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let p = pool();
+        let mut results = vec![0u64; 5];
+        {
+            let chunks: Vec<&mut u64> = results.iter_mut().collect();
+            p.scope(|s| {
+                for (k, slot) in chunks.into_iter().enumerate() {
+                    s.spawn(move || *slot = (k as u64 + 1) * 11);
+                }
+            });
+        }
+        assert_eq!(results, vec![11, 22, 33, 44, 55]);
+    }
+
+    #[test]
+    fn empty_scope_is_noop() {
+        let p = pool();
+        p.scope(|_| {});
+    }
+
+    #[test]
+    fn scope_len_tracks_spawns() {
+        let p = pool();
+        p.scope(|s| {
+            assert!(s.is_empty());
+            s.spawn(|| {});
+            s.spawn(|| {});
+            assert_eq!(s.len(), 2);
+        });
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_usable() {
+        let g1 = ThreadPool::global();
+        let g2 = ThreadPool::global();
+        assert!(std::ptr::eq(g1, g2));
+        let sum = AtomicU64::new(0);
+        g1.parallel_for(0..100, Schedule::Static, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let p = ThreadPool::new(1);
+        let sum = AtomicU64::new(0);
+        p.parallel_for(0..50, Schedule::Guided(2), |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1225);
+    }
+
+    #[test]
+    fn zero_thread_request_clamped() {
+        let p = ThreadPool::new(0);
+        assert_eq!(p.threads(), 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let p = pool();
+        let out = p.parallel_map(100, Schedule::Dynamic(3), |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(p.parallel_map(0, Schedule::Static, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_non_copy_results() {
+        let p = pool();
+        let out = p.parallel_map(20, Schedule::Guided(1), |i| format!("item-{i}"));
+        assert_eq!(out[7], "item-7");
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let p = pool();
+        let total = p.parallel_reduce(1000, Schedule::Static, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, (0..1000u64).sum::<u64>());
+        // Empty range yields the identity.
+        let empty = p.parallel_reduce(0, Schedule::Static, 42u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(empty, 42);
+    }
+
+    #[test]
+    fn parallel_reduce_max() {
+        let p = pool();
+        let values: Vec<i64> = (0..500).map(|i| ((i * 7919) % 1001) as i64 - 500).collect();
+        let max = p.parallel_reduce(
+            values.len(),
+            Schedule::Dynamic(16),
+            i64::MIN,
+            |i| values[i],
+            i64::max,
+        );
+        assert_eq!(max, *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let p = ThreadPool::new(2);
+        let before = p.stats();
+        assert_eq!(before.loops_completed, 0);
+        p.parallel_for(0..64, Schedule::Dynamic(1), |_| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        let after = p.stats();
+        assert_eq!(after.loops_completed, 1);
+        assert!(after.jobs_on_workers + after.jobs_helped >= 1);
+        assert_eq!(after.panics_caught, 0);
+    }
+
+    #[test]
+    fn stats_count_panics() {
+        let p = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.parallel_for(0..8, Schedule::Dynamic(1), |i| {
+                // Make workers likely to pick up chunks before the panic.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The construct completed (with a panic), counters finite & sane.
+        let s = p.stats();
+        assert_eq!(s.loops_completed, 1);
+    }
+
+    #[test]
+    fn stress_many_small_loops() {
+        let p = pool();
+        for round in 0..200 {
+            let sum = AtomicUsize::new(0);
+            p.parallel_for(0..round % 17, Schedule::Dynamic(1), |_| {
+                sum.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), round % 17);
+        }
+    }
+}

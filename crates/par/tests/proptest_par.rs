@@ -1,0 +1,122 @@
+//! Property tests: the parallel runtime matches sequential semantics for
+//! arbitrary workloads, and the scheduling simulator respects its bounds.
+
+use arp_par::{loop_makespan, resource_bounded_makespan, tasks_makespan, Schedule, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1usize..16).prop_map(Schedule::Dynamic),
+        (1usize..8).prop_map(Schedule::Guided),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_for_is_a_permutation_of_sequential(
+        n in 0usize..500,
+        threads in 1usize..6,
+        schedule in schedule_strategy(),
+    ) {
+        let pool = ThreadPool::new(threads);
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0..n, schedule, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {}", i);
+        }
+        prop_assert_eq!(sum.load(Ordering::Relaxed), (0..n as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_runs_every_task_once(
+        task_count in 0usize..40,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let counts: Vec<AtomicUsize> = (0..task_count).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|s| {
+            for c in &counts {
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        for c in &counts {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn simulated_makespan_bounds(
+        durs_ms in prop::collection::vec(0u64..100, 1..80),
+        threads in 1usize..16,
+        schedule in schedule_strategy(),
+    ) {
+        let durs: Vec<Duration> = durs_ms.iter().map(|&m| Duration::from_millis(m)).collect();
+        let sum: Duration = durs.iter().sum();
+        let max = durs.iter().copied().max().unwrap_or_default();
+        let m = loop_makespan(&durs, threads, schedule);
+        // Fundamental scheduling bounds.
+        prop_assert!(m <= sum);
+        prop_assert!(m >= max);
+        prop_assert!(m.as_nanos() * (threads as u128) >= sum.as_nanos());
+        // One thread degenerates to the sum.
+        prop_assert_eq!(loop_makespan(&durs, 1, schedule), sum);
+    }
+
+    #[test]
+    fn more_threads_never_hurt_dynamic_schedules(
+        durs_ms in prop::collection::vec(0u64..50, 1..60),
+        threads in 1usize..8,
+    ) {
+        // Monotonicity holds for self-scheduling (dynamic chunk 1); static
+        // chunking can have parity anomalies, so it is excluded by design.
+        let durs: Vec<Duration> = durs_ms.iter().map(|&m| Duration::from_millis(m)).collect();
+        let a = loop_makespan(&durs, threads, Schedule::Dynamic(1));
+        let b = loop_makespan(&durs, threads + 1, Schedule::Dynamic(1));
+        prop_assert!(b <= a, "threads {} -> {:?}, {} -> {:?}", threads, a, threads + 1, b);
+    }
+
+    #[test]
+    fn resource_bound_is_at_least_cpu_bound(
+        durs_ms in prop::collection::vec(1u64..50, 1..60),
+        threads in 1usize..16,
+        beta in 0.0f64..1.0,
+    ) {
+        let durs: Vec<Duration> = durs_ms.iter().map(|&m| Duration::from_millis(m)).collect();
+        let cpu = loop_makespan(&durs, threads, Schedule::Static);
+        let bounded = resource_bounded_makespan(&durs, beta, threads, Schedule::Static);
+        prop_assert!(bounded >= cpu);
+        // And never more than the full sequential sum.
+        let sum: Duration = durs.iter().sum();
+        prop_assert!(bounded <= sum);
+    }
+
+    #[test]
+    fn task_makespan_bounds(
+        durs_ms in prop::collection::vec(0u64..100, 0..40),
+        threads in 1usize..8,
+    ) {
+        let durs: Vec<Duration> = durs_ms.iter().map(|&m| Duration::from_millis(m)).collect();
+        let sum: Duration = durs.iter().sum();
+        let max = durs.iter().copied().max().unwrap_or_default();
+        let m = tasks_makespan(&durs, threads);
+        prop_assert!(m <= sum);
+        prop_assert!(m >= max);
+        // Greedy list scheduling is within 2x of any schedule's optimum
+        // (Graham's bound: makespan <= sum/p + max).
+        let graham = Duration::from_nanos(
+            (sum.as_nanos() / threads as u128) as u64
+        ) + max;
+        prop_assert!(m <= graham + Duration::from_nanos(1));
+    }
+}

@@ -1,0 +1,232 @@
+//! Axis scales and tick generation.
+
+/// Scale type for one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear mapping.
+    Linear,
+    /// Base-10 logarithmic mapping (requires positive data bounds).
+    Log10,
+}
+
+/// One axis: data range plus scale, mapping data to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Axis {
+    /// Lower data bound.
+    pub min: f64,
+    /// Upper data bound.
+    pub max: f64,
+    /// Scale type.
+    pub scale: Scale,
+}
+
+impl Axis {
+    /// Creates an axis, widening degenerate ranges and clamping log axes to
+    /// positive bounds.
+    pub fn new(mut min: f64, mut max: f64, scale: Scale) -> Self {
+        if !min.is_finite() {
+            min = 0.0;
+        }
+        if !max.is_finite() {
+            max = 1.0;
+        }
+        if min > max {
+            std::mem::swap(&mut min, &mut max);
+        }
+        if scale == Scale::Log10 {
+            if max <= 0.0 {
+                max = 1.0;
+            }
+            if min <= 0.0 {
+                min = max * 1e-6;
+            }
+        }
+        if min == max {
+            // widen a degenerate range so mapping is defined
+            let pad = if min == 0.0 { 1.0 } else { min.abs() * 0.5 };
+            min -= pad;
+            max += pad;
+            if scale == Scale::Log10 && min <= 0.0 {
+                min = max * 1e-3;
+            }
+        }
+        Axis { min, max, scale }
+    }
+
+    /// Maps a data value to the unit interval (clamped).
+    pub fn to_unit(&self, v: f64) -> f64 {
+        let t = match self.scale {
+            Scale::Linear => (v - self.min) / (self.max - self.min),
+            Scale::Log10 => {
+                if v <= 0.0 {
+                    return 0.0;
+                }
+                (v.ln() - self.min.ln()) / (self.max.ln() - self.min.ln())
+            }
+        };
+        t.clamp(0.0, 1.0)
+    }
+
+    /// Generates "nice" tick positions within the range.
+    pub fn ticks(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Linear => linear_ticks(self.min, self.max),
+            Scale::Log10 => log_ticks(self.min, self.max),
+        }
+    }
+}
+
+/// Nice linear ticks: step of 1/2/5 × 10^k giving 4–9 ticks.
+fn linear_ticks(min: f64, max: f64) -> Vec<f64> {
+    let span = max - min;
+    if !(span.is_finite()) || span <= 0.0 {
+        return vec![min];
+    }
+    let raw_step = span / 5.0;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        mag
+    } else if norm < 3.5 {
+        2.0 * mag
+    } else if norm < 7.5 {
+        5.0 * mag
+    } else {
+        10.0 * mag
+    };
+    let first = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= max + step * 1e-9 {
+        // snap tiny float dust to zero
+        ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+    }
+    ticks
+}
+
+/// Decade ticks for log axes (1, 10, 100, ...), including sub-decade 2 and 5
+/// when fewer than two decades are spanned.
+fn log_ticks(min: f64, max: f64) -> Vec<f64> {
+    let lo = min.log10().floor() as i32;
+    let hi = max.log10().ceil() as i32;
+    let mut ticks = Vec::new();
+    let decades = hi - lo;
+    for d in lo..=hi {
+        let base = 10f64.powi(d);
+        for &m in if decades <= 2 { &[1.0, 2.0, 5.0][..] } else { &[1.0][..] } {
+            let v = base * m;
+            if v >= min * (1.0 - 1e-12) && v <= max * (1.0 + 1e-12) {
+                ticks.push(v);
+            }
+        }
+    }
+    ticks
+}
+
+/// Formats a tick label compactly (scientific for very large/small values).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e4).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_mapping() {
+        let a = Axis::new(0.0, 10.0, Scale::Linear);
+        assert_eq!(a.to_unit(0.0), 0.0);
+        assert_eq!(a.to_unit(10.0), 1.0);
+        assert_eq!(a.to_unit(5.0), 0.5);
+        assert_eq!(a.to_unit(-5.0), 0.0); // clamped
+        assert_eq!(a.to_unit(20.0), 1.0);
+    }
+
+    #[test]
+    fn log_mapping() {
+        let a = Axis::new(0.1, 1000.0, Scale::Log10);
+        assert!((a.to_unit(0.1)).abs() < 1e-12);
+        assert!((a.to_unit(1000.0) - 1.0).abs() < 1e-12);
+        assert!((a.to_unit(10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(a.to_unit(-1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_range_widened() {
+        let a = Axis::new(5.0, 5.0, Scale::Linear);
+        assert!(a.min < 5.0 && a.max > 5.0);
+        let z = Axis::new(0.0, 0.0, Scale::Linear);
+        assert!(z.min < z.max);
+    }
+
+    #[test]
+    fn swapped_range_fixed() {
+        let a = Axis::new(10.0, 0.0, Scale::Linear);
+        assert!(a.min < a.max);
+    }
+
+    #[test]
+    fn log_axis_clamps_nonpositive() {
+        let a = Axis::new(-5.0, 100.0, Scale::Log10);
+        assert!(a.min > 0.0);
+        let b = Axis::new(-5.0, -1.0, Scale::Log10);
+        assert!(b.min > 0.0 && b.max > b.min);
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let a = Axis::new(0.0, 10.0, Scale::Linear);
+        let t = a.ticks();
+        assert!(t.len() >= 4 && t.len() <= 10, "{t:?}");
+        assert!(t.contains(&0.0));
+        assert!(t.contains(&10.0));
+        // evenly spaced
+        let step = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let a = Axis::new(0.01, 100.0, Scale::Log10);
+        let t = a.ticks();
+        for &v in &[0.01, 0.1, 1.0, 10.0, 100.0] {
+            assert!(
+                t.iter().any(|&x| (x - v).abs() < 1e-12 * v),
+                "missing {v} in {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_bounds_handled() {
+        let a = Axis::new(f64::NAN, f64::NAN, Scale::Linear);
+        assert!(a.min.is_finite() && a.max.is_finite() && a.min < a.max);
+    }
+
+    #[test]
+    fn tick_format() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(1.5), "1.5");
+        assert_eq!(format_tick(2.0), "2");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert_eq!(format_tick(1e6), "1e6");
+        assert_eq!(format_tick(1e-5), "1e-5");
+        assert_eq!(format_tick(250.0), "250");
+    }
+}

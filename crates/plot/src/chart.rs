@@ -1,0 +1,426 @@
+//! Chart composition: line charts, stacked panels, grouped bar charts.
+
+use crate::axis::{format_tick, Axis, Scale};
+use crate::backend::{Anchor, Backend, Color, PostScript, Svg};
+
+/// One plotted series: `(x, y)` samples and a legend label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Sample points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from separate x and y slices (zipped to the shorter).
+    pub fn from_xy(label: impl Into<String>, xs: &[f64], ys: &[f64]) -> Self {
+        Series {
+            label: label.into(),
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
+    }
+}
+
+/// A single-panel line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Panel title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X scale.
+    pub x_scale: Scale,
+    /// Y scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Creates an empty linear-linear chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets axis labels (builder style).
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Sets axis scales (builder style).
+    pub fn scales(mut self, x: Scale, y: Scale) -> Self {
+        self.x_scale = x;
+        self.y_scale = y;
+        self
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Computes the data bounds across all series, ignoring non-finite
+    /// points (and non-positive ones on log axes).
+    fn bounds(&self) -> (Axis, Axis) {
+        let mut xmin = f64::INFINITY;
+        let mut xmax = f64::NEG_INFINITY;
+        let mut ymin = f64::INFINITY;
+        let mut ymax = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                if self.x_scale == Scale::Log10 && x <= 0.0 {
+                    continue;
+                }
+                if self.y_scale == Scale::Log10 && y <= 0.0 {
+                    continue;
+                }
+                xmin = xmin.min(x);
+                xmax = xmax.max(x);
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+        if xmin > xmax {
+            xmin = 0.0;
+            xmax = 1.0;
+        }
+        if ymin > ymax {
+            ymin = 0.0;
+            ymax = 1.0;
+        }
+        (
+            Axis::new(xmin, xmax, self.x_scale),
+            Axis::new(ymin, ymax, self.y_scale),
+        )
+    }
+
+    /// Renders into a rectangular region of a backend.
+    pub fn render_into(
+        &self,
+        be: &mut dyn Backend,
+        x0: f64,
+        y0: f64,
+        width: f64,
+        height: f64,
+    ) {
+        let margin_left = 58.0;
+        let margin_right = 12.0;
+        let margin_top = 24.0;
+        let margin_bottom = 40.0;
+        let px0 = x0 + margin_left;
+        let py0 = y0 + margin_top;
+        let pw = (width - margin_left - margin_right).max(10.0);
+        let ph = (height - margin_top - margin_bottom).max(10.0);
+
+        let (xa, ya) = self.bounds();
+
+        // Frame and title.
+        be.rect(px0, py0, pw, ph, Color::BLACK, 1.0);
+        be.text(
+            x0 + width / 2.0,
+            y0 + margin_top - 8.0,
+            11.0,
+            Anchor::Middle,
+            &self.title,
+        );
+
+        // Ticks + grid.
+        for t in xa.ticks() {
+            let tx = px0 + xa.to_unit(t) * pw;
+            be.line(tx, py0, tx, py0 + ph, Color::GRAY, 0.3);
+            be.text(tx, py0 + ph + 14.0, 8.0, Anchor::Middle, &format_tick(t));
+        }
+        for t in ya.ticks() {
+            let ty = py0 + ph - ya.to_unit(t) * ph;
+            be.line(px0, ty, px0 + pw, ty, Color::GRAY, 0.3);
+            be.text(px0 - 4.0, ty + 3.0, 8.0, Anchor::End, &format_tick(t));
+        }
+        be.text(
+            px0 + pw / 2.0,
+            py0 + ph + 30.0,
+            10.0,
+            Anchor::Middle,
+            &self.x_label,
+        );
+        be.text(x0 + 12.0, py0 - 8.0, 10.0, Anchor::Start, &self.y_label);
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = Color::PALETTE[i % Color::PALETTE.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|(x, y)| {
+                    x.is_finite()
+                        && y.is_finite()
+                        && (self.x_scale != Scale::Log10 || *x > 0.0)
+                        && (self.y_scale != Scale::Log10 || *y > 0.0)
+                })
+                .map(|&(x, y)| {
+                    (
+                        px0 + xa.to_unit(x) * pw,
+                        py0 + ph - ya.to_unit(y) * ph,
+                    )
+                })
+                .collect();
+            be.polyline(&pts, color, 1.2);
+            // Legend entry.
+            if !s.label.is_empty() {
+                let lx = px0 + 8.0;
+                let ly = py0 + 12.0 + i as f64 * 12.0;
+                be.line(lx, ly - 3.0, lx + 16.0, ly - 3.0, color, 2.0);
+                be.text(lx + 20.0, ly, 8.0, Anchor::Start, &s.label);
+            }
+        }
+    }
+}
+
+/// A figure: one or more charts stacked vertically on one page.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Page width (points/pixels).
+    pub width: f64,
+    /// Height per panel.
+    pub panel_height: f64,
+    /// The stacked panels.
+    pub panels: Vec<LineChart>,
+}
+
+impl Figure {
+    /// Creates a figure with default page metrics (560 × 240 per panel).
+    pub fn new(panels: Vec<LineChart>) -> Self {
+        Figure {
+            width: 560.0,
+            panel_height: 240.0,
+            panels,
+        }
+    }
+
+    fn render(&self, mut be: Box<dyn Backend>) -> String {
+        for (i, p) in self.panels.iter().enumerate() {
+            p.render_into(
+                be.as_mut(),
+                0.0,
+                i as f64 * self.panel_height,
+                self.width,
+                self.panel_height,
+            );
+        }
+        be.finish()
+    }
+
+    /// Renders the figure as a PostScript document.
+    pub fn to_postscript(&self) -> String {
+        let h = self.panel_height * self.panels.len().max(1) as f64;
+        self.render(Box::new(PostScript::new(self.width, h)))
+    }
+
+    /// Renders the figure as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let h = self.panel_height * self.panels.len().max(1) as f64;
+        self.render(Box::new(Svg::new(self.width, h)))
+    }
+}
+
+/// A grouped bar chart (used for the per-event comparison figure).
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category labels along x (one group each).
+    pub groups: Vec<String>,
+    /// One entry per series: `(label, per-group values)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl GroupedBarChart {
+    /// Renders as SVG.
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        let mut be: Box<dyn Backend> = Box::new(Svg::new(width, height));
+        self.render_into(be.as_mut(), width, height);
+        be.finish()
+    }
+
+    /// Renders as PostScript.
+    pub fn to_postscript(&self, width: f64, height: f64) -> String {
+        let mut be: Box<dyn Backend> = Box::new(PostScript::new(width, height));
+        self.render_into(be.as_mut(), width, height);
+        be.finish()
+    }
+
+    fn render_into(&self, be: &mut dyn Backend, width: f64, height: f64) {
+        let margin_left = 58.0;
+        let margin_right = 12.0;
+        let margin_top = 28.0;
+        let margin_bottom = 46.0;
+        let pw = (width - margin_left - margin_right).max(10.0);
+        let ph = (height - margin_top - margin_bottom).max(10.0);
+        let px0 = margin_left;
+        let py0 = margin_top;
+
+        let max_val = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter())
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let ya = Axis::new(0.0, max_val * 1.05, Scale::Linear);
+
+        be.rect(px0, py0, pw, ph, Color::BLACK, 1.0);
+        be.text(width / 2.0, py0 - 10.0, 12.0, Anchor::Middle, &self.title);
+        be.text(8.0, py0 - 10.0, 9.0, Anchor::Start, &self.y_label);
+
+        for t in ya.ticks() {
+            let ty = py0 + ph - ya.to_unit(t) * ph;
+            be.line(px0, ty, px0 + pw, ty, Color::GRAY, 0.3);
+            be.text(px0 - 4.0, ty + 3.0, 8.0, Anchor::End, &format_tick(t));
+        }
+
+        let ngroups = self.groups.len().max(1);
+        let nseries = self.series.len().max(1);
+        let group_w = pw / ngroups as f64;
+        let bar_w = group_w * 0.8 / nseries as f64;
+
+        for (gi, gname) in self.groups.iter().enumerate() {
+            let gx = px0 + gi as f64 * group_w;
+            be.text(
+                gx + group_w / 2.0,
+                py0 + ph + 16.0,
+                8.0,
+                Anchor::Middle,
+                gname,
+            );
+            for (si, (_, values)) in self.series.iter().enumerate() {
+                let v = values.get(gi).copied().unwrap_or(0.0);
+                let h = ya.to_unit(v) * ph;
+                let bx = gx + group_w * 0.1 + si as f64 * bar_w;
+                be.fill_rect(
+                    bx,
+                    py0 + ph - h,
+                    bar_w * 0.92,
+                    h,
+                    Color::PALETTE[si % Color::PALETTE.len()],
+                );
+            }
+        }
+
+        // Legend row.
+        let mut lx = px0;
+        let ly = py0 + ph + 34.0;
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            be.fill_rect(lx, ly - 8.0, 10.0, 10.0, Color::PALETTE[si % Color::PALETTE.len()]);
+            be.text(lx + 14.0, ly, 8.0, Anchor::Start, label);
+            lx += 14.0 + 7.0 * label.len() as f64 + 18.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        LineChart::new("Accelerogram")
+            .labels("Time (s)", "cm/s2")
+            .with_series(Series::from_xy(
+                "acc",
+                &[0.0, 1.0, 2.0, 3.0],
+                &[0.0, 5.0, -3.0, 1.0],
+            ))
+    }
+
+    #[test]
+    fn svg_render_contains_series_and_labels() {
+        let fig = Figure::new(vec![sample_chart()]);
+        let svg = fig.to_svg();
+        assert!(svg.contains("Accelerogram"));
+        assert!(svg.contains("Time (s)"));
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn postscript_render_is_valid_document() {
+        let fig = Figure::new(vec![sample_chart(), sample_chart()]);
+        let ps = fig.to_postscript();
+        assert!(ps.starts_with("%!PS-Adobe"));
+        // two panels => taller page
+        assert!(ps.contains("BoundingBox: 0 0 560 480"));
+    }
+
+    #[test]
+    fn log_chart_skips_nonpositive_points() {
+        let chart = LineChart::new("spec")
+            .scales(Scale::Log10, Scale::Log10)
+            .with_series(Series::from_xy(
+                "s",
+                &[0.0, 0.1, 1.0, 10.0],
+                &[-1.0, 1.0, 10.0, 100.0],
+            ));
+        let fig = Figure::new(vec![chart]);
+        let svg = fig.to_svg();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn empty_chart_renders_without_panic() {
+        let fig = Figure::new(vec![LineChart::new("empty")]);
+        let svg = fig.to_svg();
+        assert!(svg.contains("empty"));
+    }
+
+    #[test]
+    fn nan_points_skipped() {
+        let chart = LineChart::new("nan").with_series(Series::from_xy(
+            "s",
+            &[0.0, 1.0, 2.0],
+            &[f64::NAN, 1.0, 2.0],
+        ));
+        let svg = Figure::new(vec![chart]).to_svg();
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn grouped_bars_render() {
+        let chart = GroupedBarChart {
+            title: "Per event".into(),
+            y_label: "Time (s)".into(),
+            groups: vec!["Nov18".into(), "Apr18".into()],
+            series: vec![
+                ("Seq".into(), vec![76.6, 149.6]),
+                ("Par".into(), vec![32.1, 56.5]),
+            ],
+        };
+        let svg = chart.to_svg(640.0, 360.0);
+        assert!(svg.contains("Per event"));
+        assert!(svg.contains("Nov18"));
+        // 2 groups x 2 series = 4 bars + legend swatches
+        assert!(svg.matches("<rect").count() >= 6);
+        let ps = chart.to_postscript(640.0, 360.0);
+        assert!(ps.starts_with("%!PS-Adobe"));
+    }
+
+    #[test]
+    fn series_from_xy_zips_to_shorter() {
+        let s = Series::from_xy("z", &[1.0, 2.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(s.points.len(), 2);
+    }
+}

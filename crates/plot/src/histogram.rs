@@ -1,0 +1,192 @@
+//! Histograms — used by the QA tooling for peak-value and residual
+//! distributions across a network of stations.
+
+use crate::axis::{format_tick, Axis, Scale};
+use crate::backend::{Anchor, Backend, Color, PostScript, Svg};
+
+/// A binned histogram of scalar samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Left edges of the bins (uniform width), plus the final right edge.
+    pub edges: Vec<f64>,
+    /// Sample count per bin (`edges.len() - 1` entries).
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Bins `samples` into `bins` uniform bins spanning their range.
+    /// Non-finite samples are skipped; an empty input yields one empty bin
+    /// over `[0, 1]`.
+    pub fn from_samples(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        samples: &[f64],
+        bins: usize,
+    ) -> Self {
+        let bins = bins.max(1);
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let (lo, hi) = if finite.is_empty() {
+            (0.0, 1.0)
+        } else {
+            let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if lo == hi {
+                (lo - 0.5, hi + 0.5)
+            } else {
+                (lo, hi)
+            }
+        };
+        let width = (hi - lo) / bins as f64;
+        let edges: Vec<f64> = (0..=bins).map(|i| lo + width * i as f64).collect();
+        let mut counts = vec![0usize; bins];
+        for v in finite {
+            let idx = (((v - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram {
+            title: title.into(),
+            x_label: x_label.into(),
+            edges,
+            counts,
+        }
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Index and count of the fullest bin.
+    pub fn mode_bin(&self) -> (usize, usize) {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, &c)| (i, c))
+            .unwrap_or((0, 0))
+    }
+
+    fn render_into(&self, be: &mut dyn Backend, width: f64, height: f64) {
+        let margin_left = 58.0;
+        let margin_right = 14.0;
+        let margin_top = 30.0;
+        let margin_bottom = 44.0;
+        let pw = (width - margin_left - margin_right).max(10.0);
+        let ph = (height - margin_top - margin_bottom).max(10.0);
+
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let ya = Axis::new(0.0, max_count as f64 * 1.05, Scale::Linear);
+        let xa = Axis::new(
+            *self.edges.first().unwrap_or(&0.0),
+            *self.edges.last().unwrap_or(&1.0),
+            Scale::Linear,
+        );
+
+        be.rect(margin_left, margin_top, pw, ph, Color::BLACK, 1.0);
+        be.text(width / 2.0, margin_top - 10.0, 12.0, Anchor::Middle, &self.title);
+
+        for t in ya.ticks() {
+            let ty = margin_top + ph - ya.to_unit(t) * ph;
+            be.line(margin_left, ty, margin_left + pw, ty, Color::GRAY, 0.3);
+            be.text(margin_left - 4.0, ty + 3.0, 8.0, Anchor::End, &format_tick(t));
+        }
+        for t in xa.ticks() {
+            let tx = margin_left + xa.to_unit(t) * pw;
+            be.text(tx, margin_top + ph + 14.0, 8.0, Anchor::Middle, &format_tick(t));
+        }
+        be.text(
+            margin_left + pw / 2.0,
+            margin_top + ph + 32.0,
+            10.0,
+            Anchor::Middle,
+            &self.x_label,
+        );
+
+        for (i, &count) in self.counts.iter().enumerate() {
+            let x0 = margin_left + xa.to_unit(self.edges[i]) * pw;
+            let x1 = margin_left + xa.to_unit(self.edges[i + 1]) * pw;
+            let h = ya.to_unit(count as f64) * ph;
+            be.fill_rect(
+                x0 + 0.5,
+                margin_top + ph - h,
+                (x1 - x0 - 1.0).max(0.5),
+                h,
+                Color::PALETTE[0],
+            );
+        }
+    }
+
+    /// Renders as SVG.
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        let mut be: Box<dyn Backend> = Box::new(Svg::new(width, height));
+        self.render_into(be.as_mut(), width, height);
+        be.finish()
+    }
+
+    /// Renders as PostScript.
+    pub fn to_postscript(&self, width: f64, height: f64) -> String {
+        let mut be: Box<dyn Backend> = Box::new(PostScript::new(width, height));
+        self.render_into(be.as_mut(), width, height);
+        be.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_exhaustive_and_correct() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples("t", "x", &samples, 10);
+        assert_eq!(h.counts.len(), 10);
+        assert_eq!(h.total(), 100);
+        // Uniform data -> uniform bins.
+        assert!(h.counts.iter().all(|&c| c == 10), "{:?}", h.counts);
+        assert_eq!(h.edges.len(), 11);
+        assert_eq!(h.edges[0], 0.0);
+        assert_eq!(h.edges[10], 99.0);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        // Bins over [0,3] with width 1: [0,1), [1,2), [2,3] — the maximum
+        // is clamped into the final closed bin alongside 2.0.
+        let h = Histogram::from_samples("t", "x", &[0.0, 1.0, 2.0, 3.0], 3);
+        assert_eq!(h.counts, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn non_finite_samples_skipped() {
+        let h = Histogram::from_samples("t", "x", &[1.0, f64::NAN, 2.0, f64::INFINITY], 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Histogram::from_samples("t", "x", &[], 5);
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.counts.len(), 5);
+
+        let constant = Histogram::from_samples("t", "x", &[7.0; 10], 4);
+        assert_eq!(constant.total(), 10);
+        let (_, mode) = constant.mode_bin();
+        assert_eq!(mode, 10);
+    }
+
+    #[test]
+    fn renders_svg_and_postscript() {
+        let samples: Vec<f64> = (0..200).map(|i| ((i * 37) % 100) as f64).collect();
+        let h = Histogram::from_samples("PGA distribution", "cm/s2", &samples, 12);
+        let svg = h.to_svg(500.0, 320.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("PGA distribution"));
+        assert!(svg.matches("<rect").count() >= 12);
+        let ps = h.to_postscript(500.0, 320.0);
+        assert!(ps.starts_with("%!PS-Adobe"));
+    }
+}

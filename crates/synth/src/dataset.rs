@@ -1,0 +1,181 @@
+//! The paper's six-event experimental dataset, replicated synthetically.
+//!
+//! Table I of the paper lists, per event, the number of V1 files and total
+//! data points:
+//!
+//! | Event   | V1 files | Data points |
+//! |---------|----------|-------------|
+//! | Nov'18  | 5        | 56 K        |
+//! | Apr'18  | 5        | 115 K       |
+//! | Jul'19  | 9        | 145 K       |
+//! | Apr'17  | 15       | 309 K       |
+//! | May'19  | 18       | 361 K       |
+//! | Jul'19b | 19       | 384 K       |
+//!
+//! [`paper_dataset`] reproduces those shapes exactly (at `scale = 1.0`);
+//! smaller scales shrink per-station sample counts proportionally for tests
+//! and CI-speed benchmarks while preserving the file counts and the spread
+//! of per-file sizes (the paper: 7,300–35,000 points per file) and sampling
+//! rates ("a variety of equipment types and sampling rates").
+
+use crate::generate::{EventSpec, StationSpec};
+use crate::site::SiteClass;
+use crate::source::SourceModel;
+
+/// Shape of one paper event: `(label, v1_files, total_points, magnitude)`.
+pub const PAPER_EVENT_SHAPES: [(&str, usize, usize, f64); 6] = [
+    ("Nov-24-2018", 5, 56_000, 4.8),
+    ("Apr-02-2018", 5, 115_000, 5.0),
+    ("Jul-10-2019", 9, 145_000, 5.2),
+    ("Apr-10-2017", 15, 309_000, 5.9),
+    ("May-30-2019", 18, 361_000, 6.1),
+    ("Jul-31-2019", 19, 384_000, 6.2),
+];
+
+/// Station codes modeled on the Salvadoran strong-motion network.
+const STATION_CODES: [&str; 24] = [
+    "SSLB", "QCAL", "SMIG", "UCAX", "LUNA", "SNJE", "ACAJ", "SONS", "AHUA", "CHAL", "SVIC",
+    "USUL", "LAUN", "SMAR", "PERQ", "CBRR", "TECL", "ZACA", "METP", "ILOP", "APAS", "COMA",
+    "JUCU", "GUAY",
+];
+
+/// The sampling intervals found in the network (100, 200, 50 sps).
+const SAMPLING_INTERVALS: [f64; 3] = [0.01, 0.005, 0.02];
+
+/// Builds one paper event at the given scale (`1.0` = paper size).
+///
+/// Per-station sample counts vary deterministically around the mean in a
+/// ±40% band (mirroring the paper's 7.3K–35K per-file spread) and are
+/// adjusted so they sum exactly to `round(total_points * scale)`.
+pub fn paper_event(index: usize, scale: f64) -> EventSpec {
+    assert!(index < PAPER_EVENT_SHAPES.len(), "event index out of range");
+    assert!(scale > 0.0, "scale must be positive");
+    let (label, files, total_points, magnitude) = PAPER_EVENT_SHAPES[index];
+    let total = ((total_points as f64 * scale).round() as usize).max(files * 16);
+
+    // Deterministic per-station weights in [0.6, 1.4].
+    let weights: Vec<f64> = (0..files)
+        .map(|i| {
+            let x = ((index * 31 + i * 17 + 7) % 101) as f64 / 100.0;
+            0.6 + 0.8 * x
+        })
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut npts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * total as f64).floor() as usize)
+        .collect();
+    // Distribute the rounding remainder.
+    let assigned: usize = npts.iter().sum();
+    for k in 0..total - assigned {
+        npts[k % files] += 1;
+    }
+
+    let stations = (0..files)
+        .map(|i| StationSpec {
+            code: STATION_CODES[i % STATION_CODES.len()].to_string(),
+            distance_km: 8.0 + 7.0 * i as f64,
+            dt: SAMPLING_INTERVALS[(index + i) % SAMPLING_INTERVALS.len()],
+            npts: npts[i].max(16),
+            site: SiteClass::for_station_index(i),
+        })
+        .collect();
+
+    EventSpec {
+        id: format!("ES-{label}"),
+        origin_time: format!("20{}-01-01T00:00:00Z", 17 + index % 3),
+        source: SourceModel {
+            magnitude,
+            ..Default::default()
+        },
+        stations,
+        seed: 0xA5EED + index as u64,
+    }
+}
+
+/// All six paper events at the given scale.
+pub fn paper_dataset(scale: f64) -> Vec<EventSpec> {
+    (0..PAPER_EVENT_SHAPES.len())
+        .map(|i| paper_event(i, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_shapes() {
+        for (i, &(_, files, points, _)) in PAPER_EVENT_SHAPES.iter().enumerate() {
+            let ev = paper_event(i, 1.0);
+            assert_eq!(ev.v1_file_count(), files);
+            assert_eq!(ev.total_data_points(), points);
+        }
+    }
+
+    #[test]
+    fn per_file_sizes_in_realistic_band() {
+        // Paper: 7,300 to 35,000 points per file at full scale.
+        for i in 0..6 {
+            let ev = paper_event(i, 1.0);
+            for s in &ev.stations {
+                assert!(
+                    s.npts >= 7_000 && s.npts <= 36_000,
+                    "event {i} station {} has {}",
+                    s.code,
+                    s.npts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let full = paper_event(5, 1.0);
+        let tenth = paper_event(5, 0.1);
+        assert_eq!(tenth.v1_file_count(), full.v1_file_count());
+        let ratio = tenth.total_data_points() as f64 / full.total_data_points() as f64;
+        assert!((ratio - 0.1).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dataset_has_six_events() {
+        let ds = paper_dataset(0.05);
+        assert_eq!(ds.len(), 6);
+        // Ascending data points (as in the paper's Fig 13 x-axis).
+        for w in ds.windows(2) {
+            assert!(w[1].total_data_points() >= w[0].total_data_points());
+        }
+    }
+
+    #[test]
+    fn station_codes_unique_within_event() {
+        for i in 0..6 {
+            let ev = paper_event(i, 0.02);
+            let mut codes: Vec<&str> = ev.stations.iter().map(|s| s.code.as_str()).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            assert_eq!(codes.len(), ev.stations.len(), "event {i} repeats a code");
+        }
+    }
+
+    #[test]
+    fn mixed_sampling_rates_present() {
+        let ev = paper_event(5, 0.02);
+        let mut dts: Vec<f64> = ev.stations.iter().map(|s| s.dt).collect();
+        dts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dts.dedup();
+        assert!(dts.len() >= 2, "expected multiple sampling rates");
+    }
+
+    #[test]
+    fn deterministic_specs() {
+        assert_eq!(paper_event(2, 0.1), paper_event(2, 0.1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_event_panics() {
+        paper_event(6, 1.0);
+    }
+}

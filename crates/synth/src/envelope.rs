@@ -1,0 +1,106 @@
+//! Time-domain envelopes for stochastic ground-motion simulation.
+
+/// Saragoni–Hart envelope: `e(t) = a (t/tn)^b exp(-c t/tn)`, normalized so
+/// the peak value is 1. The canonical shape function used by stochastic
+/// strong-motion simulation (Boore's SMSIM family).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaragoniHart {
+    /// Normalizing duration `tn` (seconds) — roughly the strong-shaking span.
+    pub duration: f64,
+    /// Fraction of `duration` at which the envelope peaks (0 < peak_frac < 1).
+    pub peak_fraction: f64,
+    /// Envelope value at `t = duration` relative to the peak (0 < tail < 1).
+    pub tail_level: f64,
+}
+
+impl Default for SaragoniHart {
+    fn default() -> Self {
+        // Boore (2003) standard choices: peak at 20% of duration, decayed to
+        // 5% at the end of the window.
+        SaragoniHart {
+            duration: 20.0,
+            peak_fraction: 0.2,
+            tail_level: 0.05,
+        }
+    }
+}
+
+impl SaragoniHart {
+    /// Envelope value at time `t` seconds (0 for negative `t`).
+    pub fn value(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let eps = self.peak_fraction;
+        let eta = self.tail_level;
+        // b and c from the constraint that the peak is at eps*tn and the
+        // value at tn is eta (Boore 2003, eqs. 71-73).
+        let b = -(eps * eta.ln()) / (1.0 + eps * (eps.ln() - 1.0));
+        let c = b / eps;
+        let a = (std::f64::consts::E / eps).powf(b);
+        let x = t / self.duration;
+        a * x.powf(b) * (-c * x).exp()
+    }
+
+    /// Samples the envelope over `n` points at interval `dt`.
+    pub fn samples(&self, n: usize, dt: f64) -> Vec<f64> {
+        (0..n).map(|i| self.value(i as f64 * dt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_near_one_at_peak_fraction() {
+        let env = SaragoniHart::default();
+        let tp = env.peak_fraction * env.duration;
+        assert!((env.value(tp) - 1.0).abs() < 1e-9, "peak {}", env.value(tp));
+        // Neighbors are lower.
+        assert!(env.value(tp * 0.5) < 1.0);
+        assert!(env.value(tp * 2.0) < 1.0);
+    }
+
+    #[test]
+    fn tail_matches_requested_level() {
+        let env = SaragoniHart::default();
+        let v = env.value(env.duration);
+        assert!((v - env.tail_level).abs() < 1e-9, "tail {v}");
+    }
+
+    #[test]
+    fn zero_before_start() {
+        let env = SaragoniHart::default();
+        assert_eq!(env.value(0.0), 0.0);
+        assert_eq!(env.value(-1.0), 0.0);
+    }
+
+    #[test]
+    fn samples_shape() {
+        let env = SaragoniHart::default();
+        let s = env.samples(1000, 0.05); // 50 s
+        assert_eq!(s.len(), 1000);
+        let peak_idx = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // Peak at ~4 s = index 80.
+        assert!((peak_idx as isize - 80).abs() <= 2, "peak at {peak_idx}");
+        // Monotone decay after ~2x the peak.
+        assert!(s[400] > s[600] && s[600] > s[900]);
+    }
+
+    #[test]
+    fn custom_parameters_respected() {
+        let env = SaragoniHart {
+            duration: 10.0,
+            peak_fraction: 0.4,
+            tail_level: 0.01,
+        };
+        assert!((env.value(4.0) - 1.0).abs() < 1e-9);
+        assert!((env.value(10.0) - 0.01).abs() < 1e-9);
+    }
+}

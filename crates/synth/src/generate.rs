@@ -1,0 +1,307 @@
+//! Synthetic accelerogram generation.
+//!
+//! The generator substitutes for the paper's 71 real Salvadoran V1 files.
+//! Each component is produced by the standard stochastic-method recipe:
+//! envelope-modulated Gaussian noise, spectrally shaped to the ω² source
+//! model, rescaled to a distance-attenuated target PGA, plus a small
+//! low-frequency instrument-noise floor so the records exhibit the velocity-
+//! spectrum turn-up that process #10's FPL/FSL search relies on.
+
+use crate::envelope::SaragoniHart;
+use crate::site::SiteClass;
+use crate::source::SourceModel;
+use arp_formats::types::{Component, MotionTriple, RecordHeader};
+use arp_formats::v1::V1StationFile;
+use arp_formats::FormatError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// One synthetic station in an event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationSpec {
+    /// Station code (alphanumeric).
+    pub code: String,
+    /// Epicentral distance in km.
+    pub distance_km: f64,
+    /// Sampling interval in seconds.
+    pub dt: f64,
+    /// Number of acceleration samples per component.
+    pub npts: usize,
+    /// Site class controlling local amplification.
+    pub site: SiteClass,
+}
+
+/// A synthetic seismic event: source model plus recording stations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSpec {
+    /// Event identifier (used in file headers).
+    pub id: String,
+    /// Origin time (opaque ISO-8601 text).
+    pub origin_time: String,
+    /// Source spectral model.
+    pub source: SourceModel,
+    /// Stations that recorded the event.
+    pub stations: Vec<StationSpec>,
+    /// RNG seed; everything generated from an `EventSpec` is deterministic.
+    pub seed: u64,
+}
+
+impl EventSpec {
+    /// Total data points of the event = sum of per-station sample counts
+    /// (the paper's per-event "Data Points" measure).
+    pub fn total_data_points(&self) -> usize {
+        self.stations.iter().map(|s| s.npts).sum()
+    }
+
+    /// Number of V1 files (= stations).
+    pub fn v1_file_count(&self) -> usize {
+        self.stations.len()
+    }
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 without rand_distr).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Generates one component's acceleration trace (cm/s²).
+pub fn generate_component(
+    source: &SourceModel,
+    station: &StationSpec,
+    component: Component,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (component as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let n = station.npts;
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let dt = station.dt;
+
+    // 1. Envelope-modulated white noise. Strong-shaking duration grows with
+    //    source size (1/fc) and distance (0.05 R, Boore's rule of thumb).
+    let duration = (1.0 / source.corner_frequency_hz() + 0.05 * station.distance_km)
+        .max(3.0)
+        .min(0.8 * n as f64 * dt);
+    let env = SaragoniHart {
+        duration,
+        ..Default::default()
+    };
+    let mut signal: Vec<f64> = (0..n)
+        .map(|i| normal(&mut rng) * env.value(i as f64 * dt))
+        .collect();
+
+    // 2. Shape the spectrum to the source model.
+    let mut spec = arp_dsp::fft::rfft(&signal);
+    let len = spec.len();
+    for (k, z) in spec.iter_mut().enumerate() {
+        let f = arp_dsp::fft::bin_frequency(k, len, dt).abs();
+        let shape = source.acceleration_spectrum(f, station.distance_km)
+            * station.site.amplification(f);
+        *z = z.scale(shape);
+    }
+    signal = arp_dsp::fft::irfft(&spec);
+
+    // 3. Rescale to a distance-attenuated target PGA (simple attenuation:
+    //    ~180 cm/s² at 10 km for M 6, falling as 1/R, scaling with moment^0.5).
+    let target_pga = 180.0 * 10f64.powf(0.5 * (source.magnitude - 6.0))
+        * (10.0 / station.distance_km.max(1.0));
+    let peak = signal.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if peak > 0.0 {
+        let k = target_pga / peak;
+        for v in signal.iter_mut() {
+            *v *= k;
+        }
+    }
+
+    // 4. Low-frequency instrument noise: a slow random-walk-flavoured sum of
+    //    long-period sines, a fraction of a percent of PGA — invisible in
+    //    acceleration, dominant in the velocity spectrum at long periods.
+    let n_tones = 6;
+    for tone in 0..n_tones {
+        let f = 0.01 * (tone as f64 + 1.0) + rng.gen::<f64>() * 0.005;
+        let amp = target_pga * 2e-3 / (tone as f64 + 1.0);
+        let phase = rng.gen::<f64>() * 2.0 * PI;
+        for (i, v) in signal.iter_mut().enumerate() {
+            *v += amp * (2.0 * PI * f * i as f64 * dt + phase).sin();
+        }
+    }
+
+    // 5. Small constant instrument offset the pipeline must remove.
+    let offset = target_pga * 1e-3 * (rng.gen::<f64>() - 0.5);
+    for v in signal.iter_mut() {
+        *v += offset;
+    }
+
+    signal
+}
+
+/// Generates the raw `<station>.v1` file contents for one station.
+pub fn generate_station(event: &EventSpec, station: &StationSpec) -> Result<V1StationFile, FormatError> {
+    let header = RecordHeader::new(
+        station.code.clone(),
+        event.id.clone(),
+        event.origin_time.clone(),
+        station.dt,
+    )?;
+    let mut components = Vec::with_capacity(3);
+    // Per-station sub-seed keeps stations independent but reproducible.
+    let station_seed = event.seed ^ fxhash_str(&station.code);
+    for comp in Component::ALL {
+        let acc = generate_component(&event.source, station, comp, station_seed);
+        let triple = MotionTriple::from_acceleration(acc, station.dt)?;
+        components.push((comp, triple));
+    }
+    Ok(V1StationFile { header, components })
+}
+
+/// Generates every station file of an event.
+pub fn generate_event(event: &EventSpec) -> Result<Vec<V1StationFile>, FormatError> {
+    event
+        .stations
+        .iter()
+        .map(|s| generate_station(event, s))
+        .collect()
+}
+
+/// Tiny deterministic string hash (FNV-1a) for seeding per station.
+fn fxhash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> (EventSpec, StationSpec) {
+        let station = StationSpec {
+            code: "SSLB".into(),
+            distance_km: 25.0,
+            dt: 0.01,
+            npts: 4096,
+            site: SiteClass::Rock,
+        };
+        let event = EventSpec {
+            id: "TEST-EV".into(),
+            origin_time: "2019-07-31T03:04:05Z".into(),
+            source: SourceModel::default(),
+            stations: vec![station.clone()],
+            seed: 42,
+        };
+        (event, station)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (event, station) = spec();
+        let a = generate_component(&event.source, &station, Component::Longitudinal, 7);
+        let b = generate_component(&event.source, &station, Component::Longitudinal, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn components_differ() {
+        let (event, station) = spec();
+        let l = generate_component(&event.source, &station, Component::Longitudinal, 7);
+        let t = generate_component(&event.source, &station, Component::Transversal, 7);
+        assert_ne!(l, t);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let (event, station) = spec();
+        let a = generate_component(&event.source, &station, Component::Vertical, 1);
+        let b = generate_component(&event.source, &station, Component::Vertical, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pga_near_target() {
+        let (event, station) = spec();
+        let acc = generate_component(&event.source, &station, Component::Longitudinal, 42);
+        let pga = acc.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        // target at M5.5, R=25: 180 * 10^-0.25 * 10/25 ≈ 40.5 cm/s²; noise
+        // and offset perturb it a little.
+        let target = 180.0 * 10f64.powf(-0.25) * (10.0 / 25.0);
+        assert!((pga - target).abs() / target < 0.1, "pga {pga} target {target}");
+    }
+
+    #[test]
+    fn record_has_finite_values_and_zero_start() {
+        let (event, station) = spec();
+        let acc = generate_component(&event.source, &station, Component::Vertical, 9);
+        assert_eq!(acc.len(), station.npts);
+        assert!(acc.iter().all(|v| v.is_finite()));
+        // Envelope suppresses the record onset relative to the peak (the
+        // spectral shaping and noise floor leave a small residue).
+        let pga = acc.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(acc[0].abs() < 0.2 * pga, "onset {} pga {pga}", acc[0]);
+    }
+
+    #[test]
+    fn station_file_valid_and_three_components() {
+        let (event, station) = spec();
+        let file = generate_station(&event, &station).unwrap();
+        file.validate().unwrap();
+        assert_eq!(file.components.len(), 3);
+        assert_eq!(file.header.station, "SSLB");
+        assert_eq!(file.data_points(), 3 * station.npts);
+    }
+
+    #[test]
+    fn event_generation_counts() {
+        let (mut event, station) = spec();
+        let mut s2 = station.clone();
+        s2.code = "QCAL".into();
+        s2.npts = 2048;
+        event.stations.push(s2);
+        let files = generate_event(&event).unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(event.total_data_points(), 4096 + 2048);
+        assert_eq!(event.v1_file_count(), 2);
+    }
+
+    #[test]
+    fn spectrum_has_low_frequency_deficit() {
+        // The generated record's acceleration spectrum must fall toward DC
+        // (omega-squared source) — this is what makes FPL/FSL detection work.
+        let (event, station) = spec();
+        let acc = generate_component(&event.source, &station, Component::Longitudinal, 42);
+        let spec = arp_dsp::spectrum::fourier_spectrum(&acc, station.dt).unwrap();
+        let amp_at = |f_target: f64| -> f64 {
+            let idx = spec
+                .frequency_hz
+                .iter()
+                .position(|&f| f >= f_target)
+                .unwrap();
+            // average a few bins for stability
+            let lo = idx.saturating_sub(3);
+            let hi = (idx + 3).min(spec.len() - 1);
+            spec.acceleration[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        };
+        let low = amp_at(0.05);
+        let mid = amp_at(2.0);
+        assert!(mid > 3.0 * low, "mid {mid} low {low}");
+    }
+
+    #[test]
+    fn tiny_record_does_not_panic() {
+        let (event, mut station) = spec();
+        station.npts = 1;
+        let acc = generate_component(&event.source, &station, Component::Vertical, 1);
+        assert_eq!(acc.len(), 1);
+        station.npts = 0;
+        let acc0 = generate_component(&event.source, &station, Component::Vertical, 1);
+        assert!(acc0.is_empty());
+    }
+}

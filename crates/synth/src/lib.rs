@@ -1,0 +1,64 @@
+//! # arp-synth — synthetic strong-motion records
+//!
+//! Replaces the paper's proprietary Salvadoran dataset with a deterministic
+//! stochastic-method simulator:
+//!
+//! * [`source`] — ω² (Brune) source spectrum with geometric spreading,
+//!   anelastic attenuation `Q(f)`, and site kappa;
+//! * [`envelope`] — Saragoni–Hart shaping envelope;
+//! * [`generate`] — component/station/event record synthesis (three
+//!   components per station, mixed sampling rates, instrument noise floor
+//!   and offset so every pipeline correction step has real work to do);
+//! * [`dataset`] — the paper's six-event Table I dataset, reproduced at any
+//!   scale.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod envelope;
+pub mod generate;
+pub mod site;
+pub mod source;
+
+pub use dataset::{paper_dataset, paper_event, PAPER_EVENT_SHAPES};
+pub use envelope::SaragoniHart;
+pub use generate::{generate_component, generate_event, generate_station, EventSpec, StationSpec};
+pub use site::SiteClass;
+pub use source::SourceModel;
+
+/// Writes every `<station>.v1` file of an event into `dir`, returning the
+/// file names written. This is the entry point pipeline tests and the bench
+/// harness use to stage an input directory.
+pub fn write_event_inputs(
+    event: &EventSpec,
+    dir: &std::path::Path,
+) -> Result<Vec<String>, arp_formats::FormatError> {
+    let files = generate_event(event)?;
+    let mut names = Vec::with_capacity(files.len());
+    for f in &files {
+        let name = arp_formats::names::v1_station(&f.header.station);
+        f.write(&dir.join(&name))?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_event_inputs_creates_files() {
+        let dir = std::env::temp_dir().join(format!("arp-synth-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let event = paper_event(0, 0.01);
+        let names = write_event_inputs(&event, &dir).unwrap();
+        assert_eq!(names.len(), 5);
+        for n in &names {
+            assert!(dir.join(n).exists(), "{n} missing");
+            let f = arp_formats::V1StationFile::read(&dir.join(n)).unwrap();
+            f.validate().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! Site-response amplification for the synthetic generator.
+//!
+//! Stations of the Salvadoran network sit on everything from volcanic rock
+//! to lacustrine sediments; site response changes both the amplitude and
+//! the frequency content of what an instrument records. The generator
+//! models this with the standard single-layer-over-halfspace transfer
+//! function: resonant amplification at `f0 (2k+1)` harmonics with
+//! impedance-contrast amplitude, plus kappa-style damping.
+
+/// Simplified site classes (NEHRP-flavoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Hard rock: essentially flat response.
+    Rock,
+    /// Stiff soil: mild broadband amplification, f0 ~ 4 Hz.
+    StiffSoil,
+    /// Soft soil: strong resonant amplification, f0 ~ 1 Hz.
+    SoftSoil,
+}
+
+impl SiteClass {
+    /// Fundamental site frequency in Hz (`∞` conceptually for rock; a large
+    /// value is used so the response stays flat in-band).
+    pub fn fundamental_frequency_hz(self) -> f64 {
+        match self {
+            SiteClass::Rock => 50.0,
+            SiteClass::StiffSoil => 4.0,
+            SiteClass::SoftSoil => 1.0,
+        }
+    }
+
+    /// Peak amplification at resonance (impedance contrast).
+    pub fn peak_amplification(self) -> f64 {
+        match self {
+            SiteClass::Rock => 1.0,
+            SiteClass::StiffSoil => 1.8,
+            SiteClass::SoftSoil => 3.0,
+        }
+    }
+
+    /// Site damping ratio controlling resonance width.
+    pub fn damping(self) -> f64 {
+        match self {
+            SiteClass::Rock => 0.5,
+            SiteClass::StiffSoil => 0.20,
+            SiteClass::SoftSoil => 0.10,
+        }
+    }
+
+    /// Amplitude transfer function |H(f)|: a damped-resonator comb over the
+    /// odd harmonics of `f0`, normalized to 1 at DC.
+    pub fn amplification(self, f: f64) -> f64 {
+        if f <= 0.0 {
+            return 1.0;
+        }
+        let f0 = self.fundamental_frequency_hz();
+        let a_peak = self.peak_amplification();
+        let zeta = self.damping();
+        // First three odd harmonics carry the visible response.
+        let mut h: f64 = 1.0;
+        for k in 0..3 {
+            let fk = f0 * (2 * k + 1) as f64;
+            let r = f / fk;
+            // Resonator amplitude: peak (a_peak-1)/(2k+1) above unity.
+            let bump = (a_peak - 1.0) / (2 * k + 1) as f64;
+            let resonance = bump / (((1.0 - r * r) * (1.0 - r * r)) + (2.0 * zeta * r).powi(2)).sqrt()
+                * (2.0 * zeta);
+            h += resonance;
+        }
+        h
+    }
+
+    /// Deterministic class assignment used by the dataset builder: spreads
+    /// classes across stations.
+    pub fn for_station_index(i: usize) -> SiteClass {
+        match i % 3 {
+            0 => SiteClass::Rock,
+            1 => SiteClass::StiffSoil,
+            _ => SiteClass::SoftSoil,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rock_is_nearly_flat_in_band() {
+        for &f in &[0.1, 0.5, 1.0, 5.0, 10.0] {
+            let h = SiteClass::Rock.amplification(f);
+            assert!((h - 1.0).abs() < 0.15, "at {f}: {h}");
+        }
+    }
+
+    #[test]
+    fn soft_soil_amplifies_at_resonance() {
+        let soft = SiteClass::SoftSoil;
+        let f0 = soft.fundamental_frequency_hz();
+        let at_res = soft.amplification(f0);
+        let off_res = soft.amplification(f0 * 3.5);
+        assert!(at_res > 2.0, "resonant amp {at_res}");
+        assert!(at_res > off_res);
+    }
+
+    #[test]
+    fn stiff_soil_between_rock_and_soft() {
+        let f = 3.0;
+        let rock = SiteClass::Rock.amplification(f);
+        let stiff = SiteClass::StiffSoil.amplification(f);
+        let soft = SiteClass::SoftSoil.amplification(1.0);
+        assert!(rock < stiff, "{rock} {stiff}");
+        assert!(stiff < soft, "{stiff} {soft}");
+    }
+
+    #[test]
+    fn dc_normalized() {
+        for c in [SiteClass::Rock, SiteClass::StiffSoil, SiteClass::SoftSoil] {
+            assert_eq!(c.amplification(0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn station_assignment_cycles() {
+        assert_eq!(SiteClass::for_station_index(0), SiteClass::Rock);
+        assert_eq!(SiteClass::for_station_index(1), SiteClass::StiffSoil);
+        assert_eq!(SiteClass::for_station_index(2), SiteClass::SoftSoil);
+        assert_eq!(SiteClass::for_station_index(3), SiteClass::Rock);
+    }
+
+    #[test]
+    fn finite_everywhere() {
+        for c in [SiteClass::Rock, SiteClass::StiffSoil, SiteClass::SoftSoil] {
+            for k in 0..500 {
+                let f = k as f64 * 0.1;
+                let h = c.amplification(f);
+                assert!(h.is_finite() && h > 0.0, "{c:?} at {f}: {h}");
+            }
+        }
+    }
+}

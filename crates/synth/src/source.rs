@@ -1,0 +1,144 @@
+//! Seismological source and path model: the ω² (Brune) spectrum with
+//! geometric spreading, anelastic attenuation, and site kappa.
+//!
+//! Used to shape the white-noise spectrum so synthetic records have the
+//! frequency content of real accelerograms — including the low-frequency
+//! deficit that makes the FPL/FSL inflection detection meaningful.
+
+/// Point-source spectral model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceModel {
+    /// Moment magnitude.
+    pub magnitude: f64,
+    /// Stress drop in bars (typical 50–200).
+    pub stress_drop_bars: f64,
+    /// Shear-wave velocity at the source, km/s.
+    pub beta_km_s: f64,
+    /// Crustal density, g/cm³.
+    pub density_g_cm3: f64,
+    /// Quality factor `Q0` in `Q(f) = Q0 f^q_exp`.
+    pub q0: f64,
+    /// Frequency exponent of Q.
+    pub q_exp: f64,
+    /// Site kappa (high-frequency diminution), seconds.
+    pub kappa_s: f64,
+}
+
+impl Default for SourceModel {
+    fn default() -> Self {
+        SourceModel {
+            magnitude: 5.5,
+            stress_drop_bars: 100.0,
+            beta_km_s: 3.5,
+            density_g_cm3: 2.8,
+            q0: 200.0,
+            q_exp: 0.8,
+            kappa_s: 0.04,
+        }
+    }
+}
+
+impl SourceModel {
+    /// Seismic moment in dyne·cm from moment magnitude.
+    pub fn moment_dyne_cm(&self) -> f64 {
+        10f64.powf(1.5 * self.magnitude + 16.05)
+    }
+
+    /// Brune corner frequency in Hz.
+    pub fn corner_frequency_hz(&self) -> f64 {
+        4.9e6 * self.beta_km_s * (self.stress_drop_bars / self.moment_dyne_cm()).powf(1.0 / 3.0)
+    }
+
+    /// Relative acceleration spectral amplitude at frequency `f` Hz for a
+    /// station at `distance_km`. Units are arbitrary (the generator rescales
+    /// to a target PGA); the *shape* is what matters:
+    ///
+    /// `A(f) ∝ (2πf)² · M0 / (1 + (f/fc)²) · G(R) · exp(-πfR/(Q(f)β)) · exp(-πκf)`
+    pub fn acceleration_spectrum(&self, f: f64, distance_km: f64) -> f64 {
+        if f <= 0.0 {
+            return 0.0;
+        }
+        let fc = self.corner_frequency_hz();
+        let w = 2.0 * std::f64::consts::PI * f;
+        let source = w * w / (1.0 + (f / fc).powi(2));
+        let r = distance_km.max(1.0);
+        let geometric = 1.0 / r;
+        let q = self.q0 * f.powf(self.q_exp);
+        let anelastic = (-std::f64::consts::PI * f * r / (q * self.beta_km_s)).exp();
+        let site = (-std::f64::consts::PI * self.kappa_s * f).exp();
+        source * geometric * anelastic * site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_frequency_decreases_with_magnitude() {
+        let small = SourceModel {
+            magnitude: 4.0,
+            ..Default::default()
+        };
+        let big = SourceModel {
+            magnitude: 7.0,
+            ..Default::default()
+        };
+        assert!(small.corner_frequency_hz() > big.corner_frequency_hz());
+        // Sanity: M5.5 with 100-bar stress drop has fc of order 0.5-2 Hz.
+        let mid = SourceModel::default();
+        let fc = mid.corner_frequency_hz();
+        assert!(fc > 0.1 && fc < 5.0, "fc = {fc}");
+    }
+
+    #[test]
+    fn moment_scales_with_magnitude() {
+        let m5 = SourceModel {
+            magnitude: 5.0,
+            ..Default::default()
+        };
+        let m6 = SourceModel {
+            magnitude: 6.0,
+            ..Default::default()
+        };
+        let ratio = m6.moment_dyne_cm() / m5.moment_dyne_cm();
+        assert!((ratio - 10f64.powf(1.5)).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn spectrum_zero_at_dc_and_finite() {
+        let m = SourceModel::default();
+        assert_eq!(m.acceleration_spectrum(0.0, 10.0), 0.0);
+        for &f in &[0.01, 0.1, 1.0, 10.0, 50.0] {
+            let a = m.acceleration_spectrum(f, 20.0);
+            assert!(a.is_finite() && a >= 0.0, "at {f}: {a}");
+        }
+    }
+
+    #[test]
+    fn spectrum_attenuates_with_distance() {
+        let m = SourceModel::default();
+        let near = m.acceleration_spectrum(2.0, 5.0);
+        let far = m.acceleration_spectrum(2.0, 100.0);
+        assert!(near > 5.0 * far);
+    }
+
+    #[test]
+    fn high_frequencies_killed_by_kappa() {
+        let m = SourceModel::default();
+        // Beyond the corner the ω² growth is overwhelmed by kappa decay.
+        let mid = m.acceleration_spectrum(5.0, 10.0);
+        let high = m.acceleration_spectrum(60.0, 10.0);
+        assert!(high < mid, "mid {mid} high {high}");
+    }
+
+    #[test]
+    fn low_frequency_falls_off_as_omega_squared() {
+        let m = SourceModel::default();
+        // Well below the corner, A(f) ~ f^2 (ratio of 4 for doubling).
+        let a1 = m.acceleration_spectrum(0.01, 10.0);
+        let a2 = m.acceleration_spectrum(0.02, 10.0);
+        let ratio = a2 / a1;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+}

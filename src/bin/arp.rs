@@ -1,0 +1,214 @@
+//! `arp` — command-line front end to the pipeline.
+//!
+//! ```text
+//! arp generate --out DIR [--event N] [--scale X]    synthesize V1 inputs
+//! arp run --in DIR --work DIR [--impl NAME]         run the pipeline
+//! arp verify --in DIR --work DIR                    verify a completed run
+//! arp inspect --work DIR --station CODE             summarize one station
+//! ```
+//!
+//! `--impl` is one of `seq-original`, `seq-optimized`, `partial`, `full`
+//! (default `full`).
+
+use arp_core::{
+    event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
+    RunContext,
+};
+use arp_formats::{names, Component, MaxValues, RFile, V2File};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn impl_kind(name: &str) -> Result<ImplKind, String> {
+    match name {
+        "seq-original" => Ok(ImplKind::SequentialOriginal),
+        "seq-optimized" => Ok(ImplKind::SequentialOptimized),
+        "partial" => Ok(ImplKind::PartiallyParallel),
+        "full" => Ok(ImplKind::FullyParallel),
+        other => Err(format!(
+            "unknown implementation {other:?} (use seq-original|seq-optimized|partial|full)"
+        )),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = PathBuf::from(flags.get("out").ok_or("generate needs --out DIR")?);
+    let event_index: usize = flags.get("event").map_or(Ok(0), |v| {
+        v.parse().map_err(|e| format!("bad --event: {e}"))
+    })?;
+    if event_index > 5 {
+        return Err("--event must be 0..=5".into());
+    }
+    let scale: f64 = flags.get("scale").map_or(Ok(0.05), |v| {
+        v.parse().map_err(|e| format!("bad --scale: {e}"))
+    })?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let event = arp_synth::paper_event(event_index, scale);
+    let files = arp_synth::write_event_inputs(&event, &out).map_err(|e| e.to_string())?;
+    println!(
+        "generated event {} ({} stations, {} data points) into {}",
+        event.id,
+        files.len(),
+        event.total_data_points(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn make_context(flags: &HashMap<String, String>) -> Result<RunContext, String> {
+    let input = flags.get("in").ok_or("needs --in DIR")?;
+    let work = flags.get("work").ok_or("needs --work DIR")?;
+    RunContext::new(input, work, PipelineConfig::default()).map_err(|e| e.to_string())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
+    let ctx = make_context(flags)?;
+    let report = run_pipeline_labeled(&ctx, kind, "cli").map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} V1 files, {} data points, {:?} ({:.0} points/s)",
+        report.implementation.label(),
+        report.v1_files,
+        report.data_points,
+        report.total,
+        report.throughput()
+    );
+    for stage in &report.stages {
+        println!("  stage {:<5} {:?}", stage.stage.label(), stage.elapsed);
+    }
+    Ok(())
+}
+
+fn cmd_verify(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ctx = make_context(flags)?;
+    let issues = verify_run(&ctx).map_err(|e| e.to_string())?;
+    if issues.is_empty() {
+        let stations = ctx.stations().map_err(|e| e.to_string())?;
+        println!(
+            "verified: complete run for {} stations ({} artifacts)",
+            stations.len(),
+            arp_core::expected_artifacts(&stations).len()
+        );
+        Ok(())
+    } else {
+        for issue in &issues {
+            eprintln!("{issue}");
+        }
+        Err(format!("{} issue(s) found", issues.len()))
+    }
+}
+
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let work = PathBuf::from(flags.get("work").ok_or("inspect needs --work DIR")?);
+    let station = flags.get("station").ok_or("inspect needs --station CODE")?;
+
+    println!("station {station}:");
+    for comp in Component::ALL {
+        let v2 = V2File::read(&work.join(names::v2_component(station, comp)))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {} {:>6} samples @ {:>5.0} sps | band {:.3}-{:.1} Hz | PGA {:8.3} cm/s2 PGV {:7.4} cm/s PGD {:7.4} cm",
+            comp.code(),
+            v2.data.len(),
+            1.0 / v2.header.dt,
+            v2.band.fpl,
+            v2.band.fph,
+            v2.peaks.pga,
+            v2.peaks.pgv,
+            v2.peaks.pgd
+        );
+        let r = RFile::read(&work.join(names::r_component(station, comp)))
+            .map_err(|e| e.to_string())?;
+        if let Some(spec) = r.at_damping(0.05) {
+            let (idx, peak) = spec
+                .sa
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, v)| (i, *v))
+                .unwrap_or((0, 0.0));
+            println!(
+                "     SA(5%) peak {:8.2} cm/s2 at T = {:.2} s",
+                peak, spec.periods[idx]
+            );
+        }
+    }
+    if let Ok(mv) = MaxValues::read(&work.join(MaxValues::FILE_NAME)) {
+        let n = mv.entries.iter().filter(|e| &e.station == station).count();
+        println!("  max-values entries for this station: {n}");
+    }
+    Ok(())
+}
+
+fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let root = PathBuf::from(flags.get("root").ok_or("batch needs --root DIR")?);
+    let work = PathBuf::from(flags.get("work").ok_or("batch needs --work DIR")?);
+    let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
+    let items = arp_core::discover_batch(&root).map_err(|e| e.to_string())?;
+    if items.is_empty() {
+        return Err(format!("no event directories with .v1 files under {}", root.display()));
+    }
+    println!("processing {} events...", items.len());
+    let report = arp_core::run_batch(&items, &work, &PipelineConfig::default(), kind)
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.to_table());
+    Ok(())
+}
+
+fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ctx = make_context(flags)?;
+    let rows = event_summary(&ctx).map_err(|e| e.to_string())?;
+    let csv = summary_csv(&rows);
+    match flags.get("csv") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| e.to_string())?;
+            println!("wrote {} rows to {path}", rows.len());
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: arp <generate|run|verify|inspect> [--flags]");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "run" => cmd_run(&flags),
+        "verify" => cmd_verify(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "summary" => cmd_summary(&flags),
+        "batch" => cmd_batch(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

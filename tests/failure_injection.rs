@@ -1,0 +1,122 @@
+//! Integration: corrupted or missing inputs produce typed errors, never
+//! panics, and never partial silent success.
+
+use arp_core::{run_pipeline, ImplKind, PipelineConfig, PipelineError, RunContext};
+use arp_formats::names;
+use arp_synth::{paper_event, write_event_inputs};
+use std::path::PathBuf;
+
+fn setup(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("arp-fail-{tag}-{}", std::process::id()));
+    let input = base.join("inputs");
+    std::fs::create_dir_all(&input).unwrap();
+    write_event_inputs(&paper_event(0, 0.003), &input).unwrap();
+    (base, input)
+}
+
+fn run(input: &PathBuf, work: PathBuf, kind: ImplKind) -> Result<(), PipelineError> {
+    let ctx = RunContext::new(input, work, PipelineConfig::fast())?;
+    run_pipeline(&ctx, kind).map(|_| ())
+}
+
+#[test]
+fn empty_input_directory_completes_with_no_products() {
+    let base = std::env::temp_dir().join(format!("arp-fail-empty-{}", std::process::id()));
+    let input = base.join("inputs");
+    std::fs::create_dir_all(&input).unwrap();
+    // Zero stations is a valid (degenerate) event: all loops are empty.
+    run(&input, base.join("work"), ImplKind::FullyParallel).unwrap();
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn missing_input_directory_is_an_error() {
+    let base = std::env::temp_dir().join(format!("arp-fail-miss-{}", std::process::id()));
+    let input = base.join("never-created");
+    let err = run(&input, base.join("work"), ImplKind::SequentialOriginal).unwrap_err();
+    assert!(matches!(err, PipelineError::Io { .. }), "{err}");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn garbage_v1_file_is_rejected_with_format_error() {
+    let (base, input) = setup("garbage");
+    std::fs::write(input.join("BOGUS.v1"), "this is not a V1 file\n").unwrap();
+    for kind in [ImplKind::SequentialOriginal, ImplKind::FullyParallel] {
+        let err = run(&input, base.join(format!("w-{kind:?}")), kind).unwrap_err();
+        assert!(matches!(err, PipelineError::Format(_)), "{kind:?}: {err}");
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn truncated_v1_file_is_rejected() {
+    let (base, input) = setup("trunc");
+    // Truncate one station file halfway through a numeric block.
+    let victim = input.join(
+        std::fs::read_dir(&input)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".v1"))
+            .unwrap()
+            .file_name(),
+    );
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+    let err = run(&input, base.join("work"), ImplKind::SequentialOptimized).unwrap_err();
+    assert!(matches!(err, PipelineError::Format(_)), "{err}");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn corrupted_numeric_value_is_rejected() {
+    let (base, input) = setup("nanvals");
+    let victim = input.join(
+        std::fs::read_dir(&input)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".v1"))
+            .unwrap()
+            .file_name(),
+    );
+    let mut text = std::fs::read_to_string(&victim).unwrap();
+    // Replace a numeric token inside the ACC block with junk.
+    let pos = text.find("BEGIN ACC").unwrap();
+    let line_start = text[pos..].find('\n').unwrap() + pos + 1;
+    let line_end = text[line_start..].find('\n').unwrap() + line_start;
+    text.replace_range(line_start..line_end, "1.0 not_a_number 2.0");
+    std::fs::write(&victim, text).unwrap();
+    let err = run(&input, base.join("work"), ImplKind::SequentialOptimized).unwrap_err();
+    assert!(matches!(err, PipelineError::Format(_)), "{err}");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn deleting_intermediate_midway_is_detected() {
+    // Run the first half of the pipeline, delete a V2 file, and confirm the
+    // response-spectrum process reports the missing artifact.
+    use arp_core::process::{filter, filterinit, gather, respspec, separate};
+    let (base, input) = setup("midway");
+    let ctx = RunContext::new(&input, base.join("work"), PipelineConfig::fast()).unwrap();
+    gather::gather_inputs(&ctx, false).unwrap();
+    filterinit::init_filter_params(&ctx).unwrap();
+    separate::separate_components(&ctx, false).unwrap();
+    filter::correct_signals(&ctx, filter::CorrectionPass::Default, false).unwrap();
+
+    let station = ctx.stations().unwrap()[0].clone();
+    std::fs::remove_file(ctx.artifact(&names::v2_component(&station, arp_formats::Component::Vertical)))
+        .unwrap();
+    let err = respspec::response_spectrum_calc(&ctx, false).unwrap_err();
+    assert!(matches!(err, PipelineError::Format(_)), "{err}");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn work_dir_inside_input_dir_is_rejected_by_gather_scan() {
+    // A work dir nested in the input dir must not confuse the .v1 scan
+    // (gather only picks files, and only *.v1).
+    let (base, input) = setup("nested");
+    let work = input.join("work");
+    run(&input, work, ImplKind::SequentialOptimized).unwrap();
+    std::fs::remove_dir_all(&base).unwrap();
+}

@@ -1,0 +1,202 @@
+//! Integration: the artifact inventory of a full pipeline run matches the
+//! paper's data-flow diagram (Fig. 5).
+
+use arp_core::{run_pipeline, ImplKind, PipelineConfig, RunContext};
+use arp_formats::{names, Component, FilterParams, GemFile, MaxValues, Quantity, RFile, V2File};
+use arp_synth::{paper_event, write_event_inputs};
+use std::path::PathBuf;
+
+fn run_full(tag: &str) -> (PathBuf, RunContext) {
+    let base = std::env::temp_dir().join(format!("arp-prod-{tag}-{}", std::process::id()));
+    let input = base.join("inputs");
+    std::fs::create_dir_all(&input).unwrap();
+    let event = paper_event(0, 0.004);
+    write_event_inputs(&event, &input).unwrap();
+    let ctx = RunContext::new(&input, base.join("work"), PipelineConfig::fast()).unwrap();
+    run_pipeline(&ctx, ImplKind::FullyParallel).unwrap();
+    (base, ctx)
+}
+
+#[test]
+fn full_artifact_inventory() {
+    let (base, ctx) = run_full("inventory");
+    let stations = ctx.stations().unwrap();
+    assert_eq!(stations.len(), 5);
+
+    for s in &stations {
+        // Per-component intermediates and products.
+        for c in Component::ALL {
+            assert!(ctx.artifact(&names::v1_component(s, c)).exists(), "{s} {c:?} v1");
+            assert!(ctx.artifact(&names::v2_component(s, c)).exists(), "{s} {c:?} v2");
+            assert!(ctx.artifact(&names::f_component(s, c)).exists(), "{s} {c:?} f");
+            assert!(ctx.artifact(&names::r_component(s, c)).exists(), "{s} {c:?} r");
+        }
+        // 18 GEM files per station.
+        let mut gem_count = 0;
+        for c in Component::ALL {
+            for from_r in [false, true] {
+                for q in Quantity::ALL {
+                    let p = ctx.artifact(&names::gem(s, c, from_r, q));
+                    assert!(p.exists(), "{}", p.display());
+                    gem_count += 1;
+                }
+            }
+        }
+        assert_eq!(gem_count, 18);
+        // Three plot files.
+        for plot in [names::plot_acc(s), names::plot_fourier(s), names::plot_response(s)] {
+            let text = std::fs::read_to_string(ctx.artifact(&plot)).unwrap();
+            assert!(text.starts_with("%!PS-Adobe"), "{plot}");
+        }
+    }
+
+    // Shared metadata.
+    let mv = MaxValues::read(&ctx.artifact(MaxValues::FILE_NAME)).unwrap();
+    assert_eq!(mv.entries.len(), stations.len() * 3);
+    let fp = FilterParams::read(&ctx.artifact(FilterParams::FILE_NAME)).unwrap();
+    assert_eq!(fp.stations.len(), stations.len());
+
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn definitive_v2_band_matches_recorded_corners() {
+    let (base, ctx) = run_full("corners");
+    let fp = FilterParams::read(&ctx.artifact(FilterParams::FILE_NAME)).unwrap();
+    for s in ctx.stations().unwrap() {
+        let corners = fp.corners_for(&s).expect("corners recorded by process #10");
+        for (ci, c) in Component::ALL.iter().enumerate() {
+            let v2 = V2File::read(&ctx.artifact(&names::v2_component(&s, *c))).unwrap();
+            let (fsl, fpl) = corners.corners[ci];
+            assert!(
+                (v2.band.fsl - fsl).abs() < 1e-9 && (v2.band.fpl - fpl).abs() < 1e-9,
+                "station {s} component {c:?}: band {:?} vs corners ({fsl}, {fpl})",
+                v2.band
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn gem_series_are_consistent_with_their_sources() {
+    let (base, ctx) = run_full("gemsrc");
+    let s = &ctx.stations().unwrap()[0];
+
+    // Time-series GEMs mirror the V2 traces.
+    let v2 = V2File::read(&ctx.artifact(&names::v2_component(s, Component::Longitudinal))).unwrap();
+    for q in Quantity::ALL {
+        let gem = GemFile::read(&ctx.artifact(&names::gem(s, Component::Longitudinal, false, q))).unwrap();
+        let src = v2.data.get(q);
+        assert_eq!(gem.values.len(), src.len());
+        let peak = src.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!((gem.peak - peak).abs() <= 1e-9 * peak.max(1e-12));
+    }
+
+    // Response GEMs mirror the 5%-damped spectra.
+    let r = RFile::read(&ctx.artifact(&names::r_component(s, Component::Longitudinal))).unwrap();
+    let spec = r.at_damping(0.05).unwrap();
+    let gem_ra =
+        GemFile::read(&ctx.artifact(&names::gem(s, Component::Longitudinal, true, Quantity::Acceleration))).unwrap();
+    assert_eq!(gem_ra.values.len(), spec.sa.len());
+    for (a, b) in gem_ra.values.iter().zip(spec.sa.iter()) {
+        assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-12));
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn corrected_records_are_band_limited() {
+    // The definitive V2 acceleration must have negligible energy below the
+    // FSL corner relative to the passband — the whole point of the pipeline.
+    let (base, ctx) = run_full("bandlimit");
+    let s = &ctx.stations().unwrap()[0];
+    let v2 = V2File::read(&ctx.artifact(&names::v2_component(s, Component::Longitudinal))).unwrap();
+    let spec = arp_dsp::spectrum::fourier_spectrum(&v2.data.acc, v2.header.dt).unwrap();
+
+    let mean_amp = |lo: f64, hi: f64| -> f64 {
+        let vals: Vec<f64> = spec
+            .frequency_hz
+            .iter()
+            .zip(&spec.acceleration)
+            .filter(|(f, _)| **f >= lo && **f < hi)
+            .map(|(_, a)| *a)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let stop = mean_amp(1e-6, v2.band.fsl * 0.5);
+    let pass = mean_amp(v2.band.fpl * 2.0, v2.band.fph * 0.5);
+    assert!(
+        stop < 0.2 * pass,
+        "stopband {stop} not attenuated vs passband {pass}"
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn rotd_extension_emits_products_when_enabled() {
+    use arp_core::process::rotdgen::RotDFile;
+    let base = std::env::temp_dir().join(format!("arp-prod-rotd-{}", std::process::id()));
+    let input = base.join("inputs");
+    std::fs::create_dir_all(&input).unwrap();
+    write_event_inputs(&paper_event(0, 0.003), &input).unwrap();
+
+    // Off by default: no .rotd files.
+    let ctx_off = RunContext::new(&input, base.join("w-off"), PipelineConfig::fast()).unwrap();
+    run_pipeline(&ctx_off, ImplKind::FullyParallel).unwrap();
+    let s0 = ctx_off.stations().unwrap()[0].clone();
+    assert!(!ctx_off.artifact(&RotDFile::file_name(&s0)).exists());
+
+    // Enabled: one per station, with the RotD ordering invariant.
+    let mut config = PipelineConfig::fast();
+    config.emit_rotd = true;
+    let ctx_on = RunContext::new(&input, base.join("w-on"), config).unwrap();
+    run_pipeline(&ctx_on, ImplKind::FullyParallel).unwrap();
+    for s in ctx_on.stations().unwrap() {
+        let f = RotDFile::read(&ctx_on.artifact(&RotDFile::file_name(&s))).unwrap();
+        for k in 0..f.periods.len() {
+            assert!(f.rotd50[k] <= f.rotd100[k] + 1e-12);
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn event_summary_matches_products() {
+    use arp_core::{event_summary, summary_csv};
+    let (base, ctx) = run_full("summary");
+    let rows = event_summary(&ctx).unwrap();
+    assert_eq!(rows.len(), ctx.stations().unwrap().len() * 3);
+    // Summary PGA equals the V2 peak for each row.
+    for row in &rows {
+        let v2 = V2File::read(&ctx.artifact(&names::v2_component(&row.station, row.component)))
+            .unwrap();
+        assert!((row.pga - v2.peaks.pga).abs() <= 1e-12 * v2.peaks.pga.max(1e-12));
+    }
+    let csv = summary_csv(&rows);
+    assert!(csv.contains("sa_1.0s"));
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn report_timings_cover_every_process_and_stage() {
+    let base = std::env::temp_dir().join(format!("arp-prod-report-{}", std::process::id()));
+    let input = base.join("inputs");
+    std::fs::create_dir_all(&input).unwrap();
+    write_event_inputs(&paper_event(0, 0.003), &input).unwrap();
+    let ctx = RunContext::new(&input, base.join("work"), PipelineConfig::fast()).unwrap();
+    let report = run_pipeline(&ctx, ImplKind::FullyParallel).unwrap();
+
+    assert_eq!(report.stages.len(), 11);
+    assert_eq!(report.processes.len(), 17);
+    let stage_sum: std::time::Duration = report.stages.iter().map(|s| s.elapsed).sum();
+    // Stage times decompose the total (within scheduling noise).
+    assert!(stage_sum <= report.total * 2);
+    assert!(report.throughput() > 0.0);
+    std::fs::remove_dir_all(&base).unwrap();
+}
