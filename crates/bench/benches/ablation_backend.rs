@@ -19,7 +19,9 @@ fn work_unit(i: usize) -> u64 {
 fn bench_backends(c: &mut Criterion) {
     let n = 4096usize;
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
     );
 
     let mut group = c.benchmark_group("ablation/backend");

@@ -25,7 +25,9 @@ fn bench_fft(c: &mut Criterion) {
     for &n in &[1000usize, 4093] {
         let x = complex_signal(n);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("bluestein", n), &x, |b, x| b.iter(|| fft(x)));
+        group.bench_with_input(BenchmarkId::new("bluestein", n), &x, |b, x| {
+            b.iter(|| fft(x))
+        });
     }
     // Naive reference at a size where it is still measurable quickly.
     let x = complex_signal(512);

@@ -20,7 +20,9 @@ fn bench_fir_application(c: &mut Criterion) {
     for (tag, band) in bands {
         let filt = FirFilter::band_pass(band, dt, WindowKind::Hamming).unwrap();
         for &n in &[2000usize, 8000] {
-            let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 101) as f64 - 50.0) * 0.1).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * 13 % 101) as f64 - 50.0) * 0.1)
+                .collect();
             group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(
                 BenchmarkId::new(format!("{tag}_{}taps_direct", filt.taps()), n),

@@ -1,4 +1,5 @@
-//! Bench for Table I / Fig. 12: the four pipeline implementations on a
+//! Bench for Table I / Fig. 12: the five pipeline implementations (the
+//! paper's four plus the DAG scheduler) on a
 //! scaled paper event. Reported wall times are the real sequential costs;
 //! the multi-core comparison (with simulated scheduling) is produced by the
 //! `report` binary, which this bench complements with statistically robust

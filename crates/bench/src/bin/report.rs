@@ -4,7 +4,9 @@
 //! report <command> [--scale X] [--full] [--duhamel] [--out DIR] [--event N]
 //!
 //! commands:
-//!   table1   Table I  — per-event times of the four implementations
+//!   table1   Table I  — per-event times of all five implementations
+//!            (the paper's four plus the DAG scheduler) and the DAG
+//!            schedule decomposition
 //!   fig11    Fig. 11  — per-stage seq vs full-par times (largest event)
 //!   fig12    Fig. 12  — grouped bars per event (SVG + CSV)
 //!   fig13    Fig. 13  — speedup & throughput vs problem size (SVG + CSV)
@@ -124,7 +126,11 @@ fn run_table_experiments(opts: &Options, config: &PipelineConfig) -> Vec<bench::
     eprintln!(
         "running Table I experiment at scale {} ({} kernel, {})...",
         opts.scale,
-        if opts.duhamel { "Duhamel" } else { "Nigam-Jennings" },
+        if opts.duhamel {
+            "Duhamel"
+        } else {
+            "Nigam-Jennings"
+        },
         if opts.measured {
             "measured wall-clock".to_string()
         } else {
@@ -158,6 +164,8 @@ fn main() {
             let rows = rows.as_ref().unwrap();
             println!("\nTABLE I (reproduced, scale {}):\n", opts.scale);
             print!("{}", bench::format_table1(rows));
+            println!();
+            print!("{}", bench::format_dag_decomposition(rows));
             save(&opts.out, "table1.csv", &bench::table1_csv(rows));
         }
         "fig11" => {
@@ -226,8 +234,8 @@ fn main() {
         "sweep" => {
             bench::warmup(&config).expect("warmup failed");
             let counts = [1usize, 2, 4, 8, 12, 16];
-            let rows =
-                bench::thread_sweep(opts.event, opts.scale, &config, &counts).expect("sweep failed");
+            let rows = bench::thread_sweep(opts.event, opts.scale, &config, &counts)
+                .expect("sweep failed");
             println!("\nSpeedup vs virtual processors (event {}):\n", opts.event);
             println!("{:<10} {:>8}", "threads", "speedup");
             for (t, s) in &rows {
@@ -239,6 +247,8 @@ fn main() {
             let rows = rows.as_ref().unwrap();
             println!("\nTABLE I (reproduced, scale {}):\n", opts.scale);
             print!("{}", bench::format_table1(rows));
+            println!();
+            print!("{}", bench::format_dag_decomposition(rows));
             save(&opts.out, "table1.csv", &bench::table1_csv(rows));
             save(&opts.out, "fig12.svg", &bench::fig12_svg(rows));
             save(&opts.out, "fig13.svg", &bench::fig13_svg(rows));

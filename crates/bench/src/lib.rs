@@ -2,11 +2,11 @@
 //!
 //! Regenerates every table and figure of the paper's evaluation (§VII):
 //!
-//! * [`table1`] — Table I: per-event wall times of the four implementations
-//!   plus the overall speedup;
+//! * [`table1`] — Table I: per-event wall times of the implementations
+//!   (the paper's four plus the DAG scheduler) and the overall speedup;
 //! * [`fig11`] — Fig. 11: per-stage sequential vs fully-parallel times for
 //!   the largest event;
-//! * [`fig12_svg`] — Fig. 12: grouped bars of the four implementations per
+//! * [`fig12_svg`] — Fig. 12: grouped bars of the five implementations per
 //!   event;
 //! * [`fig13`] / [`fig13_svg`] — Fig. 13: speedup and throughput vs problem
 //!   size.
@@ -68,6 +68,26 @@ impl EventRun {
             0.0
         }
     }
+
+    /// Speedup of the DAG scheduler over Sequential Original (the column
+    /// the paper does not have: what barrier-free scheduling adds).
+    pub fn dag_speedup(&self) -> f64 {
+        let seq = self.time_of(ImplKind::SequentialOriginal).as_secs_f64();
+        let dag = self.time_of(ImplKind::DagParallel).as_secs_f64();
+        if dag > 0.0 {
+            seq / dag
+        } else {
+            0.0
+        }
+    }
+
+    /// The schedule analysis of this event's DAG run, if one was recorded.
+    pub fn dag_report(&self) -> Option<&arp_core::DagReport> {
+        self.reports
+            .iter()
+            .find(|r| r.implementation == ImplKind::DagParallel)
+            .and_then(|r| r.dag.as_ref())
+    }
 }
 
 /// Scratch directory for harness runs.
@@ -94,7 +114,10 @@ pub fn run_once(
     kind: ImplKind,
     label: &str,
 ) -> Result<RunReport, PipelineError> {
-    let work = scratch(&format!("w-{label}-{}", kind.label().replace([' ', '.'], "")));
+    let work = scratch(&format!(
+        "w-{label}-{}",
+        kind.label().replace([' ', '.'], "")
+    ));
     if work.exists() {
         std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
     }
@@ -104,7 +127,7 @@ pub fn run_once(
     Ok(report)
 }
 
-/// Runs one event under all four implementations.
+/// Runs one event under all five implementations.
 pub fn run_event_all_impls(
     event: &EventSpec,
     config: &PipelineConfig,
@@ -177,12 +200,21 @@ pub fn table1_reps(
 pub fn format_table1(rows: &[EventRun]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
-        "Event", "V1 Files", "Points", "Seq.Ori.", "Seq.Opt.", "Part.Par.", "Full.Par.", "SpeedUp"
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}\n",
+        "Event",
+        "V1 Files",
+        "Points",
+        "Seq.Ori.",
+        "Seq.Opt.",
+        "Part.Par.",
+        "Full.Par.",
+        "DAG.Par.",
+        "SpeedUp",
+        "DAG.Up"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<12} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7.2}x\n",
+            "{:<12} {:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7.2}x {:>7.2}x\n",
             r.label,
             r.v1_files,
             r.data_points,
@@ -190,7 +222,42 @@ pub fn format_table1(rows: &[EventRun]) -> String {
             r.time_of(ImplKind::SequentialOptimized).as_secs_f64(),
             r.time_of(ImplKind::PartiallyParallel).as_secs_f64(),
             r.time_of(ImplKind::FullyParallel).as_secs_f64(),
-            r.speedup()
+            r.time_of(ImplKind::DagParallel).as_secs_f64(),
+            r.speedup(),
+            r.dag_speedup()
+        ));
+    }
+    out
+}
+
+/// Formats the DAG schedule analysis per event: where each event's speedup
+/// comes from (stage-internal parallelism vs. barrier removal) and the
+/// critical path that bounds it.
+pub fn format_dag_decomposition(rows: &[EventRun]) -> String {
+    let mut out =
+        String::from("DAG schedule decomposition (simulated on the run's own node times):\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}  critical path\n",
+        "Event", "NodeSum", "Barrier", "DAG", "CP floor"
+    ));
+    for r in rows {
+        let Some(d) = r.dag_report() else {
+            out.push_str(&format!("{:<12} (no DAG report)\n", r.label));
+            continue;
+        };
+        let path: Vec<String> = d
+            .critical_path
+            .iter()
+            .map(|p| format!("#{}", p.0))
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}  {}\n",
+            r.label,
+            d.node_total.as_secs_f64(),
+            d.barrier_makespan.as_secs_f64(),
+            d.dag_makespan.as_secs_f64(),
+            d.critical_path_len.as_secs_f64(),
+            path.join("->")
         ));
     }
     out
@@ -198,11 +265,12 @@ pub fn format_table1(rows: &[EventRun]) -> String {
 
 /// Emits Table I as CSV.
 pub fn table1_csv(rows: &[EventRun]) -> String {
-    let mut out =
-        String::from("event,v1_files,data_points,seq_ori_s,seq_opt_s,part_par_s,full_par_s,speedup\n");
+    let mut out = String::from(
+        "event,v1_files,data_points,seq_ori_s,seq_opt_s,part_par_s,full_par_s,dag_par_s,speedup,dag_speedup\n",
+    );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.4}\n",
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{:.4}\n",
             r.label,
             r.v1_files,
             r.data_points,
@@ -210,7 +278,9 @@ pub fn table1_csv(rows: &[EventRun]) -> String {
             r.time_of(ImplKind::SequentialOptimized).as_secs_f64(),
             r.time_of(ImplKind::PartiallyParallel).as_secs_f64(),
             r.time_of(ImplKind::FullyParallel).as_secs_f64(),
-            r.speedup()
+            r.time_of(ImplKind::DagParallel).as_secs_f64(),
+            r.speedup(),
+            r.dag_speedup()
         ));
     }
     out
@@ -243,7 +313,11 @@ impl Fig11 {
 
     /// Fraction of total sequential time spent in a stage.
     pub fn sequential_fraction(&self, id: StageId) -> f64 {
-        let total: f64 = self.sequential.iter().map(|s| s.elapsed.as_secs_f64()).sum();
+        let total: f64 = self
+            .sequential
+            .iter()
+            .map(|s| s.elapsed.as_secs_f64())
+            .sum();
         let stage = self
             .sequential
             .iter()
@@ -285,8 +359,7 @@ pub fn fig11_reps(
         let stages = samples[0].len();
         (0..stages)
             .map(|k| {
-                let mut times: Vec<Duration> =
-                    samples.iter().map(|run| run[k].elapsed).collect();
+                let mut times: Vec<Duration> = samples.iter().map(|run| run[k].elapsed).collect();
                 times.sort();
                 StageTiming {
                     stage: samples[0][k].stage,
@@ -348,7 +421,11 @@ pub fn format_fig11(f: &Fig11) -> String {
             seq,
             par,
             speedup,
-            if total > 0.0 { 100.0 * seq / total } else { 0.0 }
+            if total > 0.0 {
+                100.0 * seq / total
+            } else {
+                0.0
+            }
         ));
     }
     out
@@ -451,7 +528,11 @@ pub fn linear_fit(rows: &[(usize, f64)]) -> (f64, f64, f64) {
         .iter()
         .map(|(p, t)| (t - (a + b * *p as f64)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (a, b, r2)
 }
 
@@ -520,18 +601,24 @@ mod tests {
     }
 
     #[test]
-    fn run_event_all_impls_produces_four_reports() {
+    fn run_event_all_impls_produces_five_reports() {
         let event = paper_event(0, 0.002);
         let run = run_event_all_impls(&event, &tiny_config(), "tiny").unwrap();
-        assert_eq!(run.reports.len(), 4);
+        assert_eq!(run.reports.len(), 5);
         assert_eq!(run.v1_files, 5);
         assert!(run.data_points > 0);
         assert!(run.speedup() > 0.0);
+        assert!(run.dag_speedup() > 0.0);
         assert!(run.throughput() > 0.0);
         let text = format_table1(std::slice::from_ref(&run));
         assert!(text.contains("tiny"));
+        assert!(text.contains("DAG.Par."));
         let csv = table1_csv(std::slice::from_ref(&run));
         assert!(csv.lines().count() == 2);
+        assert!(csv.starts_with("event,") && csv.contains("dag_par_s"));
+        let decomp = format_dag_decomposition(std::slice::from_ref(&run));
+        assert!(decomp.contains("critical path"));
+        assert!(decomp.contains("->"), "{decomp}");
     }
 
     #[test]
@@ -541,10 +628,7 @@ mod tests {
         assert_eq!(f.parallel.len(), 11);
         let rows = f.speedups();
         assert_eq!(rows.len(), 11);
-        let frac: f64 = StageId::ALL
-            .iter()
-            .map(|&s| f.sequential_fraction(s))
-            .sum();
+        let frac: f64 = StageId::ALL.iter().map(|&s| f.sequential_fraction(s)).sum();
         assert!((frac - 1.0).abs() < 1e-9);
         let text = format_fig11(&f);
         assert!(text.contains("IX"));
@@ -562,7 +646,9 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_exact_line() {
-        let rows: Vec<(usize, f64)> = (1..10).map(|k| (k * 100, 0.5 + 0.002 * (k * 100) as f64)).collect();
+        let rows: Vec<(usize, f64)> = (1..10)
+            .map(|k| (k * 100, 0.5 + 0.002 * (k * 100) as f64))
+            .collect();
         let (a, b, r2) = linear_fit(&rows);
         assert!((a - 0.5).abs() < 1e-9);
         assert!((b - 0.002).abs() < 1e-12);

@@ -214,8 +214,13 @@ mod tests {
             input_dir: PathBuf::from("/tmp"),
         }];
         let base = std::env::temp_dir().join("arp-batch-label");
-        let err = run_batch(&items, &base, &PipelineConfig::fast(), ImplKind::FullyParallel)
-            .unwrap_err();
+        let err = run_batch(
+            &items,
+            &base,
+            &PipelineConfig::fast(),
+            ImplKind::FullyParallel,
+        )
+        .unwrap_err();
         assert!(matches!(err, PipelineError::Config(_)));
     }
 

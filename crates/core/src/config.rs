@@ -34,8 +34,7 @@ impl Default for ParallelBackend {
 /// ([`arp_par::sim`]) replays the paper's schedule on `threads` virtual
 /// processors, including a shared-disk serialization bound for I/O-heavy
 /// loops. Reported stage times are then the simulated makespans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TimingModel {
     /// Use real wall-clock times with the configured parallel backend.
     #[default]
@@ -47,7 +46,6 @@ pub enum TimingModel {
         threads: usize,
     },
 }
-
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -109,9 +107,7 @@ impl PipelineConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
-        self.default_band
-            .validate()
-            .map_err(PipelineError::Dsp)?;
+        self.default_band.validate().map_err(PipelineError::Dsp)?;
         if self.period_count < 2 {
             return Err(PipelineError::Config(format!(
                 "period_count {} must be >= 2",
@@ -159,10 +155,22 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let broken = [
-            PipelineConfig { period_count: 1, ..Default::default() },
-            PipelineConfig { dampings: vec![], ..Default::default() },
-            PipelineConfig { dampings: vec![1.2], ..Default::default() },
-            PipelineConfig { max_fir_taps: 3, ..Default::default() },
+            PipelineConfig {
+                period_count: 1,
+                ..Default::default()
+            },
+            PipelineConfig {
+                dampings: vec![],
+                ..Default::default()
+            },
+            PipelineConfig {
+                dampings: vec![1.2],
+                ..Default::default()
+            },
+            PipelineConfig {
+                max_fir_taps: 3,
+                ..Default::default()
+            },
             PipelineConfig {
                 timing: TimingModel::Simulated { threads: 0 },
                 ..Default::default()

@@ -52,7 +52,7 @@ impl RunContext {
         *self.saved.lock()
     }
 
-    fn credit_saving(&self, real: Duration, simulated: Duration) {
+    pub(crate) fn credit_saving(&self, real: Duration, simulated: Duration) {
         *self.saved.lock() += real.saturating_sub(simulated);
     }
 

@@ -1,25 +1,33 @@
-//! The four pipeline implementations (§III–§VI of the paper).
+//! The five pipeline implementations.
 //!
 //! * [`ImplKind::SequentialOriginal`] — all twenty processes in numeric
-//!   order, sequentially;
+//!   order, sequentially (§III);
 //! * [`ImplKind::SequentialOptimized`] — the same minus the redundant
-//!   processes #6, #12, #14;
+//!   processes #6, #12, #14 (§IV);
 //! * [`ImplKind::PartiallyParallel`] — the eleven-stage plan with stages I,
-//!   II, VI, X, XI parallel;
+//!   II, VI, X, XI parallel (§V);
 //! * [`ImplKind::FullyParallel`] — all stages parallel except VII, with
-//!   stages IV, V, VIII running through the temp-folder staging protocol.
+//!   stages IV, V, VIII running through the temp-folder staging protocol
+//!   (§VI);
+//! * [`ImplKind::DagParallel`] — no stages at all: the artifact-dependency
+//!   graph of [`crate::dag::ProcessDag`] is scheduled directly, each
+//!   process starting the moment its predecessors complete (beyond the
+//!   paper, which stops at the barrier-synchronized plan).
 //!
-//! All four produce **identical artifacts** in the work directory; they
+//! All five produce **identical artifacts** in the work directory; they
 //! differ only in ordering, parallelism, and (for the original) the
 //! redundant work. The integration suite asserts this equivalence.
 
+use crate::config::TimingModel;
 use crate::context::RunContext;
+use crate::dag::ProcessDag;
 use crate::error::{PipelineError, Result};
 use crate::plan::{StageId, Strategy, STAGE_TABLE};
 use crate::process::filter::CorrectionPass;
 use crate::process::{self, ProcessId};
-use crate::report::{ImplKind, ProcessTiming, RunReport, StageTiming};
+use crate::report::{DagReport, ImplKind, ProcessTiming, RunReport, StageTiming};
 use parking_lot::Mutex;
+use std::io::BufRead;
 use std::time::{Duration, Instant};
 
 /// Runs one process by number. `parallel` enables its internal loop
@@ -73,24 +81,41 @@ fn run_process(ctx: &RunContext, p: u8, parallel: bool, staged: bool) -> Result<
 /// Data points are counted as acceleration samples per station (each
 /// station file declares its component length in its first `BEGIN ACC`
 /// header).
+///
+/// Files are streamed line by line and reading stops at the first header,
+/// so only a station file's preamble is ever pulled from disk. A station
+/// file with no parseable `BEGIN ACC` header is an error: every downstream
+/// process relies on that declaration, so a malformed input must surface
+/// here rather than as a zero-point station in the report.
 pub fn measure_input_shape(ctx: &RunContext) -> Result<(usize, usize)> {
     let names = crate::context::list_v1_station_files(&ctx.input_dir)?;
     let mut points = 0usize;
     for name in &names {
         let path = ctx.input_dir.join(name);
-        let text = std::fs::read_to_string(&path).map_err(|e| PipelineError::io(&path, e))?;
-        let n = text
-            .lines()
-            .find_map(|l| {
-                let mut parts = l.split_whitespace();
-                if parts.next() == Some("BEGIN") && parts.next() == Some("ACC") {
-                    parts.next()?.parse::<usize>().ok()
-                } else {
-                    None
-                }
-            })
-            .unwrap_or(0);
-        points += n;
+        let file = std::fs::File::open(&path).map_err(|e| PipelineError::io(&path, e))?;
+        let mut header = None;
+        let mut line_no = 0usize;
+        for line in std::io::BufReader::new(file).lines() {
+            let line = line.map_err(|e| PipelineError::io(&path, e))?;
+            line_no += 1;
+            let mut parts = line.split_whitespace();
+            if parts.next() == Some("BEGIN") && parts.next() == Some("ACC") {
+                header = parts.next().and_then(|w| w.parse::<usize>().ok());
+                break;
+            }
+        }
+        match header {
+            Some(n) => points += n,
+            None => {
+                return Err(PipelineError::Format(arp_formats::FormatError::Syntax {
+                    line: line_no,
+                    message: format!(
+                        "{}: no parseable `BEGIN ACC <count>` header",
+                        path.display()
+                    ),
+                }))
+            }
+        }
     }
     Ok((names.len(), points))
 }
@@ -104,16 +129,30 @@ pub fn run_pipeline(ctx: &RunContext, kind: ImplKind) -> Result<RunReport> {
 /// As [`run_pipeline`], attaching an event label to the report.
 pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Result<RunReport> {
     let (v1_files, data_points) = measure_input_shape(ctx)?;
+    let pool_before = arp_par::ThreadPool::global().stats();
     let saved0 = ctx.saved_snapshot();
     let started = Instant::now();
-    let (processes, stages) = match kind {
-        ImplKind::SequentialOriginal => (run_sequential(ctx, true)?, Vec::new()),
-        ImplKind::SequentialOptimized => (run_sequential(ctx, false)?, Vec::new()),
-        ImplKind::PartiallyParallel => run_staged_plan(ctx, |s| s.partial)?,
-        ImplKind::FullyParallel => run_staged_plan(ctx, |s| s.full)?,
+    let (processes, stages, dag) = match kind {
+        ImplKind::SequentialOriginal => (run_sequential(ctx, true)?, Vec::new(), None),
+        ImplKind::SequentialOptimized => (run_sequential(ctx, false)?, Vec::new(), None),
+        ImplKind::PartiallyParallel => {
+            let (p, s) = run_staged_plan(ctx, |s| s.partial)?;
+            (p, s, None)
+        }
+        ImplKind::FullyParallel => {
+            let (p, s) = run_staged_plan(ctx, |s| s.full)?;
+            (p, s, None)
+        }
+        ImplKind::DagParallel => {
+            let (p, d) = run_dag_plan(ctx)?;
+            (p, Vec::new(), Some(d))
+        }
     };
     if ctx.config.emit_rotd {
-        let parallel = matches!(kind, ImplKind::FullyParallel | ImplKind::PartiallyParallel);
+        let parallel = matches!(
+            kind,
+            ImplKind::FullyParallel | ImplKind::PartiallyParallel | ImplKind::DagParallel
+        );
         process::rotdgen::generate_rotd(ctx, parallel)?;
     }
     // In simulated-timing mode, parallel constructs execute sequentially
@@ -122,6 +161,13 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
     let total = started
         .elapsed()
         .saturating_sub(ctx.saved_snapshot() - saved0);
+    let pool_delta = arp_par::ThreadPool::global()
+        .stats()
+        .delta_since(&pool_before);
+    let touched_pool = pool_delta.jobs_on_workers > 0
+        || pool_delta.jobs_helped > 0
+        || pool_delta.loops_completed > 0
+        || pool_delta.dags_completed > 0;
     Ok(RunReport {
         implementation: kind,
         event: event.to_string(),
@@ -130,6 +176,8 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
         total,
         processes,
         stages,
+        dag,
+        pool: touched_pool.then_some(pool_delta),
     })
 }
 
@@ -201,9 +249,7 @@ fn run_staged_plan(
                     run_process(ctx, p, true, staged)?;
                     process_timings.lock().push(ProcessTiming {
                         process: ProcessId(p),
-                        elapsed: pt0
-                            .elapsed()
-                            .saturating_sub(ctx.saved_snapshot() - psaved0),
+                        elapsed: pt0.elapsed().saturating_sub(ctx.saved_snapshot() - psaved0),
                     });
                 }
             }
@@ -219,6 +265,155 @@ fn run_staged_plan(
     let mut timings = process_timings.into_inner();
     timings.sort_by_key(|t| t.process);
     Ok((timings, stage_timings))
+}
+
+/// Inner-loop mode of a DAG node, inherited from the stage the process
+/// occupies in the fully parallel plan: `Loop` stages parallelize the
+/// process's station loop, `StagedLoop` stages additionally route it
+/// through the temp-folder protocol, and `Tasks`/`Sequential` stages run
+/// the process body sequentially (its parallelism comes from overlapping
+/// with other nodes).
+fn dag_node_mode(p: u8) -> (bool, bool) {
+    for stage in &STAGE_TABLE {
+        if stage.processes.contains(&p) {
+            return match stage.full {
+                Strategy::Sequential | Strategy::Tasks => (false, false),
+                Strategy::Loop => (true, false),
+                Strategy::StagedLoop => (true, true),
+            };
+        }
+    }
+    (false, false)
+}
+
+/// Builds the schedule analysis for a DAG run from per-node durations.
+///
+/// Both makespans are computed from the *same* durations, so the barrier
+/// vs. DAG comparison is deterministic and free of measurement noise. The
+/// DAG makespan is clamped to the barrier makespan: the stage plan is one
+/// valid linearization of the graph, so a scheduler can always fall back
+/// to it — list-scheduling anomalies must not make barrier removal report
+/// a slowdown.
+fn dag_schedule_report(dag: &ProcessDag, durations: &[Duration], threads: usize) -> DagReport {
+    let nodes = dag.nodes();
+    debug_assert_eq!(nodes.len(), durations.len());
+    let mut by_process = [Duration::ZERO; 20];
+    for (&p, &d) in nodes.iter().zip(durations) {
+        by_process[p as usize] = d;
+    }
+    let index_of = |p: u8| nodes.iter().position(|&q| q == p).expect("node in dag");
+    let preds: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&p| dag.preds(p).iter().map(|&q| index_of(q)).collect())
+        .collect();
+    let dag_mk = arp_par::dag_makespan(durations, &preds, threads);
+
+    // The same durations under the eleven-stage barrier plan: task stages
+    // pack their processes greedily, single-process stages just run.
+    let barrier_mk: Duration = STAGE_TABLE
+        .iter()
+        .map(|stage| {
+            let ds: Vec<Duration> = stage
+                .processes
+                .iter()
+                .map(|&p| by_process[p as usize])
+                .collect();
+            match stage.full {
+                Strategy::Tasks => arp_par::tasks_makespan(&ds, threads),
+                _ => ds.iter().sum(),
+            }
+        })
+        .sum();
+
+    let cp = dag.critical_path(|p| by_process[p.0 as usize]);
+    DagReport {
+        critical_path: cp.nodes,
+        critical_path_len: cp.length,
+        dag_makespan: dag_mk.min(barrier_mk),
+        barrier_makespan: barrier_mk,
+        node_total: durations.iter().sum(),
+        threads,
+    }
+}
+
+/// Executes the optimized process set by scheduling the artifact-dependency
+/// graph directly on the shared worker pool — no stage barriers.
+///
+/// In measured mode the nodes genuinely run concurrently (node-level
+/// scheduling always uses the `arp-par` pool; inner loops still follow the
+/// configured backend). In simulated mode nodes execute sequentially in
+/// topological order — so their virtual durations can be measured cleanly —
+/// and the DAG schedule is replayed in virtual time, crediting the
+/// difference exactly like the staged executors do.
+fn run_dag_plan(ctx: &RunContext) -> Result<(Vec<ProcessTiming>, DagReport)> {
+    let dag = ProcessDag::optimized();
+    let nodes = dag.nodes();
+
+    if let TimingModel::Simulated { threads } = ctx.config.timing {
+        let mut durations = Vec::with_capacity(nodes.len());
+        let mut timings = Vec::with_capacity(nodes.len());
+        for &p in nodes {
+            let (parallel, staged) = dag_node_mode(p);
+            let saved0 = ctx.saved_snapshot();
+            let t0 = Instant::now();
+            run_process(ctx, p, parallel, staged)?;
+            let elapsed = t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
+            durations.push(elapsed);
+            timings.push(ProcessTiming {
+                process: ProcessId(p),
+                elapsed,
+            });
+        }
+        let report = dag_schedule_report(&dag, &durations, threads);
+        // Credit the node-level overlap on top of the already-credited
+        // inner-loop savings, so the run's total is the DAG makespan.
+        ctx.credit_saving(report.node_total, report.dag_makespan);
+        return Ok((timings, report));
+    }
+
+    let index_of = |p: u8| nodes.iter().position(|&q| q == p).expect("node in dag");
+    let preds: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&p| dag.preds(p).iter().map(|&q| index_of(q)).collect())
+        .collect();
+    let timings: Mutex<Vec<ProcessTiming>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<(u8, PipelineError)>> = Mutex::new(Vec::new());
+    let tasks: Vec<arp_par::BorrowedTask<'_>> = nodes
+        .iter()
+        .map(|&p| {
+            let timings = &timings;
+            let failures = &failures;
+            Box::new(move || {
+                // After any failure, downstream nodes are skipped: their
+                // input artifacts cannot be trusted.
+                if !failures.lock().is_empty() {
+                    return;
+                }
+                let (parallel, staged) = dag_node_mode(p);
+                let t0 = Instant::now();
+                match run_process(ctx, p, parallel, staged) {
+                    Ok(()) => timings.lock().push(ProcessTiming {
+                        process: ProcessId(p),
+                        elapsed: t0.elapsed(),
+                    }),
+                    Err(e) => failures.lock().push((p, e)),
+                }
+            }) as arp_par::BorrowedTask<'_>
+        })
+        .collect();
+    arp_par::ThreadPool::global().run_dag(tasks, &preds);
+
+    let mut fails = failures.into_inner();
+    fails.sort_by_key(|(p, _)| *p);
+    if let Some((_, e)) = fails.into_iter().next() {
+        return Err(e);
+    }
+    let mut timings = timings.into_inner();
+    timings.sort_by_key(|t| t.process);
+    let durations: Vec<Duration> = timings.iter().map(|t| t.elapsed).collect();
+    let threads = arp_par::ThreadPool::global().threads();
+    let report = dag_schedule_report(&dag, &durations, threads);
+    Ok((timings, report))
 }
 
 /// Measures per-stage timings of a *sequential* execution following the
@@ -314,6 +509,77 @@ mod tests {
         assert_eq!(files, 5);
         let expected = arp_synth::paper_event(0, 0.002).total_data_points();
         assert_eq!(points, expected);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn dag_parallel_runs_without_stages_and_reports_schedule() {
+        let (base, input) = prepare("dag", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let report = run_pipeline(&ctx, ImplKind::DagParallel).unwrap();
+        assert_eq!(report.processes.len(), 17);
+        for t in &report.processes {
+            assert!(!matches!(t.process.0, 6 | 12 | 14));
+        }
+        assert!(
+            report.stages.is_empty(),
+            "the DAG path has no stage barriers"
+        );
+        let dag = report.dag.expect("DagParallel must attach a DagReport");
+        assert!(!dag.critical_path.is_empty());
+        assert!(dag.critical_path_len <= dag.dag_makespan);
+        assert!(dag.dag_makespan <= dag.barrier_makespan);
+        assert!(dag.barrier_makespan <= dag.node_total);
+        assert!(dag.threads >= 1);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn dag_parallel_simulated_beats_or_matches_barrier_plan() {
+        let mut cfg = PipelineConfig::fast();
+        cfg.timing = TimingModel::Simulated { threads: 17 };
+        let (base, input) = prepare("dagsim", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), cfg).unwrap();
+        let report = run_pipeline(&ctx, ImplKind::DagParallel).unwrap();
+        let dag = report.dag.unwrap();
+        assert_eq!(dag.threads, 17);
+        assert!(dag.dag_makespan <= dag.barrier_makespan);
+        assert_eq!(
+            dag.barrier_saving() + dag.stage_saving(),
+            dag.node_total - dag.dag_makespan,
+        );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn pool_stats_attach_when_the_shared_pool_is_used() {
+        let (base, input) = prepare("dagstats", 0.002);
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let report = run_pipeline(&ctx, ImplKind::DagParallel).unwrap();
+        let pool = report.pool.expect("measured DAG runs dispatch on the pool");
+        assert!(
+            pool.dag_dispatches >= 17,
+            "dispatches: {}",
+            pool.dag_dispatches
+        );
+        assert!(pool.dags_completed >= 1);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn measure_input_shape_rejects_headerless_station() {
+        let (base, input) = prepare("badshape", 0.002);
+        std::fs::write(
+            input.join("zz_bad.v1"),
+            "station preamble\nno header here\n",
+        )
+        .unwrap();
+        let ctx = RunContext::new(&input, base.join("w"), PipelineConfig::fast()).unwrap();
+        let err = measure_input_shape(&ctx).unwrap_err();
+        assert!(
+            err.to_string().contains("BEGIN ACC"),
+            "unexpected error: {err}"
+        );
         std::fs::remove_dir_all(&base).unwrap();
     }
 

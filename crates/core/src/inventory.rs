@@ -9,7 +9,9 @@
 
 use crate::context::RunContext;
 use crate::error::Result;
-use arp_formats::{names, Component, FFile, FilterParams, GemFile, MaxValues, Quantity, RFile, V2File};
+use arp_formats::{
+    names, Component, FFile, FilterParams, GemFile, MaxValues, Quantity, RFile, V2File,
+};
 
 /// One expected artifact and its kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +68,11 @@ pub fn expected_artifacts(stations: &[String]) -> Vec<ExpectedArtifact> {
                 }
             }
         }
-        for plot in [names::plot_acc(s), names::plot_fourier(s), names::plot_response(s)] {
+        for plot in [
+            names::plot_acc(s),
+            names::plot_fourier(s),
+            names::plot_response(s),
+        ] {
             out.push(ExpectedArtifact {
                 name: plot,
                 kind: ArtifactKind::Plot,
@@ -123,12 +129,12 @@ pub fn verify_run(ctx: &RunContext) -> Result<Vec<VerifyIssue>> {
             ArtifactKind::Fourier => FFile::read(&path).map(|_| ()).map_err(|e| e.to_string()),
             ArtifactKind::Response => RFile::read(&path).map(|_| ()).map_err(|e| e.to_string()),
             ArtifactKind::Gem => GemFile::read(&path).map(|_| ()).map_err(|e| e.to_string()),
-            ArtifactKind::MaxValues => {
-                MaxValues::read(&path).map(|_| ()).map_err(|e| e.to_string())
-            }
-            ArtifactKind::FilterParams => {
-                FilterParams::read(&path).map(|_| ()).map_err(|e| e.to_string())
-            }
+            ArtifactKind::MaxValues => MaxValues::read(&path)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            ArtifactKind::FilterParams => FilterParams::read(&path)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
             ArtifactKind::Plot => std::fs::read_to_string(&path)
                 .map_err(|e| e.to_string())
                 .and_then(|text| {
@@ -180,18 +186,27 @@ mod tests {
         let victim = names::r_component(&stations[0], Component::Vertical);
         std::fs::remove_file(ctx.artifact(&victim)).unwrap();
         let issues = verify_run(&ctx).unwrap();
-        assert!(issues.contains(&VerifyIssue::Missing(victim.clone())), "{issues:?}");
+        assert!(
+            issues.contains(&VerifyIssue::Missing(victim.clone())),
+            "{issues:?}"
+        );
 
         // Corrupt another -> Corrupt.
         let corrupt_name = names::v2_component(&stations[0], Component::Vertical);
         std::fs::write(ctx.artifact(&corrupt_name), "junk").unwrap();
         let issues = verify_run(&ctx).unwrap();
         assert!(
-            issues.iter().any(|i| matches!(i, VerifyIssue::Corrupt { name, .. } if name == &corrupt_name)),
+            issues
+                .iter()
+                .any(|i| matches!(i, VerifyIssue::Corrupt { name, .. } if name == &corrupt_name)),
             "{issues:?}"
         );
         // Display impl renders readably.
-        let text = issues.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        let text = issues
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("missing:") && text.contains("corrupt:"));
 
         std::fs::remove_dir_all(&base).unwrap();

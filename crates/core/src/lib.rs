@@ -10,6 +10,12 @@
 //! | [`ImplKind::SequentialOptimized`] | IV | 17 | 0 |
 //! | [`ImplKind::PartiallyParallel`] | V | 17 | 5 (I, II, VI, X, XI) |
 //! | [`ImplKind::FullyParallel`] | VI | 17 | 10 (all but VII) |
+//! | [`ImplKind::DagParallel`] | — | 17 | no stages: artifact DAG |
+//!
+//! The fifth implementation goes beyond the paper: instead of the barrier-
+//! synchronized stage plan it schedules the process dependency graph of
+//! [`dag::ProcessDag`] directly, starting each process the moment its
+//! artifact predecessors complete.
 //!
 //! ```no_run
 //! use arp_core::{run_pipeline, ImplKind, PipelineConfig, RunContext};
@@ -28,6 +34,7 @@
 pub mod batch;
 pub mod config;
 pub mod context;
+pub mod dag;
 pub mod error;
 pub mod executor;
 pub mod inventory;
@@ -41,12 +48,15 @@ pub mod timeline;
 
 pub use batch::{discover_batch, run_batch, BatchItem, BatchReport};
 pub use config::{ParallelBackend, PipelineConfig};
-pub use inventory::{expected_artifacts, verify_run, VerifyIssue};
-pub use summary::{event_summary, summary_csv, SummaryRow};
-pub use timeline::timeline_svg;
 pub use context::RunContext;
+pub use dag::{CriticalPath, DagEdge, EdgeKind, ProcessDag};
 pub use error::{PipelineError, Result};
-pub use executor::{measure_input_shape, run_pipeline, run_pipeline_labeled, run_stages_sequential};
+pub use executor::{
+    measure_input_shape, run_pipeline, run_pipeline_labeled, run_stages_sequential,
+};
+pub use inventory::{expected_artifacts, verify_run, VerifyIssue};
 pub use plan::{StageId, Strategy, STAGE_TABLE};
 pub use process::{ProcessId, ProcessKind, PROCESS_TABLE};
-pub use report::{ImplKind, RunReport, StageTiming};
+pub use report::{DagReport, ImplKind, RunReport, StageTiming};
+pub use summary::{event_summary, summary_csv, SummaryRow};
+pub use timeline::timeline_svg;

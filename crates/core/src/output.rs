@@ -44,8 +44,7 @@ pub fn snapshot(dir: &Path) -> Result<BTreeMap<String, u64>> {
         if !is_final_product(&name) {
             continue;
         }
-        let bytes =
-            std::fs::read(entry.path()).map_err(|e| PipelineError::io(entry.path(), e))?;
+        let bytes = std::fs::read(entry.path()).map_err(|e| PipelineError::io(entry.path(), e))?;
         map.insert(name, fnv1a(&bytes));
     }
     Ok(map)

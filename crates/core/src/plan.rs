@@ -112,17 +112,72 @@ pub const STAGE_TABLE: [StageInfo; 11] = {
     use StageId::*;
     use Strategy::*;
     [
-        StageInfo { id: I, processes: &[0, 1], partial: Tasks, full: Tasks },
-        StageInfo { id: II, processes: &[2, 5, 8, 17], partial: Tasks, full: Tasks },
-        StageInfo { id: III, processes: &[3], partial: Sequential, full: Loop },
-        StageInfo { id: IV, processes: &[4], partial: Sequential, full: StagedLoop },
-        StageInfo { id: V, processes: &[7], partial: Sequential, full: StagedLoop },
-        StageInfo { id: VI, processes: &[10], partial: Loop, full: Loop },
-        StageInfo { id: VII, processes: &[11], partial: Sequential, full: Sequential },
-        StageInfo { id: VIII, processes: &[13], partial: Sequential, full: StagedLoop },
-        StageInfo { id: IX, processes: &[16], partial: Sequential, full: Loop },
-        StageInfo { id: X, processes: &[19], partial: Loop, full: Loop },
-        StageInfo { id: XI, processes: &[9, 15, 18], partial: Tasks, full: Tasks },
+        StageInfo {
+            id: I,
+            processes: &[0, 1],
+            partial: Tasks,
+            full: Tasks,
+        },
+        StageInfo {
+            id: II,
+            processes: &[2, 5, 8, 17],
+            partial: Tasks,
+            full: Tasks,
+        },
+        StageInfo {
+            id: III,
+            processes: &[3],
+            partial: Sequential,
+            full: Loop,
+        },
+        StageInfo {
+            id: IV,
+            processes: &[4],
+            partial: Sequential,
+            full: StagedLoop,
+        },
+        StageInfo {
+            id: V,
+            processes: &[7],
+            partial: Sequential,
+            full: StagedLoop,
+        },
+        StageInfo {
+            id: VI,
+            processes: &[10],
+            partial: Loop,
+            full: Loop,
+        },
+        StageInfo {
+            id: VII,
+            processes: &[11],
+            partial: Sequential,
+            full: Sequential,
+        },
+        StageInfo {
+            id: VIII,
+            processes: &[13],
+            partial: Sequential,
+            full: StagedLoop,
+        },
+        StageInfo {
+            id: IX,
+            processes: &[16],
+            partial: Sequential,
+            full: Loop,
+        },
+        StageInfo {
+            id: X,
+            processes: &[19],
+            partial: Loop,
+            full: Loop,
+        },
+        StageInfo {
+            id: XI,
+            processes: &[9, 15, 18],
+            partial: Tasks,
+            full: Tasks,
+        },
     ]
 };
 
@@ -253,7 +308,10 @@ mod tests {
                 assert_ne!(s.full, Strategy::Sequential, "stage {}", s.id.label());
             }
         }
-        let parallel = STAGE_TABLE.iter().filter(|s| s.full != Strategy::Sequential).count();
+        let parallel = STAGE_TABLE
+            .iter()
+            .filter(|s| s.full != Strategy::Sequential)
+            .count();
         assert_eq!(parallel, 10); // "10 out of 11 stages"
     }
 

@@ -21,8 +21,9 @@ pub fn analyze_fourier(ctx: &RunContext, parallel: bool) -> Result<()> {
     let mut results: Vec<StationCorners> = Vec::with_capacity(stations.len());
 
     for station in &stations {
-        let corners: Vec<Mutex<Option<(f64, f64)>>> =
-            (0..Component::ALL.len()).map(|_| Mutex::new(None)).collect();
+        let corners: Vec<Mutex<Option<(f64, f64)>>> = (0..Component::ALL.len())
+            .map(|_| Mutex::new(None))
+            .collect();
         let body = |j: usize| -> Result<()> {
             let comp = Component::ALL[j];
             let f = FFile::read(&ctx.artifact(&names::f_component(station, comp)))?;

@@ -20,7 +20,9 @@ use arp_dsp::baseline::{remove_baseline, Baseline};
 use arp_dsp::fir::{BandPass, FirFilter};
 use arp_dsp::peaks::peak_values;
 use arp_dsp::window::cosine_taper;
-use arp_formats::{names, Component, FilterParams, MaxEntry, MaxValues, MotionTriple, V1ComponentFile, V2File};
+use arp_formats::{
+    names, Component, FilterParams, MaxEntry, MaxValues, MotionTriple, V1ComponentFile, V2File,
+};
 use parking_lot::Mutex;
 use std::path::Path;
 
@@ -116,8 +118,9 @@ fn correct_station_in_dir(
 /// in the work directory, optionally with the per-station loop parallel.
 pub fn correct_signals(ctx: &RunContext, pass: CorrectionPass, parallel: bool) -> Result<()> {
     let stations = ctx.stations()?;
-    let collected: Vec<Mutex<Vec<MaxEntry>>> =
-        (0..stations.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let collected: Vec<Mutex<Vec<MaxEntry>>> = (0..stations.len())
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     let body = |i: usize| -> Result<()> {
         let entries = correct_station_in_dir(&ctx.work_dir, &stations[i], pass, &ctx.config)?;
         *collected[i].lock() = entries;
@@ -134,10 +137,15 @@ pub fn correct_signals(ctx: &RunContext, pass: CorrectionPass, parallel: bool) -
 /// Runs process #4/#13 through the temp-folder staging protocol of §VI-C:
 /// inputs are copied into per-station temporary folders, the kernel runs
 /// concurrently inside each folder, and outputs are moved back.
-pub fn correct_signals_staged(ctx: &RunContext, pass: CorrectionPass, parallel: bool) -> Result<()> {
+pub fn correct_signals_staged(
+    ctx: &RunContext,
+    pass: CorrectionPass,
+    parallel: bool,
+) -> Result<()> {
     let stations = ctx.stations()?;
-    let collected: Vec<Mutex<Vec<MaxEntry>>> =
-        (0..stations.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let collected: Vec<Mutex<Vec<MaxEntry>>> = (0..stations.len())
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     let tag = match pass {
         CorrectionPass::Default => "p04",
         CorrectionPass::Definitive => "p13",
@@ -172,10 +180,7 @@ pub fn correct_signals_staged(ctx: &RunContext, pass: CorrectionPass, parallel: 
 /// Writes the accumulated peak values in station order — deterministic
 /// regardless of which thread corrected which station.
 fn write_max_values(ctx: &RunContext, collected: Vec<Mutex<Vec<MaxEntry>>>) -> Result<()> {
-    let entries: Vec<MaxEntry> = collected
-        .into_iter()
-        .flat_map(|m| m.into_inner())
-        .collect();
+    let entries: Vec<MaxEntry> = collected.into_iter().flat_map(|m| m.into_inner()).collect();
     MaxValues { entries }.write(&ctx.artifact(MaxValues::FILE_NAME))?;
     Ok(())
 }
@@ -227,12 +232,14 @@ mod tests {
         correct_signals(&ctx, CorrectionPass::Default, false).unwrap();
         let s0 = ctx.stations().unwrap()[0].clone();
         let seq_text =
-            std::fs::read_to_string(ctx.artifact(&names::v2_component(&s0, Component::Vertical))).unwrap();
+            std::fs::read_to_string(ctx.artifact(&names::v2_component(&s0, Component::Vertical)))
+                .unwrap();
         let seq_mv = std::fs::read_to_string(ctx.artifact(MaxValues::FILE_NAME)).unwrap();
 
         correct_signals(&ctx, CorrectionPass::Default, true).unwrap();
         let par_text =
-            std::fs::read_to_string(ctx.artifact(&names::v2_component(&s0, Component::Vertical))).unwrap();
+            std::fs::read_to_string(ctx.artifact(&names::v2_component(&s0, Component::Vertical)))
+                .unwrap();
         let par_mv = std::fs::read_to_string(ctx.artifact(MaxValues::FILE_NAME)).unwrap();
 
         assert_eq!(seq_text, par_text);
@@ -245,12 +252,16 @@ mod tests {
         let (base, ctx) = prepare("staged");
         correct_signals(&ctx, CorrectionPass::Default, false).unwrap();
         let s0 = ctx.stations().unwrap()[0].clone();
-        let direct =
-            std::fs::read_to_string(ctx.artifact(&names::v2_component(&s0, Component::Longitudinal))).unwrap();
+        let direct = std::fs::read_to_string(
+            ctx.artifact(&names::v2_component(&s0, Component::Longitudinal)),
+        )
+        .unwrap();
 
         correct_signals_staged(&ctx, CorrectionPass::Default, true).unwrap();
-        let staged =
-            std::fs::read_to_string(ctx.artifact(&names::v2_component(&s0, Component::Longitudinal))).unwrap();
+        let staged = std::fs::read_to_string(
+            ctx.artifact(&names::v2_component(&s0, Component::Longitudinal)),
+        )
+        .unwrap();
         assert_eq!(direct, staged);
         // No temp folders left behind.
         let leftovers: Vec<_> = std::fs::read_dir(&ctx.work_dir)
@@ -275,15 +286,17 @@ mod tests {
         fp.write(&ctx.artifact(FilterParams::FILE_NAME)).unwrap();
 
         correct_signals(&ctx, CorrectionPass::Definitive, false).unwrap();
-        let with_corners =
-            V2File::read(&ctx.artifact(&names::v2_component(&stations[0], Component::Longitudinal)))
-                .unwrap();
+        let with_corners = V2File::read(
+            &ctx.artifact(&names::v2_component(&stations[0], Component::Longitudinal)),
+        )
+        .unwrap();
         assert!((with_corners.band.fsl - 0.15).abs() < 1e-9);
         assert!((with_corners.band.fpl - 0.30).abs() < 1e-9);
         // Station without corners falls back to the default band.
-        let fallback =
-            V2File::read(&ctx.artifact(&names::v2_component(&stations[1], Component::Longitudinal)))
-                .unwrap();
+        let fallback = V2File::read(
+            &ctx.artifact(&names::v2_component(&stations[1], Component::Longitudinal)),
+        )
+        .unwrap();
         assert_eq!(fallback.band, ctx.config.default_band);
         std::fs::remove_dir_all(&base).unwrap();
     }
@@ -294,8 +307,10 @@ mod tests {
         let (base, ctx) = prepare("drift");
         let stations = ctx.stations().unwrap();
         correct_signals(&ctx, CorrectionPass::Default, false).unwrap();
-        let v2 = V2File::read(&ctx.artifact(&names::v2_component(&stations[0], Component::Longitudinal)))
-            .unwrap();
+        let v2 = V2File::read(
+            &ctx.artifact(&names::v2_component(&stations[0], Component::Longitudinal)),
+        )
+        .unwrap();
         let n = v2.data.acc.len();
         let mean: f64 = v2.data.acc.iter().sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05 * v2.peaks.pga, "mean {mean}");

@@ -9,8 +9,7 @@ use arp_formats::FilterParams;
 
 /// Runs process #2.
 pub fn init_filter_params(ctx: &RunContext) -> Result<()> {
-    FilterParams::new(ctx.config.default_band)
-        .write(&ctx.artifact(FilterParams::FILE_NAME))?;
+    FilterParams::new(ctx.config.default_band).write(&ctx.artifact(FilterParams::FILE_NAME))?;
     Ok(())
 }
 

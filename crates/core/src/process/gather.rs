@@ -65,8 +65,8 @@ mod tests {
     #[test]
     fn missing_input_dir_errors() {
         let base = std::env::temp_dir().join(format!("arp-gather2-{}", std::process::id()));
-        let ctx = RunContext::new(base.join("missing"), base.join("w"), PipelineConfig::fast())
-            .unwrap();
+        let ctx =
+            RunContext::new(base.join("missing"), base.join("w"), PipelineConfig::fast()).unwrap();
         assert!(gather_inputs(&ctx, false).is_err());
         std::fs::remove_dir_all(&base).unwrap();
     }

@@ -22,7 +22,9 @@ const GEM_DAMPING: f64 = 0.05;
 fn set_data_apart_v2(ctx: &RunContext, station: &str) -> Result<()> {
     for comp in Component::ALL {
         let v2 = V2File::read(&ctx.artifact(&names::v2_component(station, comp)))?;
-        let t: Vec<f64> = (0..v2.data.len()).map(|i| i as f64 * v2.header.dt).collect();
+        let t: Vec<f64> = (0..v2.data.len())
+            .map(|i| i as f64 * v2.header.dt)
+            .collect();
         for q in Quantity::ALL {
             let gem = GemFile::new(
                 station,
@@ -136,7 +138,8 @@ mod tests {
         let (base, ctx) = prepare("match");
         generate_gem_files(&ctx, true).unwrap();
         let s = ctx.stations().unwrap()[0].clone();
-        let v2 = V2File::read(&ctx.artifact(&names::v2_component(&s, Component::Vertical))).unwrap();
+        let v2 =
+            V2File::read(&ctx.artifact(&names::v2_component(&s, Component::Vertical))).unwrap();
         let gem = GemFile::read(&ctx.artifact(&names::gem(
             &s,
             Component::Vertical,
@@ -156,7 +159,8 @@ mod tests {
         let (base, ctx) = prepare("damp");
         generate_gem_files(&ctx, false).unwrap();
         let s = ctx.stations().unwrap()[0].clone();
-        let r = RFile::read(&ctx.artifact(&names::r_component(&s, Component::Longitudinal))).unwrap();
+        let r =
+            RFile::read(&ctx.artifact(&names::r_component(&s, Component::Longitudinal))).unwrap();
         let expected = r.at_damping(0.05).unwrap();
         let gem = GemFile::read(&ctx.artifact(&names::gem(
             &s,

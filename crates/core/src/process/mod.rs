@@ -71,26 +71,146 @@ pub const PROCESS_TABLE: [ProcessInfo; 20] = {
     use Language::*;
     use ProcessKind::*;
     [
-        ProcessInfo { id: ProcessId(0), name: "Initialize flags", kind: Light, language: Cpp, redundant: false },
-        ProcessInfo { id: ProcessId(1), name: "Gather input data files", kind: HeavyIo, language: Cpp, redundant: false },
-        ProcessInfo { id: ProcessId(2), name: "Initialize filter parameters", kind: Light, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(3), name: "Separate data by components", kind: HeavyIo, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(4), name: "Apply default filters", kind: HeavyFlops, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(5), name: "Initialize metadata files", kind: Light, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(6), name: "Plot uncorrected signals", kind: Plotting, language: Fortran, redundant: true },
-        ProcessInfo { id: ProcessId(7), name: "Apply Fourier transformation", kind: HeavyFlops, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(8), name: "Initialize filelist metadata", kind: Light, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(9), name: "Plot Fourier spectrum", kind: Plotting, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(10), name: "Obtain FSL & FPL values", kind: HeavyFlops, language: Cpp, redundant: false },
-        ProcessInfo { id: ProcessId(11), name: "Initialize flags", kind: Light, language: Cpp, redundant: false },
-        ProcessInfo { id: ProcessId(12), name: "Separate data by components (again)", kind: HeavyIo, language: Fortran, redundant: true },
-        ProcessInfo { id: ProcessId(13), name: "Obtain corrected signals", kind: HeavyFlops, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(14), name: "Initialize metadata files (again)", kind: Light, language: Fortran, redundant: true },
-        ProcessInfo { id: ProcessId(15), name: "Plot accelerograph", kind: Plotting, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(16), name: "Response spectrum calculation", kind: HeavyFlops, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(17), name: "Initialize filelist metadata", kind: Light, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(18), name: "Plot response spectrum", kind: Plotting, language: Fortran, redundant: false },
-        ProcessInfo { id: ProcessId(19), name: "Generate GEM files", kind: HeavyIo, language: Cpp, redundant: false },
+        ProcessInfo {
+            id: ProcessId(0),
+            name: "Initialize flags",
+            kind: Light,
+            language: Cpp,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(1),
+            name: "Gather input data files",
+            kind: HeavyIo,
+            language: Cpp,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(2),
+            name: "Initialize filter parameters",
+            kind: Light,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(3),
+            name: "Separate data by components",
+            kind: HeavyIo,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(4),
+            name: "Apply default filters",
+            kind: HeavyFlops,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(5),
+            name: "Initialize metadata files",
+            kind: Light,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(6),
+            name: "Plot uncorrected signals",
+            kind: Plotting,
+            language: Fortran,
+            redundant: true,
+        },
+        ProcessInfo {
+            id: ProcessId(7),
+            name: "Apply Fourier transformation",
+            kind: HeavyFlops,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(8),
+            name: "Initialize filelist metadata",
+            kind: Light,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(9),
+            name: "Plot Fourier spectrum",
+            kind: Plotting,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(10),
+            name: "Obtain FSL & FPL values",
+            kind: HeavyFlops,
+            language: Cpp,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(11),
+            name: "Initialize flags",
+            kind: Light,
+            language: Cpp,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(12),
+            name: "Separate data by components (again)",
+            kind: HeavyIo,
+            language: Fortran,
+            redundant: true,
+        },
+        ProcessInfo {
+            id: ProcessId(13),
+            name: "Obtain corrected signals",
+            kind: HeavyFlops,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(14),
+            name: "Initialize metadata files (again)",
+            kind: Light,
+            language: Fortran,
+            redundant: true,
+        },
+        ProcessInfo {
+            id: ProcessId(15),
+            name: "Plot accelerograph",
+            kind: Plotting,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(16),
+            name: "Response spectrum calculation",
+            kind: HeavyFlops,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(17),
+            name: "Initialize filelist metadata",
+            kind: Light,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(18),
+            name: "Plot response spectrum",
+            kind: Plotting,
+            language: Fortran,
+            redundant: false,
+        },
+        ProcessInfo {
+            id: ProcessId(19),
+            name: "Generate GEM files",
+            kind: HeavyIo,
+            language: Cpp,
+            redundant: false,
+        },
     ]
 };
 
@@ -123,7 +243,10 @@ mod tests {
 
     #[test]
     fn lookup_works() {
-        assert_eq!(process_info(ProcessId(16)).name, "Response spectrum calculation");
+        assert_eq!(
+            process_info(ProcessId(16)).name,
+            "Response spectrum calculation"
+        );
         assert_eq!(process_info(ProcessId(16)).kind, ProcessKind::HeavyFlops);
     }
 }

@@ -70,8 +70,13 @@ pub fn plot_accelerograph(ctx: &RunContext, parallel: bool) -> Result<()> {
     let stations = ctx.stations()?;
     let body = |i: usize| -> Result<()> {
         let station = &stations[i];
-        let v2 = V2File::read(&ctx.artifact(&names::v2_component(station, Component::Longitudinal)))?;
-        let fig = motion_figure(&format!("{station} LONGITUDINAL (corrected)"), v2.header.dt, &v2.data);
+        let v2 =
+            V2File::read(&ctx.artifact(&names::v2_component(station, Component::Longitudinal)))?;
+        let fig = motion_figure(
+            &format!("{station} LONGITUDINAL (corrected)"),
+            v2.header.dt,
+            &v2.data,
+        );
         write_ps(ctx, &names::plot_acc(station), &fig)
     };
     if parallel {
@@ -94,9 +99,17 @@ pub fn plot_fourier_spectrum(ctx: &RunContext, parallel: bool) -> Result<()> {
             let chart = LineChart::new(format!("{station} {} Fourier spectra", comp.name()))
                 .labels("Period (s)", "amplitude")
                 .scales(Scale::Log10, Scale::Log10)
-                .with_series(Series::from_xy("acceleration", &periods, &f.spectrum.acceleration))
+                .with_series(Series::from_xy(
+                    "acceleration",
+                    &periods,
+                    &f.spectrum.acceleration,
+                ))
                 .with_series(Series::from_xy("velocity", &periods, &f.spectrum.velocity))
-                .with_series(Series::from_xy("displacement", &periods, &f.spectrum.displacement));
+                .with_series(Series::from_xy(
+                    "displacement",
+                    &periods,
+                    &f.spectrum.displacement,
+                ));
             panels.push(chart);
         }
         write_ps(ctx, &names::plot_fourier(station), &Figure::new(panels))

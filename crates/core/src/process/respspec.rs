@@ -97,11 +97,13 @@ mod tests {
         let (base, ctx) = prepare("par");
         response_spectrum_calc(&ctx, false).unwrap();
         let s0 = ctx.stations().unwrap()[0].clone();
-        let seq = std::fs::read_to_string(ctx.artifact(&names::r_component(&s0, Component::Vertical)))
-            .unwrap();
+        let seq =
+            std::fs::read_to_string(ctx.artifact(&names::r_component(&s0, Component::Vertical)))
+                .unwrap();
         response_spectrum_calc(&ctx, true).unwrap();
-        let par = std::fs::read_to_string(ctx.artifact(&names::r_component(&s0, Component::Vertical)))
-            .unwrap();
+        let par =
+            std::fs::read_to_string(ctx.artifact(&names::r_component(&s0, Component::Vertical)))
+                .unwrap();
         assert_eq!(seq, par);
         std::fs::remove_dir_all(&base).unwrap();
     }

@@ -98,7 +98,8 @@ pub fn generate_rotd(ctx: &RunContext, parallel: bool) -> Result<()> {
     let damping = 0.05;
     let body = |i: usize| -> Result<()> {
         let station = &stations[i];
-        let l = V2File::read(&ctx.artifact(&names::v2_component(station, Component::Longitudinal)))?;
+        let l =
+            V2File::read(&ctx.artifact(&names::v2_component(station, Component::Longitudinal)))?;
         let t = V2File::read(&ctx.artifact(&names::v2_component(station, Component::Transversal)))?;
         let rotd = rotd_spectrum(
             &l.data.acc,

@@ -48,8 +48,12 @@ mod tests {
         write_event_inputs(&event, &input).unwrap();
 
         for parallel in [false, true] {
-            let ctx = RunContext::new(&input, base.join(format!("w{parallel}")), PipelineConfig::fast())
-                .unwrap();
+            let ctx = RunContext::new(
+                &input,
+                base.join(format!("w{parallel}")),
+                PipelineConfig::fast(),
+            )
+            .unwrap();
             gather::gather_inputs(&ctx, false).unwrap();
             separate_components(&ctx, parallel).unwrap();
             for station in ctx.stations().unwrap() {

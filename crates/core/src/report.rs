@@ -5,10 +5,11 @@
 
 use crate::plan::StageId;
 use crate::process::ProcessId;
+use arp_par::PoolStatsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
-/// Which of the four implementations produced a report.
+/// Which of the five implementations produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ImplKind {
     /// The 20-process original sequential chain (§III).
@@ -19,15 +20,20 @@ pub enum ImplKind {
     PartiallyParallel,
     /// Ten parallel stages (§VI).
     FullyParallel,
+    /// No stages at all: the artifact-dependency DAG is scheduled directly,
+    /// each process starting the moment its predecessors complete.
+    DagParallel,
 }
 
 impl ImplKind {
-    /// All implementations in the paper's comparison order.
-    pub const ALL: [ImplKind; 4] = [
+    /// All implementations in the paper's comparison order (with the DAG
+    /// scheduler, which goes beyond the paper, last).
+    pub const ALL: [ImplKind; 5] = [
         ImplKind::SequentialOriginal,
         ImplKind::SequentialOptimized,
         ImplKind::PartiallyParallel,
         ImplKind::FullyParallel,
+        ImplKind::DagParallel,
     ];
 
     /// Short display label (Table I column headers).
@@ -37,6 +43,7 @@ impl ImplKind {
             ImplKind::SequentialOptimized => "Seq. Opt.",
             ImplKind::PartiallyParallel => "Part. Par.",
             ImplKind::FullyParallel => "Full Par.",
+            ImplKind::DagParallel => "DAG Par.",
         }
     }
 }
@@ -59,6 +66,40 @@ pub struct StageTiming {
     pub elapsed: Duration,
 }
 
+/// Schedule analysis of a DAG run, decomposing the speedup over the
+/// sequential baseline into its two independent sources: parallelism
+/// *inside* the stage plan, and removal of the stage barriers themselves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DagReport {
+    /// Processes on the critical (longest weighted) path, in order.
+    pub critical_path: Vec<ProcessId>,
+    /// Total weight of the critical path — the floor no schedule can beat.
+    pub critical_path_len: Duration,
+    /// Makespan of the dependency-driven schedule on `threads` threads.
+    pub dag_makespan: Duration,
+    /// Makespan the same node durations would need under the eleven-stage
+    /// barrier plan of Fig. 9 on the same threads.
+    pub barrier_makespan: Duration,
+    /// Sum of all node durations (the fully serialized cost).
+    pub node_total: Duration,
+    /// Thread count the schedules were computed for.
+    pub threads: usize,
+}
+
+impl DagReport {
+    /// Virtual time recovered by deleting the stage barriers (what the DAG
+    /// scheduler buys beyond the paper's fully parallel plan).
+    pub fn barrier_saving(&self) -> Duration {
+        self.barrier_makespan.saturating_sub(self.dag_makespan)
+    }
+
+    /// Virtual time recovered by the stage plan's own parallelism (tasks
+    /// and loops) relative to running every node back to back.
+    pub fn stage_saving(&self) -> Duration {
+        self.node_total.saturating_sub(self.barrier_makespan)
+    }
+}
+
 /// The result of one pipeline run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -76,6 +117,12 @@ pub struct RunReport {
     pub processes: Vec<ProcessTiming>,
     /// Per-stage wall times (empty for the sequential implementations).
     pub stages: Vec<StageTiming>,
+    /// Schedule analysis ([`ImplKind::DagParallel`] runs only).
+    pub dag: Option<DagReport>,
+    /// Work-pool counter deltas observed during this run (dispatches,
+    /// helped jobs, DAG scheduler activity). `None` when the run never
+    /// touched the shared pool.
+    pub pool: Option<PoolStatsSnapshot>,
 }
 
 impl RunReport {
@@ -97,7 +144,10 @@ impl RunReport {
 
     /// Wall time of a specific stage, if recorded.
     pub fn stage_time(&self, id: StageId) -> Option<Duration> {
-        self.stages.iter().find(|t| t.stage == id).map(|t| t.elapsed)
+        self.stages
+            .iter()
+            .find(|t| t.stage == id)
+            .map(|t| t.elapsed)
     }
 
     /// Speedup of this run relative to a baseline run of the same event.
@@ -128,6 +178,8 @@ mod tests {
                 stage: StageId::IX,
                 elapsed: Duration::from_millis(total_ms / 2),
             }],
+            dag: None,
+            pool: None,
         }
     }
 
@@ -159,6 +211,27 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(ImplKind::SequentialOriginal.label(), "Seq. Ori.");
-        assert_eq!(ImplKind::ALL.len(), 4);
+        assert_eq!(ImplKind::DagParallel.label(), "DAG Par.");
+        assert_eq!(ImplKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn dag_report_decomposition() {
+        let d = DagReport {
+            critical_path: vec![ProcessId(1), ProcessId(3)],
+            critical_path_len: Duration::from_millis(40),
+            dag_makespan: Duration::from_millis(50),
+            barrier_makespan: Duration::from_millis(70),
+            node_total: Duration::from_millis(100),
+            threads: 8,
+        };
+        assert_eq!(d.barrier_saving(), Duration::from_millis(20));
+        assert_eq!(d.stage_saving(), Duration::from_millis(30));
+        // Savings are saturating, never negative.
+        let inverted = DagReport {
+            barrier_makespan: Duration::from_millis(10),
+            ..d
+        };
+        assert_eq!(inverted.barrier_saving(), Duration::ZERO);
     }
 }

@@ -97,6 +97,8 @@ mod tests {
                     elapsed: Duration::from_millis(5 + i as u64),
                 })
                 .collect(),
+            dag: None,
+            pool: None,
         }
     }
 
@@ -127,6 +129,8 @@ mod tests {
                 })
                 .collect(),
             stages: vec![],
+            dag: None,
+            pool: None,
         };
         let svg = timeline_svg(&report);
         assert!(svg.contains("#19"));
@@ -142,6 +146,8 @@ mod tests {
             total: Duration::ZERO,
             processes: vec![],
             stages: vec![],
+            dag: None,
+            pool: None,
         };
         let svg = timeline_svg(&report);
         assert!(svg.starts_with("<svg"));

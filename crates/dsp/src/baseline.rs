@@ -59,14 +59,19 @@ pub fn remove_polynomial(data: &mut [f64], deg: usize) -> Result<(), DspError> {
         return Ok(());
     }
     if n <= deg {
-        return Err(DspError::TooShort { needed: deg + 1, got: n });
+        return Err(DspError::TooShort {
+            needed: deg + 1,
+            got: n,
+        });
     }
 
     // Normalized abscissa.
     let ts: Vec<f64> = if n == 1 {
         vec![0.0]
     } else {
-        (0..n).map(|i| 2.0 * i as f64 / (n - 1) as f64 - 1.0).collect()
+        (0..n)
+            .map(|i| 2.0 * i as f64 / (n - 1) as f64 - 1.0)
+            .collect()
     };
 
     // Build orthogonal basis phi_0..phi_deg over the sample points via
@@ -138,10 +143,20 @@ mod tests {
     fn linear_detrend_preserves_oscillation() {
         let n = 1000;
         let osc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
-        let mut x: Vec<f64> = osc.iter().enumerate().map(|(i, &o)| o + 2.0 + 0.01 * i as f64).collect();
+        let mut x: Vec<f64> = osc
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| o + 2.0 + 0.01 * i as f64)
+            .collect();
         remove_baseline(&mut x, Baseline::Linear).unwrap();
         // The oscillation survives nearly intact (its projection on 1,t is tiny).
-        let rms_diff = (x.iter().zip(&osc).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n as f64).sqrt();
+        let rms_diff = (x
+            .iter()
+            .zip(&osc)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
         assert!(rms_diff < 0.05, "rms diff {rms_diff}");
     }
 
@@ -192,7 +207,9 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        let mut x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin() + 0.002 * i as f64).collect();
+        let mut x: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.1).sin() + 0.002 * i as f64)
+            .collect();
         remove_baseline(&mut x, Baseline::Linear).unwrap();
         let once = x.clone();
         remove_baseline(&mut x, Baseline::Linear).unwrap();

@@ -255,7 +255,10 @@ mod tests {
             let t = k as f64 * std::f64::consts::PI / 8.0;
             let z = Complex::cis(t);
             assert!(close(z.abs(), 1.0));
-            assert!(close(z.arg().rem_euclid(2.0 * std::f64::consts::PI), t.rem_euclid(2.0 * std::f64::consts::PI)));
+            assert!(close(
+                z.arg().rem_euclid(2.0 * std::f64::consts::PI),
+                t.rem_euclid(2.0 * std::f64::consts::PI)
+            ));
         }
     }
 

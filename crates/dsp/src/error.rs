@@ -41,9 +41,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(DspError::InvalidBand("x".into()).to_string().contains("band-pass"));
+        assert!(DspError::InvalidBand("x".into())
+            .to_string()
+            .contains("band-pass"));
         assert!(DspError::InvalidSampling(-1.0).to_string().contains("-1"));
-        assert!(DspError::TooShort { needed: 4, got: 2 }.to_string().contains("need 4"));
-        assert!(DspError::InvalidArgument("k".into()).to_string().contains("k"));
+        assert!(DspError::TooShort { needed: 4, got: 2 }
+            .to_string()
+            .contains("need 4"));
+        assert!(DspError::InvalidArgument("k".into())
+            .to_string()
+            .contains("k"));
     }
 }

@@ -51,7 +51,10 @@ fn bit_reverse_permute(data: &mut [Complex]) {
 /// Panics if `data.len()` is not a power of two.
 fn fft_pow2_inplace(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(is_pow2(n), "fft_pow2_inplace requires power-of-two length, got {n}");
+    assert!(
+        is_pow2(n),
+        "fft_pow2_inplace requires power-of-two length, got {n}"
+    );
     if n == 1 {
         return;
     }
@@ -402,13 +405,23 @@ mod tests {
     fn linearity() {
         let n = 40;
         let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
-        let y: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i % 7) as f64)).collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(0.0, (i * i % 7) as f64))
+            .collect();
         let alpha = Complex::new(2.0, -1.0);
-        let combo: Vec<Complex> = x.iter().zip(y.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        let combo: Vec<Complex> = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| a * alpha + b)
+            .collect();
         let lhs = fft(&combo);
         let fx = fft(&x);
         let fy = fft(&y);
-        let rhs: Vec<Complex> = fx.iter().zip(fy.iter()).map(|(&a, &b)| a * alpha + b).collect();
+        let rhs: Vec<Complex> = fx
+            .iter()
+            .zip(fy.iter())
+            .map(|(&a, &b)| a * alpha + b)
+            .collect();
         assert_close(&lhs, &rhs, 1e-8);
     }
 
@@ -422,7 +435,9 @@ mod tests {
     fn time_shift_property() {
         // x[n-1] circularly shifted has spectrum X[k] * e^{-2pi i k/N}.
         let n = 16;
-        let x: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64 * 0.9).sin(), 0.0)).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.9).sin(), 0.0))
+            .collect();
         let mut shifted = x.clone();
         shifted.rotate_right(1);
         let fx = fft(&x);

@@ -70,7 +70,9 @@ impl BandPass {
     pub fn validate(&self) -> Result<(), DspError> {
         let vals = [self.fsl, self.fpl, self.fph, self.fsh];
         if vals.iter().any(|v| !v.is_finite()) {
-            return Err(DspError::InvalidBand(format!("non-finite corner in {self:?}")));
+            return Err(DspError::InvalidBand(format!(
+                "non-finite corner in {self:?}"
+            )));
         }
         if !(0.0 <= self.fsl && self.fsl < self.fpl && self.fpl < self.fph && self.fph < self.fsh) {
             return Err(DspError::InvalidBand(format!(
@@ -261,7 +263,9 @@ mod tests {
     use super::*;
 
     fn tone(f: f64, dt: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * f * i as f64 * dt).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 * dt).sin())
+            .collect()
     }
 
     fn rms(x: &[f64]) -> f64 {
@@ -296,7 +300,10 @@ mod tests {
         let c = f.coeffs();
         assert_eq!(c.len() % 2, 1);
         for i in 0..c.len() / 2 {
-            assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-12, "asymmetric at {i}");
+            assert!(
+                (c[i] - c[c.len() - 1 - i]).abs() < 1e-12,
+                "asymmetric at {i}"
+            );
         }
     }
 
@@ -311,7 +318,10 @@ mod tests {
         let in_rms = rms(&tone(5.0, dt, n));
         // Interior (avoid edge transients)
         let interior = &pass[n / 4..3 * n / 4];
-        assert!((rms(interior) - in_rms).abs() / in_rms < 0.05, "passband attenuated");
+        assert!(
+            (rms(interior) - in_rms).abs() / in_rms < 0.05,
+            "passband attenuated"
+        );
 
         let stop = filt.apply(&tone(0.05, dt, n));
         let stop_rms = rms(&stop[n / 4..3 * n / 4]);
@@ -319,7 +329,10 @@ mod tests {
 
         let stop_hi = filt.apply(&tone(40.0, dt, n));
         let stop_hi_rms = rms(&stop_hi[n / 4..3 * n / 4]);
-        assert!(stop_hi_rms < 0.05 * in_rms, "high stopband leak: {stop_hi_rms}");
+        assert!(
+            stop_hi_rms < 0.05 * in_rms,
+            "high stopband leak: {stop_hi_rms}"
+        );
     }
 
     #[test]
@@ -398,8 +411,12 @@ mod tests {
         // A narrow pulse should stay centered after filtering (linear phase
         // compensated), not shifted by the group delay.
         let dt = 0.01;
-        let filt = FirFilter::band_pass(BandPass::new(0.2, 0.5, 20.0, 24.0).unwrap(), dt, WindowKind::Hamming)
-            .unwrap();
+        let filt = FirFilter::band_pass(
+            BandPass::new(0.2, 0.5, 20.0, 24.0).unwrap(),
+            dt,
+            WindowKind::Hamming,
+        )
+        .unwrap();
         let n = 1001;
         let mut x = vec![0.0; n];
         x[n / 2] = 1.0;
@@ -410,6 +427,9 @@ mod tests {
             .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
             .unwrap()
             .0;
-        assert!((peak as isize - (n / 2) as isize).abs() <= 1, "peak at {peak}");
+        assert!(
+            (peak as isize - (n / 2) as isize).abs() <= 1,
+            "peak at {peak}"
+        );
     }
 }

@@ -167,9 +167,7 @@ mod tests {
             .map(|i| (2.0 * PI * 0.4 * t_of(i)).sin() + (2.0 * PI * 3.7 * t_of(i)).sin())
             .collect();
         let soil: Vec<f64> = (0..n)
-            .map(|i| {
-                rock[i] + 2.0 * (2.0 * PI * 1.0 * t_of(i)).sin()
-            })
+            .map(|i| rock[i] + 2.0 * (2.0 * PI * 1.0 * t_of(i)).sin())
             .collect();
         let r = fs(&rock, dt).unwrap();
         let s = fs(&soil, dt).unwrap();

@@ -86,11 +86,11 @@ impl IirFilter {
         // Analog Butterworth prototype poles (left half-plane unit circle).
         let mut analog_poles = Vec::with_capacity(2 * order);
         for k in 0..order {
-            let theta = std::f64::consts::PI * (2.0 * k as f64 + order as f64 + 1.0)
-                / (2.0 * order as f64);
+            let theta =
+                std::f64::consts::PI * (2.0 * k as f64 + order as f64 + 1.0) / (2.0 * order as f64);
             let p = Complex::cis(theta); // Re < 0 by construction
-            // Low-pass -> band-pass: s_lp = (s^2 + w0^2)/(B s); each
-            // prototype pole yields two band-pass poles.
+                                         // Low-pass -> band-pass: s_lp = (s^2 + w0^2)/(B s); each
+                                         // prototype pole yields two band-pass poles.
             let pb2 = p.scale(bw / 2.0);
             let disc = (pb2 * pb2 - Complex::from_re(w0 * w0)).sqrt();
             analog_poles.push(pb2 + disc);
@@ -211,7 +211,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(f: f64, dt: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * f * i as f64 * dt).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 * dt).sin())
+            .collect()
     }
 
     fn rms(x: &[f64]) -> f64 {

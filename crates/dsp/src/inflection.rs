@@ -201,13 +201,17 @@ mod tests {
     fn never_reports_corner_above_one_hz() {
         // Rising bump just above 1 Hz period boundary (f in 1..2 Hz) must be
         // ignored: the search only looks at periods > 1 s (f < 1 Hz).
-        let spec = synthetic_spectrum(0.01, 1000, |f| {
-            if f > 1.2 && f < 1.8 {
-                10.0
-            } else {
-                1.0 + f
-            }
-        });
+        let spec = synthetic_spectrum(
+            0.01,
+            1000,
+            |f| {
+                if f > 1.2 && f < 1.8 {
+                    10.0
+                } else {
+                    1.0 + f
+                }
+            },
+        );
         let cfg = InflectionConfig::default();
         let corners = find_filter_corners(&spec, &cfg).unwrap();
         assert!(corners.fpl <= 1.0 / cfg.min_period + 1e-9);
@@ -222,9 +226,15 @@ mod tests {
     #[test]
     fn invalid_config_errors() {
         let spec = synthetic_spectrum(0.01, 100, |f| f);
-        let cfg = InflectionConfig { min_period: 0.0, ..Default::default() };
+        let cfg = InflectionConfig {
+            min_period: 0.0,
+            ..Default::default()
+        };
         assert!(find_filter_corners(&spec, &cfg).is_err());
-        let cfg2 = InflectionConfig { stop_ratio: 1.0, ..Default::default() };
+        let cfg2 = InflectionConfig {
+            stop_ratio: 1.0,
+            ..Default::default()
+        };
         assert!(find_filter_corners(&spec, &cfg2).is_err());
     }
 

@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn integrate_then_differentiate_roundtrip() {
         let dt = 0.01;
-        let x: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.05).sin() * (i as f64 * 0.003).cos()).collect();
+        let x: Vec<f64> = (0..2000)
+            .map(|i| (i as f64 * 0.05).sin() * (i as f64 * 0.003).cos())
+            .collect();
         let integral = cumtrapz(&x, dt).unwrap();
         let back = differentiate(&integral, dt).unwrap();
         // interior points round-trip to second-order accuracy

@@ -44,14 +44,14 @@ pub use baseline::{remove_baseline, Baseline};
 pub use complex::Complex;
 pub use error::DspError;
 pub use fir::{BandPass, FirFilter};
+pub use hvsr::{hvsr, Hvsr};
+pub use iir::IirFilter;
 pub use inflection::{find_filter_corners, FilterCorners, InflectionConfig};
 pub use peaks::{intensity_measures, peak_values, IntensityMeasures, PeakValues};
 pub use respspec::{
     response_spectrum, sdof_peaks, standard_periods, ResponseMethod, ResponseSpectrum,
     STANDARD_DAMPINGS,
 };
-pub use hvsr::{hvsr, Hvsr};
-pub use iir::IirFilter;
 pub use rotd::{rotd_sd, rotd_spectrum, RotD};
 pub use smoothing::konno_ohmachi;
 pub use spectrum::{fourier_spectrum, FourierSpectrum};

@@ -79,7 +79,10 @@ pub fn peak_values(acc: &[f64], dt: f64) -> Result<PeakValues, DspError> {
 /// Computes the extended intensity-measure set.
 pub fn intensity_measures(acc: &[f64], dt: f64) -> Result<IntensityMeasures, DspError> {
     if acc.len() < 2 {
-        return Err(DspError::TooShort { needed: 2, got: acc.len() });
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: acc.len(),
+        });
     }
     let sq: Vec<f64> = acc.iter().map(|&a| a * a).collect();
     let cum = cumtrapz(&sq, dt)?;
@@ -193,7 +196,11 @@ mod tests {
         assert!(m.duration_575 <= m.duration_595);
         assert!(m.duration_595 > 0.0);
         // Energy lives in ~1/3 of the 40 s record.
-        assert!(m.duration_595 < 0.5 * n as f64 * dt, "d595 = {}", m.duration_595);
+        assert!(
+            m.duration_595 < 0.5 * n as f64 * dt,
+            "d595 = {}",
+            m.duration_595
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ pub fn standard_periods() -> Vec<f64> {
 
 /// `count` log-spaced periods between `t_lo` and `t_hi` seconds.
 pub fn log_spaced_periods(t_lo: f64, t_hi: f64, count: usize) -> Vec<f64> {
-    assert!(t_lo > 0.0 && t_hi > t_lo && count >= 2, "bad period grid spec");
+    assert!(
+        t_lo > 0.0 && t_hi > t_lo && count >= 2,
+        "bad period grid spec"
+    );
     let l0 = t_lo.ln();
     let step = (t_hi.ln() - l0) / (count - 1) as f64;
     (0..count).map(|i| (l0 + step * i as f64).exp()).collect()
@@ -125,13 +128,18 @@ pub fn sdof_peaks(
 
 fn validate_sdof_args(acc: &[f64], dt: f64, period: f64, damping: f64) -> Result<(), DspError> {
     if acc.len() < 2 {
-        return Err(DspError::TooShort { needed: 2, got: acc.len() });
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: acc.len(),
+        });
     }
     if !(dt.is_finite() && dt > 0.0) {
         return Err(DspError::InvalidSampling(dt));
     }
     if !(period.is_finite() && period > 0.0) {
-        return Err(DspError::InvalidArgument(format!("period {period} must be > 0")));
+        return Err(DspError::InvalidArgument(format!(
+            "period {period} must be > 0"
+        )));
     }
     if !(0.0..0.99).contains(&damping) {
         return Err(DspError::InvalidArgument(format!(
@@ -286,7 +294,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(f: f64, dt: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * f * i as f64 * dt).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 * dt).sin())
+            .collect()
     }
 
     #[test]
@@ -424,7 +434,8 @@ mod tests {
         let dt = 0.01;
         let acc = tone(2.0, dt, 3000);
         let periods = log_spaced_periods(0.1, 5.0, 30);
-        let spec = response_spectrum(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
+        let spec =
+            response_spectrum(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
         assert_eq!(spec.len(), 30);
         assert!(!spec.is_empty());
         // Peak of SD-based pseudo-acceleration near the driving period 0.5 s.
@@ -455,7 +466,8 @@ mod tests {
         let acc = tone(1.5, dt, 2000);
         let periods = log_spaced_periods(0.05, 10.0, 40);
         let a = response_spectrum(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
-        let b = response_spectrum_parallel(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings).unwrap();
+        let b = response_spectrum_parallel(&acc, dt, &periods, 0.05, ResponseMethod::NigamJennings)
+            .unwrap();
         assert_eq!(a, b);
     }
 

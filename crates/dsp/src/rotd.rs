@@ -125,7 +125,16 @@ mod tests {
         let f0 = 1.25; // oscillator resonance
         let a1 = tone(f0, dt, n, 0.0);
         let a2 = tone(f0, dt, n, PI / 2.0);
-        let r = rotd_sd(&a1, &a2, dt, 1.0 / f0, 0.05, 12, ResponseMethod::NigamJennings).unwrap();
+        let r = rotd_sd(
+            &a1,
+            &a2,
+            dt,
+            1.0 / f0,
+            0.05,
+            12,
+            ResponseMethod::NigamJennings,
+        )
+        .unwrap();
         let spread = (r.rotd100 - r.rotd00) / r.rotd50;
         assert!(spread < 0.05, "spread {spread}");
     }
@@ -149,7 +158,16 @@ mod tests {
         let a1 = tone(0.9, dt, n, 0.3);
         let a2 = tone(1.7, dt, n, 1.1);
         let period = 1.0;
-        let r = rotd_sd(&a1, &a2, dt, period, 0.05, 36, ResponseMethod::NigamJennings).unwrap();
+        let r = rotd_sd(
+            &a1,
+            &a2,
+            dt,
+            period,
+            0.05,
+            36,
+            ResponseMethod::NigamJennings,
+        )
+        .unwrap();
         let p1 = sdof_peaks(&a1, dt, period, 0.05, ResponseMethod::NigamJennings).unwrap();
         // Angle 0 is included in the sweep, so RotD100 >= component-1 SD.
         assert!(r.rotd100 >= p1.sd * (1.0 - 1e-9));
@@ -162,8 +180,16 @@ mod tests {
         let a1 = tone(1.0, dt, n, 0.0);
         let a2 = tone(2.0, dt, n, 0.5);
         let periods = [0.3, 0.5, 1.0, 2.0];
-        let rs = rotd_spectrum(&a1, &a2, dt, &periods, 0.05, 8, ResponseMethod::NigamJennings)
-            .unwrap();
+        let rs = rotd_spectrum(
+            &a1,
+            &a2,
+            dt,
+            &periods,
+            0.05,
+            8,
+            ResponseMethod::NigamJennings,
+        )
+        .unwrap();
         assert_eq!(rs.len(), 4);
         for (r, &t) in rs.iter().zip(periods.iter()) {
             assert_eq!(r.period, t);

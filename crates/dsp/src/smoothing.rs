@@ -146,7 +146,9 @@ mod tests {
     #[test]
     fn larger_bandwidth_smooths_less() {
         let f: Vec<f64> = (1..300).map(|i| i as f64 * 0.05).collect();
-        let a: Vec<f64> = (0..299).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let a: Vec<f64> = (0..299)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64

@@ -54,7 +54,10 @@ pub fn fourier_spectrum(acc: &[f64], dt: f64) -> Result<FourierSpectrum, DspErro
         return Err(DspError::InvalidSampling(dt));
     }
     if acc.len() < 2 {
-        return Err(DspError::TooShort { needed: 2, got: acc.len() });
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: acc.len(),
+        });
     }
     let n = acc.len();
     let spec = rfft(acc);
@@ -130,7 +133,10 @@ pub fn log_resample(
         )));
     }
     if freq.len() < 2 {
-        return Err(DspError::TooShort { needed: 2, got: freq.len() });
+        return Err(DspError::TooShort {
+            needed: 2,
+            got: freq.len(),
+        });
     }
     if !(f_lo > 0.0 && f_hi > f_lo && f_lo.is_finite() && f_hi.is_finite()) {
         return Err(DspError::InvalidArgument(format!(
@@ -181,7 +187,9 @@ mod tests {
         let dt = 0.01;
         let n = 4096;
         let f0 = 2.0;
-        let acc: Vec<f64> = (0..n).map(|i| (2.0 * PI * f0 * i as f64 * dt).sin()).collect();
+        let acc: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f0 * i as f64 * dt).sin())
+            .collect();
         let spec = fourier_spectrum(&acc, dt).unwrap();
         let peak_idx = spec
             .acceleration
@@ -245,7 +253,9 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_variance() {
-        let x: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y = smooth_moving_average(&x, 3);
         let var = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>() / v.len() as f64;
         assert!(var(&y) < 0.2 * var(&x));

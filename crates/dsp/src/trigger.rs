@@ -149,7 +149,12 @@ mod tests {
             .map(|i: usize| {
                 let noise = ((i.wrapping_mul(2654435761usize)) % 1000) as f64 / 1000.0 - 0.5;
                 let in_burst = i >= burst_start && i < burst_start + burst_len;
-                noise * 0.02 + if in_burst { (i as f64 * dt * 40.0).sin() * 2.0 } else { 0.0 }
+                noise * 0.02
+                    + if in_burst {
+                        (i as f64 * dt * 40.0).sin() * 2.0
+                    } else {
+                        0.0
+                    }
             })
             .collect()
     }
@@ -211,7 +216,11 @@ mod tests {
         let x = burst_record(dt, n, 5500, 500);
         let triggers = detect_triggers(&x, dt, &StaLtaConfig::default()).unwrap();
         assert_eq!(triggers.len(), 1, "{triggers:?}");
-        assert!((triggers[0].end - (n - 1) as f64 * dt).abs() < 1e-9, "{:?}", triggers[0]);
+        assert!(
+            (triggers[0].end - (n - 1) as f64 * dt).abs() < 1e-9,
+            "{:?}",
+            triggers[0]
+        );
     }
 
     #[test]
@@ -224,7 +233,11 @@ mod tests {
         let x = burst_record(dt, n, 3000, 3000);
         let triggers = detect_triggers(&x, dt, &StaLtaConfig::default()).unwrap();
         assert_eq!(triggers.len(), 1, "{triggers:?}");
-        assert!(triggers[0].end < (n - 1) as f64 * dt - 1.0, "{:?}", triggers[0]);
+        assert!(
+            triggers[0].end < (n - 1) as f64 * dt - 1.0,
+            "{:?}",
+            triggers[0]
+        );
     }
 
     #[test]
@@ -244,7 +257,10 @@ mod tests {
         let cfg = StaLtaConfig::default();
         assert!(detect_triggers(&x, 0.0, &cfg).is_err());
         assert!(detect_triggers(&x, 0.01, &cfg).is_err()); // too short
-        let long_sta = StaLtaConfig { sta_seconds: 20.0, ..Default::default() }; // > lta
+        let long_sta = StaLtaConfig {
+            sta_seconds: 20.0,
+            ..Default::default()
+        }; // > lta
         assert!(detect_triggers(&x, 0.01, &long_sta).is_err());
         let inverted = StaLtaConfig {
             trigger_on: 1.0,
@@ -264,13 +280,21 @@ mod tests {
         let x: Vec<f64> = (0..n)
             .map(|i: usize| {
                 let t = i as f64 * dt;
-                let env = if t < 30.0 { 0.0 } else { (-(t - 45.0f64).powi(2) / 50.0).exp() };
+                let env = if t < 30.0 {
+                    0.0
+                } else {
+                    (-(t - 45.0f64).powi(2) / 50.0).exp()
+                };
                 let noise = ((i.wrapping_mul(2654435761usize)) % 1000) as f64 / 1000.0 - 0.5;
                 noise * 0.01 + env * (t * 25.0).sin() * 3.0
             })
             .collect();
         let triggers = detect_triggers(&x, dt, &StaLtaConfig::default()).unwrap();
         assert_eq!(triggers.len(), 1);
-        assert!(triggers[0].onset > 25.0 && triggers[0].onset < 45.0, "{:?}", triggers[0]);
+        assert!(
+            triggers[0].onset > 25.0 && triggers[0].onset < 45.0,
+            "{:?}",
+            triggers[0]
+        );
     }
 }

@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn rectangular_is_ones() {
-        assert!(WindowKind::Rectangular.samples(10).iter().all(|&x| x == 1.0));
+        assert!(WindowKind::Rectangular
+            .samples(10)
+            .iter()
+            .all(|&x| x == 1.0));
     }
 
     #[test]
@@ -170,8 +173,7 @@ mod tests {
     #[test]
     fn kaiser_filter_design_works_end_to_end() {
         use crate::fir::{BandPass, FirFilter};
-        let filt =
-            FirFilter::band_pass(BandPass::DEFAULT, 0.01, WindowKind::Kaiser(8.6)).unwrap();
+        let filt = FirFilter::band_pass(BandPass::DEFAULT, 0.01, WindowKind::Kaiser(8.6)).unwrap();
         assert!(filt.gain_at(5.0) > 0.9);
         assert!(filt.gain_at(0.01) < 0.05);
     }

@@ -2,8 +2,8 @@
 //! STA/LTA, and cross-correlation.
 
 use arp_dsp::iir::IirFilter;
-use arp_dsp::rotd::rotd_sd;
 use arp_dsp::respspec::{sdof_peaks, ResponseMethod};
+use arp_dsp::rotd::rotd_sd;
 use arp_dsp::smoothing::konno_ohmachi;
 use arp_dsp::trigger::{detect_triggers, StaLtaConfig};
 use arp_dsp::window::{bessel_i0, WindowKind};

@@ -45,8 +45,7 @@ impl CatalogEntry {
                 self.magnitude
             )));
         }
-        if !(-90.0..=90.0).contains(&self.latitude) || !(-180.0..=180.0).contains(&self.longitude)
-        {
+        if !(-90.0..=90.0).contains(&self.latitude) || !(-180.0..=180.0).contains(&self.longitude) {
             return Err(FormatError::InvalidValue(format!(
                 "bad epicenter ({}, {})",
                 self.latitude, self.longitude

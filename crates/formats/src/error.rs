@@ -102,7 +102,9 @@ mod tests {
     fn display_variants() {
         let e = FormatError::io("/tmp/x.v1", io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(e.to_string().contains("/tmp/x.v1"));
-        assert!(FormatError::syntax(7, "junk").to_string().contains("line 7"));
+        assert!(FormatError::syntax(7, "junk")
+            .to_string()
+            .contains("line 7"));
         assert!(FormatError::MissingField("DT").to_string().contains("DT"));
         let c = FormatError::CountMismatch {
             block: "ACC".into(),
@@ -116,7 +118,9 @@ mod tests {
         }
         .to_string()
         .contains("ARP-V1"));
-        assert!(FormatError::InvalidValue("dt".into()).to_string().contains("dt"));
+        assert!(FormatError::InvalidValue("dt".into())
+            .to_string()
+            .contains("dt"));
     }
 
     #[test]

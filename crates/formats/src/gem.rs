@@ -325,7 +325,10 @@ mod tests {
     #[test]
     fn source_codes() {
         assert_eq!(GemSource::from_code('2').unwrap(), GemSource::TimeSeries);
-        assert_eq!(GemSource::from_code('r').unwrap(), GemSource::ResponseSpectrum);
+        assert_eq!(
+            GemSource::from_code('r').unwrap(),
+            GemSource::ResponseSpectrum
+        );
         assert!(GemSource::from_code('x').is_err());
     }
 

@@ -84,9 +84,9 @@ impl<'a> Scanner<'a> {
     pub fn expect_kv(&mut self, key: &'static str) -> Result<&'a str, FormatError> {
         let ln = self.line_number();
         let line = self.next_line()?;
-        let (k, v) = line
-            .split_once(':')
-            .ok_or_else(|| FormatError::syntax(ln, format!("expected `{key}: ...`, got {line:?}")))?;
+        let (k, v) = line.split_once(':').ok_or_else(|| {
+            FormatError::syntax(ln, format!("expected `{key}: ...`, got {line:?}"))
+        })?;
         if k.trim() != key {
             return Err(FormatError::syntax(
                 ln,

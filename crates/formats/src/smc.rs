@@ -236,7 +236,11 @@ mod tests {
         assert_eq!(back.header.station, "SSLB");
         assert_eq!(back.component, Component::Transversal);
         assert_eq!(back.data.acc.len(), original.data.acc.len());
-        let peak = original.data.acc.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let peak = original
+            .data
+            .acc
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
         for (a, b) in back.data.acc.iter().zip(original.data.acc.iter()) {
             // Fixed-point at 1e-6 of peak.
             assert!((a - b).abs() <= peak * 1e-6, "{a} vs {b}");

@@ -4,7 +4,9 @@ use crate::error::FormatError;
 use std::fmt;
 
 /// The three motion components a strong-motion sensor records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Component {
     /// Longitudinal (horizontal, along instrument axis) — code `l`.
     Longitudinal,
@@ -318,7 +320,12 @@ mod tests {
         assert_eq!(f_component("SSLB", Component::Vertical), "SSLBv.f");
         assert_eq!(r_component("SSLB", Component::Longitudinal), "SSLBl.r");
         assert_eq!(
-            gem("SSLB", Component::Longitudinal, false, Quantity::Acceleration),
+            gem(
+                "SSLB",
+                Component::Longitudinal,
+                false,
+                Quantity::Acceleration
+            ),
             "SSLBlGEM2A.gem"
         );
         assert_eq!(

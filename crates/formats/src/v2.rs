@@ -226,10 +226,9 @@ mod tests {
     fn band_ordering_enforced_on_parse() {
         let file = sample();
         // Swap band corners so fsl > fpl.
-        let text = file.to_text().replace(
-            "BAND: 0.120000 0.240000",
-            "BAND: 0.240000 0.120000",
-        );
+        let text = file
+            .to_text()
+            .replace("BAND: 0.120000 0.240000", "BAND: 0.240000 0.120000");
         assert!(V2File::from_text(&text).is_err());
     }
 

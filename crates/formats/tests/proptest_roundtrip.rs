@@ -5,13 +5,12 @@ use arp_dsp::fir::BandPass;
 use arp_dsp::peaks::PeakValues;
 use arp_dsp::respspec::ResponseSpectrum;
 use arp_formats::gem::{GemFile, GemSource};
-use arp_formats::meta::{FileList, FilterParams, MaxValues, MaxEntry, StationCorners};
+use arp_formats::meta::{FileList, FilterParams, MaxEntry, MaxValues, StationCorners};
 use arp_formats::types::{Component, MotionTriple, Quantity, RecordHeader};
 use arp_formats::v1::{V1ComponentFile, V1StationFile};
 use arp_formats::v2::V2File;
 use arp_formats::{FFile, RFile};
 use proptest::prelude::*;
-
 
 fn station_code() -> impl Strategy<Value = String> {
     "[A-Z]{2,5}[0-9]{0,2}".prop_filter("non-empty", |s| !s.is_empty())
@@ -22,9 +21,8 @@ fn values(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn header_strategy() -> impl Strategy<Value = RecordHeader> {
-    (station_code(), "[A-Za-z0-9-]{1,12}", 1e-3f64..0.1).prop_map(|(s, ev, dt)| {
-        RecordHeader::new(s, ev, "2019-07-31T03:04:05Z", dt).unwrap()
-    })
+    (station_code(), "[A-Za-z0-9-]{1,12}", 1e-3f64..0.1)
+        .prop_map(|(s, ev, dt)| RecordHeader::new(s, ev, "2019-07-31T03:04:05Z", dt).unwrap())
 }
 
 fn triple_strategy() -> impl Strategy<Value = (RecordHeader, MotionTriple)> {

@@ -11,6 +11,9 @@
 //!   [`Schedule::Dynamic`], and [`Schedule::Guided`] — the `schedule`
 //!   clause;
 //! * [`ThreadPool::scope`] — `task` + `taskwait`;
+//! * [`ThreadPool::run_dag`] — a dependency-counting DAG scheduler that
+//!   starts each task the moment its predecessors complete (OpenMP `task
+//!   depend` rather than barrier-separated stages);
 //! * [`CyclicBarrier`] — the implicit worksharing barrier;
 //! * [`CountdownLatch`] — the completion primitive underneath.
 //!
@@ -26,5 +29,5 @@ pub mod sim;
 
 pub use barrier::CyclicBarrier;
 pub use latch::CountdownLatch;
-pub use pool::{PoolStatsSnapshot, Schedule, TaskScope, ThreadPool};
-pub use sim::{loop_makespan, resource_bounded_makespan, tasks_makespan};
+pub use pool::{BorrowedTask, PoolStatsSnapshot, Schedule, TaskScope, ThreadPool};
+pub use sim::{dag_makespan, loop_makespan, resource_bounded_makespan, tasks_makespan};

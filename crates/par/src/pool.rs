@@ -52,6 +52,15 @@ pub struct PoolStats {
     loops_completed: AtomicU64,
     /// Panics caught inside jobs.
     panics_caught: AtomicU64,
+    /// Nodes handed to the dependency scheduler by [`ThreadPool::run_dag`]
+    /// (each node is dispatched exactly once, when its last predecessor
+    /// completes).
+    dag_dispatches: AtomicU64,
+    /// High-water mark of dispatched-but-not-yet-started DAG nodes — how
+    /// deep the ready queue ever got.
+    dag_ready_peak: AtomicU64,
+    /// `run_dag` constructs completed.
+    dags_completed: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`PoolStats`].
@@ -65,6 +74,28 @@ pub struct PoolStatsSnapshot {
     pub loops_completed: u64,
     /// Panics caught inside jobs.
     pub panics_caught: u64,
+    /// Nodes dispatched by the DAG scheduler.
+    pub dag_dispatches: u64,
+    /// Deepest the DAG ready queue ever got.
+    pub dag_ready_peak: u64,
+    /// Completed `run_dag` constructs.
+    pub dags_completed: u64,
+}
+
+impl PoolStatsSnapshot {
+    /// Counter growth between `before` and `self`. The ready-queue peak is
+    /// a high-water mark, not a counter, so the later value is kept as-is.
+    pub fn delta_since(&self, before: &PoolStatsSnapshot) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            jobs_on_workers: self.jobs_on_workers.saturating_sub(before.jobs_on_workers),
+            jobs_helped: self.jobs_helped.saturating_sub(before.jobs_helped),
+            loops_completed: self.loops_completed.saturating_sub(before.loops_completed),
+            panics_caught: self.panics_caught.saturating_sub(before.panics_caught),
+            dag_dispatches: self.dag_dispatches.saturating_sub(before.dag_dispatches),
+            dag_ready_peak: self.dag_ready_peak,
+            dags_completed: self.dags_completed.saturating_sub(before.dags_completed),
+        }
+    }
 }
 
 /// A fixed-size worker pool.
@@ -143,6 +174,70 @@ impl ForState<'_> {
     }
 }
 
+/// Shared state of one `run_dag` invocation, reached by node jobs through a
+/// raw pointer (same soundness argument as [`ForState`]: the caller blocks
+/// on the latch until every node has counted down).
+struct DagState<'env> {
+    slots: Vec<parking_lot::Mutex<Option<BorrowedTask<'env>>>>,
+    succs: Vec<Vec<usize>>,
+    /// Remaining predecessor count per node; the node is dispatched by
+    /// whoever decrements it to zero.
+    pending: Vec<AtomicUsize>,
+    /// Dispatched-but-not-yet-started nodes (ready-queue depth gauge).
+    ready: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+/// Enqueues node `i`: builds its job and sends it to the pool channel.
+fn dispatch_dag_node(
+    state_ptr: usize,
+    i: usize,
+    sender: &Sender<Job>,
+    stats: &Arc<PoolStats>,
+    latch: &Arc<CountdownLatch>,
+) {
+    // SAFETY: see `DagState` — the caller of `run_dag` keeps the state
+    // alive until the latch opens, which requires this node to finish.
+    let state = unsafe { &*(state_ptr as *const DagState<'static>) };
+    stats.dag_dispatches.fetch_add(1, Ordering::Relaxed);
+    let depth = state.ready.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+    stats.dag_ready_peak.fetch_max(depth, Ordering::Relaxed);
+
+    let sender_clone = sender.clone();
+    let stats_clone = stats.clone();
+    let latch_clone = latch.clone();
+    let job: Job = Box::new(move || {
+        struct Guard(Arc<CountdownLatch>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.count_down();
+            }
+        }
+        // Declared first so it drops last: the latch must not open until
+        // every access to the shared state is over.
+        let _guard = Guard(latch_clone.clone());
+        let latch = latch_clone;
+        let state = unsafe { &*(state_ptr as *const DagState<'static>) };
+        state.ready.fetch_sub(1, Ordering::Relaxed);
+        // After a panic the remaining nodes still cascade (so the latch
+        // fully counts down) but their bodies are skipped.
+        if !state.panicked.load(Ordering::Relaxed) {
+            if let Some(task) = state.slots[i].lock().take() {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    state.panicked.store(true, Ordering::Relaxed);
+                    stats_clone.panics_caught.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        for &s in &state.succs[i] {
+            if state.pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                dispatch_dag_node(state_ptr, s, &sender_clone, &stats_clone, &latch);
+            }
+        }
+    });
+    sender.send(job).expect("worker channel closed");
+}
+
 impl ThreadPool {
     /// Creates a pool with `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
@@ -184,6 +279,9 @@ impl ThreadPool {
             jobs_helped: self.stats.jobs_helped.load(Ordering::Relaxed),
             loops_completed: self.stats.loops_completed.load(Ordering::Relaxed),
             panics_caught: self.stats.panics_caught.load(Ordering::Relaxed),
+            dag_dispatches: self.stats.dag_dispatches.load(Ordering::Relaxed),
+            dag_ready_peak: self.stats.dag_ready_peak.load(Ordering::Relaxed),
+            dags_completed: self.stats.dags_completed.load(Ordering::Relaxed),
         }
     }
 
@@ -302,13 +400,104 @@ impl ThreadPool {
         if tasks.is_empty() {
             return;
         }
-        let slots: Vec<parking_lot::Mutex<Option<BorrowedTask<'_>>>> =
-            tasks.into_iter().map(|t| parking_lot::Mutex::new(Some(t))).collect();
+        let slots: Vec<parking_lot::Mutex<Option<BorrowedTask<'_>>>> = tasks
+            .into_iter()
+            .map(|t| parking_lot::Mutex::new(Some(t)))
+            .collect();
         self.parallel_for(0..slots.len(), Schedule::Dynamic(1), |i| {
             if let Some(task) = slots[i].lock().take() {
                 task();
             }
         });
+    }
+
+    /// Runs a set of interdependent tasks, starting each one the moment its
+    /// predecessors complete — a dependency-counting DAG scheduler.
+    ///
+    /// `preds[i]` lists the task indices that must finish before task `i`
+    /// may start. Roots are dispatched immediately; every completing task
+    /// decrements its successors' pending counters and dispatches those
+    /// that reach zero. The calling thread participates (it drains the
+    /// pool queue while waiting), so `run_dag` completes even when every
+    /// worker is busy, and tasks may themselves use nested pool
+    /// constructs.
+    ///
+    /// Panics if the graph references an out-of-range index, depends on
+    /// itself, or contains a cycle; a panic inside a task is re-raised on
+    /// the caller after the whole graph has drained.
+    ///
+    /// ```
+    /// let pool = arp_par::ThreadPool::new(4);
+    /// let order = parking_lot::Mutex::new(Vec::new());
+    /// // diamond: 0 -> {1, 2} -> 3
+    /// pool.run_dag(
+    ///     (0..4).map(|i| {
+    ///         let order = &order;
+    ///         Box::new(move || order.lock().push(i)) as Box<dyn FnOnce() + Send>
+    ///     }).collect(),
+    ///     &[vec![], vec![0], vec![0], vec![1, 2]],
+    /// );
+    /// let order = order.into_inner();
+    /// assert_eq!(order[0], 0);
+    /// assert_eq!(order[3], 3);
+    /// ```
+    pub fn run_dag<'env>(&self, tasks: Vec<BorrowedTask<'env>>, preds: &[Vec<usize>]) {
+        let n = tasks.len();
+        assert_eq!(preds.len(), n, "run_dag: one predecessor list per task");
+        if n == 0 {
+            return;
+        }
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (i, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                assert!(p < n, "run_dag: task {i} depends on out-of-range {p}");
+                assert_ne!(p, i, "run_dag: task {i} depends on itself");
+                succs[p].push(i);
+                indegree[i] += 1;
+            }
+        }
+        // Kahn's algorithm up front: a cyclic graph would deadlock the
+        // latch, so refuse it loudly instead.
+        {
+            let mut remaining = indegree.clone();
+            let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+            let mut seen = 0;
+            while let Some(i) = queue.pop() {
+                seen += 1;
+                for &s in &succs[i] {
+                    remaining[s] -= 1;
+                    if remaining[s] == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+            assert_eq!(seen, n, "run_dag: dependency graph contains a cycle");
+        }
+
+        let state = DagState {
+            slots: tasks
+                .into_iter()
+                .map(|t| parking_lot::Mutex::new(Some(t)))
+                .collect(),
+            succs,
+            pending: indegree.iter().map(|&d| AtomicUsize::new(d)).collect(),
+            ready: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        };
+        let latch = Arc::new(CountdownLatch::new(n));
+        let state_ptr = &state as *const DagState<'_> as usize;
+        let sender = self.sender.as_ref().expect("pool is shutting down");
+        for (i, &d) in indegree.iter().enumerate() {
+            if d == 0 {
+                dispatch_dag_node(state_ptr, i, sender, &self.stats, &latch);
+            }
+        }
+        self.help_until_open(&latch);
+        self.stats.dags_completed.fetch_add(1, Ordering::Relaxed);
+        if state.panicked.load(Ordering::Relaxed) {
+            panic!("a dag task panicked");
+        }
     }
 
     /// Parallel map: applies `f` to every index and collects the results in
@@ -495,7 +684,11 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
             ids.lock().insert(std::thread::current().id());
         });
-        assert!(ids.lock().len() >= 2, "only {} thread(s) used", ids.lock().len());
+        assert!(
+            ids.lock().len() >= 2,
+            "only {} thread(s) used",
+            ids.lock().len()
+        );
     }
 
     #[test]
@@ -661,6 +854,145 @@ mod tests {
         // The construct completed (with a panic), counters finite & sane.
         let s = p.stats();
         assert_eq!(s.loops_completed, 1);
+    }
+
+    /// Boxes a closure as a borrowed task.
+    fn task<'env, F: FnOnce() + Send + 'env>(f: F) -> BorrowedTask<'env> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn run_dag_respects_dependencies() {
+        let p = pool();
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 4 independent (a small diamond).
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2], vec![]];
+        for _ in 0..50 {
+            let log = parking_lot::Mutex::new(Vec::new());
+            let log_ref = &log;
+            p.run_dag(
+                (0..5)
+                    .map(|i| task(move || log_ref.lock().push(i)))
+                    .collect(),
+                &preds,
+            );
+            let log = log.into_inner();
+            assert_eq!(log.len(), 5);
+            let pos = |v: usize| log.iter().position(|&x| x == v).unwrap();
+            assert!(pos(0) < pos(1));
+            assert!(pos(0) < pos(2));
+            assert!(pos(1) < pos(3));
+            assert!(pos(2) < pos(3));
+        }
+    }
+
+    #[test]
+    fn run_dag_chain_runs_in_order() {
+        let p = pool();
+        let n = 64;
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let log = parking_lot::Mutex::new(Vec::new());
+        let log_ref = &log;
+        p.run_dag(
+            (0..n)
+                .map(|i| task(move || log_ref.lock().push(i)))
+                .collect(),
+            &preds,
+        );
+        assert_eq!(log.into_inner(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_dag_empty_and_independent() {
+        let p = pool();
+        p.run_dag(Vec::new(), &[]);
+        let sum = AtomicU64::new(0);
+        let sum_ref = &sum;
+        let preds = vec![Vec::new(); 100];
+        p.run_dag(
+            (0..100u64)
+                .map(|i| {
+                    task(move || {
+                        sum_ref.fetch_add(i, Ordering::Relaxed);
+                    })
+                })
+                .collect(),
+            &preds,
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn run_dag_tasks_may_nest_parallel_for() {
+        let p = pool();
+        let total = AtomicUsize::new(0);
+        let preds = vec![vec![], vec![0], vec![0]];
+        p.run_dag(
+            (0..3)
+                .map(|_| {
+                    task(|| {
+                        p.parallel_for(0..32, Schedule::Dynamic(4), |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    })
+                })
+                .collect(),
+            &preds,
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 96);
+    }
+
+    #[test]
+    fn run_dag_panic_propagates_and_pool_survives() {
+        let p = pool();
+        let ran_after = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.run_dag(
+                vec![
+                    task(|| panic!("node boom")),
+                    task(|| {
+                        ran_after.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ],
+                &[vec![], vec![0]],
+            );
+        }));
+        assert!(result.is_err());
+        // The dependent node was skipped, not run against broken inputs.
+        assert_eq!(ran_after.load(Ordering::Relaxed), 0);
+        // And the pool is still usable.
+        let ok = AtomicUsize::new(0);
+        p.run_dag(
+            vec![task(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            })],
+            &[vec![]],
+        );
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_dag_rejects_cycles() {
+        let p = pool();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.run_dag(vec![task(|| {}), task(|| {})], &[vec![1], vec![0]]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_dag_stats_count_dispatches() {
+        let p = ThreadPool::new(2);
+        let before = p.stats();
+        let preds = vec![vec![], vec![], vec![0, 1]];
+        p.run_dag((0..3).map(|_| task(|| {})).collect(), &preds);
+        let delta = p.stats().delta_since(&before);
+        assert_eq!(delta.dag_dispatches, 3);
+        assert_eq!(delta.dags_completed, 1);
+        // Two roots were ready at once at dispatch time.
+        assert!(delta.dag_ready_peak >= 1);
+        assert_eq!(delta.panics_caught, 0);
     }
 
     #[test]

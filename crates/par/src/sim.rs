@@ -48,13 +48,109 @@ pub fn tasks_makespan(durations: &[Duration], threads: usize) -> Duration {
     let threads = threads.max(1);
     let mut avail = vec![Duration::ZERO; threads];
     for &d in durations {
-        let slot = avail
-            .iter_mut()
-            .min()
-            .expect("threads >= 1");
+        let slot = avail.iter_mut().min().expect("threads >= 1");
         *slot += d;
     }
     avail.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+/// Critical-path-priority list scheduling of a task DAG on `threads`
+/// processors.
+///
+/// Replays in virtual time the schedule [`crate::ThreadPool::run_dag`]
+/// would produce: a node becomes ready when its last predecessor finishes;
+/// among ready nodes the one with the longest remaining path to an exit
+/// runs first, on the thread that frees up earliest. Returns the virtual
+/// wall time of the whole graph.
+///
+/// `preds[i]` lists the nodes that must finish before node `i` starts.
+/// Panics on out-of-range indices, self-dependencies, or cycles.
+pub fn dag_makespan(durations: &[Duration], preds: &[Vec<usize>], threads: usize) -> Duration {
+    let n = durations.len();
+    assert_eq!(
+        preds.len(),
+        n,
+        "dag_makespan: one predecessor list per node"
+    );
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    let threads = threads.max(1);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            assert!(p < n && p != i, "dag_makespan: bad predecessor {p} of {i}");
+            succs[p].push(i);
+        }
+    }
+
+    // Topological order (Kahn), needed to compute ranks and detect cycles.
+    let mut remaining: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut topo: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let mut head = 0;
+    while head < topo.len() {
+        let i = topo[head];
+        head += 1;
+        for &s in &succs[i] {
+            remaining[s] -= 1;
+            if remaining[s] == 0 {
+                topo.push(s);
+            }
+        }
+    }
+    assert_eq!(
+        topo.len(),
+        n,
+        "dag_makespan: dependency graph contains a cycle"
+    );
+
+    // Downward rank: longest path from the node (inclusive) to any exit.
+    let mut rank = vec![Duration::ZERO; n];
+    for &i in topo.iter().rev() {
+        let down = succs[i]
+            .iter()
+            .map(|&s| rank[s])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        rank[i] = durations[i] + down;
+    }
+
+    // List scheduling: repeatedly take the highest-rank node whose
+    // predecessors are all scheduled, and place it on the earliest-free
+    // thread, no earlier than its predecessors' finish times.
+    let mut finish = vec![Duration::ZERO; n];
+    let mut scheduled = vec![false; n];
+    let mut pending: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut avail = vec![Duration::ZERO; threads];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+    let mut makespan = Duration::ZERO;
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &i)| (rank[i], std::cmp::Reverse(i)))
+        .map(|(pos, _)| pos)
+    {
+        let i = ready.swap_remove(pos);
+        let node_ready = preds[i]
+            .iter()
+            .map(|&p| finish[p])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let t = avail.iter_mut().min().expect("threads >= 1");
+        let start = (*t).max(node_ready);
+        finish[i] = start + durations[i];
+        *t = finish[i];
+        makespan = makespan.max(finish[i]);
+        scheduled[i] = true;
+        for &s in &succs[i] {
+            pending[s] -= 1;
+            if pending[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert!(scheduled.iter().all(|&s| s));
+    makespan
 }
 
 /// Makespan of a loop whose units spend fraction `serial_fraction` of their
@@ -164,6 +260,60 @@ mod tests {
         // the plateau is 4x.
         let quarter = resource_bounded_makespan(&d, 0.25, 8, Schedule::Static);
         assert_eq!(quarter, ms(20));
+    }
+
+    #[test]
+    fn dag_chain_is_sequential() {
+        let d = vec![ms(3), ms(5), ms(2)];
+        let preds = vec![vec![], vec![0], vec![1]];
+        for threads in [1, 4, 16] {
+            assert_eq!(dag_makespan(&d, &preds, threads), ms(10));
+        }
+    }
+
+    #[test]
+    fn dag_independent_nodes_pack_like_tasks() {
+        let d = vec![ms(5), ms(4), ms(3)];
+        let preds = vec![vec![]; 3];
+        assert_eq!(dag_makespan(&d, &preds, 2), tasks_makespan(&d, 2));
+        assert_eq!(dag_makespan(&d, &preds, 8), ms(5));
+    }
+
+    #[test]
+    fn dag_diamond_overlaps_branches() {
+        // 0 (2ms) -> {1 (4ms), 2 (6ms)} -> 3 (1ms): branches overlap on
+        // two threads, so 2 + 6 + 1 = 9ms instead of the 13ms serial sum.
+        let d = vec![ms(2), ms(4), ms(6), ms(1)];
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        assert_eq!(dag_makespan(&d, &preds, 2), ms(9));
+        assert_eq!(dag_makespan(&d, &preds, 1), ms(13));
+    }
+
+    #[test]
+    fn dag_makespan_bounds_hold() {
+        let d: Vec<Duration> = (1..=12).map(|i| ms(i * 5 % 11 + 1)).collect();
+        // Layered graph: node i depends on i-3 (three independent chains
+        // braided by a shared head).
+        let preds: Vec<Vec<usize>> = (0..12)
+            .map(|i| if i < 3 { vec![] } else { vec![i - 3] })
+            .collect();
+        let sum: Duration = d.iter().sum();
+        // Critical path: the heaviest of the three chains.
+        let chain = |start: usize| -> Duration { (0..4).map(|k| d[start + 3 * k]).sum() };
+        let cp = chain(0).max(chain(1)).max(chain(2));
+        for threads in [1usize, 2, 3, 8] {
+            let m = dag_makespan(&d, &preds, threads);
+            assert!(m <= sum, "{threads}");
+            assert!(m >= cp, "{threads}");
+            assert!(m >= sum / threads as u32, "{threads}");
+        }
+        // Enough threads: exactly the critical path.
+        assert_eq!(dag_makespan(&d, &preds, 3), cp);
+    }
+
+    #[test]
+    fn dag_empty_is_zero() {
+        assert_eq!(dag_makespan(&[], &[], 4), Duration::ZERO);
     }
 
     #[test]

@@ -114,7 +114,11 @@ fn log_ticks(min: f64, max: f64) -> Vec<f64> {
     let decades = hi - lo;
     for d in lo..=hi {
         let base = 10f64.powi(d);
-        for &m in if decades <= 2 { &[1.0, 2.0, 5.0][..] } else { &[1.0][..] } {
+        for &m in if decades <= 2 {
+            &[1.0, 2.0, 5.0][..]
+        } else {
+            &[1.0][..]
+        } {
             let v = base * m;
             if v >= min * (1.0 - 1e-12) && v <= max * (1.0 + 1e-12) {
                 ticks.push(v);

@@ -14,16 +14,44 @@ pub struct Color {
 
 impl Color {
     /// Black.
-    pub const BLACK: Color = Color { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: Color = Color {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
     /// Medium gray used for grid lines.
-    pub const GRAY: Color = Color { r: 0.6, g: 0.6, b: 0.6 };
+    pub const GRAY: Color = Color {
+        r: 0.6,
+        g: 0.6,
+        b: 0.6,
+    };
     /// Series palette (blue, red, green, orange, purple).
     pub const PALETTE: [Color; 5] = [
-        Color { r: 0.12, g: 0.34, b: 0.66 },
-        Color { r: 0.77, g: 0.18, b: 0.16 },
-        Color { r: 0.18, g: 0.55, b: 0.24 },
-        Color { r: 0.90, g: 0.56, b: 0.11 },
-        Color { r: 0.48, g: 0.25, b: 0.60 },
+        Color {
+            r: 0.12,
+            g: 0.34,
+            b: 0.66,
+        },
+        Color {
+            r: 0.77,
+            g: 0.18,
+            b: 0.16,
+        },
+        Color {
+            r: 0.18,
+            g: 0.55,
+            b: 0.24,
+        },
+        Color {
+            r: 0.90,
+            g: 0.56,
+            b: 0.11,
+        },
+        Color {
+            r: 0.48,
+            g: 0.25,
+            b: 0.60,
+        },
     ];
 
     fn to_svg(self) -> String {
@@ -102,7 +130,8 @@ impl Backend for PostScript {
         self.body
             .push_str(&format!("{x0:.2} {:.2} moveto\n", self.fy(y0)));
         for &(x, y) in &points[1..] {
-            self.body.push_str(&format!("{x:.2} {:.2} lineto\n", self.fy(y)));
+            self.body
+                .push_str(&format!("{x:.2} {:.2} lineto\n", self.fy(y)));
         }
         self.body.push_str("stroke\n");
     }
@@ -130,13 +159,7 @@ impl Backend for PostScript {
     }
 
     fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, color: Color, width: f64) {
-        let pts = [
-            (x, y),
-            (x + w, y),
-            (x + w, y + h),
-            (x, y + h),
-            (x, y),
-        ];
+        let pts = [(x, y), (x + w, y), (x + w, y + h), (x, y + h), (x, y)];
         self.polyline(&pts, color, width);
     }
 
@@ -267,7 +290,11 @@ mod tests {
     #[test]
     fn svg_document_structure() {
         let mut svg = Box::new(Svg::new(640.0, 480.0));
-        svg.polyline(&[(0.0, 0.0), (10.0, 10.0), (20.0, 5.0)], Color::PALETTE[0], 1.5);
+        svg.polyline(
+            &[(0.0, 0.0), (10.0, 10.0), (20.0, 5.0)],
+            Color::PALETTE[0],
+            1.5,
+        );
         svg.text(5.0, 5.0, 10.0, Anchor::Middle, "a < b & c");
         svg.fill_rect(1.0, 2.0, 3.0, 4.0, Color::GRAY);
         let doc = svg.finish();
@@ -288,7 +315,11 @@ mod tests {
     #[test]
     fn color_conversion() {
         assert_eq!(Color::BLACK.to_svg(), "rgb(0,0,0)");
-        let c = Color { r: 1.0, g: 0.5, b: 0.0 };
+        let c = Color {
+            r: 1.0,
+            g: 0.5,
+            b: 0.0,
+        };
         assert_eq!(c.to_svg(), "rgb(255,128,0)");
     }
 }

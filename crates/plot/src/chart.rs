@@ -111,14 +111,7 @@ impl LineChart {
     }
 
     /// Renders into a rectangular region of a backend.
-    pub fn render_into(
-        &self,
-        be: &mut dyn Backend,
-        x0: f64,
-        y0: f64,
-        width: f64,
-        height: f64,
-    ) {
+    pub fn render_into(&self, be: &mut dyn Backend, x0: f64, y0: f64, width: f64, height: f64) {
         let margin_left = 58.0;
         let margin_right = 12.0;
         let margin_top = 24.0;
@@ -172,12 +165,7 @@ impl LineChart {
                         && (self.x_scale != Scale::Log10 || *x > 0.0)
                         && (self.y_scale != Scale::Log10 || *y > 0.0)
                 })
-                .map(|&(x, y)| {
-                    (
-                        px0 + xa.to_unit(x) * pw,
-                        py0 + ph - ya.to_unit(y) * ph,
-                    )
-                })
+                .map(|&(x, y)| (px0 + xa.to_unit(x) * pw, py0 + ph - ya.to_unit(y) * ph))
                 .collect();
             be.polyline(&pts, color, 1.2);
             // Legend entry.
@@ -327,7 +315,13 @@ impl GroupedBarChart {
         let mut lx = px0;
         let ly = py0 + ph + 34.0;
         for (si, (label, _)) in self.series.iter().enumerate() {
-            be.fill_rect(lx, ly - 8.0, 10.0, 10.0, Color::PALETTE[si % Color::PALETTE.len()]);
+            be.fill_rect(
+                lx,
+                ly - 8.0,
+                10.0,
+                10.0,
+                Color::PALETTE[si % Color::PALETTE.len()],
+            );
             be.text(lx + 14.0, ly, 8.0, Anchor::Start, label);
             lx += 14.0 + 7.0 * label.len() as f64 + 18.0;
         }

@@ -87,16 +87,34 @@ impl Histogram {
         );
 
         be.rect(margin_left, margin_top, pw, ph, Color::BLACK, 1.0);
-        be.text(width / 2.0, margin_top - 10.0, 12.0, Anchor::Middle, &self.title);
+        be.text(
+            width / 2.0,
+            margin_top - 10.0,
+            12.0,
+            Anchor::Middle,
+            &self.title,
+        );
 
         for t in ya.ticks() {
             let ty = margin_top + ph - ya.to_unit(t) * ph;
             be.line(margin_left, ty, margin_left + pw, ty, Color::GRAY, 0.3);
-            be.text(margin_left - 4.0, ty + 3.0, 8.0, Anchor::End, &format_tick(t));
+            be.text(
+                margin_left - 4.0,
+                ty + 3.0,
+                8.0,
+                Anchor::End,
+                &format_tick(t),
+            );
         }
         for t in xa.ticks() {
             let tx = margin_left + xa.to_unit(t) * pw;
-            be.text(tx, margin_top + ph + 14.0, 8.0, Anchor::Middle, &format_tick(t));
+            be.text(
+                tx,
+                margin_top + ph + 14.0,
+                8.0,
+                Anchor::Middle,
+                &format_tick(t),
+            );
         }
         be.text(
             margin_left + pw / 2.0,

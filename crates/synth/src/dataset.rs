@@ -34,9 +34,8 @@ pub const PAPER_EVENT_SHAPES: [(&str, usize, usize, f64); 6] = [
 
 /// Station codes modeled on the Salvadoran strong-motion network.
 const STATION_CODES: [&str; 24] = [
-    "SSLB", "QCAL", "SMIG", "UCAX", "LUNA", "SNJE", "ACAJ", "SONS", "AHUA", "CHAL", "SVIC",
-    "USUL", "LAUN", "SMAR", "PERQ", "CBRR", "TECL", "ZACA", "METP", "ILOP", "APAS", "COMA",
-    "JUCU", "GUAY",
+    "SSLB", "QCAL", "SMIG", "UCAX", "LUNA", "SNJE", "ACAJ", "SONS", "AHUA", "CHAL", "SVIC", "USUL",
+    "LAUN", "SMAR", "PERQ", "CBRR", "TECL", "ZACA", "METP", "ILOP", "APAS", "COMA", "JUCU", "GUAY",
 ];
 
 /// The sampling intervals found in the network (100, 200, 50 sps).

@@ -63,7 +63,8 @@ impl SiteClass {
             let r = f / fk;
             // Resonator amplitude: peak (a_peak-1)/(2k+1) above unity.
             let bump = (a_peak - 1.0) / (2 * k + 1) as f64;
-            let resonance = bump / (((1.0 - r * r) * (1.0 - r * r)) + (2.0 * zeta * r).powi(2)).sqrt()
+            let resonance = bump
+                / (((1.0 - r * r) * (1.0 - r * r)) + (2.0 * zeta * r).powi(2)).sqrt()
                 * (2.0 * zeta);
             h += resonance;
         }

@@ -1,0 +1,682 @@
+//! API-compatible subset of `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it uses: the [`strategy::Strategy`] trait
+//! with `prop_map` / `prop_filter` / `prop_flat_map`, range and
+//! regex-literal strategies, tuples, [`collection::vec`],
+//! [`sample::select`], `prop_oneof!`, and the `proptest!` test macro.
+//!
+//! Generation is deterministic: each test case draws from an RNG seeded
+//! from the test's module path, name, and case index, so failures
+//! reproduce run-to-run. There is no shrinking — a failing case reports
+//! its inputs via the panic message from `prop_assert!`.
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    use std::hash::{Hash, Hasher};
+
+    /// Per-run configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Builds a config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) used for all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator for one test case, deterministically from
+        /// the test identity and case index.
+        pub fn for_case(module: &str, test: &str, case: u32) -> Self {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            module.hash(&mut h);
+            test.hash(&mut h);
+            case.hash(&mut h);
+            TestRng {
+                state: h.finish() | 1,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `0..n` (`n > 0`).
+        pub fn index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Object-safe: only `generate` is required; combinators are
+    /// `Self: Sized`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+
+        /// Rejects values failing `f`, retrying generation.
+        fn prop_filter<R, F>(self, whence: R, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: std::fmt::Display,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                whence: whence.to_string(),
+                f,
+            }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy yielding a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Adapter for [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Adapter for [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+        }
+    }
+
+    /// Adapter for [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        /// The alternatives to choose between.
+        pub options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    /// Boxes a strategy for [`Union`] (used by `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "prop_oneof! of zero options");
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f64, f32);
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&str` is a strategy: the string is a regex literal over the
+    /// supported subset `[class]{m,n}` (character classes with ranges,
+    /// and `{m}`, `{m,n}` or no quantifier).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated [..] in pattern {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            if chars.peek() == Some(&'-') {
+                // Lookahead: `a-z` range unless `-` is last before `]`.
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    chars.next();
+                    let end = chars.next().unwrap();
+                    assert!(c <= end, "bad class range {c}-{end} in {pattern:?}");
+                    set.extend(c..=end);
+                    continue;
+                }
+            }
+            set.push(c);
+        }
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        set
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => spec.push(c),
+                None => panic!("unterminated {{..}} in pattern {pattern:?}"),
+            }
+        }
+        let (lo, hi) = match spec.split_once(',') {
+            Some((a, b)) => (a, b),
+            None => (spec.as_str(), spec.as_str()),
+        };
+        let lo: usize = lo.trim().parse().expect("bad quantifier lower bound");
+        let hi: usize = hi.trim().parse().expect("bad quantifier upper bound");
+        assert!(lo <= hi, "bad quantifier {{{spec}}} in {pattern:?}");
+        (lo, hi)
+    }
+
+    /// Generates a string from the supported regex subset.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            let class = if c == '[' {
+                chars.next();
+                parse_class(&mut chars, pattern)
+            } else {
+                assert!(
+                    !"(){}|*+?^$\\.".contains(c),
+                    "unsupported regex construct {c:?} in pattern {pattern:?}"
+                );
+                chars.next();
+                vec![c]
+            };
+            let (lo, hi) = parse_quantifier(&mut chars, pattern);
+            let count = if lo == hi { lo } else { lo + rng.index(hi - lo + 1) };
+            for _ in 0..count {
+                out.push(class[rng.index(class.len())]);
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let m = rng.next_f64() * 2.0 - 1.0;
+            let e = (rng.index(41) as i32) - 20;
+            m * 2f64.powi(e)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Sizes accepted by [`vec`]: an exact length or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value sets.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select of empty list");
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+
+    /// Chooses uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for a fair coin flip.
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Mirrors proptest's `prop` namespace (`prop::collection::vec`,
+        //! `prop::sample::select`, `prop::bool::ANY`).
+        pub use crate::{bool, collection, sample};
+    }
+}
+
+/// Asserts a condition inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            options: vec![$($crate::strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    module_path!(),
+                    stringify!($name),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_generation_respects_shape() {
+        let mut rng = TestRng::for_case("m", "t", 0);
+        for _ in 0..200 {
+            let s = crate::strategy::generate_from_pattern("[A-Z]{2,5}[0-9]{0,2}", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 7, "{s:?}");
+            assert!(s.chars().take(2).all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("m", "r", 1);
+        for _ in 0..500 {
+            let f = Strategy::generate(&(-4.0f64..4.0), &mut rng);
+            assert!((-4.0..4.0).contains(&f));
+            let u = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oneof_and_combinators_compose() {
+        let strat = prop_oneof![
+            Just(0usize),
+            (1usize..5).prop_map(|v| v * 10),
+        ];
+        let mut rng = TestRng::for_case("m", "o", 2);
+        let mut saw_zero = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            match Strategy::generate(&strat, &mut rng) {
+                0 => saw_zero = true,
+                v => {
+                    assert!(v >= 10 && v < 50 && v % 10 == 0);
+                    saw_mapped = true;
+                }
+            }
+        }
+        assert!(saw_zero && saw_mapped);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((a, b) in (0usize..10, 10usize..20), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in prop::collection::vec(0u64..100, 1..8)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&v| v < 100));
+        }
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let strat = (1usize..6).prop_flat_map(|n| {
+            prop::collection::vec(0u64..10, n..n + 1).prop_filter("nonempty", |v| !v.is_empty())
+        });
+        let mut rng = TestRng::for_case("m", "ff", 3);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! API-compatible subset of `rayon`, backed by `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of rayon it uses: `into_par_iter()` on ranges,
+//! `par_iter()` on slices, `map` / `for_each` / `reduce` / ordered
+//! `collect`, and [`scope`] with `spawn`. Work is split into contiguous
+//! chunks across `available_parallelism` OS threads — genuinely parallel,
+//! though without rayon's work stealing.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n)
+        .max(1)
+}
+
+/// Runs `f(i)` for every index in `0..n`, in parallel, collecting outputs
+/// in index order.
+fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = worker_count(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (k, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = k * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index visited"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on shared references (rayon's by-ref entry point).
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced (a shared reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Internal driver: materialize all items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).drive();
+    }
+
+    /// Reduces items with `op`, seeding each chunk with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.drive().into_iter().fold(identity(), &op)
+    }
+
+    /// Collects items in index order into any `FromIterator` container
+    /// (e.g. `Vec<T>` or `Result<Vec<T>, E>`).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    fn drive(self) -> Vec<usize> {
+        self.range.collect()
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        let start = self.range.start;
+        let n = self.range.len();
+        par_map_indexed(n, |i| f(start + i));
+    }
+}
+
+/// Parallel iterator over slice elements.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+    fn drive(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, T, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    T: Send,
+    F: Fn(B::Item) -> T + Sync + Send,
+{
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        let items = self.base.drive();
+        let f = self.f;
+        par_map_indexed(items.len(), {
+            let slots: Vec<std::sync::Mutex<Option<B::Item>>> =
+                items.into_iter().map(|v| std::sync::Mutex::new(Some(v))).collect();
+            move |i| {
+                let item = slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("each index driven once");
+                f(item)
+            }
+        })
+    }
+}
+
+/// Task scope mirroring `rayon::scope`: spawned tasks (including nested
+/// spawns) all complete before `scope` returns.
+pub struct Scope<'scope> {
+    tasks: std::sync::Mutex<Vec<Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Registers a task to run within the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.tasks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Box::new(f));
+    }
+}
+
+/// Creates a scope, runs `op`, then executes every spawned task (in
+/// parallel batches) until none remain.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let sc = Scope {
+        tasks: std::sync::Mutex::new(Vec::new()),
+    };
+    let result = op(&sc);
+    loop {
+        let batch: Vec<_> = std::mem::take(
+            &mut *sc
+                .tasks
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        if batch.is_empty() {
+            break;
+        }
+        std::thread::scope(|ts| {
+            for task in batch {
+                let sc = &sc;
+                ts.spawn(move || task(sc));
+            }
+        });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_for_each_visits_all() {
+        let counts: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        (0..500).into_par_iter().for_each(|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let total = (0..1000)
+            .into_par_iter()
+            .map(|i| i as u64 * 3)
+            .reduce(|| 0u64, u64::wrapping_add);
+        assert_eq!(total, (0..1000u64).map(|i| i * 3).sum::<u64>());
+    }
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let xs: Vec<i64> = (0..300).collect();
+        let doubled: Vec<i64> = xs.par_iter().map(|&v| v * 2).collect();
+        assert_eq!(doubled, (0..300).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let xs: Vec<i64> = (0..50).collect();
+        let ok: Result<Vec<i64>, String> = xs.par_iter().map(|&v| Ok(v)).collect();
+        assert_eq!(ok.unwrap().len(), 50);
+        let err: Result<Vec<i64>, String> = xs
+            .par_iter()
+            .map(|&v| if v == 25 { Err("boom".to_string()) } else { Ok(v) })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn scope_runs_nested_spawns() {
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..10 {
+                let count = &count;
+                s.spawn(move |inner| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    inner.spawn(move |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline facade over the `serde` surface this workspace uses.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` (for
+//! downstream consumers of its types); it never drives an actual
+//! serializer, and the build environment has no access to crates.io. This
+//! facade provides blanket marker traits and re-exports the sibling no-op
+//! derives so `#[derive(Serialize, Deserialize)]` and `use serde::{...}`
+//! compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

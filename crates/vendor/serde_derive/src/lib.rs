@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on its data types for downstream
+//! consumers, but never serializes anything itself, and the build
+//! environment has no access to crates.io. These derives accept the same
+//! syntax (including `#[serde(...)]` helper attributes) and expand to
+//! nothing; the marker traits live in the sibling vendored `serde` crate
+//! with blanket implementations.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -38,13 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Discover and process the whole batch.
     let items = discover_batch(&batch_root)?;
     let work_root = base.join("work");
-    let report = run_batch(&items, &work_root, &PipelineConfig::default(), ImplKind::FullyParallel)?;
+    let report = run_batch(
+        &items,
+        &work_root,
+        &PipelineConfig::default(),
+        ImplKind::FullyParallel,
+    )?;
     print!("\n{}", report.to_table());
 
     // 3. Per-event summaries + a network-wide PGA distribution.
     let mut all_pga = Vec::new();
     for item in &items {
-        let ctx = RunContext::new(&item.input_dir, work_root.join(&item.label), PipelineConfig::default())?;
+        let ctx = RunContext::new(
+            &item.input_dir,
+            work_root.join(&item.label),
+            PipelineConfig::default(),
+        )?;
         let rows = event_summary(&ctx)?;
         let entry = catalog.find(&item.label).expect("cataloged");
         let max_pga = rows.iter().map(|r| r.pga).fold(0.0f64, f64::max);

@@ -1,4 +1,4 @@
-//! Runs one event through all four pipeline implementations, verifies they
+//! Runs one event through all five pipeline implementations, verifies they
 //! produce byte-identical final products, and prints the timing comparison
 //! (a one-event slice of the paper's Table I).
 //!
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:<22} {:>10.3} s {:>13.2}x", kind.label(), secs, speedup);
     }
 
-    println!("\nall four implementations produced byte-identical final products ✓");
+    println!("\nall five implementations produced byte-identical final products ✓");
     std::fs::remove_dir_all(&base)?;
     Ok(())
 }

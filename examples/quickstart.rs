@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input_dir = base.join("inputs");
     std::fs::create_dir_all(&input_dir)?;
     let files = write_event_inputs(&event, &input_dir)?;
-    println!("synthesized {} V1 station files ({} data points)", files.len(), event.total_data_points());
+    println!(
+        "synthesized {} V1 station files ({} data points)",
+        files.len(),
+        event.total_data_points()
+    );
 
     // 2. Run the fully parallelized pipeline.
     let work_dir = base.join("work");

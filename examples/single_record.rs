@@ -13,9 +13,9 @@ use arp_dsp::peaks::{intensity_measures, peak_values};
 use arp_dsp::respspec::{response_spectrum, standard_periods, ResponseMethod};
 use arp_dsp::spectrum::fourier_spectrum;
 use arp_dsp::window::{cosine_taper, WindowKind};
+use arp_formats::Component;
 use arp_plot::{Figure, LineChart, Scale, Series};
 use arp_synth::{generate_component, EventSpec, SourceModel, StationSpec};
-use arp_formats::Component;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthesize one longitudinal component: M5.8 at 20 km, 100 sps, 80 s.
@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let raw = generate_component(&event.source, &station, Component::Longitudinal, event.seed);
     let dt = station.dt;
-    println!("raw record: {} samples at {} sps", raw.len(), (1.0 / dt) as u32);
+    println!(
+        "raw record: {} samples at {} sps",
+        raw.len(),
+        (1.0 / dt) as u32
+    );
 
     // Step 1 — baseline correction and tapering (process #4 preamble).
     let mut acc = raw.clone();
@@ -76,7 +80,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 5 — response spectra (process #16).
     let periods = standard_periods();
-    let rs = response_spectrum(&corrected, dt, &periods, 0.05, ResponseMethod::NigamJennings)?;
+    let rs = response_spectrum(
+        &corrected,
+        dt,
+        &periods,
+        0.05,
+        ResponseMethod::NigamJennings,
+    )?;
     let psa = rs.psa();
     let (pk, _) = psa
         .iter()
@@ -107,12 +117,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(out.join("fig2-accelerogram.svg"), fig2.to_svg())?;
 
     let periods_axis = spectrum.periods();
-    let fig3 = Figure::new(vec![LineChart::new("Fourier spectra (velocity inflection sets FPL/FSL)")
-        .labels("Period (s)", "amplitude")
-        .scales(Scale::Log10, Scale::Log10)
-        .with_series(Series::from_xy("acceleration", &periods_axis, &spectrum.acceleration))
-        .with_series(Series::from_xy("velocity", &periods_axis, &spectrum.velocity))
-        .with_series(Series::from_xy("displacement", &periods_axis, &spectrum.displacement))]);
+    let fig3 = Figure::new(vec![LineChart::new(
+        "Fourier spectra (velocity inflection sets FPL/FSL)",
+    )
+    .labels("Period (s)", "amplitude")
+    .scales(Scale::Log10, Scale::Log10)
+    .with_series(Series::from_xy(
+        "acceleration",
+        &periods_axis,
+        &spectrum.acceleration,
+    ))
+    .with_series(Series::from_xy(
+        "velocity",
+        &periods_axis,
+        &spectrum.velocity,
+    ))
+    .with_series(Series::from_xy(
+        "displacement",
+        &periods_axis,
+        &spectrum.displacement,
+    ))]);
     std::fs::write(out.join("fig3-fourier.svg"), fig3.to_svg())?;
 
     let fig4 = Figure::new(vec![LineChart::new("Response spectrum (5% damping)")

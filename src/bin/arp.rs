@@ -7,8 +7,10 @@
 //! arp inspect --work DIR --station CODE             summarize one station
 //! ```
 //!
-//! `--impl` is one of `seq-original`, `seq-optimized`, `partial`, `full`
-//! (default `full`).
+//! `--impl` is one of `seq-original`, `seq-optimized`, `partial`, `full`,
+//! `dag` (default `full`). `arp run --stats on` additionally prints the
+//! worker-pool counters the run produced (and, for `--impl dag`, the
+//! schedule analysis: critical path and barrier vs. DAG makespans).
 
 use arp_core::{
     event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
@@ -38,8 +40,9 @@ fn impl_kind(name: &str) -> Result<ImplKind, String> {
         "seq-optimized" => Ok(ImplKind::SequentialOptimized),
         "partial" => Ok(ImplKind::PartiallyParallel),
         "full" => Ok(ImplKind::FullyParallel),
+        "dag" => Ok(ImplKind::DagParallel),
         other => Err(format!(
-            "unknown implementation {other:?} (use seq-original|seq-optimized|partial|full)"
+            "unknown implementation {other:?} (use seq-original|seq-optimized|partial|full|dag)"
         )),
     }
 }
@@ -88,6 +91,40 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     for stage in &report.stages {
         println!("  stage {:<5} {:?}", stage.stage.label(), stage.elapsed);
+    }
+    if let Some(dag) = &report.dag {
+        let path: Vec<String> = dag
+            .critical_path
+            .iter()
+            .map(|p| format!("#{}", p.0))
+            .collect();
+        println!(
+            "  critical path {} ({:?} floor on {} threads)",
+            path.join(" -> "),
+            dag.critical_path_len,
+            dag.threads
+        );
+        println!(
+            "  makespan {:?} dag vs {:?} barrier plan (barriers cost {:?}; stage parallelism saves {:?})",
+            dag.dag_makespan,
+            dag.barrier_makespan,
+            dag.barrier_saving(),
+            dag.stage_saving()
+        );
+    }
+    if flags.get("stats").is_some_and(|v| v != "off") {
+        match &report.pool {
+            Some(pool) => println!(
+                "  pool: {} dispatched, {} helped by caller, {} loops, {} dag dispatches (ready peak {}), {} dags",
+                pool.jobs_on_workers,
+                pool.jobs_helped,
+                pool.loops_completed,
+                pool.dag_dispatches,
+                pool.dag_ready_peak,
+                pool.dags_completed
+            ),
+            None => println!("  pool: not used by this run"),
+        }
     }
     Ok(())
 }
@@ -159,7 +196,10 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
     let items = arp_core::discover_batch(&root).map_err(|e| e.to_string())?;
     if items.is_empty() {
-        return Err(format!("no event directories with .v1 files under {}", root.display()));
+        return Err(format!(
+            "no event directories with .v1 files under {}",
+            root.display()
+        ));
     }
     println!("processing {} events...", items.len());
     let report = arp_core::run_batch(&items, &work, &PipelineConfig::default(), kind)

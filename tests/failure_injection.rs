@@ -42,7 +42,11 @@ fn missing_input_directory_is_an_error() {
 fn garbage_v1_file_is_rejected_with_format_error() {
     let (base, input) = setup("garbage");
     std::fs::write(input.join("BOGUS.v1"), "this is not a V1 file\n").unwrap();
-    for kind in [ImplKind::SequentialOriginal, ImplKind::FullyParallel] {
+    for kind in [
+        ImplKind::SequentialOriginal,
+        ImplKind::FullyParallel,
+        ImplKind::DagParallel,
+    ] {
         let err = run(&input, base.join(format!("w-{kind:?}")), kind).unwrap_err();
         assert!(matches!(err, PipelineError::Format(_)), "{kind:?}: {err}");
     }
@@ -104,8 +108,11 @@ fn deleting_intermediate_midway_is_detected() {
     filter::correct_signals(&ctx, filter::CorrectionPass::Default, false).unwrap();
 
     let station = ctx.stations().unwrap()[0].clone();
-    std::fs::remove_file(ctx.artifact(&names::v2_component(&station, arp_formats::Component::Vertical)))
-        .unwrap();
+    std::fs::remove_file(ctx.artifact(&names::v2_component(
+        &station,
+        arp_formats::Component::Vertical,
+    )))
+    .unwrap();
     let err = respspec::response_spectrum_calc(&ctx, false).unwrap_err();
     assert!(matches!(err, PipelineError::Format(_)), "{err}");
     std::fs::remove_dir_all(&base).unwrap();

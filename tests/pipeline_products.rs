@@ -26,10 +26,22 @@ fn full_artifact_inventory() {
     for s in &stations {
         // Per-component intermediates and products.
         for c in Component::ALL {
-            assert!(ctx.artifact(&names::v1_component(s, c)).exists(), "{s} {c:?} v1");
-            assert!(ctx.artifact(&names::v2_component(s, c)).exists(), "{s} {c:?} v2");
-            assert!(ctx.artifact(&names::f_component(s, c)).exists(), "{s} {c:?} f");
-            assert!(ctx.artifact(&names::r_component(s, c)).exists(), "{s} {c:?} r");
+            assert!(
+                ctx.artifact(&names::v1_component(s, c)).exists(),
+                "{s} {c:?} v1"
+            );
+            assert!(
+                ctx.artifact(&names::v2_component(s, c)).exists(),
+                "{s} {c:?} v2"
+            );
+            assert!(
+                ctx.artifact(&names::f_component(s, c)).exists(),
+                "{s} {c:?} f"
+            );
+            assert!(
+                ctx.artifact(&names::r_component(s, c)).exists(),
+                "{s} {c:?} r"
+            );
         }
         // 18 GEM files per station.
         let mut gem_count = 0;
@@ -44,7 +56,11 @@ fn full_artifact_inventory() {
         }
         assert_eq!(gem_count, 18);
         // Three plot files.
-        for plot in [names::plot_acc(s), names::plot_fourier(s), names::plot_response(s)] {
+        for plot in [
+            names::plot_acc(s),
+            names::plot_fourier(s),
+            names::plot_response(s),
+        ] {
             let text = std::fs::read_to_string(ctx.artifact(&plot)).unwrap();
             assert!(text.starts_with("%!PS-Adobe"), "{plot}");
         }
@@ -86,7 +102,8 @@ fn gem_series_are_consistent_with_their_sources() {
     // Time-series GEMs mirror the V2 traces.
     let v2 = V2File::read(&ctx.artifact(&names::v2_component(s, Component::Longitudinal))).unwrap();
     for q in Quantity::ALL {
-        let gem = GemFile::read(&ctx.artifact(&names::gem(s, Component::Longitudinal, false, q))).unwrap();
+        let gem = GemFile::read(&ctx.artifact(&names::gem(s, Component::Longitudinal, false, q)))
+            .unwrap();
         let src = v2.data.get(q);
         assert_eq!(gem.values.len(), src.len());
         let peak = src.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
@@ -96,8 +113,13 @@ fn gem_series_are_consistent_with_their_sources() {
     // Response GEMs mirror the 5%-damped spectra.
     let r = RFile::read(&ctx.artifact(&names::r_component(s, Component::Longitudinal))).unwrap();
     let spec = r.at_damping(0.05).unwrap();
-    let gem_ra =
-        GemFile::read(&ctx.artifact(&names::gem(s, Component::Longitudinal, true, Quantity::Acceleration))).unwrap();
+    let gem_ra = GemFile::read(&ctx.artifact(&names::gem(
+        s,
+        Component::Longitudinal,
+        true,
+        Quantity::Acceleration,
+    )))
+    .unwrap();
     assert_eq!(gem_ra.values.len(), spec.sa.len());
     for (a, b) in gem_ra.values.iter().zip(spec.sa.iter()) {
         assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-12));
@@ -174,8 +196,8 @@ fn event_summary_matches_products() {
     assert_eq!(rows.len(), ctx.stations().unwrap().len() * 3);
     // Summary PGA equals the V2 peak for each row.
     for row in &rows {
-        let v2 = V2File::read(&ctx.artifact(&names::v2_component(&row.station, row.component)))
-            .unwrap();
+        let v2 =
+            V2File::read(&ctx.artifact(&names::v2_component(&row.station, row.component))).unwrap();
         assert!((row.pga - v2.peaks.pga).abs() <= 1e-12 * v2.peaks.pga.max(1e-12));
     }
     let csv = summary_csv(&rows);

@@ -9,9 +9,9 @@ use proptest::prelude::*;
 
 fn event_strategy() -> impl Strategy<Value = EventSpec> {
     (
-        1usize..4,                  // stations
-        64usize..220,               // samples per component
-        4.5f64..6.5,                // magnitude
+        1usize..4,    // stations
+        64usize..220, // samples per component
+        4.5f64..6.5,  // magnitude
         prop::sample::select(vec![0.005f64, 0.01, 0.02]),
         any::<u64>(),
     )
@@ -65,7 +65,11 @@ proptest! {
         };
 
         let mut reference = None;
-        for kind in [ImplKind::SequentialOriginal, ImplKind::FullyParallel] {
+        for kind in [
+            ImplKind::SequentialOriginal,
+            ImplKind::FullyParallel,
+            ImplKind::DagParallel,
+        ] {
             let work = base.join(format!("w-{kind:?}"));
             let ctx = RunContext::new(&input, &work, config.clone()).unwrap();
             let report = run_pipeline(&ctx, kind).unwrap();
