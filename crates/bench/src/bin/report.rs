@@ -13,6 +13,8 @@
 //!   amdahl   Amdahl check — measured vs predicted speedup
 //!   sweep    speedup vs virtual processor count (1..16)
 //!   scaling  execution time vs data points (linearity check, §VII-C)
+//!   batch    six-event cross-event super-DAG vs per-event DAG loop
+//!            (writes BENCH_batch.json)
 //!   all      run everything
 //!
 //! options:
@@ -242,6 +244,22 @@ fn main() {
                 println!("{t:<10} {s:>7.2}x");
             }
             save(&opts.out, "sweep.csv", &bench::sweep_csv(&rows));
+        }
+        "batch" => {
+            bench::warmup(&config).expect("warmup failed");
+            eprintln!(
+                "running batch experiment at scale {} ({})...",
+                opts.scale,
+                if opts.measured {
+                    "measured wall-clock".to_string()
+                } else {
+                    format!("simulated {}-thread schedule", opts.threads)
+                }
+            );
+            let b = bench::batch_experiment(opts.scale, &config, 6).expect("batch run failed");
+            println!();
+            print!("{}", bench::format_batch_experiment(&b));
+            save(&opts.out, "BENCH_batch.json", &bench::batch_json(&b));
         }
         "all" => {
             let rows = rows.as_ref().unwrap();

@@ -9,7 +9,9 @@
 //! * [`fig12_svg`] — Fig. 12: grouped bars of the five implementations per
 //!   event;
 //! * [`fig13`] / [`fig13_svg`] — Fig. 13: speedup and throughput vs problem
-//!   size.
+//!   size;
+//! * [`batch_experiment`] — beyond the paper: the six events processed as
+//!   one cross-event super-DAG vs a per-event DAG loop.
 //!
 //! The `report` binary drives these from the command line; the Criterion
 //! benches reuse the same building blocks at reduced scale.
@@ -536,6 +538,163 @@ pub fn linear_fit(rows: &[(usize, f64)]) -> (f64, f64, f64) {
     (a, b, r2)
 }
 
+/// Results of the batch experiment: the same paper events processed twice,
+/// once by a per-event DAG loop (events strictly in sequence, each
+/// internally parallel) and once as one cross-event super-DAG
+/// ([`arp_core::run_batch_dag`]). The difference isolates what scheduling
+/// the whole batch as a single graph buys.
+#[derive(Debug)]
+pub struct BatchExperiment {
+    /// Data-point scale the events were synthesized at.
+    pub scale: f64,
+    /// Per-event DAG loop: the sequential-across-events baseline.
+    pub loop_report: arp_core::BatchReport,
+    /// Cross-event super-DAG run (critical-path ready order).
+    pub dag_report: arp_core::BatchReport,
+}
+
+impl BatchExperiment {
+    /// Wall-time speedup of the super-DAG run over the per-event loop.
+    pub fn measured_speedup(&self) -> f64 {
+        if self.dag_report.total.is_zero() {
+            return 0.0;
+        }
+        self.loop_report.total.as_secs_f64() / self.dag_report.total.as_secs_f64()
+    }
+}
+
+/// Runs the batch experiment on the first `n_events` paper events at the
+/// given scale (the recipe uses all six).
+pub fn batch_experiment(
+    scale: f64,
+    config: &PipelineConfig,
+    n_events: usize,
+) -> Result<BatchExperiment, PipelineError> {
+    let n_events = n_events.clamp(1, PAPER_EVENT_SHAPES.len());
+    let root = scratch("batch-in");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).map_err(|e| PipelineError::io(&root, e))?;
+    }
+    let mut items = Vec::with_capacity(n_events);
+    for (i, &(label, _, _, _)) in PAPER_EVENT_SHAPES.iter().take(n_events).enumerate() {
+        let dir = root.join(label);
+        std::fs::create_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
+        write_event_inputs(&paper_event(i, scale), &dir)?;
+        items.push(arp_core::BatchItem {
+            label: label.to_string(),
+            input_dir: dir,
+        });
+    }
+    let loop_work = scratch("batch-loop-w");
+    let dag_work = scratch("batch-dag-w");
+    for w in [&loop_work, &dag_work] {
+        if w.exists() {
+            std::fs::remove_dir_all(w).map_err(|e| PipelineError::io(w, e))?;
+        }
+    }
+    let loop_report = arp_core::run_batch(&items, &loop_work, config, ImplKind::DagParallel)?;
+    let dag_report = arp_core::run_batch_dag(
+        &items,
+        &dag_work,
+        config,
+        arp_core::ReadyOrder::CriticalPath,
+    )?;
+    for dir in [&root, &loop_work, &dag_work] {
+        std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
+    }
+    Ok(BatchExperiment {
+        scale,
+        loop_report,
+        dag_report,
+    })
+}
+
+/// Formats the batch experiment: per-event comparison rows, then the
+/// super-DAG speedup decomposition.
+pub fn format_batch_experiment(b: &BatchExperiment) -> String {
+    let mut out = format!(
+        "Batch experiment, {} events at scale {} (per-event DAG loop vs cross-event super-DAG):\n\
+         {:<12} {:>8} {:>10} {:>12} {:>12}\n",
+        b.loop_report.events.len(),
+        b.scale,
+        "Event",
+        "V1 Files",
+        "Points",
+        "Loop (s)",
+        "Alone (s)"
+    );
+    let makespans = b
+        .dag_report
+        .dag
+        .as_ref()
+        .map(|d| d.event_makespans.as_slice())
+        .unwrap_or(&[]);
+    for (i, r) in b.loop_report.events.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>12.3} {:>12.3}\n",
+            r.event,
+            r.v1_files,
+            r.data_points,
+            r.total.as_secs_f64(),
+            makespans.get(i).map_or(0.0, |d| d.as_secs_f64()),
+        ));
+    }
+    out.push_str(&format!(
+        "per-event loop total {:>10.3}s\nsuper-DAG total      {:>10.3}s  ({:.2}x)\n",
+        b.loop_report.total.as_secs_f64(),
+        b.dag_report.total.as_secs_f64(),
+        b.measured_speedup(),
+    ));
+    if let Some(dag) = &b.dag_report.dag {
+        out.push_str(&dag.to_table());
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Emits the batch experiment as JSON (hand-rolled; the workspace vendors
+/// no JSON serializer).
+pub fn batch_json(b: &BatchExperiment) -> String {
+    let dag = b.dag_report.dag.as_ref();
+    let makespans = dag.map(|d| d.event_makespans.as_slice()).unwrap_or(&[]);
+    let mut events = String::new();
+    for (i, r) in b.loop_report.events.iter().enumerate() {
+        if i > 0 {
+            events.push_str(",\n");
+        }
+        events.push_str(&format!(
+            "    {{\"label\": {}, \"v1_files\": {}, \"data_points\": {}, \"loop_s\": {:.6}, \"alone_makespan_s\": {:.6}}}",
+            json_str(&r.event),
+            r.v1_files,
+            r.data_points,
+            r.total.as_secs_f64(),
+            makespans.get(i).map_or(0.0, |d| d.as_secs_f64()),
+        ));
+    }
+    format!(
+        "{{\n  \"scale\": {},\n  \"threads\": {},\n  \"order\": {},\n  \"events\": [\n{}\n  ],\n  \
+         \"per_event_loop_s\": {:.6},\n  \"super_dag_s\": {:.6},\n  \"measured_speedup\": {:.4},\n  \
+         \"node_total_s\": {:.6},\n  \"sequential_baseline_s\": {:.6},\n  \"batch_makespan_s\": {:.6},\n  \
+         \"cross_event_overlap_s\": {:.6},\n  \"overlap_speedup\": {:.4},\n  \"batch_speedup\": {:.4}\n}}\n",
+        b.scale,
+        dag.map_or(0, |d| d.threads),
+        json_str(dag.map_or("", |d| d.order.label())),
+        events,
+        b.loop_report.total.as_secs_f64(),
+        b.dag_report.total.as_secs_f64(),
+        b.measured_speedup(),
+        dag.map_or(0.0, |d| d.node_total.as_secs_f64()),
+        dag.map_or(0.0, |d| d.sequential_baseline().as_secs_f64()),
+        dag.map_or(0.0, |d| d.batch_makespan.as_secs_f64()),
+        dag.map_or(0.0, |d| d.cross_event_overlap().as_secs_f64()),
+        dag.map_or(0.0, |d| d.overlap_speedup()),
+        dag.map_or(0.0, |d| d.batch_speedup()),
+    )
+}
+
 /// Thread-count sweep: overall speedup of the fully parallelized pipeline
 /// at each virtual processor count (the Amdahl curve the paper's Fig. 13
 /// gestures at). Returns `(threads, speedup)` pairs.
@@ -660,6 +819,27 @@ mod tests {
         let (a, b, _) = linear_fit(&same_x);
         assert_eq!(b, 0.0);
         assert!((a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_experiment_compares_schedules() {
+        use arp_core::config::TimingModel;
+        let mut config = tiny_config();
+        config.timing = TimingModel::Simulated { threads: 8 };
+        let b = batch_experiment(0.002, &config, 2).unwrap();
+        assert_eq!(b.loop_report.events.len(), 2);
+        assert_eq!(b.dag_report.events.len(), 2);
+        let dag = b.dag_report.dag.as_ref().expect("super-DAG analysis");
+        assert!(dag.cross_event_overlap() > Duration::ZERO);
+        let text = format_batch_experiment(&b);
+        assert!(text.contains("per-event loop total"), "{text}");
+        assert!(text.contains("super-DAG"), "{text}");
+        let json = batch_json(&b);
+        assert!(json.contains("\"events\": ["), "{json}");
+        assert!(json.contains("\"overlap_speedup\""), "{json}");
+        assert!(json.contains("\"order\": \"critical-path\""), "{json}");
+        // Two event rows, one per label.
+        assert_eq!(json.matches("\"label\":").count(), 2);
     }
 
     #[test]

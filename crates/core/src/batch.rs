@@ -6,14 +6,32 @@
 //! directories, each into its own work directory, and aggregates the
 //! reports — the unit the paper's "scaling our approach to larger
 //! experimental accelerographic datasets" future work asks about.
+//!
+//! Two batch schedules are available:
+//!
+//! * the **per-event loop** — every [`ImplKind`] except
+//!   [`ImplKind::BatchDag`] processes events strictly one at a time, so
+//!   the pool idles in the tail of each event;
+//! * the **cross-event super-DAG** ([`run_batch_dag`], selected by
+//!   [`ImplKind::BatchDag`]) — the per-event dependency graphs are unioned
+//!   into one [`SuperDag`] and submitted to the worker pool in a single
+//!   call, so small events fill the idle tails of big ones. The
+//!   [`BatchDagReport`] decomposes the win into intra-event parallelism
+//!   vs cross-event overlap.
 
-use crate::config::PipelineConfig;
+use crate::config::{PipelineConfig, TimingModel};
 use crate::context::RunContext;
+use crate::dag::SuperDag;
 use crate::error::{PipelineError, Result};
-use crate::executor::run_pipeline_labeled;
-use crate::report::{ImplKind, RunReport};
+use crate::executor::{
+    dag_node_mode, dag_schedule_report, measure_input_shape, run_pipeline_labeled, run_process,
+};
+use crate::process;
+use crate::report::{ImplKind, ProcessTiming, RunReport};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One event to process: an input directory of `<station>.v1` files.
 #[derive(Debug, Clone)]
@@ -24,13 +42,139 @@ pub struct BatchItem {
     pub input_dir: PathBuf,
 }
 
+/// How the super-DAG scheduler orders simultaneously-ready nodes — the
+/// batch's fairness knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReadyOrder {
+    /// Critical-path weight: whenever several nodes are ready at once they
+    /// are dispatched longest-remaining-work first (downward rank weighted
+    /// by event size). Long chains start early, and one huge event cannot
+    /// starve the rest — its nodes outrank others only while its remaining
+    /// work genuinely is longer.
+    #[default]
+    CriticalPath,
+    /// Flat submission (event-major index) order: the first event's ready
+    /// nodes always queue ahead of later events'. The unfair baseline the
+    /// critical-path knob is measured against.
+    Submission,
+}
+
+impl ReadyOrder {
+    /// Display name (batch report tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadyOrder::CriticalPath => "critical-path",
+            ReadyOrder::Submission => "submission",
+        }
+    }
+}
+
+/// Schedule analysis of a cross-event super-DAG batch run, decomposing the
+/// batch speedup into its two independent sources.
+///
+/// All makespans are computed from the *same* per-node durations by the
+/// deterministic scheduling simulator, so the comparison is free of
+/// measurement noise:
+///
+/// * `node_total` — every node of every event, back to back;
+/// * `Σ event_makespans` — the **sequential-per-event DAG baseline**: each
+///   event scheduled as its own DAG (intra-event parallelism only), events
+///   run one after another — what `run_batch --impl dag` did before the
+///   super-DAG;
+/// * `batch_makespan` — the whole super-graph scheduled in one call.
+///
+/// `node_total − Σ event_makespans` is the intra-event saving;
+/// `Σ event_makespans − batch_makespan` is the cross-event overlap the
+/// super-DAG adds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchDagReport {
+    /// Per-event DAG makespans (same order as [`BatchReport::events`]):
+    /// what each event costs scheduled alone on the same threads.
+    pub event_makespans: Vec<Duration>,
+    /// Makespan of the unioned super-graph on the same threads, clamped to
+    /// the sequential-per-event baseline (running events back to back is
+    /// always a valid schedule, so the union can never report a slowdown).
+    pub batch_makespan: Duration,
+    /// Sum of all node durations across all events.
+    pub node_total: Duration,
+    /// The longest per-event critical path — the floor no schedule beats.
+    pub critical_path_len: Duration,
+    /// Thread count the schedules were computed for.
+    pub threads: usize,
+    /// Ready-queue ordering the run used.
+    pub order: ReadyOrder,
+}
+
+impl BatchDagReport {
+    /// The sequential-per-event DAG baseline: Σ of per-event makespans.
+    pub fn sequential_baseline(&self) -> Duration {
+        self.event_makespans.iter().sum()
+    }
+
+    /// Virtual time recovered by overlapping events in one super-graph
+    /// (what the batch scheduler buys beyond a per-event DAG loop).
+    pub fn cross_event_overlap(&self) -> Duration {
+        self.sequential_baseline()
+            .saturating_sub(self.batch_makespan)
+    }
+
+    /// Virtual time recovered by each event's own DAG parallelism relative
+    /// to running every node back to back.
+    pub fn intra_event_saving(&self) -> Duration {
+        self.node_total.saturating_sub(self.sequential_baseline())
+    }
+
+    /// Speedup of the super-graph schedule over the sequential-per-event
+    /// baseline (1.0 = no cross-event overlap).
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.batch_makespan.is_zero() {
+            return 0.0;
+        }
+        self.sequential_baseline().as_secs_f64() / self.batch_makespan.as_secs_f64()
+    }
+
+    /// Speedup of the super-graph schedule over the fully serialized batch.
+    pub fn batch_speedup(&self) -> f64 {
+        if self.batch_makespan.is_zero() {
+            return 0.0;
+        }
+        self.node_total.as_secs_f64() / self.batch_makespan.as_secs_f64()
+    }
+
+    /// Formats the speedup decomposition.
+    pub fn to_table(&self) -> String {
+        format!(
+            "super-DAG schedule on {} threads ({} ready order):\n\
+             \x20 serialized nodes   {:>10.3}s\n\
+             \x20 per-event DAG loop {:>10.3}s  (intra-event parallelism saves {:.3}s)\n\
+             \x20 super-DAG batch    {:>10.3}s  (cross-event overlap saves {:.3}s)\n\
+             \x20 critical-path floor{:>10.3}s\n\
+             \x20 batch speedup {:.2}x serialized, {:.2}x per-event loop\n",
+            self.threads,
+            self.order.label(),
+            self.node_total.as_secs_f64(),
+            self.sequential_baseline().as_secs_f64(),
+            self.intra_event_saving().as_secs_f64(),
+            self.batch_makespan.as_secs_f64(),
+            self.cross_event_overlap().as_secs_f64(),
+            self.critical_path_len.as_secs_f64(),
+            self.batch_speedup(),
+            self.overlap_speedup(),
+        )
+    }
+}
+
 /// Aggregated result of a batch run.
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-event reports, in input order.
     pub events: Vec<RunReport>,
-    /// Total wall time of the whole batch.
+    /// Total wall time of the whole batch. For the per-event loop this is
+    /// the sum of event times; for [`run_batch_dag`] it is the batch
+    /// makespan (events overlap, so no per-event wall times exist).
     pub total: Duration,
+    /// Super-DAG schedule analysis ([`ImplKind::BatchDag`] runs only).
+    pub dag: Option<BatchDagReport>,
 }
 
 impl BatchReport {
@@ -47,7 +191,20 @@ impl BatchReport {
         self.data_points() as f64 / self.total.as_secs_f64()
     }
 
-    /// Formats a per-event summary table.
+    /// Speedup of the batch wall time over the sum of per-event times:
+    /// 1.0 for the per-event loop (the batch *is* the sum), and the
+    /// cross-event overlap factor for a super-DAG run.
+    pub fn speedup(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        let event_sum: Duration = self.events.iter().map(|r| r.total).sum();
+        event_sum.as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Formats a per-event summary table, closed by the aggregate row
+    /// (total shape, batch wall time, throughput and speedup over the
+    /// per-event sum) and, for super-DAG runs, the schedule decomposition.
     pub fn to_table(&self) -> String {
         let mut out = format!(
             "{:<16} {:>8} {:>10} {:>10}\n",
@@ -62,41 +219,264 @@ impl BatchReport {
                 r.total.as_secs_f64()
             ));
         }
+        let files: usize = self.events.iter().map(|r| r.v1_files).sum();
         out.push_str(&format!(
-            "batch total: {:.3}s, {:.0} points/s\n",
-            self.total.as_secs_f64(),
-            self.throughput()
+            "{:<16} {:>8} {:>10} {:>10.3}\n",
+            "batch",
+            files,
+            self.data_points(),
+            self.total.as_secs_f64()
         ));
+        out.push_str(&format!(
+            "aggregate: {:.0} points/s, {:.2}x vs per-event sum\n",
+            self.throughput(),
+            self.speedup()
+        ));
+        if let Some(dag) = &self.dag {
+            out.push_str(&dag.to_table());
+        }
         out
     }
 }
 
-/// Processes every event in order with the chosen implementation. Each
-/// event gets `work_root/<label>/` as its work directory. Fails fast on the
-/// first event error (a malformed event must not silently vanish from the
-/// batch).
-pub fn run_batch(
-    items: &[BatchItem],
-    work_root: &Path,
-    config: &PipelineConfig,
-    kind: ImplKind,
-) -> Result<BatchReport> {
-    let mut events = Vec::with_capacity(items.len());
-    let mut total = Duration::ZERO;
-    for item in items {
+/// Rejects labels that would escape or collide inside the work root: every
+/// event's work directory is `work_root/<label>/`, so labels must be
+/// non-empty, path-separator-free, and unique.
+fn validate_labels(items: &[BatchItem]) -> Result<()> {
+    for (i, item) in items.iter().enumerate() {
         if item.label.is_empty() || item.label.contains(['/', '\\']) {
             return Err(PipelineError::Config(format!(
                 "bad batch label {:?}",
                 item.label
             )));
         }
+        if items[..i].iter().any(|other| other.label == item.label) {
+            return Err(PipelineError::Config(format!(
+                "duplicate batch label {:?}",
+                item.label
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Processes every event with the chosen implementation. Each event gets
+/// `work_root/<label>/` as its work directory. Fails fast on the first
+/// event error (a malformed event must not silently vanish from the
+/// batch).
+///
+/// [`ImplKind::BatchDag`] routes to [`run_batch_dag`] (one cross-event
+/// super-graph, default fairness); every other kind runs the per-event
+/// loop.
+pub fn run_batch(
+    items: &[BatchItem],
+    work_root: &Path,
+    config: &PipelineConfig,
+    kind: ImplKind,
+) -> Result<BatchReport> {
+    validate_labels(items)?;
+    if kind == ImplKind::BatchDag {
+        return run_batch_dag(items, work_root, config, ReadyOrder::default());
+    }
+    let mut events = Vec::with_capacity(items.len());
+    let mut total = Duration::ZERO;
+    for item in items {
         let work = work_root.join(&item.label);
         let ctx = RunContext::new(&item.input_dir, &work, config.clone())?;
         let report = run_pipeline_labeled(&ctx, kind, &item.label)?;
         total += report.total;
         events.push(report);
     }
-    Ok(BatchReport { events, total })
+    Ok(BatchReport {
+        events,
+        total,
+        dag: None,
+    })
+}
+
+/// Processes a whole batch as **one cross-event super-DAG**: the per-event
+/// dependency graphs are unioned ([`SuperDag::union`], nodes namespaced by
+/// event label, no cross-event edges, one work directory per event) and
+/// submitted to the shared worker pool in a single scheduler call, so small
+/// events fill the idle tails of big ones.
+///
+/// In measured timing mode the nodes of *all* events genuinely run
+/// concurrently, dispatched by `order` (critical-path priority by
+/// default). In simulated mode every node executes sequentially — so its
+/// virtual duration can be measured cleanly — and the super-graph schedule
+/// is replayed in virtual time on the configured thread count. Either way
+/// the attached [`BatchDagReport`] decomposes the batch speedup
+/// deterministically from the same per-node durations.
+///
+/// Products are byte-identical to a per-event sequential run: the schedule
+/// changes *when* each process runs, never what it writes.
+pub fn run_batch_dag(
+    items: &[BatchItem],
+    work_root: &Path,
+    config: &PipelineConfig,
+    order: ReadyOrder,
+) -> Result<BatchReport> {
+    validate_labels(items)?;
+    let started = Instant::now();
+    let mut ctxs = Vec::with_capacity(items.len());
+    let mut shapes = Vec::with_capacity(items.len());
+    for item in items {
+        let ctx = RunContext::new(&item.input_dir, work_root.join(&item.label), config.clone())?;
+        shapes.push(measure_input_shape(&ctx)?);
+        ctxs.push(ctx);
+    }
+    let labels: Vec<String> = items.iter().map(|i| i.label.clone()).collect();
+    let super_dag = SuperDag::union(&labels);
+    let per = super_dag.per_event().nodes().len();
+
+    let (durations, threads) = match config.timing {
+        TimingModel::Simulated { threads } => {
+            // Sequential execution in per-event topological (numeric)
+            // order; durations are net of already-credited inner savings.
+            let mut durations = vec![Duration::ZERO; super_dag.len()];
+            for (e, ctx) in ctxs.iter().enumerate() {
+                for (k, &p) in super_dag.per_event().nodes().iter().enumerate() {
+                    let (parallel, staged) = dag_node_mode(p);
+                    let saved0 = ctx.saved_snapshot();
+                    let t0 = Instant::now();
+                    run_process(ctx, p, parallel, staged)?;
+                    durations[super_dag.event_offset(e) + k] =
+                        t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
+                }
+            }
+            (durations, threads)
+        }
+        TimingModel::Measured => {
+            // Node weight for the fairness knob: an event's data points, a
+            // static proxy for its per-node cost, so ranks measure
+            // remaining *work*, not just remaining depth.
+            let priority: Vec<u64> = match order {
+                ReadyOrder::CriticalPath => super_dag
+                    .downward_ranks(|e, _| Duration::from_nanos(shapes[e].1.max(1) as u64))
+                    .iter()
+                    .map(|d| d.as_nanos() as u64)
+                    .collect(),
+                ReadyOrder::Submission => Vec::new(),
+            };
+            let timings: Mutex<Vec<(usize, Duration)>> =
+                Mutex::new(Vec::with_capacity(super_dag.len()));
+            let failures: Mutex<Vec<(usize, PipelineError)>> = Mutex::new(Vec::new());
+            let tasks: Vec<arp_par::BorrowedTask<'_>> = super_dag
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, node)| {
+                    let ctx = &ctxs[node.event];
+                    let timings = &timings;
+                    let failures = &failures;
+                    let p = node.process.0;
+                    Box::new(move || {
+                        // After any failure the rest of the batch is
+                        // skipped: the failing event's artifacts cannot be
+                        // trusted, and fail-fast batches must not bury an
+                        // error under five more events of work.
+                        if !failures.lock().is_empty() {
+                            return;
+                        }
+                        let (parallel, staged) = dag_node_mode(p);
+                        let t0 = Instant::now();
+                        match run_process(ctx, p, parallel, staged) {
+                            Ok(()) => timings.lock().push((i, t0.elapsed())),
+                            Err(e) => failures.lock().push((i, e)),
+                        }
+                    }) as arp_par::BorrowedTask<'_>
+                })
+                .collect();
+            arp_par::ThreadPool::global().run_dag_prioritized(tasks, super_dag.preds(), &priority);
+
+            let mut fails = failures.into_inner();
+            fails.sort_by_key(|(i, _)| *i);
+            if let Some((_, e)) = fails.into_iter().next() {
+                return Err(e);
+            }
+            let mut durations = vec![Duration::ZERO; super_dag.len()];
+            for (i, d) in timings.into_inner() {
+                durations[i] = d;
+            }
+            (durations, arp_par::ThreadPool::global().threads())
+        }
+    };
+
+    if config.emit_rotd {
+        for ctx in &ctxs {
+            process::rotdgen::generate_rotd(ctx, true)?;
+        }
+    }
+
+    // Per-event schedule analysis from the shared durations.
+    let mut events = Vec::with_capacity(items.len());
+    let mut event_makespans = Vec::with_capacity(items.len());
+    let mut per_event_durations = Vec::with_capacity(items.len());
+    for (e, _) in ctxs.iter().enumerate() {
+        let offset = super_dag.event_offset(e);
+        let ds: Vec<Duration> = durations[offset..offset + per].to_vec();
+        let dag = dag_schedule_report(super_dag.per_event(), &ds, threads);
+        event_makespans.push(dag.dag_makespan);
+        let processes: Vec<ProcessTiming> = super_dag
+            .per_event()
+            .nodes()
+            .iter()
+            .zip(&ds)
+            .map(|(&p, &elapsed)| ProcessTiming {
+                process: crate::process::ProcessId(p),
+                elapsed,
+            })
+            .collect();
+        events.push(RunReport {
+            implementation: ImplKind::BatchDag,
+            event: labels[e].clone(),
+            v1_files: shapes[e].0,
+            data_points: shapes[e].1,
+            // No per-event wall time exists when events overlap; report
+            // what the event costs scheduled alone on the same threads.
+            total: dag.dag_makespan,
+            processes,
+            stages: Vec::new(),
+            dag: Some(dag),
+            pool: None,
+        });
+        per_event_durations.push(ds);
+    }
+
+    let baseline: Duration = event_makespans.iter().sum();
+    // Event 0's block of the flat predecessor table is the per-event
+    // index-based graph every event replicates.
+    let per_event_preds: Vec<Vec<Vec<usize>>> =
+        vec![super_dag.preds()[..per].to_vec(); items.len()];
+    // Clamp like `dag_schedule_report`: back-to-back events are always a
+    // valid schedule, so the union must never report a slowdown.
+    let batch_makespan =
+        arp_par::super_dag_makespan(&per_event_durations, &per_event_preds, threads).min(baseline);
+    let critical_path_len = events
+        .iter()
+        .filter_map(|r| r.dag.as_ref())
+        .map(|d| d.critical_path_len)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let dag = BatchDagReport {
+        event_makespans,
+        batch_makespan,
+        node_total: durations.iter().sum(),
+        critical_path_len,
+        threads,
+        order,
+    };
+    // Simulated runs report the virtual batch makespan (that is the whole
+    // point of the mode); measured runs report the real wall time.
+    let total = match config.timing {
+        TimingModel::Simulated { .. } => dag.batch_makespan,
+        TimingModel::Measured => started.elapsed(),
+    };
+    Ok(BatchReport {
+        events,
+        total,
+        dag: Some(dag),
+    })
 }
 
 /// Discovers batch items under a root directory: every subdirectory that
@@ -227,5 +607,180 @@ mod tests {
     #[test]
     fn missing_root_errors() {
         assert!(discover_batch(Path::new("/nonexistent/arp-batch")).is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let items = vec![
+            BatchItem {
+                label: "twin".into(),
+                input_dir: PathBuf::from("/tmp/a"),
+            },
+            BatchItem {
+                label: "twin".into(),
+                input_dir: PathBuf::from("/tmp/b"),
+            },
+        ];
+        let err = run_batch(
+            &items,
+            Path::new("/tmp/arp-batch-dup"),
+            &PipelineConfig::fast(),
+            ImplKind::FullyParallel,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+    }
+
+    fn fake_event_report(event: &str, points: usize, total_ms: u64) -> RunReport {
+        RunReport {
+            implementation: ImplKind::SequentialOptimized,
+            event: event.into(),
+            v1_files: 3,
+            data_points: points,
+            total: Duration::from_millis(total_ms),
+            processes: vec![],
+            stages: vec![],
+            dag: None,
+            pool: None,
+        }
+    }
+
+    #[test]
+    fn to_table_has_aggregate_row() {
+        let report = BatchReport {
+            events: vec![
+                fake_event_report("ev-a", 30_000, 1_500),
+                fake_event_report("ev-b", 10_000, 500),
+            ],
+            total: Duration::from_millis(1_000),
+            dag: None,
+        };
+        let table = report.to_table();
+        // One aggregate "batch" row summing shape over the batch wall time…
+        assert!(
+            table.contains("batch                   6      40000      1.000"),
+            "{table}"
+        );
+        // …and the throughput/speedup line: 40k points in 1s, 2s per-event
+        // sum over a 1s batch.
+        assert!(
+            table.contains("aggregate: 40000 points/s, 2.00x"),
+            "{table}"
+        );
+        assert!((report.speedup() - 2.0).abs() < 1e-9);
+        assert!((report.throughput() - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_total_batch_guards() {
+        let report = BatchReport {
+            events: vec![fake_event_report("ev", 100, 10)],
+            total: Duration::ZERO,
+            dag: None,
+        };
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.speedup(), 0.0);
+    }
+
+    #[test]
+    fn dag_report_decomposes_speedup() {
+        let d = BatchDagReport {
+            event_makespans: vec![Duration::from_millis(60), Duration::from_millis(40)],
+            batch_makespan: Duration::from_millis(80),
+            node_total: Duration::from_millis(200),
+            critical_path_len: Duration::from_millis(50),
+            threads: 4,
+            order: ReadyOrder::CriticalPath,
+        };
+        assert_eq!(d.sequential_baseline(), Duration::from_millis(100));
+        assert_eq!(d.cross_event_overlap(), Duration::from_millis(20));
+        assert_eq!(d.intra_event_saving(), Duration::from_millis(100));
+        assert!((d.overlap_speedup() - 1.25).abs() < 1e-9);
+        assert!((d.batch_speedup() - 2.5).abs() < 1e-9);
+        let table = d.to_table();
+        assert!(
+            table.contains("4 threads (critical-path ready order)"),
+            "{table}"
+        );
+        assert!(
+            table.contains("cross-event overlap saves 0.020s"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn batch_dag_overlaps_events_in_simulated_time() {
+        let base = std::env::temp_dir().join(format!("arp-batch-dag-{}", std::process::id()));
+        let items = stage_two_events(&base);
+        let mut config = PipelineConfig::fast();
+        config.timing = TimingModel::Simulated { threads: 8 };
+        // run_batch must route BatchDag to the super-DAG scheduler.
+        let report = run_batch(&items, &base.join("work"), &config, ImplKind::BatchDag).unwrap();
+        assert_eq!(report.events.len(), 2);
+        assert!(report
+            .events
+            .iter()
+            .all(|r| r.implementation == ImplKind::BatchDag));
+        let dag = report.dag.as_ref().expect("super-DAG analysis");
+        assert_eq!(dag.threads, 8);
+        assert_eq!(dag.order, ReadyOrder::CriticalPath);
+        assert_eq!(dag.event_makespans.len(), 2);
+        // The acceptance bar: unioning events overlaps them, so the batch
+        // makespan beats the per-event DAG loop…
+        assert!(
+            dag.cross_event_overlap() > Duration::ZERO,
+            "batch {:?} vs baseline {:?}",
+            dag.batch_makespan,
+            dag.sequential_baseline()
+        );
+        // …but never beats the longest critical path.
+        assert!(dag.batch_makespan >= dag.critical_path_len);
+        assert_eq!(report.total, dag.batch_makespan);
+        // Products were written for both events.
+        assert!(base.join("work/ev-a").join("max-values.txt").exists());
+        assert!(base.join("work/ev-b").join("max-values.txt").exists());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn batch_dag_measured_runs_concurrently() {
+        let base = std::env::temp_dir().join(format!("arp-batch-dagm-{}", std::process::id()));
+        let items = stage_two_events(&base);
+        let report = run_batch_dag(
+            &items,
+            &base.join("work"),
+            &PipelineConfig::fast(),
+            ReadyOrder::Submission,
+        )
+        .unwrap();
+        let dag = report.dag.as_ref().expect("super-DAG analysis");
+        assert_eq!(dag.order, ReadyOrder::Submission);
+        assert!(!report.total.is_zero());
+        assert!(report.throughput() > 0.0);
+        assert!(base.join("work/ev-a").join("max-values.txt").exists());
+        assert!(base.join("work/ev-b").join("max-values.txt").exists());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn batch_dag_fails_fast_on_bad_event() {
+        let base = std::env::temp_dir().join(format!("arp-batch-dagbad-{}", std::process::id()));
+        let items = stage_two_events(&base);
+        let victim = std::fs::read_dir(&items[1].input_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".v1"))
+            .unwrap()
+            .path();
+        std::fs::write(&victim, "garbage").unwrap();
+        let err = run_batch(
+            &items,
+            &base.join("work"),
+            &PipelineConfig::fast(),
+            ImplKind::BatchDag,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&base).unwrap();
     }
 }

@@ -17,6 +17,11 @@
 //! All five produce **identical artifacts** in the work directory; they
 //! differ only in ordering, parallelism, and (for the original) the
 //! redundant work. The integration suite asserts this equivalence.
+//!
+//! A sixth kind, [`ImplKind::BatchDag`], schedules whole *batches*: it
+//! lives in [`crate::batch::run_batch_dag`], which unions the per-event
+//! DAGs into one super-graph. On a single event it degenerates to
+//! [`ImplKind::DagParallel`] here.
 
 use crate::config::TimingModel;
 use crate::context::RunContext;
@@ -32,8 +37,9 @@ use std::time::{Duration, Instant};
 
 /// Runs one process by number. `parallel` enables its internal loop
 /// parallelism; `staged` routes the Fortran-binary processes (#4, #7, #13)
-/// through the temp-folder protocol.
-fn run_process(ctx: &RunContext, p: u8, parallel: bool, staged: bool) -> Result<()> {
+/// through the temp-folder protocol. Crate-visible so the batch super-DAG
+/// executor can drive nodes of many events through one scheduler call.
+pub(crate) fn run_process(ctx: &RunContext, p: u8, parallel: bool, staged: bool) -> Result<()> {
     match p {
         0 => process::flags::init_flags(ctx),
         1 => process::gather::gather_inputs(ctx, parallel),
@@ -143,7 +149,9 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
             let (p, s) = run_staged_plan(ctx, |s| s.full)?;
             (p, s, None)
         }
-        ImplKind::DagParallel => {
+        // A batch of one event has no cross-event overlap to exploit; the
+        // super-DAG scheduler degenerates to the per-event DAG plan.
+        ImplKind::DagParallel | ImplKind::BatchDag => {
             let (p, d) = run_dag_plan(ctx)?;
             (p, Vec::new(), Some(d))
         }
@@ -151,7 +159,10 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
     if ctx.config.emit_rotd {
         let parallel = matches!(
             kind,
-            ImplKind::FullyParallel | ImplKind::PartiallyParallel | ImplKind::DagParallel
+            ImplKind::FullyParallel
+                | ImplKind::PartiallyParallel
+                | ImplKind::DagParallel
+                | ImplKind::BatchDag
         );
         process::rotdgen::generate_rotd(ctx, parallel)?;
     }
@@ -273,17 +284,12 @@ fn run_staged_plan(
 /// through the temp-folder protocol, and `Tasks`/`Sequential` stages run
 /// the process body sequentially (its parallelism comes from overlapping
 /// with other nodes).
-fn dag_node_mode(p: u8) -> (bool, bool) {
-    for stage in &STAGE_TABLE {
-        if stage.processes.contains(&p) {
-            return match stage.full {
-                Strategy::Sequential | Strategy::Tasks => (false, false),
-                Strategy::Loop => (true, false),
-                Strategy::StagedLoop => (true, true),
-            };
-        }
+pub(crate) fn dag_node_mode(p: u8) -> (bool, bool) {
+    match crate::plan::stage_of(p).map(|stage| stage.full) {
+        Some(Strategy::Loop) => (true, false),
+        Some(Strategy::StagedLoop) => (true, true),
+        Some(Strategy::Sequential | Strategy::Tasks) | None => (false, false),
     }
-    (false, false)
 }
 
 /// Builds the schedule analysis for a DAG run from per-node durations.
@@ -294,7 +300,11 @@ fn dag_node_mode(p: u8) -> (bool, bool) {
 /// valid linearization of the graph, so a scheduler can always fall back
 /// to it — list-scheduling anomalies must not make barrier removal report
 /// a slowdown.
-fn dag_schedule_report(dag: &ProcessDag, durations: &[Duration], threads: usize) -> DagReport {
+pub(crate) fn dag_schedule_report(
+    dag: &ProcessDag,
+    durations: &[Duration],
+    threads: usize,
+) -> DagReport {
     let nodes = dag.nodes();
     debug_assert_eq!(nodes.len(), durations.len());
     let mut by_process = [Duration::ZERO; 20];

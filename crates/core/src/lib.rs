@@ -15,7 +15,10 @@
 //! The fifth implementation goes beyond the paper: instead of the barrier-
 //! synchronized stage plan it schedules the process dependency graph of
 //! [`dag::ProcessDag`] directly, starting each process the moment its
-//! artifact predecessors complete.
+//! artifact predecessors complete. Whole batches go one step further:
+//! [`run_batch_dag`] unions every event's DAG into one cross-event
+//! super-graph ([`dag::SuperDag`]) and submits it to the pool in a single
+//! call, so small events fill the idle tails of big ones.
 //!
 //! ```no_run
 //! use arp_core::{run_pipeline, ImplKind, PipelineConfig, RunContext};
@@ -46,10 +49,12 @@ pub mod stagedir;
 pub mod summary;
 pub mod timeline;
 
-pub use batch::{discover_batch, run_batch, BatchItem, BatchReport};
+pub use batch::{
+    discover_batch, run_batch, run_batch_dag, BatchDagReport, BatchItem, BatchReport, ReadyOrder,
+};
 pub use config::{ParallelBackend, PipelineConfig};
 pub use context::RunContext;
-pub use dag::{CriticalPath, DagEdge, EdgeKind, ProcessDag};
+pub use dag::{CriticalPath, DagEdge, EdgeKind, ProcessDag, SuperDag, SuperNode};
 pub use error::{PipelineError, Result};
 pub use executor::{
     measure_input_shape, run_pipeline, run_pipeline_labeled, run_stages_sequential,

@@ -186,6 +186,14 @@ pub fn stage_info(id: StageId) -> &'static StageInfo {
     &STAGE_TABLE[StageId::ALL.iter().position(|&s| s == id).unwrap()]
 }
 
+/// The stage a process occupies in the eleven-stage plan, or `None` for the
+/// redundant processes (#6, #12, #14), which the plan does not schedule.
+/// The DAG executors use this to inherit a node's inner-loop strategy from
+/// the stage plan.
+pub fn stage_of(p: u8) -> Option<&'static StageInfo> {
+    STAGE_TABLE.iter().find(|s| s.processes.contains(&p))
+}
+
 /// Declared input/output artifacts per process, used to validate the plan.
 /// Artifact classes are coarse (file families, not individual stations).
 pub fn process_reads(p: u8) -> &'static [&'static str] {
@@ -326,6 +334,17 @@ mod tests {
         assert_eq!(stage_info(StageId::IX).processes, &[16]);
         assert_eq!(stage_info(StageId::XI).processes, &[9, 15, 18]);
         assert_eq!(StageId::IX.label(), "IX");
+    }
+
+    #[test]
+    fn stage_of_covers_scheduled_processes_only() {
+        for p in 0..20u8 {
+            match stage_of(p) {
+                Some(stage) => assert!(stage.processes.contains(&p)),
+                None => assert!(matches!(p, 6 | 12 | 14), "process {p}"),
+            }
+        }
+        assert_eq!(stage_of(16).unwrap().id, StageId::IX);
     }
 
     #[test]

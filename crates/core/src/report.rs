@@ -9,7 +9,7 @@ use arp_par::PoolStatsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
-/// Which of the five implementations produced a report.
+/// Which implementation produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ImplKind {
     /// The 20-process original sequential chain (§III).
@@ -23,11 +23,19 @@ pub enum ImplKind {
     /// No stages at all: the artifact-dependency DAG is scheduled directly,
     /// each process starting the moment its predecessors complete.
     DagParallel,
+    /// Cross-event super-DAG batching: the per-event DAGs of a whole batch
+    /// are unioned (namespaced by event, no cross-event edges) and
+    /// submitted to the pool in one call, so small events fill the idle
+    /// tails of big ones. Only meaningful for `run_batch`; on a single
+    /// event it degenerates to [`ImplKind::DagParallel`].
+    BatchDag,
 }
 
 impl ImplKind {
-    /// All implementations in the paper's comparison order (with the DAG
-    /// scheduler, which goes beyond the paper, last).
+    /// The five single-event implementations in the paper's comparison
+    /// order (with the DAG scheduler, which goes beyond the paper, last).
+    /// [`ImplKind::BatchDag`] is deliberately absent: it schedules whole
+    /// batches, not one event, so it has no place in Table I.
     pub const ALL: [ImplKind; 5] = [
         ImplKind::SequentialOriginal,
         ImplKind::SequentialOptimized,
@@ -44,6 +52,7 @@ impl ImplKind {
             ImplKind::PartiallyParallel => "Part. Par.",
             ImplKind::FullyParallel => "Full Par.",
             ImplKind::DagParallel => "DAG Par.",
+            ImplKind::BatchDag => "Batch DAG",
         }
     }
 }
@@ -212,7 +221,11 @@ mod tests {
     fn labels() {
         assert_eq!(ImplKind::SequentialOriginal.label(), "Seq. Ori.");
         assert_eq!(ImplKind::DagParallel.label(), "DAG Par.");
+        assert_eq!(ImplKind::BatchDag.label(), "Batch DAG");
+        // Table I compares the five single-event implementations; the
+        // batch scheduler is not one of them.
         assert_eq!(ImplKind::ALL.len(), 5);
+        assert!(!ImplKind::ALL.contains(&ImplKind::BatchDag));
     }
 
     #[test]

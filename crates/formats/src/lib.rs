@@ -9,7 +9,7 @@
 //! | [`v2`] | `<s><c>.v2` (corrected records) |
 //! | [`ffile`] | `<s><c>.f` (Fourier spectra) |
 //! | [`rfile`] | `<s><c>.r` (response spectra) |
-//! | [`gem`] | `<s><c>GEM<2|R><A|V|D>.gem` (GEM products) |
+//! | [`gem`] | `<s><c>GEM<2\|R><A\|V\|D>.gem` (GEM products) |
 //! | [`meta`] | flags, file lists, filter params, max values |
 //!
 //! All formats share the layout implemented in [`numio`]: a magic line,

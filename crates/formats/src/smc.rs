@@ -4,7 +4,7 @@
 //! repository's exports) exchange records as fixed-layout text: descriptive
 //! header lines, integer/real header blocks, then the samples in fixed-width
 //! columns. This module implements a faithful subset — enough to import
-//! foreign uncorrected records into the pipeline's [`V1StationFile`] and to
+//! foreign uncorrected records into the pipeline's [`V1StationFile`](crate::v1::V1StationFile) and to
 //! export pipeline products back out — so the library is usable against
 //! data that did not originate here.
 //!

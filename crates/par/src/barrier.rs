@@ -11,6 +11,22 @@ struct BarrierState {
 }
 
 /// A cyclic barrier for a fixed party of threads.
+///
+/// ```
+/// use arp_par::CyclicBarrier;
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(CyclicBarrier::new(2));
+/// assert_eq!(barrier.parties(), 2);
+/// let peer = {
+///     let barrier = barrier.clone();
+///     std::thread::spawn(move || barrier.wait())
+/// };
+/// // Exactly one of the two arrivals is the generation's leader.
+/// let mine = barrier.wait();
+/// let theirs = peer.join().unwrap();
+/// assert!(mine ^ theirs);
+/// ```
 pub struct CyclicBarrier {
     parties: usize,
     state: Mutex<BarrierState>,

@@ -7,6 +7,24 @@ use parking_lot::{Condvar, Mutex};
 /// Created with a count; [`CountdownLatch::count_down`] decrements it and
 /// [`CountdownLatch::wait`] blocks until it reaches zero. Used to implement
 /// the `taskwait` semantics of the parallel runtime.
+///
+/// ```
+/// use arp_par::CountdownLatch;
+/// use std::sync::Arc;
+///
+/// let latch = Arc::new(CountdownLatch::new(2));
+/// let worker = {
+///     let latch = latch.clone();
+///     std::thread::spawn(move || {
+///         latch.count_down();
+///         latch.count_down();
+///     })
+/// };
+/// latch.wait(); // blocks until both completions are recorded
+/// assert!(latch.is_open());
+/// assert_eq!(latch.remaining(), 0);
+/// worker.join().unwrap();
+/// ```
 pub struct CountdownLatch {
     remaining: Mutex<usize>,
     cond: Condvar,

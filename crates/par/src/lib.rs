@@ -14,6 +14,10 @@
 //! * [`ThreadPool::run_dag`] — a dependency-counting DAG scheduler that
 //!   starts each task the moment its predecessors complete (OpenMP `task
 //!   depend` rather than barrier-separated stages);
+//! * [`ThreadPool::run_dag_prioritized`] — the same scheduler with a
+//!   per-task dispatch priority, used to critical-path-order the union of
+//!   several independent graphs (a multi-event batch) so no subgraph
+//!   starves the others;
 //! * [`CyclicBarrier`] — the implicit worksharing barrier;
 //! * [`CountdownLatch`] — the completion primitive underneath.
 //!
@@ -30,4 +34,6 @@ pub mod sim;
 pub use barrier::CyclicBarrier;
 pub use latch::CountdownLatch;
 pub use pool::{BorrowedTask, PoolStatsSnapshot, Schedule, TaskScope, ThreadPool};
-pub use sim::{dag_makespan, loop_makespan, resource_bounded_makespan, tasks_makespan};
+pub use sim::{
+    dag_makespan, loop_makespan, resource_bounded_makespan, super_dag_makespan, tasks_makespan,
+};

@@ -183,9 +183,24 @@ struct DagState<'env> {
     /// Remaining predecessor count per node; the node is dispatched by
     /// whoever decrements it to zero.
     pending: Vec<AtomicUsize>,
+    /// Dispatch priority per node (empty = submission order). When several
+    /// nodes become ready at once they are enqueued highest-priority first,
+    /// and the FIFO pool channel preserves that order.
+    priority: Vec<u64>,
     /// Dispatched-but-not-yet-started nodes (ready-queue depth gauge).
     ready: AtomicUsize,
     panicked: AtomicBool,
+}
+
+/// Orders a set of simultaneously-ready node indices for dispatch: highest
+/// priority first, index order breaking ties (and preserved entirely when no
+/// priorities were supplied).
+fn order_ready(ready: &mut [usize], priority: &[u64]) {
+    if priority.is_empty() {
+        ready.sort_unstable();
+        return;
+    }
+    ready.sort_unstable_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
 }
 
 /// Enqueues node `i`: builds its job and sends it to the pool channel.
@@ -229,10 +244,14 @@ fn dispatch_dag_node(
                 }
             }
         }
-        for &s in &state.succs[i] {
-            if state.pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                dispatch_dag_node(state_ptr, s, &sender_clone, &stats_clone, &latch);
-            }
+        let mut unlocked: Vec<usize> = state.succs[i]
+            .iter()
+            .copied()
+            .filter(|&s| state.pending[s].fetch_sub(1, Ordering::AcqRel) == 1)
+            .collect();
+        order_ready(&mut unlocked, &state.priority);
+        for s in unlocked {
+            dispatch_dag_node(state_ptr, s, &sender_clone, &stats_clone, &latch);
         }
     });
     sender.send(job).expect("worker channel closed");
@@ -442,8 +461,54 @@ impl ThreadPool {
     /// assert_eq!(order[3], 3);
     /// ```
     pub fn run_dag<'env>(&self, tasks: Vec<BorrowedTask<'env>>, preds: &[Vec<usize>]) {
+        self.run_dag_prioritized(tasks, preds, &[]);
+    }
+
+    /// As [`ThreadPool::run_dag`], with an explicit dispatch priority per
+    /// task — the fair-scheduling knob for graphs that union several
+    /// independent subgraphs (such as a multi-event batch).
+    ///
+    /// Whenever several tasks become ready at the same moment (the initial
+    /// roots, or siblings unlocked by one completion), they are enqueued
+    /// highest priority first and the FIFO worker channel preserves that
+    /// order. Passing each task's critical-path weight (its longest
+    /// remaining path to an exit) yields critical-path list scheduling:
+    /// long chains start early and short subgraphs fill the idle tails
+    /// instead of being starved behind one giant subgraph's unordered
+    /// nodes. An empty slice means submission (index) order; otherwise
+    /// `priority` must have one entry per task.
+    ///
+    /// Priorities influence only the dispatch *order*, never correctness:
+    /// dependencies are enforced exactly as in [`ThreadPool::run_dag`].
+    ///
+    /// ```
+    /// let pool = arp_par::ThreadPool::new(2);
+    /// let done = std::sync::atomic::AtomicUsize::new(0);
+    /// // Two independent chains; the heavier one gets priority.
+    /// pool.run_dag_prioritized(
+    ///     (0..4).map(|_| {
+    ///         let done = &done;
+    ///         Box::new(move || {
+    ///             done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    ///         }) as Box<dyn FnOnce() + Send>
+    ///     }).collect(),
+    ///     &[vec![], vec![0], vec![], vec![2]],
+    ///     &[10, 10, 3, 3],
+    /// );
+    /// assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 4);
+    /// ```
+    pub fn run_dag_prioritized<'env>(
+        &self,
+        tasks: Vec<BorrowedTask<'env>>,
+        preds: &[Vec<usize>],
+        priority: &[u64],
+    ) {
         let n = tasks.len();
         assert_eq!(preds.len(), n, "run_dag: one predecessor list per task");
+        assert!(
+            priority.is_empty() || priority.len() == n,
+            "run_dag: one priority per task (or none)"
+        );
         if n == 0 {
             return;
         }
@@ -482,16 +547,17 @@ impl ThreadPool {
                 .collect(),
             succs,
             pending: indegree.iter().map(|&d| AtomicUsize::new(d)).collect(),
+            priority: priority.to_vec(),
             ready: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
         };
         let latch = Arc::new(CountdownLatch::new(n));
         let state_ptr = &state as *const DagState<'_> as usize;
         let sender = self.sender.as_ref().expect("pool is shutting down");
-        for (i, &d) in indegree.iter().enumerate() {
-            if d == 0 {
-                dispatch_dag_node(state_ptr, i, sender, &self.stats, &latch);
-            }
+        let mut roots: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        order_ready(&mut roots, priority);
+        for i in roots {
+            dispatch_dag_node(state_ptr, i, sender, &self.stats, &latch);
         }
         self.help_until_open(&latch);
         self.stats.dags_completed.fetch_add(1, Ordering::Relaxed);
@@ -901,6 +967,52 @@ mod tests {
             &preds,
         );
         assert_eq!(log.into_inner(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_ready_sorts_by_priority_then_index() {
+        let mut v = vec![3, 0, 2, 1];
+        order_ready(&mut v, &[]);
+        assert_eq!(v, vec![0, 1, 2, 3], "no priorities: index order");
+        let mut v = vec![0, 1, 2, 3];
+        order_ready(&mut v, &[5, 9, 9, 1]);
+        assert_eq!(v, vec![1, 2, 0, 3], "descending priority, index ties");
+    }
+
+    #[test]
+    fn run_dag_prioritized_is_correct_under_any_priorities() {
+        let p = pool();
+        // Same diamond as `run_dag_respects_dependencies`.
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2], vec![]];
+        for prio in [
+            vec![0u64, 0, 0, 0, 0],
+            vec![4, 3, 2, 1, 9],
+            vec![1, 2, 3, 4, 5],
+        ] {
+            let log = parking_lot::Mutex::new(Vec::new());
+            let log_ref = &log;
+            p.run_dag_prioritized(
+                (0..5)
+                    .map(|i| task(move || log_ref.lock().push(i)))
+                    .collect(),
+                &preds,
+                &prio,
+            );
+            let log = log.into_inner();
+            assert_eq!(log.len(), 5, "priorities {prio:?}");
+            let pos = |v: usize| log.iter().position(|&x| x == v).unwrap();
+            assert!(pos(0) < pos(1));
+            assert!(pos(0) < pos(2));
+            assert!(pos(1) < pos(3));
+            assert!(pos(2) < pos(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one priority per task")]
+    fn run_dag_prioritized_rejects_wrong_priority_len() {
+        let p = pool();
+        p.run_dag_prioritized(vec![task(|| {}), task(|| {})], &[vec![], vec![]], &[1]);
     }
 
     #[test]

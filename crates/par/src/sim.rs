@@ -65,6 +65,16 @@ pub fn tasks_makespan(durations: &[Duration], threads: usize) -> Duration {
 ///
 /// `preds[i]` lists the nodes that must finish before node `i` starts.
 /// Panics on out-of-range indices, self-dependencies, or cycles.
+///
+/// ```
+/// use std::time::Duration;
+/// let ms = Duration::from_millis;
+/// // Diamond 0 -> {1, 2} -> 3: the branches overlap on two threads.
+/// let durations = [ms(2), ms(4), ms(6), ms(1)];
+/// let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+/// assert_eq!(arp_par::dag_makespan(&durations, &preds, 2), ms(9));
+/// assert_eq!(arp_par::dag_makespan(&durations, &preds, 1), ms(13));
+/// ```
 pub fn dag_makespan(durations: &[Duration], preds: &[Vec<usize>], threads: usize) -> Duration {
     let n = durations.len();
     assert_eq!(
@@ -151,6 +161,57 @@ pub fn dag_makespan(durations: &[Duration], preds: &[Vec<usize>], threads: usize
     }
     debug_assert!(scheduled.iter().all(|&s| s));
     makespan
+}
+
+/// Predicted makespan of a *super-graph*: the disjoint union of several
+/// independent task DAGs scheduled together on one `threads`-processor
+/// pool.
+///
+/// `durations[g]` and `preds[g]` describe graph `g` exactly as in
+/// [`dag_makespan`] (predecessor indices are local to the graph); no edges
+/// are added between graphs. The union is flattened with per-graph index
+/// offsets and scheduled as one critical-path-priority list schedule, which
+/// is how the batch executor submits a multi-event super-DAG to
+/// [`crate::ThreadPool::run_dag`]. Scheduling the union can never be slower
+/// than running the graphs back to back, and is strictly faster whenever
+/// one graph's idle tail can absorb another graph's nodes.
+///
+/// ```
+/// use std::time::Duration;
+/// let ms = Duration::from_millis;
+/// // Two independent 2-node chains on 2 threads: run back to back they
+/// // cost 5ms + 5ms; scheduled as one union the chains overlap fully.
+/// let durations = vec![vec![ms(3), ms(2)], vec![ms(4), ms(1)]];
+/// let preds = vec![vec![vec![], vec![0]], vec![vec![], vec![0]]];
+/// assert_eq!(arp_par::super_dag_makespan(&durations, &preds, 2), ms(5));
+/// assert_eq!(arp_par::super_dag_makespan(&durations, &preds, 1), ms(10));
+/// ```
+pub fn super_dag_makespan(
+    durations: &[Vec<Duration>],
+    preds: &[Vec<Vec<usize>>],
+    threads: usize,
+) -> Duration {
+    assert_eq!(
+        durations.len(),
+        preds.len(),
+        "super_dag_makespan: one predecessor table per graph"
+    );
+    let mut flat_durations = Vec::new();
+    let mut flat_preds = Vec::new();
+    for (ds, ps) in durations.iter().zip(preds) {
+        assert_eq!(
+            ds.len(),
+            ps.len(),
+            "super_dag_makespan: one predecessor list per node"
+        );
+        let offset = flat_durations.len();
+        flat_durations.extend_from_slice(ds);
+        flat_preds.extend(
+            ps.iter()
+                .map(|nodes| nodes.iter().map(|&p| p + offset).collect::<Vec<_>>()),
+        );
+    }
+    dag_makespan(&flat_durations, &flat_preds, threads)
 }
 
 /// Makespan of a loop whose units spend fraction `serial_fraction` of their
@@ -314,6 +375,43 @@ mod tests {
     #[test]
     fn dag_empty_is_zero() {
         assert_eq!(dag_makespan(&[], &[], 4), Duration::ZERO);
+    }
+
+    #[test]
+    fn super_dag_union_never_beats_fewer_constraints() {
+        // Three chains of different lengths: the union on T threads is at
+        // most the back-to-back sum and at least the longest chain.
+        let chains: Vec<Vec<Duration>> =
+            vec![vec![ms(8), ms(4), ms(2)], vec![ms(1), ms(1)], vec![ms(5)]];
+        let preds: Vec<Vec<Vec<usize>>> = chains
+            .iter()
+            .map(|c| {
+                (0..c.len())
+                    .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+                    .collect()
+            })
+            .collect();
+        let per_graph: Vec<Duration> = chains.iter().map(|c| c.iter().sum()).collect();
+        let back_to_back: Duration = per_graph.iter().sum();
+        let longest = *per_graph.iter().max().unwrap();
+        for threads in [1usize, 2, 4] {
+            let m = super_dag_makespan(&chains, &preds, threads);
+            assert!(m <= back_to_back, "{threads}");
+            assert!(m >= longest, "{threads}");
+        }
+        // One thread: no overlap is possible, the union is the sum.
+        assert_eq!(super_dag_makespan(&chains, &preds, 1), back_to_back);
+        // Plenty of threads: every chain runs concurrently.
+        assert_eq!(super_dag_makespan(&chains, &preds, 4), longest);
+    }
+
+    #[test]
+    fn super_dag_of_empty_and_zero_graphs() {
+        assert_eq!(super_dag_makespan(&[], &[], 4), Duration::ZERO);
+        assert_eq!(
+            super_dag_makespan(&[vec![], vec![ms(3)]], &[vec![], vec![vec![]]], 2),
+            ms(3)
+        );
     }
 
     #[test]

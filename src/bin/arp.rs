@@ -11,10 +11,18 @@
 //! `dag` (default `full`). `arp run --stats on` additionally prints the
 //! worker-pool counters the run produced (and, for `--impl dag`, the
 //! schedule analysis: critical path and barrier vs. DAG makespans).
+//!
+//! `arp batch --root DIR --work DIR [--impl NAME] [--order cp|fifo]`
+//! processes every event directory under `--root`. For `batch`,
+//! `--impl dag` selects the cross-event super-DAG scheduler: all events'
+//! dependency graphs are unioned and submitted to the worker pool in one
+//! call, so small events fill the idle tails of big ones. `--order` picks
+//! the ready-queue ordering (`cp` critical-path priority, the default, or
+//! `fifo` submission order).
 
 use arp_core::{
     event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
-    RunContext,
+    ReadyOrder, RunContext,
 };
 use arp_formats::{names, Component, MaxValues, RFile, V2File};
 use std::collections::HashMap;
@@ -193,7 +201,17 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     let root = PathBuf::from(flags.get("root").ok_or("batch needs --root DIR")?);
     let work = PathBuf::from(flags.get("work").ok_or("batch needs --work DIR")?);
-    let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
+    // For whole batches, `dag` means the cross-event super-DAG scheduler,
+    // not a per-event DAG loop.
+    let kind = match impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))? {
+        ImplKind::DagParallel => ImplKind::BatchDag,
+        other => other,
+    };
+    let order = match flags.get("order").map(|s| s.as_str()) {
+        None | Some("cp") => ReadyOrder::CriticalPath,
+        Some("fifo") => ReadyOrder::Submission,
+        Some(other) => return Err(format!("unknown --order {other:?} (use cp|fifo)")),
+    };
     let items = arp_core::discover_batch(&root).map_err(|e| e.to_string())?;
     if items.is_empty() {
         return Err(format!(
@@ -202,8 +220,13 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         ));
     }
     println!("processing {} events...", items.len());
-    let report = arp_core::run_batch(&items, &work, &PipelineConfig::default(), kind)
-        .map_err(|e| e.to_string())?;
+    let config = PipelineConfig::default();
+    let report = if kind == ImplKind::BatchDag {
+        arp_core::run_batch_dag(&items, &work, &config, order)
+    } else {
+        arp_core::run_batch(&items, &work, &config, kind)
+    }
+    .map_err(|e| e.to_string())?;
     print!("{}", report.to_table());
     Ok(())
 }

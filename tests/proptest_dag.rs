@@ -4,22 +4,38 @@
 //! and the critical path behaves like a longest path should.
 
 use arp_core::plan::STAGE_TABLE;
-use arp_core::{ProcessDag, ProcessId};
+use arp_core::{ProcessDag, ProcessId, SuperDag};
 use proptest::prelude::*;
 use std::time::Duration;
+
+/// SplitMix64 step: cheap, deterministic, good enough to explore orderings.
+fn next_u64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Shuffles a slice in place with a Fisher–Yates walk driven by `seed`.
 fn shuffle(xs: &mut [u8], mut seed: u64) {
     for i in (1..xs.len()).rev() {
-        // SplitMix64 step: cheap, deterministic, good enough to explore
-        // orderings.
-        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = seed;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        let z = next_u64(&mut seed);
         xs.swap(i, (z as usize) % (i + 1));
     }
+}
+
+/// A shuffled flattening of the eleven-stage plan: stages in order,
+/// intra-stage processes permuted by `seed`. Always a valid linearization
+/// of the optimized per-event graph.
+fn shuffled_plan_flattening(seed: u64) -> Vec<u8> {
+    let mut order = Vec::new();
+    for (k, stage) in STAGE_TABLE.iter().enumerate() {
+        let mut procs: Vec<u8> = stage.processes.to_vec();
+        shuffle(&mut procs, seed.wrapping_add(k as u64));
+        order.extend(procs);
+    }
+    order
 }
 
 proptest! {
@@ -29,12 +45,7 @@ proptest! {
     #[test]
     fn every_intra_stage_shuffle_of_the_plan_linearizes(seed in any::<u64>()) {
         let dag = ProcessDag::optimized();
-        let mut order = Vec::new();
-        for (k, stage) in STAGE_TABLE.iter().enumerate() {
-            let mut procs: Vec<u8> = stage.processes.to_vec();
-            shuffle(&mut procs, seed.wrapping_add(k as u64));
-            order.extend(procs);
-        }
+        let order = shuffled_plan_flattening(seed);
         let violations = dag.linearization_violations(&order);
         prop_assert!(violations.is_empty(), "{violations:#?}");
     }
@@ -56,12 +67,7 @@ proptest! {
 
         // Start from a valid order of the optimized graph (a shuffled plan
         // flattening) and splice the redundant leaves in anywhere after #1.
-        let mut order = Vec::new();
-        for (k, stage) in STAGE_TABLE.iter().enumerate() {
-            let mut procs: Vec<u8> = stage.processes.to_vec();
-            shuffle(&mut procs, seed.wrapping_add(k as u64));
-            order.extend(procs);
-        }
+        let mut order = shuffled_plan_flattening(seed);
         prop_assert!(opt.is_linearization(&order));
         let gather_pos = order.iter().position(|&p| p == 1).unwrap();
         for (i, &p) in [6u8, 12, 14].iter().enumerate() {
@@ -102,5 +108,65 @@ proptest! {
                 pair[1].0
             );
         }
+    }
+
+    /// The cross-event union stays acyclic for any batch size: a
+    /// topological order exists, covers every node, and is itself a valid
+    /// linearization.
+    #[test]
+    fn super_dag_union_is_acyclic(n_events in 0usize..7) {
+        let labels: Vec<String> = (0..n_events).map(|e| format!("ev{e}")).collect();
+        let sd = SuperDag::union(&labels);
+        prop_assert_eq!(sd.len(), n_events * 17);
+        let order = sd.topological_order();
+        prop_assert!(order.is_ok(), "{order:?}");
+        let order = order.unwrap();
+        prop_assert_eq!(order.len(), sd.len());
+        prop_assert!(sd.is_linearization(&order));
+    }
+
+    /// Soundness of cross-event scheduling: events share no edges, so ANY
+    /// interleaving of valid per-event orders (each a shuffled stage-plan
+    /// flattening) is a valid linearization of the super-graph. This is
+    /// exactly the freedom the batch scheduler exploits to fill idle tails.
+    #[test]
+    fn any_interleaving_of_per_event_plans_linearizes_the_super_dag(
+        seed in any::<u64>(),
+        n_events in 1usize..5,
+    ) {
+        let labels: Vec<String> = (0..n_events).map(|e| format!("ev{e}")).collect();
+        let sd = SuperDag::union(&labels);
+        let per_nodes = sd.per_event().nodes().to_vec();
+
+        // One shuffled stage-plan flattening per event, mapped to flat
+        // super-graph indices.
+        let orders: Vec<Vec<usize>> = (0..n_events)
+            .map(|e| {
+                shuffled_plan_flattening(seed.wrapping_add(e as u64 * 0x1234_5678))
+                    .iter()
+                    .map(|&p| {
+                        sd.event_offset(e)
+                            + per_nodes.iter().position(|&q| q == p).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Merge them in an arbitrary seed-driven interleaving that keeps
+        // each event's own order.
+        let mut merged = Vec::with_capacity(sd.len());
+        let mut cursors = vec![0usize; n_events];
+        let mut s = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+        while merged.len() < sd.len() {
+            let live: Vec<usize> = (0..n_events)
+                .filter(|&e| cursors[e] < orders[e].len())
+                .collect();
+            let e = live[(next_u64(&mut s) as usize) % live.len()];
+            merged.push(orders[e][cursors[e]]);
+            cursors[e] += 1;
+        }
+        let violations = sd.linearization_violations(&merged);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+        prop_assert!(sd.is_linearization(&merged));
     }
 }
