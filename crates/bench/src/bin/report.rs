@@ -14,7 +14,11 @@
 //!   sweep    speedup vs virtual processor count (1..16)
 //!   scaling  execution time vs data points (linearity check, §VII-C)
 //!   batch    six-event cross-event super-DAG vs per-event DAG loop
-//!            (writes BENCH_batch.json)
+//!            (writes BENCH_batch.json, including measured per-worker
+//!            utilization and queue-wait percentiles from the span trace)
+//!   trace-overhead
+//!            tracing cost check: the six-event super-DAG batch run with
+//!            tracing off vs on, best of --reps each (budget: ≤1%)
 //!   all      run everything
 //!
 //! options:
@@ -260,6 +264,17 @@ fn main() {
             println!();
             print!("{}", bench::format_batch_experiment(&b));
             save(&opts.out, "BENCH_batch.json", &bench::batch_json(&b));
+        }
+        "trace-overhead" => {
+            bench::warmup(&config).expect("warmup failed");
+            eprintln!(
+                "measuring tracing overhead at scale {} ({} reps per mode)...",
+                opts.scale, opts.reps
+            );
+            let t = bench::trace_overhead_experiment(opts.scale, &config, opts.reps)
+                .expect("overhead run failed");
+            println!();
+            print!("{}", bench::format_trace_overhead(&t));
         }
         "all" => {
             let rows = rows.as_ref().unwrap();

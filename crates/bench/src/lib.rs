@@ -551,6 +551,10 @@ pub struct BatchExperiment {
     pub loop_report: arp_core::BatchReport,
     /// Cross-event super-DAG run (critical-path ready order).
     pub dag_report: arp_core::BatchReport,
+    /// Span trace of the super-DAG run: measured per-worker utilization
+    /// and queue-wait percentiles (the scheduler-health columns of
+    /// `BENCH_batch.json`).
+    pub trace: arp_trace::TraceSummary,
 }
 
 impl BatchExperiment {
@@ -593,12 +597,19 @@ pub fn batch_experiment(
         }
     }
     let loop_report = arp_core::run_batch(&items, &loop_work, config, ImplKind::DagParallel)?;
-    let dag_report = arp_core::run_batch_dag(
+    // The super-DAG run executes inside a trace session so the report can
+    // state the *observed* schedule health (per-worker utilization,
+    // queue-wait percentiles), not just derived makespans. Overhead is
+    // within the <1% budget (see `trace_overhead_experiment`).
+    let session = arp_trace::TraceSession::start();
+    let dag_result = arp_core::run_batch_dag(
         &items,
         &dag_work,
         config,
         arp_core::ReadyOrder::CriticalPath,
-    )?;
+    );
+    let trace = session.finish().summary();
+    let dag_report = dag_result?;
     for dir in [&root, &loop_work, &dag_work] {
         std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
     }
@@ -606,7 +617,144 @@ pub fn batch_experiment(
         scale,
         loop_report,
         dag_report,
+        trace,
     })
+}
+
+/// Tracing-overhead measurement: the same cross-event super-DAG batch run
+/// `reps` times untraced and `reps` times inside a session, as `reps`
+/// back-to-back pairs. The acceptance budget is ≤1% at scale 0.05.
+#[derive(Debug)]
+pub struct TraceOverhead {
+    /// Data-point scale of the staged events.
+    pub scale: f64,
+    /// Repetitions per mode.
+    pub reps: usize,
+    /// Best untraced wall time, seconds.
+    pub untraced_s: f64,
+    /// Best traced wall time, seconds.
+    pub traced_s: f64,
+    /// Per-pair relative overhead `traced/untraced − 1`, one entry per rep.
+    pub pair_overheads: Vec<f64>,
+    /// Spans the traced runs recorded (per run).
+    pub spans: usize,
+}
+
+impl TraceOverhead {
+    /// Relative overhead of the best times, `traced/untraced − 1`
+    /// (negative = within noise).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.untraced_s <= 0.0 {
+            return 0.0;
+        }
+        self.traced_s / self.untraced_s - 1.0
+    }
+
+    /// Median of the per-pair overheads — the headline number. Each pair
+    /// runs back to back (order alternating between pairs), so slow drift
+    /// of the host cancels inside a pair instead of biasing one mode, and
+    /// the median discards pairs hit by interference.
+    pub fn median_overhead(&self) -> f64 {
+        if self.pair_overheads.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.pair_overheads.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+}
+
+/// Runs the tracing-overhead experiment on the six paper events: `reps`
+/// back-to-back untraced/traced pairs of the super-DAG batch run, the
+/// order within each pair alternating so warm-up bias cancels. Reports
+/// the best wall time per mode and the per-pair overhead ratios (see
+/// [`TraceOverhead::median_overhead`]).
+pub fn trace_overhead_experiment(
+    scale: f64,
+    config: &PipelineConfig,
+    reps: usize,
+) -> Result<TraceOverhead, PipelineError> {
+    let reps = reps.max(1);
+    let root = scratch("trace-ovh-in");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).map_err(|e| PipelineError::io(&root, e))?;
+    }
+    let mut items = Vec::new();
+    for (i, &(label, _, _, _)) in PAPER_EVENT_SHAPES.iter().enumerate() {
+        let dir = root.join(label);
+        std::fs::create_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
+        write_event_inputs(&paper_event(i, scale), &dir)?;
+        items.push(arp_core::BatchItem {
+            label: label.to_string(),
+            input_dir: dir,
+        });
+    }
+    let work = scratch("trace-ovh-w");
+    let run = |traced: bool| -> Result<(f64, usize), PipelineError> {
+        if work.exists() {
+            std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
+        }
+        let session = traced.then(arp_trace::TraceSession::start);
+        let result =
+            arp_core::run_batch_dag(&items, &work, config, arp_core::ReadyOrder::CriticalPath);
+        let spans = session.map_or(0, |s| s.finish().spans.len());
+        Ok((result?.total.as_secs_f64(), spans))
+    };
+    let mut untraced_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    let mut pair_overheads = Vec::with_capacity(reps);
+    let mut spans = 0;
+    for rep in 0..reps {
+        // Alternate order between pairs: even pairs run untraced first,
+        // odd pairs traced first.
+        let (u, (t, n)) = if rep % 2 == 0 {
+            let u = run(false)?.0;
+            (u, run(true)?)
+        } else {
+            let tn = run(true)?;
+            (run(false)?.0, tn)
+        };
+        untraced_s = untraced_s.min(u);
+        traced_s = traced_s.min(t);
+        if u > 0.0 {
+            pair_overheads.push(t / u - 1.0);
+        }
+        spans = n;
+    }
+    for dir in [&root, &work] {
+        if dir.exists() {
+            std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
+        }
+    }
+    Ok(TraceOverhead {
+        scale,
+        reps,
+        untraced_s,
+        traced_s,
+        pair_overheads,
+        spans,
+    })
+}
+
+/// Formats the overhead experiment for the terminal and EXPERIMENTS.md.
+pub fn format_trace_overhead(t: &TraceOverhead) -> String {
+    format!(
+        "tracing overhead at scale {} ({} paired reps, {} spans/run):\n  \
+         median pair overhead {:+.2}%   \
+         best-of: untraced {:.3}s  traced {:.3}s  ({:+.2}%)\n",
+        t.scale,
+        t.reps,
+        t.spans,
+        t.median_overhead() * 100.0,
+        t.untraced_s,
+        t.traced_s,
+        t.overhead_fraction() * 100.0
+    )
 }
 
 /// Formats the batch experiment: per-event comparison rows, then the
@@ -648,6 +796,7 @@ pub fn format_batch_experiment(b: &BatchExperiment) -> String {
     if let Some(dag) = &b.dag_report.dag {
         out.push_str(&dag.to_table());
     }
+    out.push_str(&b.trace.render());
     out
 }
 
@@ -674,11 +823,27 @@ pub fn batch_json(b: &BatchExperiment) -> String {
             makespans.get(i).map_or(0.0, |d| d.as_secs_f64()),
         ));
     }
+    let mut lanes = String::new();
+    for (i, lane) in b.trace.lanes.iter().enumerate() {
+        if i > 0 {
+            lanes.push_str(",\n");
+        }
+        lanes.push_str(&format!(
+            "    {{\"worker\": {}, \"spans\": {}, \"busy_s\": {:.6}, \"utilization\": {:.4}}}",
+            json_str(&lane.name),
+            lane.spans,
+            lane.busy.as_secs_f64(),
+            lane.utilization,
+        ));
+    }
     format!(
         "{{\n  \"scale\": {},\n  \"threads\": {},\n  \"order\": {},\n  \"events\": [\n{}\n  ],\n  \
          \"per_event_loop_s\": {:.6},\n  \"super_dag_s\": {:.6},\n  \"measured_speedup\": {:.4},\n  \
          \"node_total_s\": {:.6},\n  \"sequential_baseline_s\": {:.6},\n  \"batch_makespan_s\": {:.6},\n  \
-         \"cross_event_overlap_s\": {:.6},\n  \"overlap_speedup\": {:.4},\n  \"batch_speedup\": {:.4}\n}}\n",
+         \"cross_event_overlap_s\": {:.6},\n  \"overlap_speedup\": {:.4},\n  \"batch_speedup\": {:.4},\n  \
+         \"trace_spans\": {},\n  \"mean_utilization\": {:.4},\n  \"queue_wait_us\": \
+         {{\"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
+         \"workers\": [\n{}\n  ]\n}}\n",
         b.scale,
         dag.map_or(0, |d| d.threads),
         json_str(dag.map_or("", |d| d.order.label())),
@@ -692,6 +857,14 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         dag.map_or(0.0, |d| d.cross_event_overlap().as_secs_f64()),
         dag.map_or(0.0, |d| d.overlap_speedup()),
         dag.map_or(0.0, |d| d.batch_speedup()),
+        b.trace.spans,
+        b.trace.mean_utilization(),
+        b.trace.queue_wait_mean_us,
+        b.trace.queue_wait_p50_us,
+        b.trace.queue_wait_p90_us,
+        b.trace.queue_wait_p99_us,
+        b.trace.queue_wait_max_us,
+        lanes,
     )
 }
 

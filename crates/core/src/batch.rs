@@ -339,7 +339,14 @@ pub fn run_batch_dag(
                     let (parallel, staged) = dag_node_mode(p);
                     let saved0 = ctx.saved_snapshot();
                     let t0 = Instant::now();
-                    run_process(ctx, p, parallel, staged)?;
+                    crate::executor::run_process_span(
+                        ctx,
+                        p,
+                        parallel,
+                        staged,
+                        &labels[e],
+                        shapes[e].1 as u64 * 8,
+                    )?;
                     durations[super_dag.event_offset(e) + k] =
                         t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
                 }
@@ -369,6 +376,8 @@ pub fn run_batch_dag(
                     let ctx = &ctxs[node.event];
                     let timings = &timings;
                     let failures = &failures;
+                    let label = &labels[node.event];
+                    let bytes = shapes[node.event].1 as u64 * 8;
                     let p = node.process.0;
                     Box::new(move || {
                         // After any failure the rest of the batch is
@@ -378,6 +387,7 @@ pub fn run_batch_dag(
                         if !failures.lock().is_empty() {
                             return;
                         }
+                        crate::executor::annotate_node(p, label, bytes);
                         let (parallel, staged) = dag_node_mode(p);
                         let t0 = Instant::now();
                         match run_process(ctx, p, parallel, staged) {

@@ -83,6 +83,37 @@ pub(crate) fn run_process(ctx: &RunContext, p: u8, parallel: bool, staged: bool)
     }
 }
 
+/// As [`run_process`], wrapped in a [`arp_trace::Cat::Process`] span — the
+/// trace attribution for processes executed *in place* (the sequential,
+/// staged, and simulated executors; DAG-scheduled nodes get their span from
+/// the pool and only annotate it, see [`annotate_node`]). `bytes` is the
+/// event's acceleration payload (`data_points × 8`).
+pub(crate) fn run_process_span(
+    ctx: &RunContext,
+    p: u8,
+    parallel: bool,
+    staged: bool,
+    event: &str,
+    bytes: u64,
+) -> Result<()> {
+    let _span = arp_trace::begin(arp_trace::Cat::Process);
+    annotate_node(p, event, bytes);
+    run_process(ctx, p, parallel, staged)
+}
+
+/// Attaches pipeline attribution (`"{event}/#{p}"`, process id, event
+/// label, bytes) to the innermost open trace span. DAG node tasks call this
+/// from inside the span the pool scheduler opened around them, overwriting
+/// its generic `node-i` name; free when tracing is off.
+pub(crate) fn annotate_node(p: u8, event: &str, bytes: u64) {
+    arp_trace::annotate(|a| {
+        a.name = format!("{event}/#{p}");
+        a.process = Some(p);
+        a.event = event.to_string();
+        a.bytes = bytes;
+    });
+}
+
 /// Measures the shape of the input event: `(v1_files, data_points)`.
 /// Data points are counted as acceleration samples per station (each
 /// station file declares its component length in its first `BEGIN ACC`
@@ -135,24 +166,29 @@ pub fn run_pipeline(ctx: &RunContext, kind: ImplKind) -> Result<RunReport> {
 /// As [`run_pipeline`], attaching an event label to the report.
 pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Result<RunReport> {
     let (v1_files, data_points) = measure_input_shape(ctx)?;
+    let bytes = data_points as u64 * 8;
     let pool_before = arp_par::ThreadPool::global().stats();
     let saved0 = ctx.saved_snapshot();
     let started = Instant::now();
     let (processes, stages, dag) = match kind {
-        ImplKind::SequentialOriginal => (run_sequential(ctx, true)?, Vec::new(), None),
-        ImplKind::SequentialOptimized => (run_sequential(ctx, false)?, Vec::new(), None),
+        ImplKind::SequentialOriginal => {
+            (run_sequential(ctx, true, event, bytes)?, Vec::new(), None)
+        }
+        ImplKind::SequentialOptimized => {
+            (run_sequential(ctx, false, event, bytes)?, Vec::new(), None)
+        }
         ImplKind::PartiallyParallel => {
-            let (p, s) = run_staged_plan(ctx, |s| s.partial)?;
+            let (p, s) = run_staged_plan(ctx, |s| s.partial, event, bytes)?;
             (p, s, None)
         }
         ImplKind::FullyParallel => {
-            let (p, s) = run_staged_plan(ctx, |s| s.full)?;
+            let (p, s) = run_staged_plan(ctx, |s| s.full, event, bytes)?;
             (p, s, None)
         }
         // A batch of one event has no cross-event overlap to exploit; the
         // super-DAG scheduler degenerates to the per-event DAG plan.
         ImplKind::DagParallel | ImplKind::BatchDag => {
-            let (p, d) = run_dag_plan(ctx)?;
+            let (p, d) = run_dag_plan(ctx, event, bytes)?;
             (p, Vec::new(), Some(d))
         }
     };
@@ -194,14 +230,19 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
 
 /// Sequential chain in numeric process order; `include_redundant` selects
 /// the original (20-process) vs optimized (17-process) variant.
-fn run_sequential(ctx: &RunContext, include_redundant: bool) -> Result<Vec<ProcessTiming>> {
+fn run_sequential(
+    ctx: &RunContext,
+    include_redundant: bool,
+    event: &str,
+    bytes: u64,
+) -> Result<Vec<ProcessTiming>> {
     let mut timings = Vec::new();
     for p in 0u8..20 {
         if !include_redundant && matches!(p, 6 | 12 | 14) {
             continue;
         }
         let t0 = Instant::now();
-        run_process(ctx, p, false, false)?;
+        run_process_span(ctx, p, false, false, event, bytes)?;
         timings.push(ProcessTiming {
             process: ProcessId(p),
             elapsed: t0.elapsed(),
@@ -214,6 +255,8 @@ fn run_sequential(ctx: &RunContext, include_redundant: bool) -> Result<Vec<Proce
 fn run_staged_plan(
     ctx: &RunContext,
     strategy_of: impl Fn(&crate::plan::StageInfo) -> Strategy,
+    event: &str,
+    bytes: u64,
 ) -> Result<(Vec<ProcessTiming>, Vec<StageTiming>)> {
     let process_timings: Mutex<Vec<ProcessTiming>> = Mutex::new(Vec::new());
     let mut stage_timings = Vec::with_capacity(STAGE_TABLE.len());
@@ -226,7 +269,7 @@ fn run_staged_plan(
             Strategy::Sequential => {
                 for &p in stage.processes {
                     let pt0 = Instant::now();
-                    run_process(ctx, p, false, false)?;
+                    run_process_span(ctx, p, false, false, event, bytes)?;
                     process_timings.lock().push(ProcessTiming {
                         process: ProcessId(p),
                         elapsed: pt0.elapsed(),
@@ -241,7 +284,7 @@ fn run_staged_plan(
                         let timings = &process_timings;
                         Box::new(move || {
                             let pt0 = Instant::now();
-                            run_process(ctx, p, false, false)?;
+                            run_process_span(ctx, p, false, false, event, bytes)?;
                             timings.lock().push(ProcessTiming {
                                 process: ProcessId(p),
                                 elapsed: pt0.elapsed(),
@@ -257,7 +300,7 @@ fn run_staged_plan(
                 for &p in stage.processes {
                     let pt0 = Instant::now();
                     let psaved0 = ctx.saved_snapshot();
-                    run_process(ctx, p, true, staged)?;
+                    run_process_span(ctx, p, true, staged, event, bytes)?;
                     process_timings.lock().push(ProcessTiming {
                         process: ProcessId(p),
                         elapsed: pt0.elapsed().saturating_sub(ctx.saved_snapshot() - psaved0),
@@ -355,7 +398,11 @@ pub(crate) fn dag_schedule_report(
 /// topological order — so their virtual durations can be measured cleanly —
 /// and the DAG schedule is replayed in virtual time, crediting the
 /// difference exactly like the staged executors do.
-fn run_dag_plan(ctx: &RunContext) -> Result<(Vec<ProcessTiming>, DagReport)> {
+fn run_dag_plan(
+    ctx: &RunContext,
+    event: &str,
+    bytes: u64,
+) -> Result<(Vec<ProcessTiming>, DagReport)> {
     let dag = ProcessDag::optimized();
     let nodes = dag.nodes();
 
@@ -366,7 +413,7 @@ fn run_dag_plan(ctx: &RunContext) -> Result<(Vec<ProcessTiming>, DagReport)> {
             let (parallel, staged) = dag_node_mode(p);
             let saved0 = ctx.saved_snapshot();
             let t0 = Instant::now();
-            run_process(ctx, p, parallel, staged)?;
+            run_process_span(ctx, p, parallel, staged, event, bytes)?;
             let elapsed = t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
             durations.push(elapsed);
             timings.push(ProcessTiming {
@@ -399,6 +446,7 @@ fn run_dag_plan(ctx: &RunContext) -> Result<(Vec<ProcessTiming>, DagReport)> {
                 if !failures.lock().is_empty() {
                     return;
                 }
+                annotate_node(p, event, bytes);
                 let (parallel, staged) = dag_node_mode(p);
                 let t0 = Instant::now();
                 match run_process(ctx, p, parallel, staged) {

@@ -64,4 +64,4 @@ pub use plan::{StageId, Strategy, STAGE_TABLE};
 pub use process::{ProcessId, ProcessKind, PROCESS_TABLE};
 pub use report::{DagReport, ImplKind, RunReport, StageTiming};
 pub use summary::{event_summary, summary_csv, SummaryRow};
-pub use timeline::timeline_svg;
+pub use timeline::{timeline_svg, worker_timeline_svg};

@@ -1,9 +1,22 @@
-//! Stage-timeline visualization: renders a [`RunReport`]'s stage timings as
-//! a Gantt-style SVG, the visual counterpart of the paper's Fig. 8/10 stage
-//! diagrams with real measured widths.
+//! Timeline visualizations: the stage Gantt of a [`RunReport`] (the visual
+//! counterpart of the paper's Fig. 8/10 stage diagrams, with real measured
+//! widths) and the per-worker Gantt of an [`arp_trace::Trace`], which shows
+//! the *observed* schedule — which worker lane ran which span when.
 
 use crate::report::RunReport;
 use arp_plot::{Anchor, Backend, Color, Svg};
+
+/// Bar-width scale that stays finite on degenerate inputs: zero (or
+/// non-finite) totals draw minimum-width bars instead of NaN/∞ widths that
+/// would corrupt the SVG.
+fn safe_scale(plot_w: f64, total: f64) -> f64 {
+    let scale = plot_w / total;
+    if total > 0.0 && scale.is_finite() {
+        scale
+    } else {
+        0.0
+    }
+}
 
 /// Renders the report's stages as a horizontal timeline (one bar per stage,
 /// widths proportional to elapsed time). Returns an SVG document; reports
@@ -48,11 +61,11 @@ pub fn timeline_svg(report: &RunReport) -> String {
     );
 
     let plot_w = width - margin_left - 90.0;
-    let scale = if total > 0.0 { plot_w / total } else { 0.0 };
+    let scale = safe_scale(plot_w, total);
     let mut x = margin_left;
     for (i, (label, secs)) in rows.iter().enumerate() {
         let y = margin_top + i as f64 * row_h;
-        let w = (secs * scale).max(0.5);
+        let w = (secs * scale).clamp(0.5, plot_w);
         be.text(margin_left - 6.0, y + row_h * 0.7, 10.0, Anchor::End, label);
         be.fill_rect(
             x,
@@ -69,6 +82,106 @@ pub fn timeline_svg(report: &RunReport) -> String {
             &format!("{:.4}s", secs),
         );
         x += w;
+    }
+    be.finish()
+}
+
+/// Renders a drained trace as a per-worker Gantt: one lane per worker
+/// thread, one bar per top-level span positioned at its *observed* start
+/// time, colored by event. Nested spans (loop chunks inside a DAG node)
+/// are folded into their enclosing bar. Each lane is annotated with its
+/// measured utilization; a legend maps colors back to events.
+///
+/// This is the `timeline_svg` idea generalized from derived stage bars to
+/// the schedule the pool actually executed.
+pub fn worker_timeline_svg(trace: &arp_trace::Trace) -> String {
+    let width = 900.0;
+    let row_h = 22.0;
+    let margin_left = 95.0;
+    let margin_top = 40.0;
+    let summary = trace.summary();
+
+    // Distinct events in first-appearance order define the color mapping.
+    let mut events: Vec<&str> = Vec::new();
+    for span in &trace.spans {
+        if !span.event.is_empty() && !events.contains(&span.event.as_str()) {
+            events.push(&span.event);
+        }
+    }
+    let color_of = |event: &str| {
+        events
+            .iter()
+            .position(|e| *e == event)
+            .map(|i| Color::PALETTE[i % Color::PALETTE.len()])
+            .unwrap_or(Color::GRAY)
+    };
+
+    let legend_h = if events.is_empty() { 0.0 } else { 18.0 };
+    let height = margin_top + summary.lanes.len().max(1) as f64 * row_h + legend_h + 30.0;
+    let mut be: Box<dyn Backend> = Box::new(Svg::new(width, height));
+    be.text(
+        width / 2.0,
+        20.0,
+        12.0,
+        Anchor::Middle,
+        &format!(
+            "worker timeline — {} spans on {} lanes, {:.3}s wall",
+            summary.spans,
+            summary.lanes.len(),
+            trace.wall.as_secs_f64()
+        ),
+    );
+
+    let total_ns = trace
+        .spans
+        .iter()
+        .map(|s| s.end_ns())
+        .max()
+        .unwrap_or(0)
+        .max(trace.wall.as_nanos() as u64);
+    let plot_w = width - margin_left - 60.0;
+    let scale = safe_scale(plot_w, total_ns as f64);
+
+    for (row, load) in summary.lanes.iter().enumerate() {
+        let y = margin_top + row as f64 * row_h;
+        be.text(
+            margin_left - 6.0,
+            y + row_h * 0.7,
+            10.0,
+            Anchor::End,
+            &load.name,
+        );
+        // Spans sort enclosers-first within a lane, so an end-time stack
+        // identifies top-level spans; nested ones stay inside their bar.
+        let mut ends: Vec<u64> = Vec::new();
+        for span in trace.lane_spans(load.lane) {
+            while ends.last().is_some_and(|&top| top <= span.start_ns) {
+                ends.pop();
+            }
+            let top_level = ends.is_empty();
+            ends.push(span.end_ns());
+            if !top_level {
+                continue;
+            }
+            let x = margin_left + span.start_ns as f64 * scale;
+            let w = (span.dur_ns as f64 * scale).clamp(0.5, plot_w);
+            be.fill_rect(x, y + 3.0, w, row_h - 6.0, color_of(&span.event));
+        }
+        be.text(
+            width - 54.0,
+            y + row_h * 0.7,
+            9.0,
+            Anchor::Start,
+            &format!("{:5.1}%", load.utilization * 100.0),
+        );
+    }
+
+    let legend_y = margin_top + summary.lanes.len().max(1) as f64 * row_h + 12.0;
+    let mut legend_x = margin_left;
+    for event in &events {
+        be.fill_rect(legend_x, legend_y, 10.0, 10.0, color_of(event));
+        be.text(legend_x + 14.0, legend_y + 9.0, 9.0, Anchor::Start, event);
+        legend_x += 14.0 + 7.0 * event.len() as f64 + 16.0;
     }
     be.finish()
 }
@@ -151,5 +264,98 @@ mod tests {
         };
         let svg = timeline_svg(&report);
         assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn zero_elapsed_rows_render_without_nan_widths() {
+        // Regression: a report whose rows all measure zero elapsed time
+        // must draw minimum-width bars, never NaN/∞ geometry.
+        let report = RunReport {
+            implementation: ImplKind::FullyParallel,
+            event: "ZERO".into(),
+            v1_files: 1,
+            data_points: 1,
+            total: Duration::ZERO,
+            processes: vec![],
+            stages: StageId::ALL
+                .iter()
+                .map(|&s| StageTiming {
+                    stage: s,
+                    elapsed: Duration::ZERO,
+                })
+                .collect(),
+            dag: None,
+            pool: None,
+        };
+        let svg = timeline_svg(&report);
+        assert!(!svg.contains("NaN"), "NaN leaked into SVG geometry");
+        assert!(!svg.contains("inf"), "infinite width leaked into SVG");
+        assert!(svg.matches("<rect").count() >= 11, "bars must still draw");
+    }
+
+    #[test]
+    fn safe_scale_guards_degenerate_totals() {
+        assert_eq!(safe_scale(600.0, 0.0), 0.0);
+        assert_eq!(safe_scale(600.0, -1.0), 0.0);
+        assert_eq!(safe_scale(600.0, f64::MIN_POSITIVE / 4.0), 0.0);
+        assert!((safe_scale(600.0, 2.0) - 300.0).abs() < 1e-12);
+    }
+
+    fn trace_span(lane: usize, event: &str, start_ns: u64, dur_ns: u64) -> arp_trace::Span {
+        arp_trace::Span {
+            name: format!("{event}/#1"),
+            cat: arp_trace::Cat::DagNode,
+            process: Some(1),
+            event: event.into(),
+            lane,
+            start_ns,
+            dur_ns,
+            queue_ns: 0,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn worker_timeline_draws_lanes_events_and_utilization() {
+        let trace = arp_trace::Trace {
+            spans: vec![
+                trace_span(0, "ev-a", 0, 50_000_000),
+                trace_span(0, "ev-b", 60_000_000, 30_000_000),
+                trace_span(1, "ev-b", 0, 100_000_000),
+            ],
+            lanes: vec!["arp-par-0".into(), "arp-par-1".into()],
+            wall: Duration::from_millis(100),
+            dropped: 0,
+        };
+        let svg = worker_timeline_svg(&trace);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("arp-par-0") && svg.contains("arp-par-1"));
+        assert!(svg.contains("ev-a") && svg.contains("ev-b"));
+        // 3 top-level bars + 2 legend swatches + 1 background.
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert!(svg.contains("80.0%"), "lane 0 utilization label");
+        assert!(svg.contains("100.0%"), "lane 1 utilization label");
+    }
+
+    #[test]
+    fn worker_timeline_folds_nested_spans_into_their_bar() {
+        let mut inner = trace_span(0, "ev-a", 10_000, 1_000);
+        inner.cat = arp_trace::Cat::Chunk;
+        let trace = arp_trace::Trace {
+            spans: vec![trace_span(0, "ev-a", 0, 100_000), inner],
+            lanes: vec!["w".into()],
+            wall: Duration::from_micros(100),
+            dropped: 0,
+        };
+        let svg = worker_timeline_svg(&trace);
+        // One bar (nested chunk folded) + one legend swatch + background.
+        assert_eq!(svg.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn empty_trace_renders_safely() {
+        let svg = worker_timeline_svg(&arp_trace::Trace::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(!svg.contains("NaN"));
     }
 }

@@ -162,6 +162,8 @@ impl ForState<'_> {
         while !self.panicked.load(Ordering::Relaxed) {
             let Some(chunk) = self.claim() else { break };
             let result = catch_unwind(AssertUnwindSafe(|| {
+                let _span = arp_trace::begin(arp_trace::Cat::Chunk);
+                arp_trace::annotate(|a| a.name = format!("for[{}..{})", chunk.start, chunk.end));
                 for i in chunk {
                     (self.body)(i);
                 }
@@ -217,6 +219,9 @@ fn dispatch_dag_node(
     stats.dag_dispatches.fetch_add(1, Ordering::Relaxed);
     let depth = state.ready.fetch_add(1, Ordering::Relaxed) as u64 + 1;
     stats.dag_ready_peak.fetch_max(depth, Ordering::Relaxed);
+    // Stamped at enqueue so the span records how long the node sat in the
+    // channel before a worker picked it up (queue wait vs execute time).
+    let queued_at = arp_trace::stamp();
 
     let sender_clone = sender.clone();
     let stats_clone = stats.clone();
@@ -238,6 +243,11 @@ fn dispatch_dag_node(
         // fully counts down) but their bodies are skipped.
         if !state.panicked.load(Ordering::Relaxed) {
             if let Some(task) = state.slots[i].lock().take() {
+                // The span covers only the task body (closed before
+                // successors are unlocked); the task itself annotates
+                // pipeline attribution over this default name.
+                let _span = arp_trace::begin_queued(arp_trace::Cat::DagNode, queued_at);
+                arp_trace::annotate(|a| a.name = format!("node-{i}"));
                 if catch_unwind(AssertUnwindSafe(task)).is_err() {
                     state.panicked.store(true, Ordering::Relaxed);
                     stats_clone.panics_caught.fetch_add(1, Ordering::Relaxed);

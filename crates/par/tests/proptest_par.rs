@@ -1,10 +1,29 @@
 //! Property tests: the parallel runtime matches sequential semantics for
 //! arbitrary workloads, and the scheduling simulator respects its bounds.
 
-use arp_par::{loop_makespan, resource_bounded_makespan, tasks_makespan, Schedule, ThreadPool};
+use arp_par::{
+    loop_makespan, resource_bounded_makespan, tasks_makespan, PoolStatsSnapshot, Schedule,
+    ThreadPool,
+};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
+
+fn snapshot_strategy() -> impl Strategy<Value = PoolStatsSnapshot> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((a, b, c, d), (e, f, g))| PoolStatsSnapshot {
+            jobs_on_workers: a,
+            jobs_helped: b,
+            loops_completed: c,
+            panics_caught: d,
+            dag_dispatches: e,
+            dag_ready_peak: f,
+            dags_completed: g,
+        })
+}
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
     prop_oneof![
@@ -119,4 +138,104 @@ proptest! {
         ) + max;
         prop_assert!(m <= graham + Duration::from_nanos(1));
     }
+
+    #[test]
+    fn delta_since_saturates_and_never_panics(
+        after in snapshot_strategy(),
+        before in snapshot_strategy(),
+    ) {
+        // `delta_since` must be total: any pair of snapshots — including
+        // ones where `before` is ahead, as happens when snapshots from
+        // different pools are mixed up — yields a delta without wrapping.
+        let d = after.delta_since(&before);
+        prop_assert_eq!(d.jobs_on_workers, after.jobs_on_workers.saturating_sub(before.jobs_on_workers));
+        prop_assert_eq!(d.jobs_helped, after.jobs_helped.saturating_sub(before.jobs_helped));
+        prop_assert_eq!(d.loops_completed, after.loops_completed.saturating_sub(before.loops_completed));
+        prop_assert_eq!(d.panics_caught, after.panics_caught.saturating_sub(before.panics_caught));
+        prop_assert_eq!(d.dag_dispatches, after.dag_dispatches.saturating_sub(before.dag_dispatches));
+        prop_assert_eq!(d.dags_completed, after.dags_completed.saturating_sub(before.dags_completed));
+        // The ready-queue peak is a high-water mark, not a counter: the
+        // later observation is kept verbatim.
+        prop_assert_eq!(d.dag_ready_peak, after.dag_ready_peak);
+    }
+
+    #[test]
+    fn delta_since_identities(s in snapshot_strategy()) {
+        // Delta against itself is all-zero except the preserved peak...
+        let zero = s.delta_since(&s);
+        prop_assert_eq!(zero.jobs_on_workers, 0);
+        prop_assert_eq!(zero.jobs_helped, 0);
+        prop_assert_eq!(zero.loops_completed, 0);
+        prop_assert_eq!(zero.panics_caught, 0);
+        prop_assert_eq!(zero.dag_dispatches, 0);
+        prop_assert_eq!(zero.dags_completed, 0);
+        prop_assert_eq!(zero.dag_ready_peak, s.dag_ready_peak);
+        // ...and delta against a fresh (all-zero) baseline is the snapshot.
+        let fresh = PoolStatsSnapshot {
+            jobs_on_workers: 0,
+            jobs_helped: 0,
+            loops_completed: 0,
+            panics_caught: 0,
+            dag_dispatches: 0,
+            dag_ready_peak: 0,
+            dags_completed: 0,
+        };
+        prop_assert_eq!(s.delta_since(&fresh), s);
+    }
+}
+
+/// Every `PoolStats` field is a monotone counter (or high-water mark): a
+/// sequence of snapshots taken while another thread hammers the pool must
+/// never observe any field decreasing.
+#[test]
+fn snapshots_are_monotone_under_concurrent_load() {
+    let pool = ThreadPool::new(4);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for round in 0..40 {
+                pool.parallel_for(0..64, Schedule::Dynamic(4), |_| {
+                    std::hint::black_box(round);
+                });
+                // A tiny diamond DAG so the dag_* counters move too.
+                let ran: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+                let tasks: Vec<Box<dyn FnOnce() + Send>> = ran
+                    .iter()
+                    .map(|c| {
+                        Box::new(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }) as Box<dyn FnOnce() + Send>
+                    })
+                    .collect();
+                pool.run_dag(tasks, &[vec![], vec![0], vec![0], vec![1, 2]]);
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        let mut prev = pool.stats();
+        while !done.load(Ordering::Acquire) {
+            let cur = pool.stats();
+            assert!(cur.jobs_on_workers >= prev.jobs_on_workers);
+            assert!(cur.jobs_helped >= prev.jobs_helped);
+            assert!(cur.loops_completed >= prev.loops_completed);
+            assert!(cur.panics_caught >= prev.panics_caught);
+            assert!(cur.dag_dispatches >= prev.dag_dispatches);
+            assert!(cur.dag_ready_peak >= prev.dag_ready_peak);
+            assert!(cur.dags_completed >= prev.dags_completed);
+            // The delta against the previous poll is therefore exact, and
+            // saturating subtraction never actually saturates.
+            let d = cur.delta_since(&prev);
+            assert_eq!(
+                d.jobs_on_workers,
+                cur.jobs_on_workers - prev.jobs_on_workers
+            );
+            assert_eq!(d.dag_dispatches, cur.dag_dispatches - prev.dag_dispatches);
+            prev = cur;
+            std::thread::yield_now();
+        }
+    });
+    let end = pool.stats();
+    assert!(end.loops_completed >= 40);
+    assert!(end.dags_completed >= 40);
+    assert_eq!(end.panics_caught, 0);
 }

@@ -1,0 +1,322 @@
+//! Chrome Trace Event export, import, and validation.
+//!
+//! The export target is the [Trace Event Format] consumed by Perfetto and
+//! `chrome://tracing`: a JSON object whose `traceEvents` array holds `"M"`
+//! metadata events (process/thread names) and `"X"` complete events (one
+//! per [`Span`], `ts`/`dur` in microseconds). Timestamps are written with
+//! three decimal places so the underlying nanosecond values survive a
+//! round-trip exactly; [`from_chrome_json`] is that inverse, and
+//! [`validate_chrome_json`] is the structural check CI runs on CLI output.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+use crate::json::{self, escape, Value};
+use crate::{Cat, Span, Trace};
+use std::time::Duration;
+
+/// The `pid` all events carry — the trace covers one process.
+const PID: u64 = 1;
+
+/// Nanoseconds → microseconds with three decimals (exact; no float).
+pub(crate) fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Microseconds (as parsed JSON number) → nanoseconds.
+fn us_to_ns(v: f64) -> u64 {
+    (v * 1_000.0).round() as u64
+}
+
+/// Serializes a trace as Chrome Trace Event JSON. The output loads in
+/// Perfetto / `chrome://tracing`: worker lanes appear as named threads and
+/// every span is a complete (`"X"`) event whose `args` carry the pipeline
+/// attribution (process id, event label, queue wait, bytes).
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut events = Vec::with_capacity(trace.spans.len() + trace.lanes.len() + 1);
+    events.push(format!(
+        r#"{{"name": "process_name", "ph": "M", "pid": {PID}, "args": {{"name": "arp"}}}}"#
+    ));
+    for (tid, lane) in trace.lanes.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name": "thread_name", "ph": "M", "pid": {PID}, "tid": {tid}, "args": {{"name": {}}}}}"#,
+            escape(lane)
+        ));
+    }
+    for span in &trace.spans {
+        let mut args = String::new();
+        if let Some(p) = span.process {
+            args.push_str(&format!(r#""process": {p}, "#));
+        }
+        if !span.event.is_empty() {
+            args.push_str(&format!(r#""event": {}, "#, escape(&span.event)));
+        }
+        args.push_str(&format!(
+            r#""queue_wait_us": {}, "bytes": {}"#,
+            us(span.queue_ns),
+            span.bytes
+        ));
+        events.push(format!(
+            r#"{{"name": {}, "cat": {}, "ph": "X", "pid": {PID}, "tid": {}, "ts": {}, "dur": {}, "args": {{{args}}}}}"#,
+            escape(&span.name),
+            escape(span.cat.label()),
+            span.lane,
+            us(span.start_ns),
+            us(span.dur_ns),
+        ));
+    }
+    format!(
+        "{{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{\"wall_us\": {}, \"dropped\": {}}},\n\"traceEvents\": [\n{}\n]\n}}\n",
+        us(trace.wall.as_nanos() as u64),
+        trace.dropped,
+        events.join(",\n")
+    )
+}
+
+/// Reconstructs a [`Trace`] from Chrome Trace Event JSON produced by
+/// [`to_chrome_json`]. Lane names come from `thread_name` metadata events,
+/// spans from `"X"` events; the result equals the exported trace exactly
+/// (the three-decimal microsecond timestamps preserve nanoseconds).
+pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut lanes: Vec<String> = Vec::new();
+    let mut spans = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        match ph {
+            "M" if name == "thread_name" => {
+                let tid = ev
+                    .get("tid")
+                    .and_then(Value::as_u64)
+                    .ok_or("thread_name event without tid")? as usize;
+                let lane_name = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .ok_or("thread_name event without args.name")?;
+                if lanes.len() <= tid {
+                    lanes.resize(tid + 1, String::new());
+                }
+                lanes[tid] = lane_name.to_string();
+            }
+            "X" => {
+                let num = |key: &str| {
+                    ev.get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("X event missing numeric {key:?}"))
+                };
+                let args = ev.get("args");
+                let cat = ev
+                    .get("cat")
+                    .and_then(Value::as_str)
+                    .and_then(Cat::parse)
+                    .ok_or("X event with unknown cat")?;
+                spans.push(Span {
+                    name: name.to_string(),
+                    cat,
+                    process: args
+                        .and_then(|a| a.get("process"))
+                        .and_then(Value::as_u64)
+                        .map(|p| p as u8),
+                    event: args
+                        .and_then(|a| a.get("event"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    lane: num("tid")? as usize,
+                    start_ns: us_to_ns(num("ts")?),
+                    dur_ns: us_to_ns(num("dur")?),
+                    queue_ns: args
+                        .and_then(|a| a.get("queue_wait_us"))
+                        .and_then(Value::as_f64)
+                        .map(us_to_ns)
+                        .unwrap_or(0),
+                    bytes: args
+                        .and_then(|a| a.get("bytes"))
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                });
+            }
+            _ => {}
+        }
+    }
+    spans.sort_by_key(|s| (s.lane, s.start_ns, std::cmp::Reverse(s.end_ns())));
+    let other = doc.get("otherData");
+    Ok(Trace {
+        spans,
+        lanes,
+        wall: Duration::from_nanos(
+            other
+                .and_then(|o| o.get("wall_us"))
+                .and_then(Value::as_f64)
+                .map(us_to_ns)
+                .unwrap_or(0),
+        ),
+        dropped: other
+            .and_then(|o| o.get("dropped"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+    })
+}
+
+/// What [`validate_chrome_json`] found in a structurally valid trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeCheck {
+    /// Total entries in `traceEvents` (metadata + spans).
+    pub events: usize,
+    /// Complete (`"X"`) events — the actual spans.
+    pub complete: usize,
+    /// Distinct worker lanes named by `thread_name` metadata.
+    pub lanes: usize,
+}
+
+/// Structural validation against the Chrome Trace Event schema: the
+/// document must be an object with a `traceEvents` array; every event must
+/// be an object with a string `ph` and a `pid`; every `"X"` event must
+/// carry `name`, `tid`, and non-negative numeric `ts`/`dur`. Returns counts
+/// on success and the first violation on failure. This is what the CI
+/// smoke job runs on `arp run --trace` output.
+pub fn validate_chrome_json(text: &str) -> Result<ChromeCheck, String> {
+    let doc = json::parse(text)?;
+    if !doc.is_obj() {
+        return Err("top level must be a JSON object".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents must be an array")?;
+    let mut complete = 0usize;
+    let mut lanes = std::collections::BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        if !ev.is_obj() {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] missing string ph"))?;
+        ev.get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("traceEvents[{i}] missing pid"))?;
+        if ph == "X" {
+            ev.get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("traceEvents[{i}] (X) missing name"))?;
+            let tid = ev
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("traceEvents[{i}] (X) missing tid"))?;
+            for key in ["ts", "dur"] {
+                let v = ev
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("traceEvents[{i}] (X) missing numeric {key}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("traceEvents[{i}] (X) has invalid {key} {v}"));
+                }
+            }
+            lanes.insert(tid);
+            complete += 1;
+        }
+    }
+    Ok(ChromeCheck {
+        events: events.len(),
+        complete,
+        lanes: lanes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let span = |name: &str, cat, process, event: &str, lane, start_ns, dur_ns| Span {
+            name: name.into(),
+            cat,
+            process,
+            event: event.into(),
+            lane,
+            start_ns,
+            dur_ns,
+            queue_ns: 1_234_567,
+            bytes: 56_832,
+        };
+        Trace {
+            spans: vec![
+                span("ev-a/#0", Cat::DagNode, Some(0), "ev-a", 0, 0, 2_500_001),
+                span("for[0..8)", Cat::Chunk, None, "", 0, 100, 1_000),
+                span(
+                    "ev-b/#4",
+                    Cat::DagNode,
+                    Some(4),
+                    "ev-b",
+                    1,
+                    500,
+                    999_999_999,
+                ),
+            ],
+            lanes: vec!["caller".into(), "arp-par-0".into()],
+            wall: Duration::from_nanos(1_000_000_123),
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_exactly() {
+        let trace = sample_trace();
+        let json = to_chrome_json(&trace);
+        let back = from_chrome_json(&json).expect("import");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn export_passes_validation() {
+        let trace = sample_trace();
+        let check = validate_chrome_json(&to_chrome_json(&trace)).expect("valid");
+        assert_eq!(check.complete, 3);
+        // process_name + 2 thread_name + 3 spans.
+        assert_eq!(check.events, 6);
+        assert_eq!(check.lanes, 2);
+    }
+
+    #[test]
+    fn microsecond_format_is_exact() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(2_500_001), "2500.001");
+        assert_eq!(us_to_ns(2500.001), 2_500_001);
+        assert_eq!(us_to_ns(0.999), 999);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_traces() {
+        assert!(validate_chrome_json("[]").is_err());
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json(r#"{"traceEvents": {}}"#).is_err());
+        assert!(validate_chrome_json(r#"{"traceEvents": [{"ph": "X"}]}"#).is_err());
+        assert!(validate_chrome_json(
+            r#"{"traceEvents": [{"name": "n", "ph": "X", "pid": 1, "tid": 0, "ts": -1, "dur": 2}]}"#
+        )
+        .is_err());
+        let ok = validate_chrome_json(
+            r#"{"traceEvents": [{"name": "n", "ph": "X", "pid": 1, "tid": 0, "ts": 0.5, "dur": 2}]}"#,
+        )
+        .expect("minimal valid trace");
+        assert_eq!(ok.complete, 1);
+        assert_eq!(ok.lanes, 1);
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let trace = Trace::default();
+        let check = validate_chrome_json(&to_chrome_json(&trace)).expect("valid");
+        assert_eq!(check.complete, 0);
+        let back = from_chrome_json(&to_chrome_json(&trace)).unwrap();
+        assert_eq!(back, trace);
+    }
+}

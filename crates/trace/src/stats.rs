@@ -1,0 +1,306 @@
+//! Worker-timeline statistics: per-lane utilization, queue-wait
+//! percentiles, and the flat CSV sink for the bench crate.
+
+use crate::chrome::us;
+use crate::{Cat, Trace};
+use std::time::Duration;
+
+/// How much of the session one worker lane spent executing spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneLoad {
+    /// Lane index (the Chrome-trace `tid`).
+    pub lane: usize,
+    /// Worker thread name (`arp-par-3`, `caller`, …).
+    pub name: String,
+    /// Spans recorded on this lane.
+    pub spans: usize,
+    /// Busy time: the union of the lane's span intervals (nested spans are
+    /// not double-counted).
+    pub busy: Duration,
+    /// `busy / wall` — the fraction of the session this lane was executing.
+    pub utilization: f64,
+}
+
+/// Scheduler-health summary of a drained [`Trace`]: per-lane utilization
+/// plus queue-wait percentiles over the DAG-node spans (the units that sit
+/// in the pool's channel before a worker picks them up).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Session wall time.
+    pub wall: Duration,
+    /// One entry per lane that recorded at least one span.
+    pub lanes: Vec<LaneLoad>,
+    /// Total spans across all lanes.
+    pub spans: usize,
+    /// Spans lost to ring overflow.
+    pub dropped: u64,
+    /// Mean queue wait in microseconds.
+    pub queue_wait_mean_us: f64,
+    /// Median queue wait in microseconds.
+    pub queue_wait_p50_us: f64,
+    /// 90th-percentile queue wait in microseconds.
+    pub queue_wait_p90_us: f64,
+    /// 99th-percentile queue wait in microseconds.
+    pub queue_wait_p99_us: f64,
+    /// Worst queue wait in microseconds.
+    pub queue_wait_max_us: f64,
+}
+
+impl TraceSummary {
+    /// Mean utilization across the active lanes (lanes with no spans are
+    /// excluded — an idle lane registered by an earlier workload says
+    /// nothing about this one). Zero for an empty trace.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.lanes.is_empty() {
+            return 0.0;
+        }
+        self.lanes.iter().map(|l| l.utilization).sum::<f64>() / self.lanes.len() as f64
+    }
+
+    /// Multi-line human-readable rendering (CLI and bench reports).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} spans on {} lanes over {:.3} ms ({} dropped)\n",
+            self.spans,
+            self.lanes.len(),
+            self.wall.as_secs_f64() * 1e3,
+            self.dropped
+        ));
+        out.push_str(&format!(
+            "queue wait (us): mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}\n",
+            self.queue_wait_mean_us,
+            self.queue_wait_p50_us,
+            self.queue_wait_p90_us,
+            self.queue_wait_p99_us,
+            self.queue_wait_max_us
+        ));
+        out.push_str(&format!(
+            "utilization: mean {:.1}%\n",
+            self.mean_utilization() * 100.0
+        ));
+        for lane in &self.lanes {
+            out.push_str(&format!(
+                "  lane {:>2} {:<12} {:>5} spans  busy {:>10.3} ms  util {:>5.1}%\n",
+                lane.lane,
+                lane.name,
+                lane.spans,
+                lane.busy.as_secs_f64() * 1e3,
+                lane.utilization * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Busy time of one lane: the measure of the union of its span intervals.
+fn lane_busy_ns(trace: &Trace, lane: usize) -> u64 {
+    // Spans are sorted by start (enclosers first) within a lane.
+    let mut busy = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for span in trace.lane_spans(lane) {
+        let (start, end) = (span.start_ns, span.end_ns());
+        match cur {
+            Some((_, ce)) if start <= ce => {
+                cur = Some((cur.unwrap().0, ce.max(end)));
+            }
+            Some((cs, ce)) => {
+                busy += ce - cs;
+                cur = Some((start, end));
+            }
+            None => cur = Some((start, end)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        busy += ce - cs;
+    }
+    busy
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice. Zero when empty.
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+/// Computes the [`TraceSummary`] of a drained trace. Queue-wait statistics
+/// are taken over the [`Cat::DagNode`] spans — the work that was dispatched
+/// through the pool's channel; chunk and process spans execute in place and
+/// carry no queue wait.
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let wall_ns = trace.wall.as_nanos() as u64;
+    let mut lanes = Vec::new();
+    for (lane, name) in trace.lanes.iter().enumerate() {
+        let spans = trace.lane_spans(lane).count();
+        if spans == 0 {
+            continue;
+        }
+        let busy_ns = lane_busy_ns(trace, lane);
+        lanes.push(LaneLoad {
+            lane,
+            name: name.clone(),
+            spans,
+            busy: Duration::from_nanos(busy_ns),
+            utilization: if wall_ns > 0 {
+                busy_ns as f64 / wall_ns as f64
+            } else {
+                0.0
+            },
+        });
+    }
+    let mut waits: Vec<u64> = trace.spans_of(Cat::DagNode).map(|s| s.queue_ns).collect();
+    waits.sort_unstable();
+    let mean_ns = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<u64>() as f64 / waits.len() as f64
+    };
+    TraceSummary {
+        wall: trace.wall,
+        lanes,
+        spans: trace.spans.len(),
+        dropped: trace.dropped,
+        queue_wait_mean_us: mean_ns / 1e3,
+        queue_wait_p50_us: percentile(&waits, 50.0) / 1e3,
+        queue_wait_p90_us: percentile(&waits, 90.0) / 1e3,
+        queue_wait_p99_us: percentile(&waits, 99.0) / 1e3,
+        queue_wait_max_us: waits.last().copied().unwrap_or(0) as f64 / 1e3,
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One row per span, microsecond times:
+/// `lane,worker,cat,name,process,event,start_us,dur_us,queue_wait_us,bytes`.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out =
+        String::from("lane,worker,cat,name,process,event,start_us,dur_us,queue_wait_us,bytes\n");
+    for span in &trace.spans {
+        let worker = trace.lanes.get(span.lane).map(String::as_str).unwrap_or("");
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            span.lane,
+            csv_field(worker),
+            span.cat.label(),
+            csv_field(&span.name),
+            span.process.map(|p| p.to_string()).unwrap_or_default(),
+            csv_field(&span.event),
+            us(span.start_ns),
+            us(span.dur_ns),
+            us(span.queue_ns),
+            span.bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    fn span(lane: usize, start_ns: u64, dur_ns: u64, queue_ns: u64) -> Span {
+        Span {
+            name: format!("s{start_ns}"),
+            cat: Cat::DagNode,
+            process: Some(1),
+            event: "ev".into(),
+            lane,
+            start_ns,
+            dur_ns,
+            queue_ns,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn busy_time_merges_nested_and_disjoint_spans() {
+        let trace = Trace {
+            // Lane 0: [0,100) enclosing [10,30), plus disjoint [200,250).
+            spans: vec![span(0, 0, 100, 0), span(0, 10, 20, 0), span(0, 200, 50, 0)],
+            lanes: vec!["w0".into()],
+            wall: Duration::from_nanos(300),
+            dropped: 0,
+        };
+        let summary = summarize(&trace);
+        assert_eq!(summary.lanes.len(), 1);
+        assert_eq!(summary.lanes[0].busy, Duration::from_nanos(150));
+        assert!((summary.lanes[0].utilization - 0.5).abs() < 1e-9);
+        assert!((summary.mean_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_lanes_are_excluded() {
+        let trace = Trace {
+            spans: vec![span(1, 0, 50, 0)],
+            lanes: vec!["idle".into(), "busy".into()],
+            wall: Duration::from_nanos(100),
+            dropped: 0,
+        };
+        let summary = summarize(&trace);
+        assert_eq!(summary.lanes.len(), 1);
+        assert_eq!(summary.lanes[0].name, "busy");
+    }
+
+    #[test]
+    fn queue_wait_percentiles_use_nearest_rank() {
+        let spans: Vec<Span> = (1..=100).map(|i| span(0, i * 10, 5, i * 1_000)).collect();
+        let trace = Trace {
+            spans,
+            lanes: vec!["w0".into()],
+            wall: Duration::from_micros(2),
+            dropped: 0,
+        };
+        let s = summarize(&trace);
+        assert!((s.queue_wait_p50_us - 50.0).abs() < 1e-9);
+        assert!((s.queue_wait_p90_us - 90.0).abs() < 1e-9);
+        assert!((s.queue_wait_p99_us - 99.0).abs() < 1e-9);
+        assert!((s.queue_wait_max_us - 100.0).abs() < 1e-9);
+        assert!((s.queue_wait_mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_zeroes() {
+        let s = summarize(&Trace::default());
+        assert_eq!(s.spans, 0);
+        assert!(s.lanes.is_empty());
+        assert_eq!(s.mean_utilization(), 0.0);
+        assert_eq!(s.queue_wait_max_us, 0.0);
+        assert!(s.render().contains("0 spans"));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_span() {
+        let trace = Trace {
+            spans: vec![span(0, 0, 1_000, 500)],
+            lanes: vec!["arp-par-0".into()],
+            wall: Duration::from_micros(1),
+            dropped: 0,
+        };
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "lane,worker,cat,name,process,event,start_us,dur_us,queue_wait_us,bytes"
+        );
+        assert_eq!(lines[1], "0,arp-par-0,dag-node,s0,1,ev,0.000,1.000,0.500,8");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_delimiters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -19,6 +19,13 @@
 //! call, so small events fill the idle tails of big ones. `--order` picks
 //! the ready-queue ordering (`cp` critical-path priority, the default, or
 //! `fifo` submission order).
+//!
+//! Both `run` and `batch` accept trace sinks: `--trace out.json` writes a
+//! Chrome Trace Event file (load it in Perfetto or `chrome://tracing`),
+//! `--trace-svg out.svg` a per-worker Gantt, `--trace-csv out.csv` a flat
+//! span table. Any of them also prints the per-worker utilization and
+//! queue-wait summary. `arp trace-check --file out.json` validates a trace
+//! file against the Chrome Trace Event schema (the CI smoke job runs it).
 
 use arp_core::{
     event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
@@ -85,10 +92,63 @@ fn make_context(flags: &HashMap<String, String>) -> Result<RunContext, String> {
     RunContext::new(input, work, PipelineConfig::default()).map_err(|e| e.to_string())
 }
 
+/// The trace sinks a command was asked for (`--trace`, `--trace-svg`,
+/// `--trace-csv`). When any is present the workload runs inside a
+/// [`arp_trace::TraceSession`] and the drained trace is written to each
+/// requested file.
+struct TraceSinks {
+    chrome: Option<PathBuf>,
+    svg: Option<PathBuf>,
+    csv: Option<PathBuf>,
+}
+
+impl TraceSinks {
+    fn from_flags(flags: &HashMap<String, String>) -> TraceSinks {
+        TraceSinks {
+            chrome: flags.get("trace").map(PathBuf::from),
+            svg: flags.get("trace-svg").map(PathBuf::from),
+            csv: flags.get("trace-csv").map(PathBuf::from),
+        }
+    }
+
+    /// Starts a session iff any sink was requested.
+    fn session(&self) -> Option<arp_trace::TraceSession> {
+        (self.chrome.is_some() || self.svg.is_some() || self.csv.is_some())
+            .then(arp_trace::TraceSession::start)
+    }
+
+    /// Writes every requested sink and prints the scheduler-health summary.
+    fn write(&self, trace: &arp_trace::Trace) -> Result<(), String> {
+        let save = |path: &PathBuf, content: String| -> Result<(), String> {
+            std::fs::write(path, content).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+            Ok(())
+        };
+        if let Some(path) = &self.chrome {
+            save(path, trace.to_chrome_json())?;
+        }
+        if let Some(path) = &self.svg {
+            save(path, arp_core::worker_timeline_svg(trace))?;
+        }
+        if let Some(path) = &self.csv {
+            save(path, trace.to_csv())?;
+        }
+        print!("{}", trace.summary().render());
+        if !trace.lane_violations().is_empty() {
+            eprintln!("warning: trace has overlapping spans within a lane");
+        }
+        Ok(())
+    }
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
     let ctx = make_context(flags)?;
-    let report = run_pipeline_labeled(&ctx, kind, "cli").map_err(|e| e.to_string())?;
+    let sinks = TraceSinks::from_flags(flags);
+    let session = sinks.session();
+    let result = run_pipeline_labeled(&ctx, kind, "cli");
+    let trace = session.map(|s| s.finish());
+    let report = result.map_err(|e| e.to_string())?;
     println!(
         "{}: {} V1 files, {} data points, {:?} ({:.0} points/s)",
         report.implementation.label(),
@@ -133,6 +193,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             ),
             None => println!("  pool: not used by this run"),
         }
+    }
+    if let Some(trace) = &trace {
+        sinks.write(trace)?;
     }
     Ok(())
 }
@@ -221,13 +284,49 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     println!("processing {} events...", items.len());
     let config = PipelineConfig::default();
-    let report = if kind == ImplKind::BatchDag {
+    let sinks = TraceSinks::from_flags(flags);
+    let session = sinks.session();
+    let result = if kind == ImplKind::BatchDag {
         arp_core::run_batch_dag(&items, &work, &config, order)
     } else {
         arp_core::run_batch(&items, &work, &config, kind)
-    }
-    .map_err(|e| e.to_string())?;
+    };
+    let trace = session.map(|s| s.finish());
+    let report = result.map_err(|e| e.to_string())?;
     print!("{}", report.to_table());
+    if let Some(trace) = &trace {
+        sinks.write(trace)?;
+    }
+    Ok(())
+}
+
+/// Validates a Chrome-trace file written by `--trace` against the Trace
+/// Event schema and reports what it contains.
+fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = PathBuf::from(flags.get("file").ok_or("trace-check needs --file FILE")?);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let check =
+        arp_trace::validate_chrome_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if check.complete == 0 {
+        return Err(format!("{}: no complete (X) span events", path.display()));
+    }
+    let trace =
+        arp_trace::from_chrome_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let violations = trace.lane_violations();
+    if !violations.is_empty() {
+        return Err(format!(
+            "{}: spans overlap within a lane:\n  {}",
+            path.display(),
+            violations.join("\n  ")
+        ));
+    }
+    println!(
+        "{}: valid Chrome trace — {} events ({} spans) on {} worker lanes",
+        path.display(),
+        check.events,
+        check.complete,
+        check.lanes
+    );
     Ok(())
 }
 
@@ -248,7 +347,7 @@ fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: arp <generate|run|verify|inspect> [--flags]");
+        eprintln!("usage: arp <generate|run|verify|inspect|summary|batch|trace-check> [--flags]");
         return ExitCode::from(2);
     };
     let flags = match parse_flags(&args[1..]) {
@@ -265,6 +364,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&flags),
         "summary" => cmd_summary(&flags),
         "batch" => cmd_batch(&flags),
+        "trace-check" => cmd_trace_check(&flags),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {

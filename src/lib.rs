@@ -14,6 +14,7 @@
 //! | [`synth`] | `arp-synth` | stochastic ground-motion generator + dataset |
 //! | [`plot`] | `arp-plot` | PostScript/SVG plotting |
 //! | [`par`] | `arp-par` | OpenMP-style runtime + scheduling simulator |
+//! | [`trace`] | `arp-trace` | per-task span recorder, Chrome-trace export |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@ pub use arp_formats as formats;
 pub use arp_par as par;
 pub use arp_plot as plot;
 pub use arp_synth as synth;
+pub use arp_trace as trace;
 
 #[cfg(test)]
 mod tests {
@@ -55,5 +57,6 @@ mod tests {
         let _ = crate::synth::PAPER_EVENT_SHAPES.len();
         let _ = crate::plot::Scale::Linear;
         let _ = crate::par::Schedule::Static;
+        let _ = crate::trace::Cat::DagNode.label();
     }
 }
