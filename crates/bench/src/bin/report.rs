@@ -17,8 +17,12 @@
 //!            (writes BENCH_batch.json, including measured per-worker
 //!            utilization and queue-wait percentiles from the span trace)
 //!   trace-overhead
-//!            tracing cost check: the six-event super-DAG batch run with
-//!            tracing off vs on, best of --reps each (budget: ≤1%)
+//!            instrumentation cost check: the six-event super-DAG batch run
+//!            uninstrumented vs traced vs live-metrics, best of --reps each
+//!            (budget: ≤1% per collector)
+//!   compare OLD.json NEW.json
+//!            bench regression gate: diff two BENCH_batch.json files and
+//!            exit nonzero when the candidate regressed beyond --tolerance
 //!   all      run everything
 //!
 //! options:
@@ -32,6 +36,11 @@
 //!   --measured   use real wall-clock parallel timing instead of the
 //!                simulated schedule (only meaningful on multi-core hosts)
 //!   --reps N     repetitions per measurement, median kept (default 1)
+//!   --tolerance N
+//!                compare: allowed regression percent (default 10)
+//!   --relative-only
+//!                compare: gate only machine-stable metrics (utilization),
+//!                skipping absolute seconds and noise-prone speedups
 //! ```
 
 use arp_bench as bench;
@@ -49,6 +58,10 @@ struct Options {
     threads: usize,
     measured: bool,
     reps: usize,
+    /// Positional file arguments (the two BENCH_*.json paths of `compare`).
+    files: Vec<PathBuf>,
+    tolerance: f64,
+    relative_only: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -63,6 +76,9 @@ fn parse_args() -> Result<Options, String> {
         threads: 8,
         measured: false,
         reps: 1,
+        files: Vec::new(),
+        tolerance: 0.10,
+        relative_only: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,6 +113,16 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--reps must be >= 1".into());
                 }
             }
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                let pct: f64 = v.parse().map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err("--tolerance must be a percent in 0..=100".into());
+                }
+                opts.tolerance = pct / 100.0;
+            }
+            "--relative-only" => opts.relative_only = true,
+            other if !other.starts_with("--") => opts.files.push(PathBuf::from(other)),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -152,7 +178,7 @@ fn main() {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: report <table1|fig11|fig12|fig13|amdahl|all> [--scale X] [--full] [--duhamel] [--out DIR] [--event N]");
+            eprintln!("usage: report <table1|fig11|fig12|fig13|amdahl|scaling|sweep|batch|trace-overhead|compare|all> [--scale X] [--full] [--duhamel] [--out DIR] [--event N]");
             std::process::exit(2);
         }
     };
@@ -268,13 +294,40 @@ fn main() {
         "trace-overhead" => {
             bench::warmup(&config).expect("warmup failed");
             eprintln!(
-                "measuring tracing overhead at scale {} ({} reps per mode)...",
+                "measuring instrumentation overhead at scale {} ({} reps per mode)...",
                 opts.scale, opts.reps
             );
             let t = bench::trace_overhead_experiment(opts.scale, &config, opts.reps)
                 .expect("overhead run failed");
             println!();
             print!("{}", bench::format_trace_overhead(&t));
+        }
+        "compare" => {
+            if opts.files.len() != 2 {
+                eprintln!(
+                    "usage: report compare OLD.json NEW.json [--tolerance PCT] [--relative-only]"
+                );
+                std::process::exit(2);
+            }
+            let read = |p: &PathBuf| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("error: {}: {e}", p.display());
+                    std::process::exit(2);
+                })
+            };
+            let old = read(&opts.files[0]);
+            let new = read(&opts.files[1]);
+            let report = bench::compare_batch_json(&old, &new, opts.tolerance, opts.relative_only)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            print!("{}", report.render());
+            if report.failed() {
+                eprintln!("regression gate FAILED");
+                std::process::exit(1);
+            }
+            println!("regression gate passed");
         }
         "all" => {
             let rows = rows.as_ref().unwrap();

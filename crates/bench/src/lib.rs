@@ -555,6 +555,46 @@ pub struct BatchExperiment {
     /// and queue-wait percentiles (the scheduler-health columns of
     /// `BENCH_batch.json`).
     pub trace: arp_trace::TraceSummary,
+    /// Live-metrics digest of the pool's queue-wait histogram over the
+    /// super-DAG run (`None` if nothing was recorded).
+    pub queue_wait: Option<HistDigest>,
+    /// Live-metrics digest of the pool's execute-time histogram.
+    pub execute: Option<HistDigest>,
+}
+
+/// Percentile digest of one live-metrics histogram, in seconds. The
+/// quantiles come from the log-linear buckets, so each carries the
+/// registry's ≤1/16 relative bucketing error.
+#[derive(Debug, Clone, Copy)]
+pub struct HistDigest {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+}
+
+impl HistDigest {
+    /// Digests a snapshot; `None` when the histogram recorded nothing
+    /// (empty distributions have no percentiles).
+    pub fn from_snapshot(s: &arp_metrics::HistogramSnapshot) -> Option<HistDigest> {
+        Some(HistDigest {
+            count: s.count,
+            p50_s: s.quantile(0.50)?,
+            p95_s: s.quantile(0.95)?,
+            p99_s: s.quantile(0.99)?,
+        })
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}}}",
+            self.count, self.p50_s, self.p95_s, self.p99_s
+        )
+    }
 }
 
 impl BatchExperiment {
@@ -597,10 +637,15 @@ pub fn batch_experiment(
         }
     }
     let loop_report = arp_core::run_batch(&items, &loop_work, config, ImplKind::DagParallel)?;
-    // The super-DAG run executes inside a trace session so the report can
-    // state the *observed* schedule health (per-worker utilization,
-    // queue-wait percentiles), not just derived makespans. Overhead is
-    // within the <1% budget (see `trace_overhead_experiment`).
+    // The super-DAG run executes inside a trace session, with live metrics
+    // collection on, so the report can state the *observed* schedule health
+    // (per-worker utilization, queue-wait and execute-time percentiles),
+    // not just derived makespans. Both collectors stay within the <1%
+    // budget (see `trace_overhead_experiment`). The registry is reset
+    // first so the digests cover this run alone.
+    let metrics_before = arp_metrics::enabled();
+    arp_metrics::reset();
+    arp_metrics::set_enabled(true);
     let session = arp_trace::TraceSession::start();
     let dag_result = arp_core::run_batch_dag(
         &items,
@@ -609,6 +654,9 @@ pub fn batch_experiment(
         arp_core::ReadyOrder::CriticalPath,
     );
     let trace = session.finish().summary();
+    arp_metrics::set_enabled(metrics_before);
+    let queue_wait = HistDigest::from_snapshot(&arp_par::metrics::queue_wait().snapshot());
+    let execute = HistDigest::from_snapshot(&arp_par::metrics::execute_time().snapshot());
     let dag_report = dag_result?;
     for dir in [&root, &loop_work, &dag_work] {
         std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
@@ -618,12 +666,16 @@ pub fn batch_experiment(
         loop_report,
         dag_report,
         trace,
+        queue_wait,
+        execute,
     })
 }
 
-/// Tracing-overhead measurement: the same cross-event super-DAG batch run
-/// `reps` times untraced and `reps` times inside a session, as `reps`
-/// back-to-back pairs. The acceptance budget is ≤1% at scale 0.05.
+/// Instrumentation-overhead measurement: the same cross-event super-DAG
+/// batch run `reps` times in each of three modes — uninstrumented, inside
+/// a trace session, and with live metrics collection on — as `reps`
+/// back-to-back triples. The acceptance budget is ≤1% per collector at
+/// scale 0.05.
 #[derive(Debug)]
 pub struct TraceOverhead {
     /// Data-point scale of the staged events.
@@ -634,8 +686,12 @@ pub struct TraceOverhead {
     pub untraced_s: f64,
     /// Best traced wall time, seconds.
     pub traced_s: f64,
-    /// Per-pair relative overhead `traced/untraced − 1`, one entry per rep.
+    /// Best metrics-enabled wall time, seconds.
+    pub metrics_s: f64,
+    /// Per-triple relative overhead `traced/untraced − 1`, one entry per rep.
     pub pair_overheads: Vec<f64>,
+    /// Per-triple relative overhead `metrics/untraced − 1`, one entry per rep.
+    pub metrics_overheads: Vec<f64>,
     /// Spans the traced runs recorded (per run).
     pub spans: usize,
 }
@@ -650,30 +706,50 @@ impl TraceOverhead {
         self.traced_s / self.untraced_s - 1.0
     }
 
-    /// Median of the per-pair overheads — the headline number. Each pair
-    /// runs back to back (order alternating between pairs), so slow drift
-    /// of the host cancels inside a pair instead of biasing one mode, and
-    /// the median discards pairs hit by interference.
+    /// Median of the per-triple tracing overheads — the headline number.
+    /// The modes of each triple run back to back (order rotating between
+    /// triples), so slow drift of the host cancels inside a triple instead
+    /// of biasing one mode, and the median discards triples hit by
+    /// interference.
     pub fn median_overhead(&self) -> f64 {
-        if self.pair_overheads.is_empty() {
+        median(&self.pair_overheads)
+    }
+
+    /// Median of the per-triple metrics overheads (same discipline).
+    pub fn median_metrics_overhead(&self) -> f64 {
+        median(&self.metrics_overheads)
+    }
+
+    /// Relative overhead of the best metrics-enabled time,
+    /// `metrics/untraced − 1`.
+    pub fn metrics_overhead_fraction(&self) -> f64 {
+        if self.untraced_s <= 0.0 {
             return 0.0;
         }
-        let mut sorted = self.pair_overheads.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let n = sorted.len();
-        if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        }
+        self.metrics_s / self.untraced_s - 1.0
     }
 }
 
-/// Runs the tracing-overhead experiment on the six paper events: `reps`
-/// back-to-back untraced/traced pairs of the super-DAG batch run, the
-/// order within each pair alternating so warm-up bias cancels. Reports
-/// the best wall time per mode and the per-pair overhead ratios (see
-/// [`TraceOverhead::median_overhead`]).
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Runs the instrumentation-overhead experiment on the six paper events:
+/// `reps` back-to-back untraced/traced/metrics triples of the super-DAG
+/// batch run, the order within each triple rotating so warm-up bias
+/// cancels. Reports the best wall time per mode and the per-triple
+/// overhead ratios (see [`TraceOverhead::median_overhead`] and
+/// [`TraceOverhead::median_metrics_overhead`]).
 pub fn trace_overhead_experiment(
     scale: f64,
     config: &PipelineConfig,
@@ -695,36 +771,47 @@ pub fn trace_overhead_experiment(
         });
     }
     let work = scratch("trace-ovh-w");
-    let run = |traced: bool| -> Result<(f64, usize), PipelineError> {
+    // Modes: 0 uninstrumented, 1 trace session, 2 live metrics.
+    let run = |mode: usize| -> Result<(f64, usize), PipelineError> {
         if work.exists() {
             std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
         }
-        let session = traced.then(arp_trace::TraceSession::start);
+        let session = (mode == 1).then(arp_trace::TraceSession::start);
+        if mode == 2 {
+            arp_metrics::set_enabled(true);
+        }
         let result =
             arp_core::run_batch_dag(&items, &work, config, arp_core::ReadyOrder::CriticalPath);
+        if mode == 2 {
+            arp_metrics::set_enabled(false);
+        }
         let spans = session.map_or(0, |s| s.finish().spans.len());
         Ok((result?.total.as_secs_f64(), spans))
     };
     let mut untraced_s = f64::INFINITY;
     let mut traced_s = f64::INFINITY;
+    let mut metrics_s = f64::INFINITY;
     let mut pair_overheads = Vec::with_capacity(reps);
+    let mut metrics_overheads = Vec::with_capacity(reps);
     let mut spans = 0;
+    const ORDERS: [[usize; 3]; 3] = [[0, 1, 2], [1, 2, 0], [2, 0, 1]];
     for rep in 0..reps {
-        // Alternate order between pairs: even pairs run untraced first,
-        // odd pairs traced first.
-        let (u, (t, n)) = if rep % 2 == 0 {
-            let u = run(false)?.0;
-            (u, run(true)?)
-        } else {
-            let tn = run(true)?;
-            (run(false)?.0, tn)
-        };
-        untraced_s = untraced_s.min(u);
-        traced_s = traced_s.min(t);
-        if u > 0.0 {
-            pair_overheads.push(t / u - 1.0);
+        // Rotate mode order between triples so warm-up bias cancels.
+        let mut t = [0.0f64; 3];
+        for &mode in &ORDERS[rep % ORDERS.len()] {
+            let (secs, n) = run(mode)?;
+            t[mode] = secs;
+            if mode == 1 {
+                spans = n;
+            }
         }
-        spans = n;
+        untraced_s = untraced_s.min(t[0]);
+        traced_s = traced_s.min(t[1]);
+        metrics_s = metrics_s.min(t[2]);
+        if t[0] > 0.0 {
+            pair_overheads.push(t[1] / t[0] - 1.0);
+            metrics_overheads.push(t[2] / t[0] - 1.0);
+        }
     }
     for dir in [&root, &work] {
         if dir.exists() {
@@ -736,7 +823,9 @@ pub fn trace_overhead_experiment(
         reps,
         untraced_s,
         traced_s,
+        metrics_s,
         pair_overheads,
+        metrics_overheads,
         spans,
     })
 }
@@ -744,16 +833,22 @@ pub fn trace_overhead_experiment(
 /// Formats the overhead experiment for the terminal and EXPERIMENTS.md.
 pub fn format_trace_overhead(t: &TraceOverhead) -> String {
     format!(
-        "tracing overhead at scale {} ({} paired reps, {} spans/run):\n  \
-         median pair overhead {:+.2}%   \
-         best-of: untraced {:.3}s  traced {:.3}s  ({:+.2}%)\n",
+        "instrumentation overhead at scale {} ({} tripled reps, {} spans/run):\n  \
+         tracing: median overhead {:+.2}%   \
+         best-of: untraced {:.3}s  traced {:.3}s  ({:+.2}%)\n  \
+         metrics: median overhead {:+.2}%   \
+         best-of: untraced {:.3}s  metrics {:.3}s  ({:+.2}%)\n",
         t.scale,
         t.reps,
         t.spans,
         t.median_overhead() * 100.0,
         t.untraced_s,
         t.traced_s,
-        t.overhead_fraction() * 100.0
+        t.overhead_fraction() * 100.0,
+        t.median_metrics_overhead() * 100.0,
+        t.untraced_s,
+        t.metrics_s,
+        t.metrics_overhead_fraction() * 100.0
     )
 }
 
@@ -797,6 +892,17 @@ pub fn format_batch_experiment(b: &BatchExperiment) -> String {
         out.push_str(&dag.to_table());
     }
     out.push_str(&b.trace.render());
+    for (name, d) in [("queue-wait", &b.queue_wait), ("execute", &b.execute)] {
+        if let Some(d) = d {
+            out.push_str(&format!(
+                "metrics {name:<10} {:>6} samples  p50 {:>9.1} us  p95 {:>9.1} us  p99 {:>9.1} us\n",
+                d.count,
+                d.p50_s * 1e6,
+                d.p95_s * 1e6,
+                d.p99_s * 1e6
+            ));
+        }
+    }
     out
 }
 
@@ -836,6 +942,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
             lane.utilization,
         ));
     }
+    let digest = |d: &Option<HistDigest>| d.as_ref().map_or("null".to_string(), HistDigest::json);
     format!(
         "{{\n  \"scale\": {},\n  \"threads\": {},\n  \"order\": {},\n  \"events\": [\n{}\n  ],\n  \
          \"per_event_loop_s\": {:.6},\n  \"super_dag_s\": {:.6},\n  \"measured_speedup\": {:.4},\n  \
@@ -843,6 +950,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
          \"cross_event_overlap_s\": {:.6},\n  \"overlap_speedup\": {:.4},\n  \"batch_speedup\": {:.4},\n  \
          \"trace_spans\": {},\n  \"mean_utilization\": {:.4},\n  \"queue_wait_us\": \
          {{\"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
+         \"metrics\": {{\"queue_wait\": {}, \"execute\": {}}},\n  \
          \"workers\": [\n{}\n  ]\n}}\n",
         b.scale,
         dag.map_or(0, |d| d.threads),
@@ -864,8 +972,131 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         b.trace.queue_wait_p90_us,
         b.trace.queue_wait_p99_us,
         b.trace.queue_wait_max_us,
+        digest(&b.queue_wait),
+        digest(&b.execute),
         lanes,
     )
+}
+
+/// One metric compared by [`compare_batch_json`]. `regression` is signed
+/// so that positive always means *worse* (slower makespan, lower
+/// utilization, lower speedup), whatever the metric's polarity.
+#[derive(Debug)]
+pub struct CompareRow {
+    /// JSON key the row was read from.
+    pub metric: &'static str,
+    /// Value in the baseline file.
+    pub old: f64,
+    /// Value in the candidate file.
+    pub new: f64,
+    /// Relative regression (positive = worse).
+    pub regression: f64,
+    /// Whether the regression exceeds the gate's tolerance.
+    pub failed: bool,
+}
+
+/// Outcome of the bench regression gate (see [`compare_batch_json`]).
+#[derive(Debug)]
+pub struct CompareReport {
+    /// Per-metric comparison rows.
+    pub rows: Vec<CompareRow>,
+    /// Tolerance the gate ran with (fraction, e.g. `0.10`).
+    pub tolerance: f64,
+    /// Whether absolute-seconds metrics were skipped.
+    pub relative_only: bool,
+}
+
+impl CompareReport {
+    /// True when any gated metric regressed beyond tolerance.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| r.failed)
+    }
+
+    /// Renders the comparison table with a PASS/FAIL verdict per row.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench regression gate (tolerance {:.0}%{}):\n{:<20} {:>12} {:>12} {:>9}  verdict\n",
+            self.tolerance * 100.0,
+            if self.relative_only {
+                ", relative metrics only"
+            } else {
+                ""
+            },
+            "metric",
+            "baseline",
+            "candidate",
+            "change"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<20} {:>12.4} {:>12.4} {:>+8.1}%  {}\n",
+                r.metric,
+                r.old,
+                r.new,
+                r.regression * 100.0,
+                if r.failed { "FAIL" } else { "ok" }
+            ));
+        }
+        out
+    }
+}
+
+/// The bench regression gate: compares two `BENCH_batch.json` files
+/// (baseline vs candidate) and fails any metric that regressed by more
+/// than `tolerance`.
+///
+/// Gated metrics: `super_dag_s` (the batch makespan — lower is better),
+/// `mean_utilization` and `measured_speedup` (higher is better).
+/// `relative_only` keeps only the machine-stable metrics (utilization):
+/// absolute seconds are machine-dependent, and the measured speedup swings
+/// with host noise at small scales, so cross-machine gates (CI comparing
+/// against a checked-in baseline) should not fail on either.
+pub fn compare_batch_json(
+    old: &str,
+    new: &str,
+    tolerance: f64,
+    relative_only: bool,
+) -> Result<CompareReport, String> {
+    let old = arp_trace::json::parse(old).map_err(|e| format!("baseline: {e}"))?;
+    let new = arp_trace::json::parse(new).map_err(|e| format!("candidate: {e}"))?;
+    let field = |v: &arp_trace::json::Value, key: &'static str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("missing numeric field {key:?}"))
+    };
+    // (key, lower_is_better, machine-dependent)
+    const GATES: [(&str, bool, bool); 3] = [
+        ("super_dag_s", true, true),
+        ("mean_utilization", false, false),
+        ("measured_speedup", false, true),
+    ];
+    let mut rows = Vec::new();
+    for (metric, lower_is_better, machine_dependent) in GATES {
+        if relative_only && machine_dependent {
+            continue;
+        }
+        let o = field(&old, metric)?;
+        let n = field(&new, metric)?;
+        let regression = if o.abs() < 1e-12 {
+            0.0
+        } else if lower_is_better {
+            n / o - 1.0
+        } else {
+            1.0 - n / o
+        };
+        rows.push(CompareRow {
+            metric,
+            old: o,
+            new: n,
+            regression,
+            failed: regression > tolerance,
+        });
+    }
+    Ok(CompareReport {
+        rows,
+        tolerance,
+        relative_only,
+    })
 }
 
 /// Thread-count sweep: overall speedup of the fully parallelized pipeline
@@ -1013,6 +1244,44 @@ mod tests {
         assert!(json.contains("\"order\": \"critical-path\""), "{json}");
         // Two event rows, one per label.
         assert_eq!(json.matches("\"label\":").count(), 2);
+    }
+
+    #[test]
+    fn compare_gate_passes_and_fails() {
+        let old = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0}"#;
+        // 5% slower, slightly better utilization: inside the 10% gate.
+        let ok = r#"{"super_dag_s": 10.5, "mean_utilization": 0.82, "measured_speedup": 2.0}"#;
+        let report = compare_batch_json(old, ok, 0.10, false).unwrap();
+        assert!(!report.failed(), "{}", report.render());
+        assert_eq!(report.rows.len(), 3);
+
+        // 25% slower makespan: fails the absolute gate, passes relative-only.
+        let slow = r#"{"super_dag_s": 12.5, "mean_utilization": 0.80, "measured_speedup": 2.0}"#;
+        let report = compare_batch_json(old, slow, 0.10, false).unwrap();
+        assert!(report.failed());
+        assert!(report.render().contains("FAIL"));
+        let report = compare_batch_json(old, slow, 0.10, true).unwrap();
+        assert!(!report.failed(), "relative-only must skip super_dag_s");
+        assert_eq!(report.rows.len(), 1);
+
+        // Utilization collapse fails even relative-only.
+        let bad = r#"{"super_dag_s": 10.0, "mean_utilization": 0.50, "measured_speedup": 2.0}"#;
+        assert!(compare_batch_json(old, bad, 0.10, true).unwrap().failed());
+
+        // Missing fields and malformed JSON are errors, not panics.
+        assert!(compare_batch_json(old, "{}", 0.10, false).is_err());
+        assert!(compare_batch_json("not json", ok, 0.10, false).is_err());
+    }
+
+    #[test]
+    fn hist_digest_empty_is_none() {
+        let empty = arp_metrics::HistogramSnapshot {
+            counts: vec![0; arp_metrics::BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            scale: 1e9,
+        };
+        assert!(HistDigest::from_snapshot(&empty).is_none());
     }
 
     #[test]

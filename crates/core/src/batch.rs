@@ -31,6 +31,7 @@ use crate::report::{ImplKind, ProcessTiming, RunReport};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// One event to process: an input directory of `<station>.v1` files.
@@ -329,6 +330,24 @@ pub fn run_batch_dag(
     let super_dag = SuperDag::union(&labels);
     let per = super_dag.per_event().nodes().len();
 
+    // Super-DAG node-state accounting: admitted up front, pending drains
+    // node by node, an event retires when its last node completes. The
+    // enabled flag is sampled once so admission and retirement stay
+    // balanced even if collection is toggled mid-run.
+    let metrics_on = arp_metrics::enabled();
+    if metrics_on {
+        crate::metrics::events_admitted().add(items.len() as u64);
+        crate::metrics::nodes_pending().add(super_dag.len() as i64);
+    }
+    let node_done = |event_remaining: &AtomicUsize| {
+        crate::metrics::nodes_completed().inc();
+        crate::metrics::nodes_pending().sub(1);
+        if event_remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
+            crate::metrics::events_retired().inc();
+        }
+    };
+    let remaining: Vec<AtomicUsize> = items.iter().map(|_| AtomicUsize::new(per)).collect();
+
     let (durations, threads) = match config.timing {
         TimingModel::Simulated { threads } => {
             // Sequential execution in per-event topological (numeric)
@@ -349,6 +368,9 @@ pub fn run_batch_dag(
                     )?;
                     durations[super_dag.event_offset(e) + k] =
                         t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
+                    if metrics_on {
+                        node_done(&remaining[e]);
+                    }
                 }
             }
             (durations, threads)
@@ -379,12 +401,19 @@ pub fn run_batch_dag(
                     let label = &labels[node.event];
                     let bytes = shapes[node.event].1 as u64 * 8;
                     let p = node.process.0;
+                    let event_remaining = &remaining[node.event];
+                    let node_done = &node_done;
                     Box::new(move || {
                         // After any failure the rest of the batch is
                         // skipped: the failing event's artifacts cannot be
                         // trusted, and fail-fast batches must not bury an
-                        // error under five more events of work.
+                        // error under five more events of work. A skipped
+                        // node still reaches a terminal state, so the
+                        // pending gauge drains either way.
                         if !failures.lock().is_empty() {
+                            if metrics_on {
+                                node_done(event_remaining);
+                            }
                             return;
                         }
                         crate::executor::annotate_node(p, label, bytes);
@@ -393,6 +422,9 @@ pub fn run_batch_dag(
                         match run_process(ctx, p, parallel, staged) {
                             Ok(()) => timings.lock().push((i, t0.elapsed())),
                             Err(e) => failures.lock().push((i, e)),
+                        }
+                        if metrics_on {
+                            node_done(event_remaining);
                         }
                     }) as arp_par::BorrowedTask<'_>
                 })

@@ -40,6 +40,18 @@ use std::time::{Duration, Instant};
 /// through the temp-folder protocol. Crate-visible so the batch super-DAG
 /// executor can drive nodes of many events through one scheduler call.
 pub(crate) fn run_process(ctx: &RunContext, p: u8, parallel: bool, staged: bool) -> Result<()> {
+    // Every executor funnels through here, so this one hook feeds the
+    // per-process duration histograms for all five implementations. The
+    // clock is read only while metrics collection is on.
+    let t0 = arp_metrics::enabled().then(Instant::now);
+    let result = run_process_inner(ctx, p, parallel, staged);
+    if let Some(t0) = t0 {
+        crate::metrics::process_duration(p).record(t0.elapsed().as_nanos() as u64);
+    }
+    result
+}
+
+fn run_process_inner(ctx: &RunContext, p: u8, parallel: bool, staged: bool) -> Result<()> {
     match p {
         0 => process::flags::init_flags(ctx),
         1 => process::gather::gather_inputs(ctx, parallel),
@@ -167,6 +179,11 @@ pub fn run_pipeline(ctx: &RunContext, kind: ImplKind) -> Result<RunReport> {
 pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Result<RunReport> {
     let (v1_files, data_points) = measure_input_shape(ctx)?;
     let bytes = data_points as u64 * 8;
+    // Throughput accounting works on completed runs: input shape up front,
+    // work-directory growth once the run finishes. The directory walk is
+    // once per event and only while metrics collection is on.
+    let work_bytes_before =
+        arp_metrics::enabled().then(|| crate::metrics::dir_bytes(&ctx.work_dir));
     let pool_before = arp_par::ThreadPool::global().stats();
     let saved0 = ctx.saved_snapshot();
     let started = Instant::now();
@@ -215,6 +232,12 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
         || pool_delta.jobs_helped > 0
         || pool_delta.loops_completed > 0
         || pool_delta.dags_completed > 0;
+    if let Some(before) = work_bytes_before {
+        crate::metrics::bytes_in().add(bytes);
+        crate::metrics::files_processed().add(v1_files as u64);
+        let after = crate::metrics::dir_bytes(&ctx.work_dir);
+        crate::metrics::bytes_out().add(after.saturating_sub(before));
+    }
     Ok(RunReport {
         implementation: kind,
         event: event.to_string(),

@@ -41,6 +41,7 @@ pub mod dag;
 pub mod error;
 pub mod executor;
 pub mod inventory;
+pub mod metrics;
 pub mod output;
 pub mod plan;
 pub mod process;

@@ -1,0 +1,179 @@
+//! The pipeline's live metrics: per-process duration histograms, pipeline
+//! throughput counters, and the batch super-DAG's admission/retirement
+//! bookkeeping.
+//!
+//! Handles are resolved once through `OnceLock` statics (the per-process
+//! family resolves all twenty labeled histograms in one shot), so the
+//! instrumented paths pay one pointer load plus the instrument's own
+//! single-relaxed-load disabled check. Naming follows the registry's
+//! Prometheus conventions: `arp_pipeline_` / `arp_process_` / `arp_batch_`
+//! prefixes, `_total` counters, `_seconds` histograms recorded in
+//! nanoseconds.
+
+use arp_metrics::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Wall-clock duration histogram for one process id, labeled
+/// `process="0".."19"`. Out-of-range ids clamp onto the last family member
+/// rather than panic — the executor's `run_process` hook records the
+/// elapsed time even for the unknown-process error path.
+pub fn process_duration(p: u8) -> &'static Histogram {
+    const LABELS: [&str; 20] = [
+        "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16",
+        "17", "18", "19",
+    ];
+    static H: OnceLock<[&'static Histogram; 20]> = OnceLock::new();
+    let family = H.get_or_init(|| {
+        std::array::from_fn(|i| {
+            arp_metrics::histogram_labeled(
+                "arp_process_duration_seconds",
+                "Wall-clock execution time of each pipeline process, by process id.",
+                1e9,
+                Some(("process", LABELS[i])),
+            )
+        })
+    });
+    family[usize::from(p).min(LABELS.len() - 1)]
+}
+
+/// Acceleration payload bytes read by completed pipeline runs
+/// (`data_points × 8`, the shape measure every report carries).
+pub fn bytes_in() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pipeline_bytes_in_total",
+            "Acceleration payload bytes read by completed pipeline runs (data points x 8).",
+        )
+    })
+}
+
+/// Artifact bytes added to the work directory by completed pipeline runs.
+pub fn bytes_out() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pipeline_bytes_out_total",
+            "Artifact bytes added to the work directory by completed pipeline runs.",
+        )
+    })
+}
+
+/// Input station files (`.v1`) consumed by completed pipeline runs.
+pub fn files_processed() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pipeline_files_processed_total",
+            "Input station files (.v1) consumed by completed pipeline runs.",
+        )
+    })
+}
+
+/// Events admitted into a batch super-DAG.
+pub fn events_admitted() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_batch_events_admitted_total",
+            "Events admitted into a batch super-DAG.",
+        )
+    })
+}
+
+/// Events whose every super-DAG node has completed.
+pub fn events_retired() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_batch_events_retired_total",
+            "Events whose every super-DAG node has completed.",
+        )
+    })
+}
+
+/// Super-DAG nodes admitted but not yet completed.
+pub fn nodes_pending() -> &'static Gauge {
+    static H: OnceLock<&'static Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::gauge(
+            "arp_batch_nodes_pending",
+            "Super-DAG nodes admitted but not yet completed.",
+        )
+    })
+}
+
+/// Super-DAG nodes completed across all batch runs.
+pub fn nodes_completed() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_batch_nodes_completed_total",
+            "Super-DAG nodes completed across all batch runs.",
+        )
+    })
+}
+
+/// Forces registration of every pipeline and batch metric (including all
+/// twenty members of the per-process duration family), so a fresh process's
+/// `arp metrics` snapshot lists the full catalog instead of only the
+/// instruments some code path has already touched.
+pub fn register() {
+    process_duration(0);
+    bytes_in();
+    bytes_out();
+    files_processed();
+    events_admitted();
+    events_retired();
+    nodes_pending();
+    nodes_completed();
+}
+
+/// Total size in bytes of all regular files under `dir`, recursively.
+/// Unreadable entries count as zero: this feeds a throughput counter, not
+/// an integrity check. Only called when metrics are enabled.
+pub(crate) fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0u64;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let Ok(meta) = entry.metadata() else { continue };
+            if meta.is_dir() {
+                stack.push(entry.path());
+            } else if meta.is_file() {
+                total += meta.len();
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn process_duration_clamps_out_of_range_ids() {
+        // Beyond-the-table ids share the last family member.
+        assert!(std::ptr::eq(
+            super::process_duration(19),
+            super::process_duration(200)
+        ));
+        assert!(!std::ptr::eq(
+            super::process_duration(0),
+            super::process_duration(19)
+        ));
+    }
+
+    #[test]
+    fn dir_bytes_sums_nested_files() {
+        let dir = std::env::temp_dir().join(format!("arp-core-dirbytes-{}", std::process::id()));
+        let sub = dir.join("sub");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(dir.join("a.bin"), [0u8; 10]).unwrap();
+        std::fs::write(sub.join("b.bin"), [0u8; 32]).unwrap();
+        assert_eq!(super::dir_bytes(&dir), 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

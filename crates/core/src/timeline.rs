@@ -324,6 +324,7 @@ mod tests {
                 trace_span(1, "ev-b", 0, 100_000_000),
             ],
             lanes: vec!["arp-par-0".into(), "arp-par-1".into()],
+            counters: Vec::new(),
             wall: Duration::from_millis(100),
             dropped: 0,
         };
@@ -344,6 +345,7 @@ mod tests {
         let trace = arp_trace::Trace {
             spans: vec![trace_span(0, "ev-a", 0, 100_000), inner],
             lanes: vec!["w".into()],
+            counters: Vec::new(),
             wall: Duration::from_micros(100),
             dropped: 0,
         };

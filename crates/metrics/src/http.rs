@@ -1,0 +1,105 @@
+//! A minimal scrape endpoint: `std::net::TcpListener`, one detached
+//! background thread, two routes. No HTTP library — the responses a
+//! Prometheus scraper (or `curl`) needs fit in a dozen lines.
+//!
+//! * `GET /metrics`  → the [`crate::gather`] exposition
+//!   (`text/plain; version=0.0.4`)
+//! * `GET /healthz`  → `ok` (liveness for the CI smoke job)
+//! * anything else   → `404`
+//!
+//! [`serve`] binds, spawns the accept loop, and returns the bound address
+//! — pass port `0` to let the OS pick one (the CLI prints the resolved
+//! address so scripts can scrape it). The thread runs until process exit;
+//! one request per connection, `Connection: close`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves `/metrics` + `/healthz`
+/// from a detached background thread. Returns the locally bound address.
+pub fn serve(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("arp-metrics-http".into())
+        .spawn(move || {
+            // A bad request must not take the endpoint down.
+            for mut stream in listener.incoming().flatten() {
+                let _ = handle(&mut stream);
+            }
+        })?;
+    Ok(local)
+}
+
+/// Reads one request head and writes one response.
+fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    // Read until the end of the request head (or the cap — the request
+    // line alone is all that gets routed).
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::gather(),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        crate::counter("test_http_total", "t");
+        let addr = serve("127.0.0.1:0").expect("bind");
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("test_http_total"));
+        // The body after the blank line must parse as an exposition.
+        let body = metrics.split("\r\n\r\n").nth(1).expect("body");
+        crate::expo::parse_exposition(body).expect("valid exposition");
+        assert!(get(addr, "/healthz").contains("ok"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests over the log-linear histogram: the buckets partition the
+//! whole `u64` line (every sample lands in exactly one bucket), and
+//! nearest-rank quantiles stay within the advertised relative error bound.
+
+use arp_metrics::{bucket_bounds, bucket_index, BUCKET_COUNT, SUB_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every u64 lands in exactly one bucket: the index is in range and
+    /// the value sits inside that bucket's half-open bounds.
+    #[test]
+    fn every_sample_lands_in_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT, "index {i} out of range for {v}");
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v, "{v} below bucket {i} = [{lo}, {hi})");
+        // The topmost bucket's `hi` clamps to u64::MAX (true bound 2^64),
+        // so membership there is lo <= v <= u64::MAX.
+        prop_assert!(v < hi || (i == BUCKET_COUNT - 1 && hi == u64::MAX),
+            "{v} above bucket {i} = [{lo}, {hi})");
+    }
+
+    /// Exactly one: no *other* bucket also claims the value. (Checked via
+    /// the neighbours — bounds are monotone, so these are the only
+    /// candidates.)
+    #[test]
+    fn neighbouring_buckets_do_not_overlap(v in any::<u64>()) {
+        let i = bucket_index(v);
+        if i > 0 {
+            let (_, hi_prev) = bucket_bounds(i - 1);
+            prop_assert!(hi_prev <= v, "bucket {} also contains {v}", i - 1);
+        }
+        if i + 1 < BUCKET_COUNT {
+            let (lo_next, _) = bucket_bounds(i + 1);
+            prop_assert!(v < lo_next, "bucket {} also contains {v}", i + 1);
+        }
+    }
+
+    /// A quantile of a single-value distribution is that value's bucket
+    /// lower bound: exact below SUB_BUCKETS, within 1/SUB_BUCKETS (6.25%)
+    /// relative error above.
+    #[test]
+    fn quantile_error_is_bounded(v in any::<u64>(), q in 0.0f64..1.0) {
+        let (lo, _) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v);
+        if v < SUB_BUCKETS as u64 {
+            prop_assert_eq!(lo, v);
+        } else {
+            // Bucket width is lo / (16 + sub) <= lo / 16 <= v / 16.
+            prop_assert!(v - lo <= v / SUB_BUCKETS as u64,
+                "bucket lower bound {lo} is more than 1/16 below {v}");
+        }
+        // And the quantile query itself returns that lower bound, for any q.
+        let mut counts = vec![0u64; BUCKET_COUNT];
+        counts[bucket_index(v)] = 1;
+        let snap = arp_metrics::HistogramSnapshot { counts, count: 1, sum: v, scale: 1.0 };
+        prop_assert_eq!(snap.quantile_raw(q), Some(lo));
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod barrier;
 pub mod latch;
+pub mod metrics;
 pub mod pool;
 pub mod sim;
 

@@ -1,0 +1,91 @@
+//! The pool's live metrics: scheduler backlog, worker occupancy, and the
+//! queue-wait / execute-time distributions.
+//!
+//! Handles are resolved once through `OnceLock` statics, so the
+//! instrumented hot paths pay one pointer load to reach an instrument and
+//! the instrument's own single-relaxed-load disabled check. Naming follows
+//! the Prometheus conventions the registry documents: `arp_pool_` prefix,
+//! `_total` counters, `_seconds` histograms recorded in nanoseconds.
+
+use arp_metrics::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Dispatched-but-not-yet-started DAG nodes (the pool channel backlog).
+pub fn ready_depth() -> &'static Gauge {
+    static H: OnceLock<&'static Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::gauge(
+            "arp_pool_ready_queue_depth",
+            "DAG nodes dispatched to the pool channel but not yet started.",
+        )
+    })
+}
+
+/// Threads currently executing a pool job (workers and helping callers).
+pub fn workers_busy() -> &'static Gauge {
+    static H: OnceLock<&'static Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::gauge(
+            "arp_pool_workers_busy",
+            "Threads currently executing a pool job (workers plus helping callers).",
+        )
+    })
+}
+
+/// DAG nodes handed to the pool channel.
+pub fn nodes_dispatched() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pool_nodes_dispatched_total",
+            "DAG nodes dispatched to the pool channel.",
+        )
+    })
+}
+
+/// DAG nodes that finished executing.
+pub fn nodes_completed() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pool_nodes_completed_total",
+            "DAG nodes that finished executing (including skipped-after-panic cascades).",
+        )
+    })
+}
+
+/// Dispatch → start latency distribution of DAG nodes.
+pub fn queue_wait() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::histogram(
+            "arp_pool_queue_wait_seconds",
+            "Time DAG nodes sat in the pool channel before a worker started them.",
+            1e9,
+        )
+    })
+}
+
+/// Execute-time distribution of DAG nodes.
+pub fn execute_time() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::histogram(
+            "arp_pool_execute_seconds",
+            "Execution time of DAG node bodies.",
+            1e9,
+        )
+    })
+}
+
+/// Forces registration of every pool metric, so a fresh process's
+/// `arp metrics` snapshot lists the full catalog instead of only the
+/// instruments some code path has already touched.
+pub fn register() {
+    ready_depth();
+    workers_busy();
+    nodes_dispatched();
+    nodes_completed();
+    queue_wait();
+    execute_time();
+}

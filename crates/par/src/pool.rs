@@ -15,12 +15,14 @@
 //! entirely by its caller).
 
 use crate::latch::CountdownLatch;
+use crate::metrics;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Loop-scheduling policy, mirroring OpenMP's `schedule` clause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,28 @@ pub struct PoolStats {
     dag_ready_peak: AtomicU64,
     /// `run_dag` constructs completed.
     dags_completed: AtomicU64,
+    /// Threads currently executing a job (workers plus helpers) — an
+    /// instantaneous level feeding the `workers-busy` counter track and
+    /// gauge, not part of the snapshot.
+    busy_threads: AtomicI64,
+}
+
+impl PoolStats {
+    /// One thread entered a job: raise the busy level and publish it to
+    /// the trace counter track and the live gauge (each a single relaxed
+    /// load when its layer is disabled).
+    fn job_started(&self) {
+        let busy = self.busy_threads.fetch_add(1, Ordering::Relaxed) + 1;
+        arp_trace::counter("workers-busy", busy as f64);
+        metrics::workers_busy().add(1);
+    }
+
+    /// The matching exit.
+    fn job_finished(&self) {
+        let busy = self.busy_threads.fetch_sub(1, Ordering::Relaxed) - 1;
+        arp_trace::counter("workers-busy", busy as f64);
+        metrics::workers_busy().sub(1);
+    }
 }
 
 /// A point-in-time snapshot of [`PoolStats`].
@@ -219,9 +243,21 @@ fn dispatch_dag_node(
     stats.dag_dispatches.fetch_add(1, Ordering::Relaxed);
     let depth = state.ready.fetch_add(1, Ordering::Relaxed) as u64 + 1;
     stats.dag_ready_peak.fetch_max(depth, Ordering::Relaxed);
-    // Stamped at enqueue so the span records how long the node sat in the
-    // channel before a worker picked it up (queue wait vs execute time).
-    let queued_at = arp_trace::stamp();
+    // The counter track samples the same value the peak statistic takes
+    // its max over, so the exported track's peak equals `dag_ready_peak`.
+    arp_trace::counter("ready-queue-depth", depth as f64);
+    if arp_metrics::enabled() {
+        metrics::nodes_dispatched().inc();
+        metrics::ready_depth().add(1);
+    }
+    // Stamped at enqueue so the span (and the queue-wait histogram) can
+    // separate how long the node sat in the channel from its execute time,
+    // without paying for a clock read when both layers are disabled.
+    let queued_at = if arp_trace::enabled() || arp_metrics::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
 
     let sender_clone = sender.clone();
     let stats_clone = stats.clone();
@@ -238,7 +274,15 @@ fn dispatch_dag_node(
         let _guard = Guard(latch_clone.clone());
         let latch = latch_clone;
         let state = unsafe { &*(state_ptr as *const DagState<'static>) };
-        state.ready.fetch_sub(1, Ordering::Relaxed);
+        let depth = state.ready.fetch_sub(1, Ordering::Relaxed) as f64 - 1.0;
+        arp_trace::counter("ready-queue-depth", depth);
+        let metrics_on = arp_metrics::enabled();
+        if metrics_on {
+            metrics::ready_depth().sub(1);
+            if let Some(t) = queued_at {
+                metrics::queue_wait().record(t.elapsed().as_nanos() as u64);
+            }
+        }
         // After a panic the remaining nodes still cascade (so the latch
         // fully counts down) but their bodies are skipped.
         if !state.panicked.load(Ordering::Relaxed) {
@@ -248,12 +292,17 @@ fn dispatch_dag_node(
                 // pipeline attribution over this default name.
                 let _span = arp_trace::begin_queued(arp_trace::Cat::DagNode, queued_at);
                 arp_trace::annotate(|a| a.name = format!("node-{i}"));
+                let exec_start = metrics_on.then(Instant::now);
                 if catch_unwind(AssertUnwindSafe(task)).is_err() {
                     state.panicked.store(true, Ordering::Relaxed);
                     stats_clone.panics_caught.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Some(t0) = exec_start {
+                    metrics::execute_time().record(t0.elapsed().as_nanos() as u64);
+                }
             }
         }
+        metrics::nodes_completed().inc();
         let mut unlocked: Vec<usize> = state.succs[i]
             .iter()
             .copied()
@@ -284,9 +333,11 @@ impl ThreadPool {
                         // a panicking job must not kill the worker.
                         while let Ok(job) = rx.recv() {
                             stats.jobs_on_workers.fetch_add(1, Ordering::Relaxed);
+                            stats.job_started();
                             if catch_unwind(AssertUnwindSafe(job)).is_err() {
                                 stats.panics_caught.fetch_add(1, Ordering::Relaxed);
                             }
+                            stats.job_finished();
                         }
                     })
                     .expect("failed to spawn pool worker")
@@ -325,9 +376,11 @@ impl ThreadPool {
             match self.receiver.try_recv() {
                 Ok(job) => {
                     self.stats.jobs_helped.fetch_add(1, Ordering::Relaxed);
+                    self.stats.job_started();
                     if catch_unwind(AssertUnwindSafe(job)).is_err() {
                         self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
                     }
+                    self.stats.job_finished();
                 }
                 Err(_) => {
                     if latch.wait_timeout(std::time::Duration::from_micros(200)) {

@@ -10,7 +10,7 @@
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 use crate::json::{self, escape, Value};
-use crate::{Cat, Span, Trace};
+use crate::{known_counter_track, Cat, CounterSample, Span, Trace};
 use std::time::Duration;
 
 /// The `pid` all events carry — the trace covers one process.
@@ -31,7 +31,8 @@ fn us_to_ns(v: f64) -> u64 {
 /// every span is a complete (`"X"`) event whose `args` carry the pipeline
 /// attribution (process id, event label, queue wait, bytes).
 pub fn to_chrome_json(trace: &Trace) -> String {
-    let mut events = Vec::with_capacity(trace.spans.len() + trace.lanes.len() + 1);
+    let mut events =
+        Vec::with_capacity(trace.spans.len() + trace.counters.len() + trace.lanes.len() + 1);
     events.push(format!(
         r#"{{"name": "process_name", "ph": "M", "pid": {PID}, "args": {{"name": "arp"}}}}"#
     ));
@@ -63,6 +64,17 @@ pub fn to_chrome_json(trace: &Trace) -> String {
             us(span.dur_ns),
         ));
     }
+    // Counter ("C") events: Perfetto renders each distinct (pid, name) as
+    // a counter track above the thread lanes. `Trace::counters` is sorted
+    // by track then time, so each track's timestamps arrive monotonic.
+    for c in &trace.counters {
+        events.push(format!(
+            r#"{{"name": {}, "ph": "C", "pid": {PID}, "ts": {}, "args": {{"value": {}}}}}"#,
+            escape(&c.track),
+            us(c.ts_ns),
+            c.value,
+        ));
+    }
     format!(
         "{{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{\"wall_us\": {}, \"dropped\": {}}},\n\"traceEvents\": [\n{}\n]\n}}\n",
         us(trace.wall.as_nanos() as u64),
@@ -83,6 +95,7 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
         .ok_or("missing traceEvents array")?;
     let mut lanes: Vec<String> = Vec::new();
     let mut spans = Vec::new();
+    let mut counters = Vec::new();
     for ev in events {
         let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
         let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
@@ -140,14 +153,32 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
                         .unwrap_or(0),
                 });
             }
+            "C" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or("C event missing numeric ts")?;
+                let value = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or("C event missing numeric args.value")?;
+                counters.push(CounterSample {
+                    track: name.to_string(),
+                    ts_ns: us_to_ns(ts),
+                    value,
+                });
+            }
             _ => {}
         }
     }
     spans.sort_by_key(|s| (s.lane, s.start_ns, std::cmp::Reverse(s.end_ns())));
+    counters.sort_by(|a, b| (a.track.as_str(), a.ts_ns).cmp(&(b.track.as_str(), b.ts_ns)));
     let other = doc.get("otherData");
     Ok(Trace {
         spans,
         lanes,
+        counters,
         wall: Duration::from_nanos(
             other
                 .and_then(|o| o.get("wall_us"))
@@ -165,20 +196,27 @@ pub fn from_chrome_json(text: &str) -> Result<Trace, String> {
 /// What [`validate_chrome_json`] found in a structurally valid trace file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChromeCheck {
-    /// Total entries in `traceEvents` (metadata + spans).
+    /// Total entries in `traceEvents` (metadata + spans + counters).
     pub events: usize,
     /// Complete (`"X"`) events — the actual spans.
     pub complete: usize,
     /// Distinct worker lanes named by `thread_name` metadata.
     pub lanes: usize,
+    /// Counter (`"C"`) samples.
+    pub counter_events: usize,
+    /// Distinct counter tracks.
+    pub counter_tracks: usize,
 }
 
 /// Structural validation against the Chrome Trace Event schema: the
 /// document must be an object with a `traceEvents` array; every event must
 /// be an object with a string `ph` and a `pid`; every `"X"` event must
-/// carry `name`, `tid`, and non-negative numeric `ts`/`dur`. Returns counts
-/// on success and the first violation on failure. This is what the CI
-/// smoke job runs on `arp run --trace` output.
+/// carry `name`, `tid`, and non-negative numeric `ts`/`dur`; every `"C"`
+/// event must carry a [known track name](crate::COUNTER_TRACKS), a
+/// non-negative `ts` that is monotonic within its track, and a finite
+/// numeric `args.value`. Returns counts on success and the first violation
+/// on failure. This is what the CI smoke job runs on `arp run --trace`
+/// output.
 pub fn validate_chrome_json(text: &str) -> Result<ChromeCheck, String> {
     let doc = json::parse(text)?;
     if !doc.is_obj() {
@@ -191,6 +229,12 @@ pub fn validate_chrome_json(text: &str) -> Result<ChromeCheck, String> {
         .ok_or("traceEvents must be an array")?;
     let mut complete = 0usize;
     let mut lanes = std::collections::BTreeSet::new();
+    let mut counter_events = 0usize;
+    // Track name → last timestamp seen, for the per-track monotonicity
+    // check ("C" events of one track must arrive in time order, or the
+    // counter renders as a sawtooth of artifacts).
+    let mut counter_last_ts: std::collections::BTreeMap<String, f64> =
+        std::collections::BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         if !ev.is_obj() {
             return Err(format!("traceEvents[{i}] is not an object"));
@@ -221,12 +265,49 @@ pub fn validate_chrome_json(text: &str) -> Result<ChromeCheck, String> {
             }
             lanes.insert(tid);
             complete += 1;
+        } else if ph == "C" {
+            let name = ev
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("traceEvents[{i}] (C) missing name"))?;
+            if !known_counter_track(name) {
+                return Err(format!(
+                    "traceEvents[{i}] (C) has unknown counter track {name:?}"
+                ));
+            }
+            let ts = ev
+                .get("ts")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("traceEvents[{i}] (C) missing numeric ts"))?;
+            if !ts.is_finite() || ts < 0.0 {
+                return Err(format!("traceEvents[{i}] (C) has invalid ts {ts}"));
+            }
+            let value = ev
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("traceEvents[{i}] (C) missing numeric args.value"))?;
+            if !value.is_finite() {
+                return Err(format!("traceEvents[{i}] (C) has non-finite value {value}"));
+            }
+            if let Some(&last) = counter_last_ts.get(name) {
+                if ts < last {
+                    return Err(format!(
+                        "traceEvents[{i}] (C) track {name:?} timestamp {ts} goes \
+                         backwards (previous {last})"
+                    ));
+                }
+            }
+            counter_last_ts.insert(name.to_string(), ts);
+            counter_events += 1;
         }
     }
     Ok(ChromeCheck {
         events: events.len(),
         complete,
         lanes: lanes.len(),
+        counter_events,
+        counter_tracks: counter_last_ts.len(),
     })
 }
 
@@ -261,6 +342,23 @@ mod tests {
                 ),
             ],
             lanes: vec!["caller".into(), "arp-par-0".into()],
+            counters: vec![
+                CounterSample {
+                    track: "ready-queue-depth".into(),
+                    ts_ns: 100,
+                    value: 1.0,
+                },
+                CounterSample {
+                    track: "ready-queue-depth".into(),
+                    ts_ns: 2_500,
+                    value: 3.0,
+                },
+                CounterSample {
+                    track: "workers-busy".into(),
+                    ts_ns: 900,
+                    value: 2.0,
+                },
+            ],
             wall: Duration::from_nanos(1_000_000_123),
             dropped: 3,
         }
@@ -279,9 +377,60 @@ mod tests {
         let trace = sample_trace();
         let check = validate_chrome_json(&to_chrome_json(&trace)).expect("valid");
         assert_eq!(check.complete, 3);
-        // process_name + 2 thread_name + 3 spans.
-        assert_eq!(check.events, 6);
+        // process_name + 2 thread_name + 3 spans + 3 counter samples.
+        assert_eq!(check.events, 9);
         assert_eq!(check.lanes, 2);
+        assert_eq!(check.counter_events, 3);
+        assert_eq!(check.counter_tracks, 2);
+    }
+
+    #[test]
+    fn counter_events_round_trip_and_query() {
+        let trace = sample_trace();
+        let back = from_chrome_json(&to_chrome_json(&trace)).expect("import");
+        assert_eq!(back.counters, trace.counters);
+        assert_eq!(
+            back.counter_tracks(),
+            vec!["ready-queue-depth", "workers-busy"]
+        );
+        assert_eq!(back.counter_peak("ready-queue-depth"), Some(3.0));
+        assert_eq!(back.counter_peak("workers-busy"), Some(2.0));
+        assert_eq!(back.counter_peak("absent-track"), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_counter_events() {
+        // Unknown track name.
+        assert!(validate_chrome_json(
+            r#"{"traceEvents": [{"name": "mystery", "ph": "C", "pid": 1, "ts": 1, "args": {"value": 2}}]}"#
+        )
+        .is_err());
+        // Missing value.
+        assert!(validate_chrome_json(
+            r#"{"traceEvents": [{"name": "workers-busy", "ph": "C", "pid": 1, "ts": 1, "args": {}}]}"#
+        )
+        .is_err());
+        // Negative timestamp.
+        assert!(validate_chrome_json(
+            r#"{"traceEvents": [{"name": "workers-busy", "ph": "C", "pid": 1, "ts": -1, "args": {"value": 2}}]}"#
+        )
+        .is_err());
+        // Non-monotonic within one track...
+        let backwards = r#"{"traceEvents": [
+            {"name": "workers-busy", "ph": "C", "pid": 1, "ts": 5, "args": {"value": 2}},
+            {"name": "workers-busy", "ph": "C", "pid": 1, "ts": 3, "args": {"value": 1}}
+        ]}"#;
+        let err = validate_chrome_json(backwards).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+        // ...while interleaved tracks may each advance independently.
+        let interleaved = r#"{"traceEvents": [
+            {"name": "workers-busy", "ph": "C", "pid": 1, "ts": 5, "args": {"value": 2}},
+            {"name": "ready-queue-depth", "ph": "C", "pid": 1, "ts": 1, "args": {"value": 4}},
+            {"name": "workers-busy", "ph": "C", "pid": 1, "ts": 6, "args": {"value": 1}}
+        ]}"#;
+        let ok = validate_chrome_json(interleaved).expect("interleaved tracks are fine");
+        assert_eq!(ok.counter_events, 3);
+        assert_eq!(ok.counter_tracks, 2);
     }
 
     #[test]

@@ -162,6 +162,30 @@ struct OpenSpan {
     queue_ns: u64,
 }
 
+/// Counter tracks the pool emits alongside spans. [`validate_chrome_json`]
+/// rejects counter events with names outside this list — a misspelled
+/// track would otherwise silently render as a separate empty track in
+/// Perfetto.
+pub const COUNTER_TRACKS: [&str; 2] = ["ready-queue-depth", "workers-busy"];
+
+/// True when `track` is one of the [`COUNTER_TRACKS`] this crate emits.
+pub fn known_counter_track(track: &str) -> bool {
+    COUNTER_TRACKS.contains(&track)
+}
+
+/// One sample of a time-varying quantity (ready-queue depth, busy
+/// workers): a Chrome-trace counter (`"C"`) event. Timestamps are
+/// nanoseconds relative to the session start, like [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Track name (one of [`COUNTER_TRACKS`]).
+    pub track: String,
+    /// Sample time, nanoseconds from session start.
+    pub ts_ns: u64,
+    /// The sampled value.
+    pub value: f64,
+}
+
 /// Spans each worker lane retains per session; older spans are overwritten
 /// (and counted in [`Trace::dropped`]) once the ring is full.
 pub const RING_CAPACITY: usize = 1 << 16;
@@ -198,12 +222,56 @@ impl Ring {
     }
 }
 
+/// A recorded counter sample before drain: the track is still a static
+/// string (no allocation on the hot path) and the timestamp is absolute
+/// (process-epoch based; rebased to session start at drain).
+struct CounterEntry {
+    track: &'static str,
+    ts_ns: u64,
+    value: f64,
+}
+
+struct CounterRing {
+    entries: Vec<CounterEntry>,
+    head: usize,
+    dropped: u64,
+}
+
+impl CounterRing {
+    const fn new() -> CounterRing {
+        CounterRing {
+            entries: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, entry: CounterEntry) {
+        if self.entries.len() < RING_CAPACITY {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
 struct Lane {
     name: String,
     /// Position in the registry (and the lane id spans carry). Reassigned
     /// when [`TraceSession::start`] prunes lanes of exited threads.
     index: AtomicUsize,
     ring: Mutex<Ring>,
+    /// Counter samples recorded by this lane's thread (same single-writer
+    /// discipline as `ring`).
+    counters: Mutex<CounterRing>,
     /// Set by the owning thread's exit (thread-local destructor). Dead
     /// lanes are kept until the next session start — a pool dropped
     /// *before* [`TraceSession::finish`] must still contribute its spans —
@@ -259,6 +327,7 @@ fn lane_for_current_thread() -> Arc<Lane> {
             name,
             index: AtomicUsize::new(reg.len()),
             ring: Mutex::new(Ring::new()),
+            counters: Mutex::new(CounterRing::new()),
             dead: AtomicBool::new(false),
         });
         reg.push(lane.clone());
@@ -278,6 +347,26 @@ pub fn enabled() -> bool {
 /// execute time without paying for a clock read when disabled.
 pub fn stamp() -> Option<Instant> {
     enabled().then(Instant::now)
+}
+
+/// Records one sample on a counter track (ready-queue depth after a
+/// dispatch, busy workers after a job starts). A single relaxed load when
+/// tracing is disabled; when enabled, one clock read and a push into the
+/// calling thread's counter ring. `track` should be one of
+/// [`COUNTER_TRACKS`] — the export validator enforces it.
+pub fn counter(track: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = Instant::now()
+        .saturating_duration_since(process_epoch())
+        .as_nanos() as u64;
+    let lane = lane_for_current_thread();
+    lane.counters.lock().push(CounterEntry {
+        track,
+        ts_ns,
+        value,
+    });
 }
 
 /// Closes its span when dropped. Inert (and free) when tracing was
@@ -384,6 +473,7 @@ impl TraceSession {
             for (i, lane) in reg.iter().enumerate() {
                 lane.index.store(i, Ordering::SeqCst);
                 lane.ring.lock().clear();
+                lane.counters.lock().clear();
             }
         }
         let start = Instant::now();
@@ -405,20 +495,30 @@ impl TraceSession {
         let wall = self.start.elapsed();
         let mut spans = Vec::new();
         let mut lanes = Vec::new();
+        let mut counters = Vec::new();
         let mut dropped = 0u64;
         for lane in registry().lock().iter() {
             lanes.push(lane.name.clone());
             let ring = lane.ring.lock();
             dropped += ring.dropped;
             spans.extend(ring.spans.iter().cloned());
+            let cring = lane.counters.lock();
+            dropped += cring.dropped;
+            counters.extend(cring.entries.iter().map(|e| CounterSample {
+                track: e.track.to_string(),
+                ts_ns: e.ts_ns.saturating_sub(self.start_ns),
+                value: e.value,
+            }));
         }
         for span in &mut spans {
             span.start_ns = span.start_ns.saturating_sub(self.start_ns);
         }
         spans.sort_by_key(|s| (s.lane, s.start_ns, std::cmp::Reverse(s.end_ns())));
+        counters.sort_by(|a, b| (a.track.as_str(), a.ts_ns).cmp(&(b.track.as_str(), b.ts_ns)));
         Trace {
             spans,
             lanes,
+            counters,
             wall,
             dropped,
         }
@@ -444,9 +544,13 @@ pub struct Trace {
     pub spans: Vec<Span>,
     /// Lane index → worker thread name.
     pub lanes: Vec<String>,
+    /// Counter-track samples, sorted by track then time (so each track's
+    /// timestamps are monotonic — the exported `"C"` events inherit this).
+    pub counters: Vec<CounterSample>,
     /// Wall time of the session (start → finish).
     pub wall: Duration,
-    /// Spans lost to ring overflow across all lanes.
+    /// Records (spans and counter samples) lost to ring overflow across
+    /// all lanes.
     pub dropped: u64,
 }
 
@@ -459,6 +563,26 @@ impl Trace {
     /// Spans of one category.
     pub fn spans_of(&self, cat: Cat) -> impl Iterator<Item = &Span> {
         self.spans.iter().filter(move |s| s.cat == cat)
+    }
+
+    /// Samples of one counter track, in time order.
+    pub fn counters_of<'t>(&'t self, track: &'t str) -> impl Iterator<Item = &'t CounterSample> {
+        self.counters.iter().filter(move |c| c.track == track)
+    }
+
+    /// Distinct counter-track names present in this trace.
+    pub fn counter_tracks(&self) -> Vec<&str> {
+        let mut tracks: Vec<&str> = self.counters.iter().map(|c| c.track.as_str()).collect();
+        tracks.dedup(); // counters are sorted by track
+        tracks
+    }
+
+    /// Highest sampled value on `track`; `None` when the track is absent
+    /// (an empty track has no peak — never a default number).
+    pub fn counter_peak(&self, track: &str) -> Option<f64> {
+        self.counters_of(track)
+            .map(|c| c.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Well-formedness check: within a lane, two spans must either be
@@ -621,6 +745,7 @@ mod tests {
         let clean = Trace {
             spans: vec![fake(0, 100), fake(10, 20), fake(50, 50)],
             lanes: vec!["w".into()],
+            counters: Vec::new(),
             wall: Duration::from_nanos(100),
             dropped: 0,
         };
@@ -628,6 +753,7 @@ mod tests {
         let dirty = Trace {
             spans: vec![fake(0, 100), fake(50, 100)],
             lanes: vec!["w".into()],
+            counters: Vec::new(),
             wall: Duration::from_nanos(150),
             dropped: 0,
         };
@@ -678,6 +804,38 @@ mod tests {
         assert_eq!(ring.dropped, 10);
         // The oldest 10 spans were overwritten.
         assert!(ring.spans.iter().all(|s| s.start_ns >= 10));
+    }
+
+    #[test]
+    fn counter_samples_record_only_inside_a_session() {
+        let _t = TEST_LOCK.lock();
+        counter("workers-busy", 9.0); // inert: disabled
+        let session = TraceSession::start();
+        counter("workers-busy", 1.0);
+        counter("ready-queue-depth", 2.0);
+        counter("ready-queue-depth", 1.0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| counter("ready-queue-depth", 3.0));
+        });
+        let trace = session.finish();
+        assert_eq!(trace.counters.len(), 4, "{:?}", trace.counters);
+        // Sorted by track then time, so per-track timestamps are monotonic.
+        assert!(trace
+            .counters
+            .windows(2)
+            .all(|w| (w[0].track.as_str(), w[0].ts_ns) <= (w[1].track.as_str(), w[1].ts_ns)));
+        assert_eq!(trace.counter_peak("ready-queue-depth"), Some(3.0));
+        assert_eq!(trace.counter_peak("workers-busy"), Some(1.0));
+        assert_eq!(trace.counters_of("ready-queue-depth").count(), 3);
+        assert_eq!(
+            trace.counter_tracks(),
+            vec!["ready-queue-depth", "workers-busy"]
+        );
+
+        // The next session starts clean of counter samples too.
+        let session = TraceSession::start();
+        let trace = session.finish();
+        assert!(trace.counters.is_empty());
     }
 
     #[test]

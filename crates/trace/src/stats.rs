@@ -229,6 +229,7 @@ mod tests {
             // Lane 0: [0,100) enclosing [10,30), plus disjoint [200,250).
             spans: vec![span(0, 0, 100, 0), span(0, 10, 20, 0), span(0, 200, 50, 0)],
             lanes: vec!["w0".into()],
+            counters: Vec::new(),
             wall: Duration::from_nanos(300),
             dropped: 0,
         };
@@ -244,6 +245,7 @@ mod tests {
         let trace = Trace {
             spans: vec![span(1, 0, 50, 0)],
             lanes: vec!["idle".into(), "busy".into()],
+            counters: Vec::new(),
             wall: Duration::from_nanos(100),
             dropped: 0,
         };
@@ -258,6 +260,7 @@ mod tests {
         let trace = Trace {
             spans,
             lanes: vec!["w0".into()],
+            counters: Vec::new(),
             wall: Duration::from_micros(2),
             dropped: 0,
         };
@@ -284,6 +287,7 @@ mod tests {
         let trace = Trace {
             spans: vec![span(0, 0, 1_000, 500)],
             lanes: vec!["arp-par-0".into()],
+            counters: Vec::new(),
             wall: Duration::from_micros(1),
             dropped: 0,
         };

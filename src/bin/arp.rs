@@ -25,7 +25,16 @@
 //! `--trace-svg out.svg` a per-worker Gantt, `--trace-csv out.csv` a flat
 //! span table. Any of them also prints the per-worker utilization and
 //! queue-wait summary. `arp trace-check --file out.json` validates a trace
-//! file against the Chrome Trace Event schema (the CI smoke job runs it).
+//! file against the Chrome Trace Event schema — spans *and* counter tracks
+//! (the CI smoke job runs it).
+//!
+//! Live metrics: `--metrics-addr 127.0.0.1:9102` on `run`/`batch` enables
+//! collection and serves Prometheus text exposition at `/metrics` (plus
+//! `/healthz`) from a background thread; `127.0.0.1:0` picks a free port
+//! and the resolved address is printed. `--metrics-hold SECS` keeps the
+//! endpoint alive after the workload so scrapers can catch short runs.
+//! `arp metrics` prints the full catalog snapshot; `--fetch ADDR` scrapes
+//! a running endpoint and `--check FILE` validates a saved exposition.
 
 use arp_core::{
     event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
@@ -92,6 +101,45 @@ fn make_context(flags: &HashMap<String, String>) -> Result<RunContext, String> {
     RunContext::new(input, work, PipelineConfig::default()).map_err(|e| e.to_string())
 }
 
+/// Forces every layer's metric catalog into the registry, so snapshots
+/// list all instruments rather than only the ones a code path touched.
+fn register_all_metrics() {
+    arp_par::metrics::register();
+    arp_core::metrics::register();
+}
+
+/// Handles `--metrics-addr ADDR` (and its companion `--metrics-hold SECS`):
+/// enables metrics collection, registers the full catalog, and starts the
+/// background `/metrics` + `/healthz` endpoint. Returns how long to keep
+/// the process alive after the workload so scrapers can still reach the
+/// endpoint (`127.0.0.1:0` picks a free port; the resolved address is
+/// printed for scripts to grep).
+fn start_metrics(flags: &HashMap<String, String>) -> Result<Option<std::time::Duration>, String> {
+    let Some(addr) = flags.get("metrics-addr") else {
+        if flags.contains_key("metrics-hold") {
+            return Err("--metrics-hold needs --metrics-addr".into());
+        }
+        return Ok(None);
+    };
+    let hold: u64 = flags.get("metrics-hold").map_or(Ok(0), |v| {
+        v.parse().map_err(|e| format!("bad --metrics-hold: {e}"))
+    })?;
+    arp_metrics::set_enabled(true);
+    register_all_metrics();
+    let local =
+        arp_metrics::http::serve(addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    println!("metrics: serving http://{local}/metrics");
+    Ok(Some(std::time::Duration::from_secs(hold)))
+}
+
+/// After the workload: keep the metrics endpoint reachable for `--metrics-hold`.
+fn hold_metrics(hold: Option<std::time::Duration>) {
+    if let Some(hold) = hold.filter(|h| !h.is_zero()) {
+        println!("metrics: holding endpoint open for {hold:?}");
+        std::thread::sleep(hold);
+    }
+}
+
 /// The trace sinks a command was asked for (`--trace`, `--trace-svg`,
 /// `--trace-csv`). When any is present the workload runs inside a
 /// [`arp_trace::TraceSession`] and the drained trace is written to each
@@ -144,6 +192,7 @@ impl TraceSinks {
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
     let ctx = make_context(flags)?;
+    let hold = start_metrics(flags)?;
     let sinks = TraceSinks::from_flags(flags);
     let session = sinks.session();
     let result = run_pipeline_labeled(&ctx, kind, "cli");
@@ -197,6 +246,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(trace) = &trace {
         sinks.write(trace)?;
     }
+    hold_metrics(hold);
     Ok(())
 }
 
@@ -284,6 +334,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     println!("processing {} events...", items.len());
     let config = PipelineConfig::default();
+    let hold = start_metrics(flags)?;
     let sinks = TraceSinks::from_flags(flags);
     let session = sinks.session();
     let result = if kind == ImplKind::BatchDag {
@@ -297,6 +348,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(trace) = &trace {
         sinks.write(trace)?;
     }
+    hold_metrics(hold);
     Ok(())
 }
 
@@ -321,13 +373,73 @@ fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), String> {
         ));
     }
     println!(
-        "{}: valid Chrome trace — {} events ({} spans) on {} worker lanes",
+        "{}: valid Chrome trace — {} events ({} spans) on {} worker lanes, {} counter samples on {} tracks",
         path.display(),
         check.events,
         check.complete,
-        check.lanes
+        check.lanes,
+        check.counter_events,
+        check.counter_tracks
     );
     Ok(())
+}
+
+/// `arp metrics` — Prometheus text-exposition tooling. With no flags,
+/// prints a snapshot of this process's full metric catalog (all zeros in a
+/// fresh process; the naming and format are the point). `--check FILE`
+/// strictly parses a scraped exposition file, `--fetch ADDR` scrapes a
+/// running `--metrics-addr` endpoint over plain TCP and validates the body
+/// — so CI needs no external HTTP client.
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let samples =
+            arp_metrics::expo::parse_exposition(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid Prometheus exposition — {} samples",
+            samples.len()
+        );
+        return Ok(());
+    }
+    if let Some(addr) = flags.get("fetch") {
+        let body = fetch_metrics(addr)?;
+        let samples =
+            arp_metrics::expo::parse_exposition(&body).map_err(|e| format!("{addr}: {e}"))?;
+        print!("{body}");
+        eprintln!(
+            "{addr}: valid Prometheus exposition — {} samples",
+            samples.len()
+        );
+        return Ok(());
+    }
+    register_all_metrics();
+    print!("{}", arp_metrics::gather());
+    Ok(())
+}
+
+/// Minimal HTTP/1.1 GET against a `--metrics-addr` endpoint.
+fn fetch_metrics(addr: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let err = |e: std::io::Error| format!("{addr}: {e}");
+    let mut stream = std::net::TcpStream::connect(addr).map_err(err)?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(err)?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(err)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: {status}"));
+    }
+    Ok(body.to_string())
 }
 
 fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -347,7 +459,9 @@ fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: arp <generate|run|verify|inspect|summary|batch|trace-check> [--flags]");
+        eprintln!(
+            "usage: arp <generate|run|verify|inspect|summary|batch|trace-check|metrics> [--flags]"
+        );
         return ExitCode::from(2);
     };
     let flags = match parse_flags(&args[1..]) {
@@ -365,6 +479,7 @@ fn main() -> ExitCode {
         "summary" => cmd_summary(&flags),
         "batch" => cmd_batch(&flags),
         "trace-check" => cmd_trace_check(&flags),
+        "metrics" => cmd_metrics(&flags),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
