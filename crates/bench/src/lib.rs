@@ -947,6 +947,8 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         "{{\n  \"scale\": {},\n  \"threads\": {},\n  \"order\": {},\n  \"events\": [\n{}\n  ],\n  \
          \"per_event_loop_s\": {:.6},\n  \"super_dag_s\": {:.6},\n  \"measured_speedup\": {:.4},\n  \
          \"node_total_s\": {:.6},\n  \"sequential_baseline_s\": {:.6},\n  \"batch_makespan_s\": {:.6},\n  \
+         \"io_threads\": {},\n  \"lane_off_makespan_s\": {:.6},\n  \"lane_on_makespan_s\": {:.6},\n  \
+         \"lane_saving_s\": {:.6},\n  \
          \"cross_event_overlap_s\": {:.6},\n  \"overlap_speedup\": {:.4},\n  \"batch_speedup\": {:.4},\n  \
          \"trace_spans\": {},\n  \"mean_utilization\": {:.4},\n  \"queue_wait_us\": \
          {{\"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
@@ -962,6 +964,10 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         dag.map_or(0.0, |d| d.node_total.as_secs_f64()),
         dag.map_or(0.0, |d| d.sequential_baseline().as_secs_f64()),
         dag.map_or(0.0, |d| d.batch_makespan.as_secs_f64()),
+        dag.map_or(0, |d| d.io_threads),
+        dag.map_or(0.0, |d| d.batch_makespan.as_secs_f64()),
+        dag.map_or(0.0, |d| d.lane_makespan.as_secs_f64()),
+        dag.map_or(0.0, |d| d.lane_saving().as_secs_f64()),
         dag.map_or(0.0, |d| d.cross_event_overlap().as_secs_f64()),
         dag.map_or(0.0, |d| d.overlap_speedup()),
         dag.map_or(0.0, |d| d.batch_speedup()),
@@ -1238,10 +1244,17 @@ mod tests {
         let text = format_batch_experiment(&b);
         assert!(text.contains("per-event loop total"), "{text}");
         assert!(text.contains("super-DAG"), "{text}");
+        assert!(text.contains("lane-on vs lane-off"), "{text}");
         let json = batch_json(&b);
         assert!(json.contains("\"events\": ["), "{json}");
         assert!(json.contains("\"overlap_speedup\""), "{json}");
         assert!(json.contains("\"order\": \"critical-path\""), "{json}");
+        // Lane decomposition: both makespans present, lane-on never slower
+        // than the back-to-back baseline clamp allows.
+        assert!(json.contains("\"io_threads\""), "{json}");
+        assert!(json.contains("\"lane_off_makespan_s\""), "{json}");
+        assert!(json.contains("\"lane_on_makespan_s\""), "{json}");
+        assert!(dag.lane_makespan <= dag.sequential_baseline());
         // Two event rows, one per label.
         assert_eq!(json.matches("\"label\":").count(), 2);
     }

@@ -104,6 +104,15 @@ pub struct BatchDagReport {
     pub threads: usize,
     /// Ready-queue ordering the run used.
     pub order: ReadyOrder,
+    /// I/O-lane width the lane comparison was computed for (0 = lane off).
+    #[serde(default)]
+    pub io_threads: usize,
+    /// Makespan of the same super-graph with the pure-I/O nodes routed to
+    /// a dedicated `io_threads`-wide lane ([`BatchDagReport::batch_makespan`]
+    /// is the lane-off figure computed from the same durations). Equal to
+    /// `batch_makespan` when `io_threads` is 0.
+    #[serde(default)]
+    pub lane_makespan: Duration,
 }
 
 impl BatchDagReport {
@@ -142,6 +151,13 @@ impl BatchDagReport {
         self.node_total.as_secs_f64() / self.batch_makespan.as_secs_f64()
     }
 
+    /// Virtual time the dedicated I/O lane recovers over the lane-off
+    /// super-graph schedule (zero when the lane is disabled or buys
+    /// nothing).
+    pub fn lane_saving(&self) -> Duration {
+        self.batch_makespan.saturating_sub(self.lane_makespan)
+    }
+
     /// Formats the speedup decomposition.
     pub fn to_table(&self) -> String {
         format!(
@@ -149,6 +165,7 @@ impl BatchDagReport {
              \x20 serialized nodes   {:>10.3}s\n\
              \x20 per-event DAG loop {:>10.3}s  (intra-event parallelism saves {:.3}s)\n\
              \x20 super-DAG batch    {:>10.3}s  (cross-event overlap saves {:.3}s)\n\
+             \x20 with I/O lane ({:>2}) {:>10.3}s  (lane-on vs lane-off saves {:.3}s)\n\
              \x20 critical-path floor{:>10.3}s\n\
              \x20 batch speedup {:.2}x serialized, {:.2}x per-event loop\n",
             self.threads,
@@ -158,6 +175,9 @@ impl BatchDagReport {
             self.intra_event_saving().as_secs_f64(),
             self.batch_makespan.as_secs_f64(),
             self.cross_event_overlap().as_secs_f64(),
+            self.io_threads,
+            self.lane_makespan.as_secs_f64(),
+            self.lane_saving().as_secs_f64(),
             self.critical_path_len.as_secs_f64(),
             self.batch_speedup(),
             self.overlap_speedup(),
@@ -365,7 +385,11 @@ pub fn run_batch_dag(
                         staged,
                         &labels[e],
                         shapes[e].1 as u64 * 8,
-                    )?;
+                    )
+                    .map_err(|err| PipelineError::Node {
+                        label: super_dag.node_label(super_dag.event_offset(e) + k),
+                        source: Box::new(err),
+                    })?;
                     durations[super_dag.event_offset(e) + k] =
                         t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
                     if metrics_on {
@@ -429,12 +453,23 @@ pub fn run_batch_dag(
                     }) as arp_par::BorrowedTask<'_>
                 })
                 .collect();
-            arp_par::ThreadPool::global().run_dag_prioritized(tasks, super_dag.preds(), &priority);
+            // Pure-I/O nodes carry a lane hint so the shared pool can keep
+            // disk-bound work off the compute workers; with `--io-threads 0`
+            // the hints are inert and this is exactly `run_dag_prioritized`.
+            arp_par::ThreadPool::global().run_dag_lanes(
+                tasks,
+                super_dag.preds(),
+                &priority,
+                &super_dag.io_lanes(),
+            );
 
             let mut fails = failures.into_inner();
             fails.sort_by_key(|(i, _)| *i);
-            if let Some((_, e)) = fails.into_iter().next() {
-                return Err(e);
+            if let Some((i, e)) = fails.into_iter().next() {
+                return Err(PipelineError::Node {
+                    label: super_dag.node_label(i),
+                    source: Box::new(e),
+                });
             }
             let mut durations = vec![Duration::ZERO; super_dag.len()];
             for (i, d) in timings.into_inner() {
@@ -494,6 +529,22 @@ pub fn run_batch_dag(
     // valid schedule, so the union must never report a slowdown.
     let batch_makespan =
         arp_par::super_dag_makespan(&per_event_durations, &per_event_preds, threads).min(baseline);
+    // Lane comparison: same durations and graph, but the pure-I/O nodes are
+    // restricted to a dedicated `io_threads`-wide lane while the compute
+    // lane keeps its full width.
+    let io_threads = match config.timing {
+        TimingModel::Simulated { .. } => arp_par::default_io_threads(threads),
+        TimingModel::Measured => arp_par::ThreadPool::global().io_threads(),
+    };
+    let per_event_lanes: Vec<Vec<bool>> = vec![super_dag.per_event().io_lanes(); items.len()];
+    let lane_makespan = arp_par::super_dag_makespan_lanes(
+        &per_event_durations,
+        &per_event_preds,
+        threads,
+        io_threads,
+        &per_event_lanes,
+    )
+    .min(baseline);
     let critical_path_len = events
         .iter()
         .filter_map(|r| r.dag.as_ref())
@@ -507,6 +558,8 @@ pub fn run_batch_dag(
         critical_path_len,
         threads,
         order,
+        io_threads,
+        lane_makespan,
     };
     // Simulated runs report the virtual batch makespan (that is the whole
     // point of the mode); measured runs report the real wall time.
@@ -733,10 +786,13 @@ mod tests {
             critical_path_len: Duration::from_millis(50),
             threads: 4,
             order: ReadyOrder::CriticalPath,
+            io_threads: 2,
+            lane_makespan: Duration::from_millis(72),
         };
         assert_eq!(d.sequential_baseline(), Duration::from_millis(100));
         assert_eq!(d.cross_event_overlap(), Duration::from_millis(20));
         assert_eq!(d.intra_event_saving(), Duration::from_millis(100));
+        assert_eq!(d.lane_saving(), Duration::from_millis(8));
         assert!((d.overlap_speedup() - 1.25).abs() < 1e-9);
         assert!((d.batch_speedup() - 2.5).abs() < 1e-9);
         let table = d.to_table();
@@ -746,6 +802,10 @@ mod tests {
         );
         assert!(
             table.contains("cross-event overlap saves 0.020s"),
+            "{table}"
+        );
+        assert!(
+            table.contains("lane-on vs lane-off saves 0.008s"),
             "{table}"
         );
     }

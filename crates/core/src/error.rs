@@ -27,6 +27,14 @@ pub enum PipelineError {
     },
     /// Invalid pipeline configuration.
     Config(String),
+    /// A batch super-DAG node failed, attributed to the event and process
+    /// it belonged to (`<event label>/#<process>`).
+    Node {
+        /// The failed node's label.
+        label: String,
+        /// The underlying failure.
+        source: Box<PipelineError>,
+    },
 }
 
 impl PipelineError {
@@ -51,6 +59,9 @@ impl fmt::Display for PipelineError {
                 write!(f, "process {process} requires missing artifact {artifact}")
             }
             PipelineError::Config(msg) => write!(f, "configuration error: {msg}"),
+            PipelineError::Node { label, source } => {
+                write!(f, "batch node {label}: {source}")
+            }
         }
     }
 }
@@ -61,6 +72,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Format(e) => Some(e),
             PipelineError::Dsp(e) => Some(e),
             PipelineError::Io { source, .. } => Some(source),
+            PipelineError::Node { source, .. } => Some(&**source),
             _ => None,
         }
     }
@@ -104,5 +116,13 @@ mod tests {
 
         let io = PipelineError::io("/x", std::io::Error::other("z"));
         assert!(io.to_string().contains("/x"));
+
+        let node = PipelineError::Node {
+            label: "ev-b/#1".into(),
+            source: Box::new(PipelineError::Config("kernel exploded".into())),
+        };
+        assert!(node.to_string().contains("ev-b/#1"));
+        assert!(node.to_string().contains("kernel exploded"));
+        assert!(node.source().is_some());
     }
 }

@@ -482,7 +482,10 @@ fn run_dag_plan(
             }) as arp_par::BorrowedTask<'_>
         })
         .collect();
-    arp_par::ThreadPool::global().run_dag(tasks, &preds);
+    // Pure-I/O nodes (HeavyIo/Plotting) carry a lane hint so the pool can
+    // keep them off the compute workers; with the lane disabled the hints
+    // are inert and the schedule is exactly the classic `run_dag`.
+    arp_par::ThreadPool::global().run_dag_lanes(tasks, &preds, &[], &dag.io_lanes());
 
     let mut fails = failures.into_inner();
     fails.sort_by_key(|(p, _)| *p);

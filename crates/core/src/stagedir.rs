@@ -44,6 +44,31 @@ const MOVE_SERIAL_FRACTION: f64 = 0.55;
 /// Marker file standing in for the relocated legacy executable.
 const EXE_MARKER: &str = "kernel.exe";
 
+/// Removes the staging folders when a phase errors out before phase 4.
+///
+/// Phases 1 and 3 propagate failures with `?`, which used to skip the
+/// phase-4 delete and leak every `tmp-<tag>-<i>/` folder into the work
+/// directory — where the next run (or `discover_batch`) would trip over
+/// them. The guard stays armed across the fallible phases and is disarmed
+/// only once phase 4 has removed the folders itself.
+struct StageCleanup {
+    dirs: Vec<PathBuf>,
+    armed: bool,
+}
+
+impl Drop for StageCleanup {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        for dir in &self.dirs {
+            // Best-effort: the original phase error is already on its way
+            // up, and a half-created folder may legitimately be absent.
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
 /// Executes `kernel` for every station through the staging protocol.
 pub fn run_staged(
     ctx: &RunContext,
@@ -53,6 +78,10 @@ pub fn run_staged(
 ) -> Result<()> {
     let n = stations.len();
     let folder = |i: usize| -> PathBuf { ctx.work_dir.join(format!("tmp-{}-{i}", kernel.tag)) };
+    let mut cleanup = StageCleanup {
+        dirs: (0..n).map(folder).collect(),
+        armed: true,
+    };
 
     let for_each = |beta: f64, body: &(dyn Fn(usize) -> Result<()> + Sync)| -> Result<()> {
         if parallel {
@@ -100,7 +129,9 @@ pub fn run_staged(
         let dir = folder(i);
         fs::remove_dir_all(&dir).map_err(|e| PipelineError::io(&dir, e))?;
         Ok(())
-    })
+    })?;
+    cleanup.armed = false;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -176,6 +207,75 @@ mod tests {
         };
         let err = run_staged(&ctx, &stations, false, &kernel).unwrap_err();
         assert!(err.to_string().contains("kernel exploded"));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    fn staging_leftovers(ctx: &RunContext) -> Vec<String> {
+        std::fs::read_dir(&ctx.work_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with("tmp-"))
+            .collect()
+    }
+
+    #[test]
+    fn failed_kernel_leaves_no_staging_folders() {
+        let (base, ctx) = make_ctx("leak");
+        let stations: Vec<String> = ["AAA", "BBB", "CCC"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for s in &stations {
+            std::fs::write(ctx.artifact(&format!("{s}.in")), "x").unwrap();
+        }
+        let kernel = StagedKernel {
+            tag: "test",
+            serial_fraction: 0.5,
+            inputs: &|s| vec![format!("{s}.in")],
+            outputs: &|_| vec![],
+            // Phase 3 fails on the middle station, after phase 1 has
+            // created a folder for every station.
+            run: &|_, i, _| {
+                if i == 1 {
+                    Err(PipelineError::Config("kernel exploded".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        };
+        for parallel in [false, true] {
+            let err = run_staged(&ctx, &stations, parallel, &kernel).unwrap_err();
+            assert!(err.to_string().contains("kernel exploded"));
+            assert_eq!(
+                staging_leftovers(&ctx),
+                Vec::<String>::new(),
+                "phase-3 failure must not leak tmp folders (parallel={parallel})"
+            );
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn failed_copy_in_leaves_no_staging_folders() {
+        let (base, ctx) = make_ctx("leak1");
+        // Station AAA has its input; GONE does not, so phase 1 fails after
+        // AAA's folder (and possibly GONE's empty folder) already exists.
+        let stations = vec!["AAA".to_string(), "GONE".to_string()];
+        std::fs::write(ctx.artifact("AAA.in"), "x").unwrap();
+        let kernel = StagedKernel {
+            tag: "test",
+            serial_fraction: 0.5,
+            inputs: &|s| vec![format!("{s}.in")],
+            outputs: &|_| vec![],
+            run: &|_, _, _| Ok(()),
+        };
+        assert!(run_staged(&ctx, &stations, false, &kernel).is_err());
+        assert_eq!(
+            staging_leftovers(&ctx),
+            Vec::<String>::new(),
+            "phase-1 failure must not leak tmp folders"
+        );
         std::fs::remove_dir_all(&base).unwrap();
     }
 

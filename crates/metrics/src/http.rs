@@ -5,6 +5,8 @@
 //! * `GET /metrics`  → the [`crate::gather`] exposition
 //!   (`text/plain; version=0.0.4`)
 //! * `GET /healthz`  → `ok` (liveness for the CI smoke job)
+//! * non-GET method  → `405` with an `Allow: GET` header
+//! * oversized head  → `431` (head longer than the 4 KiB read cap)
 //! * anything else   → `404`
 //!
 //! [`serve`] binds, spawns the accept loop, and returns the bound address
@@ -38,6 +40,7 @@ fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 4096];
     let mut len = 0;
+    let mut terminated = false;
     // Read until the end of the request head (or the cap — the request
     // line alone is all that gets routed).
     while len < buf.len() {
@@ -47,6 +50,7 @@ fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
         }
         len += n;
         if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            terminated = true;
             break;
         }
     }
@@ -54,21 +58,50 @@ fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            crate::gather(),
-        ),
-        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        _ => (
-            "404 Not Found",
+    let mut extra_headers = "";
+    let (status, content_type, body) = if len >= buf.len() && !terminated {
+        // The buffer filled without ever seeing the head terminator:
+        // refusing beats silently routing a truncated request line.
+        (
+            "431 Request Header Fields Too Large",
             "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
+            "request head too large\n".to_string(),
+        )
+    } else if !method.is_empty() && method != "GET" {
+        extra_headers = "Allow: GET\r\n";
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::gather(),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
     };
+    if len >= buf.len() && !terminated {
+        // Drain whatever is still in flight (bounded by the read timeout):
+        // closing with unread data pending makes the kernel reset the
+        // connection, which would discard the 431 before the client reads it.
+        let mut sink = [0u8; 1024];
+        while let Ok(n) = stream.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\n{extra_headers}Content-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
@@ -101,5 +134,48 @@ mod tests {
         crate::expo::parse_exposition(body).expect("valid exposition");
         assert!(get(addr, "/healthz").contains("ok"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+    }
+
+    fn raw(addr: SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request).expect("write");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn non_get_method_gets_405_with_allow_header() {
+        let addr = serve("127.0.0.1:0").expect("bind");
+        for method in ["POST", "PUT", "DELETE", "HEAD"] {
+            let resp = raw(
+                addr,
+                format!("{method} /metrics HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes(),
+            );
+            assert!(
+                resp.starts_with("HTTP/1.1 405 Method Not Allowed"),
+                "{method}: {resp}"
+            );
+            assert!(resp.contains("Allow: GET\r\n"), "{method}: {resp}");
+            assert!(resp.contains("method not allowed"), "{method}: {resp}");
+        }
+    }
+
+    #[test]
+    fn oversized_unterminated_head_gets_431() {
+        let addr = serve("127.0.0.1:0").expect("bind");
+        // 8 KiB of header bytes with no terminating blank line: the head
+        // overflows the 4 KiB read cap mid-header.
+        let mut request = b"GET /metrics HTTP/1.1\r\n".to_vec();
+        request.resize(request.len() + 8192, b'x');
+        let resp = raw(addr, &request);
+        assert!(
+            resp.starts_with("HTTP/1.1 431 Request Header Fields Too Large"),
+            "{resp}"
+        );
+        assert!(resp.contains("request head too large"), "{resp}");
     }
 }

@@ -18,6 +18,9 @@
 //!   per-task dispatch priority, used to critical-path-order the union of
 //!   several independent graphs (a multi-event batch) so no subgraph
 //!   starves the others;
+//! * [`ThreadPool::run_dag_lanes`] — the same scheduler with a per-task
+//!   lane hint: nodes tagged I/O run on a small dedicated worker set
+//!   (`--io-threads`), so disk-bound nodes never occupy compute workers;
 //! * [`CyclicBarrier`] — the implicit worksharing barrier;
 //! * [`CountdownLatch`] — the completion primitive underneath.
 //!
@@ -34,7 +37,11 @@ pub mod sim;
 
 pub use barrier::CyclicBarrier;
 pub use latch::CountdownLatch;
-pub use pool::{BorrowedTask, PoolStatsSnapshot, Schedule, TaskScope, ThreadPool};
+pub use pool::{
+    configure_global_io_threads, default_io_threads, BorrowedTask, PoolStatsSnapshot, Schedule,
+    TaskScope, ThreadPool,
+};
 pub use sim::{
-    dag_makespan, loop_makespan, resource_bounded_makespan, super_dag_makespan, tasks_makespan,
+    dag_makespan, dag_makespan_lanes, loop_makespan, resource_bounded_makespan, super_dag_makespan,
+    super_dag_makespan_lanes, tasks_makespan,
 };

@@ -21,6 +21,17 @@ pub fn ready_depth() -> &'static Gauge {
     })
 }
 
+/// Dispatched-but-not-yet-started DAG nodes on the I/O lane.
+pub fn io_ready_depth() -> &'static Gauge {
+    static H: OnceLock<&'static Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::gauge(
+            "arp_pool_io_ready_queue_depth",
+            "DAG nodes dispatched to the I/O-lane channel but not yet started.",
+        )
+    })
+}
+
 /// Threads currently executing a pool job (workers and helping callers).
 pub fn workers_busy() -> &'static Gauge {
     static H: OnceLock<&'static Gauge> = OnceLock::new();
@@ -28,6 +39,17 @@ pub fn workers_busy() -> &'static Gauge {
         arp_metrics::gauge(
             "arp_pool_workers_busy",
             "Threads currently executing a pool job (workers plus helping callers).",
+        )
+    })
+}
+
+/// I/O-lane workers currently executing a pool job.
+pub fn io_workers_busy() -> &'static Gauge {
+    static H: OnceLock<&'static Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::gauge(
+            "arp_pool_io_workers_busy",
+            "I/O-lane workers currently executing a pool job.",
         )
     })
 }
@@ -66,6 +88,24 @@ pub fn queue_wait() -> &'static Histogram {
     })
 }
 
+/// Dispatch → start latency distribution of DAG nodes, split by lane
+/// (`lane="compute"` / `lane="io"`). The same samples also feed the
+/// aggregate [`queue_wait`] histogram, which keeps its historical meaning.
+pub fn lane_queue_wait(io: bool) -> &'static Histogram {
+    static H: OnceLock<[&'static Histogram; 2]> = OnceLock::new();
+    let family = H.get_or_init(|| {
+        ["compute", "io"].map(|lane| {
+            arp_metrics::histogram_labeled(
+                "arp_pool_lane_queue_wait_seconds",
+                "Time DAG nodes sat in their lane's channel before a worker started them, by lane.",
+                1e9,
+                Some(("lane", lane)),
+            )
+        })
+    });
+    family[usize::from(io)]
+}
+
 /// Execute-time distribution of DAG nodes.
 pub fn execute_time() -> &'static Histogram {
     static H: OnceLock<&'static Histogram> = OnceLock::new();
@@ -83,9 +123,13 @@ pub fn execute_time() -> &'static Histogram {
 /// instruments some code path has already touched.
 pub fn register() {
     ready_depth();
+    io_ready_depth();
     workers_busy();
+    io_workers_busy();
     nodes_dispatched();
     nodes_completed();
     queue_wait();
+    lane_queue_wait(false);
+    lane_queue_wait(true);
     execute_time();
 }

@@ -13,6 +13,15 @@
 //! complete even when every pool worker is busy elsewhere (this is what
 //! makes nesting deadlock-free: the nested construct can be finished
 //! entirely by its caller).
+//!
+//! Besides the compute workers, a pool may own a small **I/O lane**
+//! (`arp-io-{k}` threads, default [`default_io_threads`]): DAG nodes tagged
+//! I/O via [`ThreadPool::run_dag_lanes`] are queued on a separate channel
+//! drained only by the I/O workers, so a node blocked on the shared disk
+//! never occupies a compute worker. With the lane sized zero every node
+//! routes to the compute lane — scheduling changes *when* nodes run, never
+//! what they produce, so lane-on and lane-off runs emit identical
+//! artifacts.
 
 use crate::latch::CountdownLatch;
 use crate::metrics;
@@ -22,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Loop-scheduling policy, mirroring OpenMP's `schedule` clause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,27 +72,47 @@ pub struct PoolStats {
     dag_ready_peak: AtomicU64,
     /// `run_dag` constructs completed.
     dags_completed: AtomicU64,
+    /// Jobs executed by dedicated I/O-lane workers.
+    io_jobs_on_workers: AtomicU64,
+    /// DAG nodes routed to the I/O lane (a subset of `dag_dispatches`).
+    io_dispatches: AtomicU64,
+    /// High-water mark of dispatched-but-not-yet-started I/O-lane nodes.
+    io_ready_peak: AtomicU64,
     /// Threads currently executing a job (workers plus helpers) — an
     /// instantaneous level feeding the `workers-busy` counter track and
     /// gauge, not part of the snapshot.
     busy_threads: AtomicI64,
+    /// As `busy_threads`, for the I/O-lane workers (`io-workers-busy`).
+    io_busy_threads: AtomicI64,
 }
 
 impl PoolStats {
-    /// One thread entered a job: raise the busy level and publish it to
-    /// the trace counter track and the live gauge (each a single relaxed
+    /// One thread entered a job: raise its lane's busy level and publish it
+    /// to the trace counter track and the live gauge (each a single relaxed
     /// load when its layer is disabled).
-    fn job_started(&self) {
-        let busy = self.busy_threads.fetch_add(1, Ordering::Relaxed) + 1;
-        arp_trace::counter("workers-busy", busy as f64);
-        metrics::workers_busy().add(1);
+    fn job_started(&self, io: bool) {
+        if io {
+            let busy = self.io_busy_threads.fetch_add(1, Ordering::Relaxed) + 1;
+            arp_trace::counter("io-workers-busy", busy as f64);
+            metrics::io_workers_busy().add(1);
+        } else {
+            let busy = self.busy_threads.fetch_add(1, Ordering::Relaxed) + 1;
+            arp_trace::counter("workers-busy", busy as f64);
+            metrics::workers_busy().add(1);
+        }
     }
 
     /// The matching exit.
-    fn job_finished(&self) {
-        let busy = self.busy_threads.fetch_sub(1, Ordering::Relaxed) - 1;
-        arp_trace::counter("workers-busy", busy as f64);
-        metrics::workers_busy().sub(1);
+    fn job_finished(&self, io: bool) {
+        if io {
+            let busy = self.io_busy_threads.fetch_sub(1, Ordering::Relaxed) - 1;
+            arp_trace::counter("io-workers-busy", busy as f64);
+            metrics::io_workers_busy().sub(1);
+        } else {
+            let busy = self.busy_threads.fetch_sub(1, Ordering::Relaxed) - 1;
+            arp_trace::counter("workers-busy", busy as f64);
+            metrics::workers_busy().sub(1);
+        }
     }
 }
 
@@ -104,11 +133,18 @@ pub struct PoolStatsSnapshot {
     pub dag_ready_peak: u64,
     /// Completed `run_dag` constructs.
     pub dags_completed: u64,
+    /// Jobs executed by dedicated I/O-lane workers.
+    pub io_jobs_on_workers: u64,
+    /// DAG nodes routed to the I/O lane (a subset of `dag_dispatches`).
+    pub io_dispatches: u64,
+    /// Deepest the I/O-lane ready queue ever got.
+    pub io_ready_peak: u64,
 }
 
 impl PoolStatsSnapshot {
-    /// Counter growth between `before` and `self`. The ready-queue peak is
-    /// a high-water mark, not a counter, so the later value is kept as-is.
+    /// Counter growth between `before` and `self`. The ready-queue peaks
+    /// are high-water marks, not counters, so the later values are kept
+    /// as-is.
     pub fn delta_since(&self, before: &PoolStatsSnapshot) -> PoolStatsSnapshot {
         PoolStatsSnapshot {
             jobs_on_workers: self.jobs_on_workers.saturating_sub(before.jobs_on_workers),
@@ -118,8 +154,21 @@ impl PoolStatsSnapshot {
             dag_dispatches: self.dag_dispatches.saturating_sub(before.dag_dispatches),
             dag_ready_peak: self.dag_ready_peak,
             dags_completed: self.dags_completed.saturating_sub(before.dags_completed),
+            io_jobs_on_workers: self
+                .io_jobs_on_workers
+                .saturating_sub(before.io_jobs_on_workers),
+            io_dispatches: self.io_dispatches.saturating_sub(before.io_dispatches),
+            io_ready_peak: self.io_ready_peak,
         }
     }
+}
+
+/// Default I/O-lane width for a pool with `threads` compute workers:
+/// `max(2, threads / 4)`. Pure-I/O DAG nodes spend their time blocked on
+/// the shared disk, so a small lane keeps them off the compute workers
+/// without oversubscribing the device.
+pub fn default_io_threads(threads: usize) -> usize {
+    (threads / 4).max(2)
 }
 
 /// A fixed-size worker pool.
@@ -129,8 +178,15 @@ pub struct ThreadPool {
     /// latch drains queued jobs instead of sleeping, which is what makes
     /// nested constructs deadlock-free even when every worker is busy.
     receiver: Receiver<Job>,
+    /// `None` when the I/O lane is disabled (`io_threads == 0`); every
+    /// node then routes to the compute channel. Only the I/O workers
+    /// drain this channel — helpers never touch it, so an I/O node can
+    /// nest compute constructs without self-deadlock.
+    io_sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    io_workers: Vec<JoinHandle<()>>,
     threads: usize,
+    io_threads: usize,
     stats: Arc<PoolStats>,
 }
 
@@ -213,9 +269,33 @@ struct DagState<'env> {
     /// nodes become ready at once they are enqueued highest-priority first,
     /// and the FIFO pool channel preserves that order.
     priority: Vec<u64>,
+    /// Per-node lane hint (empty = every node on the compute lane).
+    io_lane: Vec<bool>,
     /// Dispatched-but-not-yet-started nodes (ready-queue depth gauge).
     ready: AtomicUsize,
+    /// As `ready`, for nodes routed to the I/O lane.
+    io_ready: AtomicUsize,
     panicked: AtomicBool,
+}
+
+/// The pair of dispatch channels one `run_dag` invocation sends into.
+/// Cloned into every node job so completions can dispatch successors onto
+/// the correct lane.
+struct LaneSenders {
+    compute: Sender<Job>,
+    io: Option<Sender<Job>>,
+}
+
+impl LaneSenders {
+    /// Resolves a node's lane hint to a channel: the I/O channel when the
+    /// node is tagged I/O *and* the pool has an I/O lane, the compute
+    /// channel otherwise. The returned flag says which lane was picked.
+    fn lane_for(&self, io_hint: bool) -> (&Sender<Job>, bool) {
+        match &self.io {
+            Some(io) if io_hint => (io, true),
+            _ => (&self.compute, false),
+        }
+    }
 }
 
 /// Orders a set of simultaneously-ready node indices for dispatch: highest
@@ -229,26 +309,40 @@ fn order_ready(ready: &mut [usize], priority: &[u64]) {
     ready.sort_unstable_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
 }
 
-/// Enqueues node `i`: builds its job and sends it to the pool channel.
+/// Enqueues node `i`: builds its job and sends it to the channel of the
+/// lane its hint selects.
 fn dispatch_dag_node(
     state_ptr: usize,
     i: usize,
-    sender: &Sender<Job>,
+    senders: &Arc<LaneSenders>,
     stats: &Arc<PoolStats>,
     latch: &Arc<CountdownLatch>,
 ) {
     // SAFETY: see `DagState` — the caller of `run_dag` keeps the state
     // alive until the latch opens, which requires this node to finish.
     let state = unsafe { &*(state_ptr as *const DagState<'static>) };
+    let io_hint = state.io_lane.get(i).copied().unwrap_or(false);
+    let (sender, io) = senders.lane_for(io_hint);
     stats.dag_dispatches.fetch_add(1, Ordering::Relaxed);
-    let depth = state.ready.fetch_add(1, Ordering::Relaxed) as u64 + 1;
-    stats.dag_ready_peak.fetch_max(depth, Ordering::Relaxed);
-    // The counter track samples the same value the peak statistic takes
-    // its max over, so the exported track's peak equals `dag_ready_peak`.
-    arp_trace::counter("ready-queue-depth", depth as f64);
-    if arp_metrics::enabled() {
-        metrics::nodes_dispatched().inc();
-        metrics::ready_depth().add(1);
+    if io {
+        stats.io_dispatches.fetch_add(1, Ordering::Relaxed);
+        let depth = state.io_ready.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+        stats.io_ready_peak.fetch_max(depth, Ordering::Relaxed);
+        arp_trace::counter("io-lane-depth", depth as f64);
+        if arp_metrics::enabled() {
+            metrics::nodes_dispatched().inc();
+            metrics::io_ready_depth().add(1);
+        }
+    } else {
+        let depth = state.ready.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+        stats.dag_ready_peak.fetch_max(depth, Ordering::Relaxed);
+        // The counter track samples the same value the peak statistic takes
+        // its max over, so the exported track's peak equals `dag_ready_peak`.
+        arp_trace::counter("ready-queue-depth", depth as f64);
+        if arp_metrics::enabled() {
+            metrics::nodes_dispatched().inc();
+            metrics::ready_depth().add(1);
+        }
     }
     // Stamped at enqueue so the span (and the queue-wait histogram) can
     // separate how long the node sat in the channel from its execute time,
@@ -259,7 +353,7 @@ fn dispatch_dag_node(
         None
     };
 
-    let sender_clone = sender.clone();
+    let senders_clone = senders.clone();
     let stats_clone = stats.clone();
     let latch_clone = latch.clone();
     let job: Job = Box::new(move || {
@@ -274,13 +368,27 @@ fn dispatch_dag_node(
         let _guard = Guard(latch_clone.clone());
         let latch = latch_clone;
         let state = unsafe { &*(state_ptr as *const DagState<'static>) };
-        let depth = state.ready.fetch_sub(1, Ordering::Relaxed) as f64 - 1.0;
-        arp_trace::counter("ready-queue-depth", depth);
         let metrics_on = arp_metrics::enabled();
+        if io {
+            let depth = state.io_ready.fetch_sub(1, Ordering::Relaxed) as f64 - 1.0;
+            arp_trace::counter("io-lane-depth", depth);
+            if metrics_on {
+                metrics::io_ready_depth().sub(1);
+            }
+        } else {
+            let depth = state.ready.fetch_sub(1, Ordering::Relaxed) as f64 - 1.0;
+            arp_trace::counter("ready-queue-depth", depth);
+            if metrics_on {
+                metrics::ready_depth().sub(1);
+            }
+        }
         if metrics_on {
-            metrics::ready_depth().sub(1);
             if let Some(t) = queued_at {
-                metrics::queue_wait().record(t.elapsed().as_nanos() as u64);
+                let waited = t.elapsed().as_nanos() as u64;
+                // The aggregate histogram keeps its historical meaning;
+                // the labeled family splits the same samples by lane.
+                metrics::queue_wait().record(waited);
+                metrics::lane_queue_wait(io).record(waited);
             }
         }
         // After a panic the remaining nodes still cascade (so the latch
@@ -291,7 +399,13 @@ fn dispatch_dag_node(
                 // successors are unlocked); the task itself annotates
                 // pipeline attribution over this default name.
                 let _span = arp_trace::begin_queued(arp_trace::Cat::DagNode, queued_at);
-                arp_trace::annotate(|a| a.name = format!("node-{i}"));
+                arp_trace::annotate(|a| {
+                    a.name = if io {
+                        format!("node-{i} [io]")
+                    } else {
+                        format!("node-{i}")
+                    }
+                });
                 let exec_start = metrics_on.then(Instant::now);
                 if catch_unwind(AssertUnwindSafe(task)).is_err() {
                     state.panicked.store(true, Ordering::Relaxed);
@@ -310,44 +424,102 @@ fn dispatch_dag_node(
             .collect();
         order_ready(&mut unlocked, &state.priority);
         for s in unlocked {
-            dispatch_dag_node(state_ptr, s, &sender_clone, &stats_clone, &latch);
+            dispatch_dag_node(state_ptr, s, &senders_clone, &stats_clone, &latch);
         }
     });
     sender.send(job).expect("worker channel closed");
 }
 
+/// The process-wide shared pool (held at module scope so the sizing hook
+/// below can tell whether it has been built yet).
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The I/O-lane width the global pool will be built with. `usize::MAX`
+/// means "unset" and resolves to [`default_io_threads`].
+static GLOBAL_IO_THREADS: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Sets the I/O-lane width the global pool is created with (`0` disables
+/// the lane). Returns `true` when the setting will take effect — i.e. the
+/// global pool has not been built yet. Call before the first
+/// [`ThreadPool::global`] use; a later call is a silent no-op apart from
+/// the `false` return.
+pub fn configure_global_io_threads(io_threads: usize) -> bool {
+    GLOBAL_IO_THREADS.store(io_threads, Ordering::Relaxed);
+    GLOBAL.get().is_none()
+}
+
+/// Spawns one worker feeding from `rx`. `io` selects the lane the worker
+/// accounts its jobs to (and the thread-name prefix, which is what the
+/// trace layer keys its timeline lanes on).
+fn spawn_worker(
+    name: String,
+    io: bool,
+    rx: Receiver<Job>,
+    stats: Arc<PoolStats>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            // Jobs carry their own completion/panic accounting;
+            // a panicking job must not kill the worker.
+            while let Ok(job) = rx.recv() {
+                if io {
+                    stats.io_jobs_on_workers.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    stats.jobs_on_workers.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.job_started(io);
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.job_finished(io);
+            }
+        })
+        .expect("failed to spawn pool worker")
+}
+
 impl ThreadPool {
-    /// Creates a pool with `threads` workers (at least 1).
+    /// Creates a pool with `threads` compute workers (at least 1) and the
+    /// default I/O lane ([`default_io_threads`]).
     pub fn new(threads: usize) -> Self {
+        Self::with_io(threads, default_io_threads(threads.max(1)))
+    }
+
+    /// Creates a pool with `threads` compute workers (at least 1) and
+    /// `io_threads` I/O-lane workers. `io_threads == 0` disables the lane
+    /// entirely: every DAG node runs on the compute workers exactly as if
+    /// no lane hints were given.
+    pub fn with_io(threads: usize, io_threads: usize) -> Self {
         let threads = threads.max(1);
         let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
         let stats = Arc::new(PoolStats::default());
         let workers = (0..threads)
             .map(|k| {
-                let rx = receiver.clone();
-                let stats = stats.clone();
-                std::thread::Builder::new()
-                    .name(format!("arp-par-{k}"))
-                    .spawn(move || {
-                        // Jobs carry their own completion/panic accounting;
-                        // a panicking job must not kill the worker.
-                        while let Ok(job) = rx.recv() {
-                            stats.jobs_on_workers.fetch_add(1, Ordering::Relaxed);
-                            stats.job_started();
-                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                                stats.panics_caught.fetch_add(1, Ordering::Relaxed);
-                            }
-                            stats.job_finished();
-                        }
-                    })
-                    .expect("failed to spawn pool worker")
+                spawn_worker(
+                    format!("arp-par-{k}"),
+                    false,
+                    receiver.clone(),
+                    stats.clone(),
+                )
             })
             .collect();
+        let (io_sender, io_workers) = if io_threads == 0 {
+            (None, Vec::new())
+        } else {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            let ws = (0..io_threads)
+                .map(|k| spawn_worker(format!("arp-io-{k}"), true, rx.clone(), stats.clone()))
+                .collect();
+            (Some(tx), ws)
+        };
         ThreadPool {
             sender: Some(sender),
             receiver,
+            io_sender,
             workers,
+            io_workers,
             threads,
+            io_threads,
             stats,
         }
     }
@@ -362,49 +534,58 @@ impl ThreadPool {
             dag_dispatches: self.stats.dag_dispatches.load(Ordering::Relaxed),
             dag_ready_peak: self.stats.dag_ready_peak.load(Ordering::Relaxed),
             dags_completed: self.stats.dags_completed.load(Ordering::Relaxed),
+            io_jobs_on_workers: self.stats.io_jobs_on_workers.load(Ordering::Relaxed),
+            io_dispatches: self.stats.io_dispatches.load(Ordering::Relaxed),
+            io_ready_peak: self.stats.io_ready_peak.load(Ordering::Relaxed),
         }
     }
 
     /// Runs queued jobs until `latch` opens. This is the cooperative wait
     /// that makes nesting safe: if all workers are blocked inside outer
     /// constructs, the blocked threads themselves drain the queue.
+    ///
+    /// The wait is a *blocking* receive with a short timeout: a helper
+    /// with nothing to run sleeps on the channel (a queued job wakes it
+    /// immediately), and the timeout bounds how long latch-opening can go
+    /// unnoticed. Helpers only ever drain the compute channel — the I/O
+    /// channel belongs exclusively to the I/O workers.
     fn help_until_open(&self, latch: &CountdownLatch) {
-        loop {
-            if latch.is_open() {
-                return;
-            }
-            match self.receiver.try_recv() {
-                Ok(job) => {
-                    self.stats.jobs_helped.fetch_add(1, Ordering::Relaxed);
-                    self.stats.job_started();
-                    if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                        self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
-                    }
-                    self.stats.job_finished();
+        while !latch.is_open() {
+            if let Ok(job) = self.receiver.recv_timeout(Duration::from_millis(1)) {
+                self.stats.jobs_helped.fetch_add(1, Ordering::Relaxed);
+                self.stats.job_started(false);
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(_) => {
-                    if latch.wait_timeout(std::time::Duration::from_micros(200)) {
-                        return;
-                    }
-                }
+                self.stats.job_finished(false);
             }
         }
     }
 
-    /// The process-wide shared pool, sized to the machine's parallelism.
+    /// The process-wide shared pool, sized to the machine's parallelism
+    /// (I/O lane per [`configure_global_io_threads`], defaulting to
+    /// [`default_io_threads`]).
     pub fn global() -> &'static ThreadPool {
-        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let n = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4);
-            ThreadPool::new(n)
+            let io = match GLOBAL_IO_THREADS.load(Ordering::Relaxed) {
+                usize::MAX => default_io_threads(n),
+                configured => configured,
+            };
+            ThreadPool::with_io(n, io)
         })
     }
 
-    /// Number of worker threads.
+    /// Number of compute worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of I/O-lane worker threads (0 = lane disabled).
+    pub fn io_threads(&self) -> usize {
+        self.io_threads
     }
 
     /// Executes `body(i)` for every `i` in `range`, in parallel, returning
@@ -566,7 +747,51 @@ impl ThreadPool {
         preds: &[Vec<usize>],
         priority: &[u64],
     ) {
+        self.run_dag_lanes(tasks, preds, priority, &[]);
+    }
+
+    /// As [`ThreadPool::run_dag_prioritized`], with a per-task lane hint:
+    /// tasks whose `io_lane` entry is `true` are dispatched to the pool's
+    /// I/O workers (when the lane exists), so a task blocked on disk never
+    /// occupies a compute worker. An empty slice — or a pool built with
+    /// `io_threads == 0` — routes every task to the compute lane;
+    /// otherwise `io_lane` must have one entry per task.
+    ///
+    /// Lane hints influence only *where* a task runs, never correctness:
+    /// dependency counting, priority ordering, and panic accounting are
+    /// exactly as in [`ThreadPool::run_dag_prioritized`], so lane-on and
+    /// lane-off runs of the same graph produce identical results.
+    ///
+    /// ```
+    /// let pool = arp_par::ThreadPool::with_io(2, 1);
+    /// let sum = std::sync::atomic::AtomicUsize::new(0);
+    /// // 0 (compute) -> 1 (I/O): the write lands on an `arp-io-*` thread.
+    /// pool.run_dag_lanes(
+    ///     (0..2).map(|i| {
+    ///         let sum = &sum;
+    ///         Box::new(move || {
+    ///             sum.fetch_add(i + 1, std::sync::atomic::Ordering::Relaxed);
+    ///         }) as Box<dyn FnOnce() + Send>
+    ///     }).collect(),
+    ///     &[vec![], vec![0]],
+    ///     &[],
+    ///     &[false, true],
+    /// );
+    /// assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 3);
+    /// assert!(pool.stats().io_dispatches >= 1);
+    /// ```
+    pub fn run_dag_lanes<'env>(
+        &self,
+        tasks: Vec<BorrowedTask<'env>>,
+        preds: &[Vec<usize>],
+        priority: &[u64],
+        io_lane: &[bool],
+    ) {
         let n = tasks.len();
+        assert!(
+            io_lane.is_empty() || io_lane.len() == n,
+            "run_dag: one lane hint per task (or none)"
+        );
         assert_eq!(preds.len(), n, "run_dag: one predecessor list per task");
         assert!(
             priority.is_empty() || priority.len() == n,
@@ -611,16 +836,21 @@ impl ThreadPool {
             succs,
             pending: indegree.iter().map(|&d| AtomicUsize::new(d)).collect(),
             priority: priority.to_vec(),
+            io_lane: io_lane.to_vec(),
             ready: AtomicUsize::new(0),
+            io_ready: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
         };
         let latch = Arc::new(CountdownLatch::new(n));
         let state_ptr = &state as *const DagState<'_> as usize;
-        let sender = self.sender.as_ref().expect("pool is shutting down");
+        let senders = Arc::new(LaneSenders {
+            compute: self.sender.as_ref().expect("pool is shutting down").clone(),
+            io: self.io_sender.clone(),
+        });
         let mut roots: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         order_ready(&mut roots, priority);
         for i in roots {
-            dispatch_dag_node(state_ptr, i, sender, &self.stats, &latch);
+            dispatch_dag_node(state_ptr, i, &senders, &self.stats, &latch);
         }
         self.help_until_open(&latch);
         self.stats.dags_completed.fetch_add(1, Ordering::Relaxed);
@@ -699,9 +929,10 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel stops the workers' recv loops.
+        // Closing the channels stops the workers' recv loops.
         self.sender.take();
-        for w in self.workers.drain(..) {
+        self.io_sender.take();
+        for w in self.workers.drain(..).chain(self.io_workers.drain(..)) {
             let _ = w.join();
         }
     }
@@ -1167,6 +1398,184 @@ mod tests {
         assert_eq!(delta.dags_completed, 1);
         // Two roots were ready at once at dispatch time.
         assert!(delta.dag_ready_peak >= 1);
+        assert_eq!(delta.panics_caught, 0);
+    }
+
+    #[test]
+    fn default_io_threads_floor_and_scaling() {
+        assert_eq!(default_io_threads(1), 2);
+        assert_eq!(default_io_threads(4), 2);
+        assert_eq!(default_io_threads(8), 2);
+        assert_eq!(default_io_threads(16), 4);
+        assert_eq!(default_io_threads(64), 16);
+    }
+
+    #[test]
+    fn io_nodes_run_on_io_workers() {
+        let p = ThreadPool::with_io(2, 2);
+        let names = parking_lot::Mutex::new(Vec::<(usize, String)>::new());
+        let names_ref = &names;
+        // 0 (compute) -> {1 io, 2 compute} -> 3 (io)
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let lanes = [false, true, false, true];
+        p.run_dag_lanes(
+            (0..4)
+                .map(|i| {
+                    task(move || {
+                        let name = std::thread::current().name().unwrap_or("").to_string();
+                        names_ref.lock().push((i, name));
+                    })
+                })
+                .collect(),
+            &preds,
+            &[],
+            &lanes,
+        );
+        let names = names.into_inner();
+        assert_eq!(names.len(), 4);
+        for (i, name) in &names {
+            if lanes[*i] {
+                assert!(name.starts_with("arp-io-"), "io node {i} ran on {name:?}");
+            } else {
+                assert!(
+                    !name.starts_with("arp-io-"),
+                    "compute node {i} ran on {name:?}"
+                );
+            }
+        }
+        let s = p.stats();
+        assert_eq!(s.io_dispatches, 2);
+        assert_eq!(s.io_jobs_on_workers, 2);
+        assert!(s.io_ready_peak >= 1);
+    }
+
+    #[test]
+    fn lane_hints_are_inert_when_lane_disabled() {
+        let p = ThreadPool::with_io(2, 0);
+        assert_eq!(p.io_threads(), 0);
+        let sum = AtomicU64::new(0);
+        let sum_ref = &sum;
+        p.run_dag_lanes(
+            (0..4)
+                .map(|i| {
+                    task(move || {
+                        sum_ref.fetch_add(i, Ordering::Relaxed);
+                    })
+                })
+                .collect(),
+            &[vec![], vec![0], vec![0], vec![1, 2]],
+            &[],
+            &[false, true, false, true],
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+        let s = p.stats();
+        assert_eq!(s.io_dispatches, 0, "disabled lane must route to compute");
+        assert_eq!(s.io_jobs_on_workers, 0);
+        assert_eq!(s.dag_dispatches, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one lane hint per task")]
+    fn run_dag_lanes_rejects_wrong_hint_len() {
+        let p = pool();
+        p.run_dag_lanes(
+            vec![task(|| {}), task(|| {})],
+            &[vec![], vec![]],
+            &[],
+            &[true],
+        );
+    }
+
+    #[test]
+    fn io_node_panic_propagates_and_pool_survives() {
+        let p = ThreadPool::with_io(2, 1);
+        let ran_after = AtomicUsize::new(0);
+        let ran_ref = &ran_after;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.run_dag_lanes(
+                vec![
+                    task(|| panic!("io node boom")),
+                    task(move || {
+                        ran_ref.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ],
+                &[vec![], vec![0]],
+                &[],
+                &[true, false],
+            );
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran_after.load(Ordering::Relaxed), 0);
+        assert_eq!(p.stats().panics_caught, 1);
+        // The pool (both lanes) is still usable.
+        let ok = AtomicUsize::new(0);
+        let ok_ref = &ok;
+        p.run_dag_lanes(
+            vec![task(move || {
+                ok_ref.fetch_add(1, Ordering::Relaxed);
+            })],
+            &[vec![]],
+            &[],
+            &[true],
+        );
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn io_nodes_may_nest_parallel_for() {
+        let pool = ThreadPool::with_io(2, 1);
+        let p = &pool;
+        let total = AtomicUsize::new(0);
+        let total_ref = &total;
+        p.run_dag_lanes(
+            (0..3)
+                .map(|_| {
+                    task(move || {
+                        p.parallel_for(0..32, Schedule::Dynamic(4), |_| {
+                            total_ref.fetch_add(1, Ordering::Relaxed);
+                        });
+                    })
+                })
+                .collect(),
+            &[vec![], vec![0], vec![0]],
+            &[],
+            &[true, true, false],
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 96);
+    }
+
+    #[test]
+    fn help_accounting_covers_every_job() {
+        // A 1-compute-thread pool with a long dependency chain forces the
+        // caller to help; the blocking-receive wait must not lose or
+        // double-count any job.
+        let p = ThreadPool::with_io(1, 0);
+        let before = p.stats();
+        let n = 32;
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        p.run_dag(
+            (0..n)
+                .map(|_| {
+                    task(move || {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                        hits_ref.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect(),
+            &preds,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+        let delta = p.stats().delta_since(&before);
+        assert_eq!(delta.dag_dispatches, n as u64);
+        assert_eq!(
+            delta.jobs_on_workers + delta.jobs_helped,
+            n as u64,
+            "every job accounted to exactly one of worker/helper"
+        );
         assert_eq!(delta.panics_caught, 0);
     }
 

@@ -163,6 +163,194 @@ pub fn dag_makespan(durations: &[Duration], preds: &[Vec<usize>], threads: usize
     makespan
 }
 
+/// As [`dag_makespan`], with the pool's two-lane topology: nodes whose
+/// `io_lane` entry is `true` draw from a separate set of `io_threads`
+/// virtual I/O workers, so an I/O node never occupies (or waits for) a
+/// compute thread — the virtual-time replay of
+/// [`crate::ThreadPool::run_dag_lanes`].
+///
+/// `io_threads == 0` or an empty `io_lane` slice degenerates to the
+/// single-lane [`dag_makespan`] (the lane-off schedule); otherwise
+/// `io_lane` must have one entry per node.
+///
+/// ```
+/// use std::time::Duration;
+/// let ms = Duration::from_millis;
+/// // Two independent pairs of (compute, I/O) work on one compute thread:
+/// // single-lane they serialize to 20ms, a 1-thread I/O lane overlaps
+/// // each pair's I/O with the next pair's compute.
+/// let durations = [ms(5), ms(5), ms(5), ms(5)];
+/// let preds = vec![vec![], vec![0], vec![], vec![2]];
+/// let io_lane = [false, true, false, true];
+/// assert_eq!(arp_par::dag_makespan(&durations, &preds, 1), ms(20));
+/// assert_eq!(
+///     arp_par::dag_makespan_lanes(&durations, &preds, 1, 1, &io_lane),
+///     ms(15)
+/// );
+/// ```
+pub fn dag_makespan_lanes(
+    durations: &[Duration],
+    preds: &[Vec<usize>],
+    threads: usize,
+    io_threads: usize,
+    io_lane: &[bool],
+) -> Duration {
+    if io_threads == 0 || io_lane.is_empty() {
+        return dag_makespan(durations, preds, threads);
+    }
+    let n = durations.len();
+    assert_eq!(
+        preds.len(),
+        n,
+        "dag_makespan_lanes: one predecessor list per node"
+    );
+    assert_eq!(
+        io_lane.len(),
+        n,
+        "dag_makespan_lanes: one lane hint per node"
+    );
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    let threads = threads.max(1);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            assert!(
+                p < n && p != i,
+                "dag_makespan_lanes: bad predecessor {p} of {i}"
+            );
+            succs[p].push(i);
+        }
+    }
+
+    // Topological order (Kahn), needed to compute ranks and detect cycles.
+    let mut remaining: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut topo: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let mut head = 0;
+    while head < topo.len() {
+        let i = topo[head];
+        head += 1;
+        for &s in &succs[i] {
+            remaining[s] -= 1;
+            if remaining[s] == 0 {
+                topo.push(s);
+            }
+        }
+    }
+    assert_eq!(
+        topo.len(),
+        n,
+        "dag_makespan_lanes: dependency graph contains a cycle"
+    );
+
+    // Downward rank: longest path from the node (inclusive) to any exit.
+    let mut rank = vec![Duration::ZERO; n];
+    for &i in topo.iter().rev() {
+        let down = succs[i]
+            .iter()
+            .map(|&s| rank[s])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        rank[i] = durations[i] + down;
+    }
+
+    // List scheduling as in `dag_makespan`, except each node draws from
+    // its own lane's thread set.
+    let mut finish = vec![Duration::ZERO; n];
+    let mut pending: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut avail = vec![Duration::ZERO; threads];
+    let mut io_avail = vec![Duration::ZERO; io_threads];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+    let mut makespan = Duration::ZERO;
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &i)| (rank[i], std::cmp::Reverse(i)))
+        .map(|(pos, _)| pos)
+    {
+        let i = ready.swap_remove(pos);
+        let node_ready = preds[i]
+            .iter()
+            .map(|&p| finish[p])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let lane = if io_lane[i] {
+            &mut io_avail
+        } else {
+            &mut avail
+        };
+        let t = lane.iter_mut().min().expect("lane threads >= 1");
+        let start = (*t).max(node_ready);
+        finish[i] = start + durations[i];
+        *t = finish[i];
+        makespan = makespan.max(finish[i]);
+        for &s in &succs[i] {
+            pending[s] -= 1;
+            if pending[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    makespan
+}
+
+/// As [`super_dag_makespan`], with the two-lane topology of
+/// [`dag_makespan_lanes`]: `io_lane[g]` tags graph `g`'s nodes (one entry
+/// per node, or an empty table to disable the lane). The union is
+/// flattened with per-graph offsets exactly as in [`super_dag_makespan`].
+pub fn super_dag_makespan_lanes(
+    durations: &[Vec<Duration>],
+    preds: &[Vec<Vec<usize>>],
+    threads: usize,
+    io_threads: usize,
+    io_lane: &[Vec<bool>],
+) -> Duration {
+    assert_eq!(
+        durations.len(),
+        preds.len(),
+        "super_dag_makespan_lanes: one predecessor table per graph"
+    );
+    assert!(
+        io_lane.is_empty() || io_lane.len() == durations.len(),
+        "super_dag_makespan_lanes: one lane table per graph (or none)"
+    );
+    let mut flat_durations = Vec::new();
+    let mut flat_preds = Vec::new();
+    let mut flat_lanes = Vec::new();
+    for (g, (ds, ps)) in durations.iter().zip(preds).enumerate() {
+        assert_eq!(
+            ds.len(),
+            ps.len(),
+            "super_dag_makespan_lanes: one predecessor list per node"
+        );
+        let offset = flat_durations.len();
+        flat_durations.extend_from_slice(ds);
+        flat_preds.extend(
+            ps.iter()
+                .map(|nodes| nodes.iter().map(|&p| p + offset).collect::<Vec<_>>()),
+        );
+        if let Some(lanes) = io_lane.get(g) {
+            assert_eq!(
+                lanes.len(),
+                ds.len(),
+                "super_dag_makespan_lanes: one lane hint per node"
+            );
+            flat_lanes.extend_from_slice(lanes);
+        }
+    }
+    if io_lane.is_empty() {
+        flat_lanes.clear();
+    }
+    dag_makespan_lanes(
+        &flat_durations,
+        &flat_preds,
+        threads,
+        io_threads,
+        &flat_lanes,
+    )
+}
+
 /// Predicted makespan of a *super-graph*: the disjoint union of several
 /// independent task DAGs scheduled together on one `threads`-processor
 /// pool.
@@ -411,6 +599,58 @@ mod tests {
         assert_eq!(
             super_dag_makespan(&[vec![], vec![ms(3)]], &[vec![], vec![vec![]]], 2),
             ms(3)
+        );
+    }
+
+    #[test]
+    fn lanes_off_matches_single_lane_schedule() {
+        let d: Vec<Duration> = (1..=10).map(|i| ms(i * 7 % 13 + 1)).collect();
+        let preds: Vec<Vec<usize>> = (0..10)
+            .map(|i| if i < 2 { vec![] } else { vec![i - 2] })
+            .collect();
+        let lanes: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        for threads in [1usize, 2, 4] {
+            let base = dag_makespan(&d, &preds, threads);
+            // io_threads == 0 and empty hints both mean "lane off".
+            assert_eq!(dag_makespan_lanes(&d, &preds, threads, 0, &lanes), base);
+            assert_eq!(dag_makespan_lanes(&d, &preds, threads, 2, &[]), base);
+            // All-compute hints with a live lane also reproduce it.
+            assert_eq!(
+                dag_makespan_lanes(&d, &preds, threads, 2, &[false; 10]),
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn io_lane_overlaps_disk_with_compute() {
+        // Chain compute -> io -> compute -> io ... on one compute thread:
+        // the lane cannot help a pure chain (dependencies serialize it),
+        // but two such chains overlap perfectly with a 1-wide lane.
+        let d = vec![ms(5); 4];
+        let preds = vec![vec![], vec![0], vec![], vec![2]];
+        let lanes = [false, true, false, true];
+        assert_eq!(dag_makespan(&d, &preds, 1), ms(20));
+        assert_eq!(dag_makespan_lanes(&d, &preds, 1, 1, &lanes), ms(15));
+        // A lane as wide as the ready I/O front keeps full overlap: both
+        // chains run concurrently, compute 0..5ms then I/O 5..10ms.
+        assert_eq!(dag_makespan_lanes(&d, &preds, 2, 2, &lanes), ms(10));
+    }
+
+    #[test]
+    fn super_dag_lanes_flatten_like_union() {
+        let chains: Vec<Vec<Duration>> = vec![vec![ms(3), ms(2)], vec![ms(4), ms(1)]];
+        let preds: Vec<Vec<Vec<usize>>> = vec![vec![vec![], vec![0]], vec![vec![], vec![0]]];
+        let lanes: Vec<Vec<bool>> = vec![vec![false, true], vec![false, true]];
+        // Lane off reproduces the plain union.
+        assert_eq!(
+            super_dag_makespan_lanes(&chains, &preds, 2, 0, &lanes),
+            super_dag_makespan(&chains, &preds, 2)
+        );
+        // With a lane the result can only improve on one compute thread.
+        assert!(
+            super_dag_makespan_lanes(&chains, &preds, 1, 1, &lanes)
+                <= super_dag_makespan(&chains, &preds, 1)
         );
     }
 

@@ -13,8 +13,9 @@ fn snapshot_strategy() -> impl Strategy<Value = PoolStatsSnapshot> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|((a, b, c, d), (e, f, g))| PoolStatsSnapshot {
+        .prop_map(|((a, b, c, d), (e, f, g), (h, i, j))| PoolStatsSnapshot {
             jobs_on_workers: a,
             jobs_helped: b,
             loops_completed: c,
@@ -22,6 +23,9 @@ fn snapshot_strategy() -> impl Strategy<Value = PoolStatsSnapshot> {
             dag_dispatches: e,
             dag_ready_peak: f,
             dags_completed: g,
+            io_dispatches: h,
+            io_jobs_on_workers: i,
+            io_ready_peak: j,
         })
 }
 
@@ -154,9 +158,15 @@ proptest! {
         prop_assert_eq!(d.panics_caught, after.panics_caught.saturating_sub(before.panics_caught));
         prop_assert_eq!(d.dag_dispatches, after.dag_dispatches.saturating_sub(before.dag_dispatches));
         prop_assert_eq!(d.dags_completed, after.dags_completed.saturating_sub(before.dags_completed));
-        // The ready-queue peak is a high-water mark, not a counter: the
+        prop_assert_eq!(d.io_dispatches, after.io_dispatches.saturating_sub(before.io_dispatches));
+        prop_assert_eq!(
+            d.io_jobs_on_workers,
+            after.io_jobs_on_workers.saturating_sub(before.io_jobs_on_workers)
+        );
+        // The ready-queue peaks are high-water marks, not counters: the
         // later observation is kept verbatim.
         prop_assert_eq!(d.dag_ready_peak, after.dag_ready_peak);
+        prop_assert_eq!(d.io_ready_peak, after.io_ready_peak);
     }
 
     #[test]
@@ -179,6 +189,9 @@ proptest! {
             dag_dispatches: 0,
             dag_ready_peak: 0,
             dags_completed: 0,
+            io_dispatches: 0,
+            io_jobs_on_workers: 0,
+            io_ready_peak: 0,
         };
         prop_assert_eq!(s.delta_since(&fresh), s);
     }

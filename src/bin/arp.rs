@@ -20,6 +20,14 @@
 //! the ready-queue ordering (`cp` critical-path priority, the default, or
 //! `fifo` submission order).
 //!
+//! Both `run` and `batch` accept `--io-threads N`: the shared worker pool
+//! routes DAG nodes whose process is pure I/O (readers, writers, plotters)
+//! to a dedicated lane of `N` extra workers so compute workers never block
+//! on disk. `0` disables the lane (every node runs on the compute workers —
+//! products are byte-identical either way; the lane only changes *when*
+//! nodes run, never what they compute). Unset, the lane defaults to
+//! `max(2, threads/4)`.
+//!
 //! Both `run` and `batch` accept trace sinks: `--trace out.json` writes a
 //! Chrome Trace Event file (load it in Perfetto or `chrome://tracing`),
 //! `--trace-svg out.svg` a per-worker Gantt, `--trace-csv out.csv` a flat
@@ -99,6 +107,20 @@ fn make_context(flags: &HashMap<String, String>) -> Result<RunContext, String> {
     let input = flags.get("in").ok_or("needs --in DIR")?;
     let work = flags.get("work").ok_or("needs --work DIR")?;
     RunContext::new(input, work, PipelineConfig::default()).map_err(|e| e.to_string())
+}
+
+/// Handles `--io-threads N`: sizes the shared pool's dedicated I/O lane
+/// before the pool first spins up (0 = lane off, run everything on the
+/// compute workers). Must run before the workload touches the global pool.
+fn configure_io_threads(flags: &HashMap<String, String>) -> Result<(), String> {
+    let Some(raw) = flags.get("io-threads") else {
+        return Ok(());
+    };
+    let n: usize = raw.parse().map_err(|e| format!("bad --io-threads: {e}"))?;
+    if !arp_par::configure_global_io_threads(n) {
+        return Err("--io-threads set after the worker pool started".into());
+    }
+    Ok(())
 }
 
 /// Forces every layer's metric catalog into the registry, so snapshots
@@ -192,6 +214,7 @@ impl TraceSinks {
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
     let ctx = make_context(flags)?;
+    configure_io_threads(flags)?;
     let hold = start_metrics(flags)?;
     let sinks = TraceSinks::from_flags(flags);
     let session = sinks.session();
@@ -231,15 +254,21 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if flags.get("stats").is_some_and(|v| v != "off") {
         match &report.pool {
-            Some(pool) => println!(
-                "  pool: {} dispatched, {} helped by caller, {} loops, {} dag dispatches (ready peak {}), {} dags",
-                pool.jobs_on_workers,
-                pool.jobs_helped,
-                pool.loops_completed,
-                pool.dag_dispatches,
-                pool.dag_ready_peak,
-                pool.dags_completed
-            ),
+            Some(pool) => {
+                println!(
+                    "  pool: {} dispatched, {} helped by caller, {} loops, {} dag dispatches (ready peak {}), {} dags",
+                    pool.jobs_on_workers,
+                    pool.jobs_helped,
+                    pool.loops_completed,
+                    pool.dag_dispatches,
+                    pool.dag_ready_peak,
+                    pool.dags_completed
+                );
+                println!(
+                    "  io lane: {} dispatched, {} on io workers (ready peak {})",
+                    pool.io_dispatches, pool.io_jobs_on_workers, pool.io_ready_peak
+                );
+            }
             None => println!("  pool: not used by this run"),
         }
     }
@@ -334,6 +363,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     println!("processing {} events...", items.len());
     let config = PipelineConfig::default();
+    configure_io_threads(flags)?;
     let hold = start_metrics(flags)?;
     let sinks = TraceSinks::from_flags(flags);
     let session = sinks.session();
