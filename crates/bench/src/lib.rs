@@ -551,12 +551,16 @@ pub struct BatchExperiment {
     pub loop_report: arp_core::BatchReport,
     /// Cross-event super-DAG run (critical-path ready order).
     pub dag_report: arp_core::BatchReport,
-    /// Span trace of the super-DAG run: measured per-worker utilization
-    /// and queue-wait percentiles (the scheduler-health columns of
-    /// `BENCH_batch.json`).
+    /// Span trace of the measured scheduler-health pass: per-worker
+    /// utilization and queue-wait percentiles (the scheduler-health
+    /// columns of `BENCH_batch.json`). Always recorded on the real worker
+    /// pool — for simulated-timing configs a dedicated measured run is
+    /// added, so the rows name actual pool threads (`arp-par-*`,
+    /// `arp-io-*`, plus the helping caller) instead of collapsing onto
+    /// the caller thread.
     pub trace: arp_trace::TraceSummary,
     /// Live-metrics digest of the pool's queue-wait histogram over the
-    /// super-DAG run (`None` if nothing was recorded).
+    /// scheduler-health pass (`None` if nothing was recorded).
     pub queue_wait: Option<HistDigest>,
     /// Live-metrics digest of the pool's execute-time histogram.
     pub execute: Option<HistDigest>,
@@ -631,35 +635,71 @@ pub fn batch_experiment(
     }
     let loop_work = scratch("batch-loop-w");
     let dag_work = scratch("batch-dag-w");
-    for w in [&loop_work, &dag_work] {
+    let health_work = scratch("batch-health-w");
+    for w in [&loop_work, &dag_work, &health_work] {
         if w.exists() {
             std::fs::remove_dir_all(w).map_err(|e| PipelineError::io(w, e))?;
         }
     }
     let loop_report = arp_core::run_batch(&items, &loop_work, config, ImplKind::DagParallel)?;
-    // The super-DAG run executes inside a trace session, with live metrics
-    // collection on, so the report can state the *observed* schedule health
-    // (per-worker utilization, queue-wait and execute-time percentiles),
-    // not just derived makespans. Both collectors stay within the <1%
-    // budget (see `trace_overhead_experiment`). The registry is reset
-    // first so the digests cover this run alone.
+    // The scheduler-health columns (per-worker utilization, queue-wait and
+    // execute-time percentiles) must come from a run on the *real* worker
+    // pool: a simulated-timing run executes every node sequentially on the
+    // caller thread, so tracing it would collapse all spans onto one
+    // "main" lane (with busy time exceeding the virtual makespan) and
+    // leave the pool's histograms empty. When the requested config is
+    // already measured, a single instrumented run serves both purposes;
+    // when it is simulated, the virtual-makespan run happens first,
+    // uninstrumented, and a measured health pass follows.
+    use arp_core::config::TimingModel;
+    let measured = matches!(config.timing, TimingModel::Measured);
+    let sim_result = (!measured).then(|| {
+        arp_core::run_batch_dag(
+            &items,
+            &dag_work,
+            config,
+            arp_core::ReadyOrder::CriticalPath,
+        )
+    });
+    // Both collectors stay within the <1% budget (see
+    // `trace_overhead_experiment`). The registry is reset first so the
+    // digests cover the health run alone.
     let metrics_before = arp_metrics::enabled();
     arp_metrics::reset();
     arp_metrics::set_enabled(true);
     let session = arp_trace::TraceSession::start();
-    let dag_result = arp_core::run_batch_dag(
-        &items,
-        &dag_work,
-        config,
-        arp_core::ReadyOrder::CriticalPath,
-    );
+    let health_result = if measured {
+        arp_core::run_batch_dag(
+            &items,
+            &dag_work,
+            config,
+            arp_core::ReadyOrder::CriticalPath,
+        )
+    } else {
+        let mut health_config = config.clone();
+        health_config.timing = TimingModel::Measured;
+        arp_core::run_batch_dag(
+            &items,
+            &health_work,
+            &health_config,
+            arp_core::ReadyOrder::CriticalPath,
+        )
+    };
     let trace = session.finish().summary();
     arp_metrics::set_enabled(metrics_before);
     let queue_wait = HistDigest::from_snapshot(&arp_par::metrics::queue_wait().snapshot());
     let execute = HistDigest::from_snapshot(&arp_par::metrics::execute_time().snapshot());
-    let dag_report = dag_result?;
-    for dir in [&root, &loop_work, &dag_work] {
-        std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
+    let dag_report = match sim_result {
+        Some(sim) => {
+            health_result?;
+            sim?
+        }
+        None => health_result?,
+    };
+    for dir in [&root, &loop_work, &dag_work, &health_work] {
+        if dir.exists() {
+            std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
+        }
     }
     Ok(BatchExperiment {
         scale,
@@ -1052,11 +1092,18 @@ impl CompareReport {
 /// than `tolerance`.
 ///
 /// Gated metrics: `super_dag_s` (the batch makespan — lower is better),
-/// `mean_utilization` and `measured_speedup` (higher is better).
-/// `relative_only` keeps only the machine-stable metrics (utilization):
-/// absolute seconds are machine-dependent, and the measured speedup swings
-/// with host noise at small scales, so cross-machine gates (CI comparing
+/// `mean_utilization` and `measured_speedup` (higher is better), and
+/// `lane_saving_s` (sign-gated: a baseline that showed the I/O lane as a
+/// net win must not degrade to a net loss). `relative_only` keeps only
+/// the machine-stable metrics (utilization and the lane sign): absolute
+/// seconds are machine-dependent, and the measured speedup swings with
+/// host noise at small scales, so cross-machine gates (CI comparing
 /// against a checked-in baseline) should not fail on either.
+///
+/// An explicitly `null` digest under `"metrics"` (in either file) is an
+/// error, not a silent pass: it means the instrumented scheduler-health
+/// run recorded nothing, so the file cannot vouch for the scheduler at
+/// all.
 pub fn compare_batch_json(
     old: &str,
     new: &str,
@@ -1065,6 +1112,18 @@ pub fn compare_batch_json(
 ) -> Result<CompareReport, String> {
     let old = arp_trace::json::parse(old).map_err(|e| format!("baseline: {e}"))?;
     let new = arp_trace::json::parse(new).map_err(|e| format!("candidate: {e}"))?;
+    for (which, file) in [("baseline", &old), ("candidate", &new)] {
+        if let Some(metrics) = file.get("metrics") {
+            for key in ["queue_wait", "execute"] {
+                if metrics.get(key) == Some(&arp_trace::json::Value::Null) {
+                    return Err(format!(
+                        "{which}: metrics.{key} is null — the instrumented run recorded no \
+                         samples; regenerate the file with `report -- batch`"
+                    ));
+                }
+            }
+        }
+    }
     let field = |v: &arp_trace::json::Value, key: &'static str| -> Result<f64, String> {
         v.get(key)
             .and_then(|x| x.as_f64())
@@ -1098,6 +1157,19 @@ pub fn compare_batch_json(
             failed: regression > tolerance,
         });
     }
+    // The lane gate is a sign test, not a ratio: the saving's magnitude is
+    // host noise at bench scales, but its sign is the whole point of the
+    // I/O lane. Machine-independent, so it survives `relative_only`.
+    let o = field(&old, "lane_saving_s")?;
+    let n = field(&new, "lane_saving_s")?;
+    let failed = o > 0.0 && n <= 0.0;
+    rows.push(CompareRow {
+        metric: "lane_saving_s",
+        old: o,
+        new: n,
+        regression: if failed { 1.0 } else { 0.0 },
+        failed,
+    });
     Ok(CompareReport {
         rows,
         tolerance,
@@ -1257,33 +1329,96 @@ mod tests {
         assert!(dag.lane_makespan <= dag.sequential_baseline());
         // Two event rows, one per label.
         assert_eq!(json.matches("\"label\":").count(), 2);
+        // The scheduler-health pass runs on the real pool even though the
+        // requested config is simulated: worker rows name actual pool
+        // threads with busy time bounded by the trace wall time, and the
+        // live-metrics digests are populated, never null.
+        assert!(
+            b.trace.lanes.iter().any(|l| l.name.starts_with("arp-par-")),
+            "no pool-thread lane in {:?}",
+            b.trace.lanes.iter().map(|l| &l.name).collect::<Vec<_>>()
+        );
+        for lane in &b.trace.lanes {
+            assert!(
+                lane.utilization <= 1.0 + 1e-9,
+                "worker {} busier than the wall: {}",
+                lane.name,
+                lane.utilization
+            );
+        }
+        assert!(b.queue_wait.is_some(), "queue-wait digest missing");
+        assert!(b.execute.is_some(), "execute digest missing");
+        assert!(!json.contains(": null"), "null digest leaked: {json}");
     }
 
     #[test]
     fn compare_gate_passes_and_fails() {
-        let old = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0}"#;
+        let old = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
         // 5% slower, slightly better utilization: inside the 10% gate.
-        let ok = r#"{"super_dag_s": 10.5, "mean_utilization": 0.82, "measured_speedup": 2.0}"#;
+        let ok = r#"{"super_dag_s": 10.5, "mean_utilization": 0.82, "measured_speedup": 2.0, "lane_saving_s": 0.01}"#;
         let report = compare_batch_json(old, ok, 0.10, false).unwrap();
         assert!(!report.failed(), "{}", report.render());
-        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows.len(), 4);
 
         // 25% slower makespan: fails the absolute gate, passes relative-only.
-        let slow = r#"{"super_dag_s": 12.5, "mean_utilization": 0.80, "measured_speedup": 2.0}"#;
+        let slow = r#"{"super_dag_s": 12.5, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
         let report = compare_batch_json(old, slow, 0.10, false).unwrap();
         assert!(report.failed());
         assert!(report.render().contains("FAIL"));
         let report = compare_batch_json(old, slow, 0.10, true).unwrap();
         assert!(!report.failed(), "relative-only must skip super_dag_s");
-        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows.len(), 2);
 
         // Utilization collapse fails even relative-only.
-        let bad = r#"{"super_dag_s": 10.0, "mean_utilization": 0.50, "measured_speedup": 2.0}"#;
+        let bad = r#"{"super_dag_s": 10.0, "mean_utilization": 0.50, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
         assert!(compare_batch_json(old, bad, 0.10, true).unwrap().failed());
 
         // Missing fields and malformed JSON are errors, not panics.
         assert!(compare_batch_json(old, "{}", 0.10, false).is_err());
         assert!(compare_batch_json("not json", ok, 0.10, false).is_err());
+    }
+
+    #[test]
+    fn compare_gate_lane_sign_and_null_digests() {
+        let old = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
+        // The lane flipped from a win to a loss: fails in both modes, at
+        // any tolerance — the gate is a sign test, not a ratio.
+        let flipped = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": -0.01}"#;
+        for relative_only in [false, true] {
+            let report = compare_batch_json(old, flipped, 100.0, relative_only).unwrap();
+            assert!(report.failed(), "{}", report.render());
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.metric == "lane_saving_s")
+                .unwrap();
+            assert!(row.failed);
+        }
+        // A lane-off baseline (saving 0) gates nothing: zero-to-zero and
+        // zero-to-positive both pass.
+        let lane_off = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.0}"#;
+        assert!(!compare_batch_json(lane_off, flipped, 0.10, true)
+            .unwrap()
+            .failed());
+        assert!(!compare_batch_json(lane_off, old, 0.10, true)
+            .unwrap()
+            .failed());
+
+        // Explicit null digests are an error in either file: they mean the
+        // instrumented run recorded nothing.
+        let nulled = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                         "lane_saving_s": 0.02, "metrics": {"queue_wait": null, "execute": {"count": 1}}}"#;
+        let err = compare_batch_json(old, nulled, 0.10, false).unwrap_err();
+        assert!(err.contains("queue_wait"), "{err}");
+        assert!(err.contains("candidate"), "{err}");
+        let err = compare_batch_json(nulled, old, 0.10, false).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        // Populated digests sail through.
+        let healthy = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                          "lane_saving_s": 0.02, "metrics": {"queue_wait": {"count": 5}, "execute": {"count": 5}}}"#;
+        assert!(!compare_batch_json(healthy, healthy, 0.10, false)
+            .unwrap()
+            .failed());
     }
 
     #[test]

@@ -352,9 +352,19 @@ pub fn counter_labeled(
 
 /// Registers (or returns the existing) gauge `name`.
 pub fn gauge(name: &'static str, help: &'static str) -> &'static Gauge {
+    gauge_labeled(name, help, None)
+}
+
+/// As [`gauge`], carrying one `key="value"` label pair (the pool registers
+/// one per worker thread for deque depth).
+pub fn gauge_labeled(
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, &str)>,
+) -> &'static Gauge {
     assert_valid_name(name);
     let mut reg = registry().lock().expect("metrics registry poisoned");
-    if let Some(found) = find(&reg, name, &None) {
+    if let Some(found) = find(&reg, name, &label) {
         match found {
             Metric::Gauge(g) => return g,
             _ => panic!("metric {name:?} already registered as a different kind"),
@@ -363,7 +373,7 @@ pub fn gauge(name: &'static str, help: &'static str) -> &'static Gauge {
     let leaked: &'static Gauge = Box::leak(Box::new(Gauge {
         name,
         help,
-        label: None,
+        label: label.map(|(k, v)| (k, v.to_string())),
         value: AtomicI64::new(0),
         peak: AtomicI64::new(0),
     }));

@@ -106,6 +106,56 @@ pub fn lane_queue_wait(io: bool) -> &'static Histogram {
     family[usize::from(io)]
 }
 
+/// Probes of another worker's deque or a cross-lane queue (hits and
+/// misses alike).
+pub fn steal_attempts() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pool_steal_attempts_total",
+            "Probes of another worker's deque or a cross-lane queue (hits and misses).",
+        )
+    })
+}
+
+/// Jobs obtained by stealing, split by the *job's* lane tag
+/// (`lane="compute"` / `lane="io"`).
+pub fn steals(io: bool) -> &'static Counter {
+    static H: OnceLock<[&'static Counter; 2]> = OnceLock::new();
+    let family = H.get_or_init(|| {
+        ["compute", "io"].map(|lane| {
+            arp_metrics::counter_labeled(
+                "arp_pool_steals_total",
+                "Jobs obtained by stealing from a sibling deque or across lanes, by job lane.",
+                Some(("lane", lane)),
+            )
+        })
+    });
+    family[usize::from(io)]
+}
+
+/// Stolen jobs executed by a worker of the *other* lane than their tag.
+pub fn cross_lane_steals() -> &'static Counter {
+    static H: OnceLock<&'static Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        arp_metrics::counter(
+            "arp_pool_cross_lane_steals_total",
+            "Stolen jobs executed by a worker of the other lane than their tag.",
+        )
+    })
+}
+
+/// Current depth of one worker's local deque (`worker="arp-par-0"`, …).
+/// Resolved once per worker at pool construction; pools that share worker
+/// names (separate pools in one process) share the gauge.
+pub fn deque_depth(worker: &str) -> &'static Gauge {
+    arp_metrics::gauge_labeled(
+        "arp_pool_deque_depth",
+        "Tasks currently queued in one worker's local deque, by worker thread.",
+        Some(("worker", worker)),
+    )
+}
+
 /// Execute-time distribution of DAG nodes.
 pub fn execute_time() -> &'static Histogram {
     static H: OnceLock<&'static Histogram> = OnceLock::new();
@@ -131,5 +181,11 @@ pub fn register() {
     queue_wait();
     lane_queue_wait(false);
     lane_queue_wait(true);
+    steal_attempts();
+    steals(false);
+    steals(true);
+    cross_lane_steals();
     execute_time();
+    // The per-worker deque-depth gauges register lazily at pool
+    // construction: their label set depends on the pool's sizing.
 }

@@ -14,18 +14,29 @@
 //! makes nesting deadlock-free: the nested construct can be finished
 //! entirely by its caller).
 //!
+//! **Scheduling substrate.** Each worker owns a Chase-Lev-style deque
+//! ([`crossbeam::deque`]): it pushes and pops its own work LIFO (hot in
+//! cache) while idle workers steal FIFO from the front of other workers'
+//! deques. Work submitted from outside the pool enters per-lane
+//! [`crossbeam::deque::Injector`] queues that every worker of the lane
+//! drains.
+//!
 //! Besides the compute workers, a pool may own a small **I/O lane**
-//! (`arp-io-{k}` threads, default [`default_io_threads`]): DAG nodes tagged
-//! I/O via [`ThreadPool::run_dag_lanes`] are queued on a separate channel
-//! drained only by the I/O workers, so a node blocked on the shared disk
-//! never occupies a compute worker. With the lane sized zero every node
-//! routes to the compute lane — scheduling changes *when* nodes run, never
-//! what they produce, so lane-on and lane-off runs emit identical
-//! artifacts.
+//! (`arp-io-{k}` threads, default [`default_io_threads`]): DAG nodes
+//! tagged I/O via [`ThreadPool::run_dag_lanes`] carry an *affinity hint*,
+//! not a hard placement. An I/O-tagged node is queued toward the I/O
+//! workers, but lane classification only biases each worker's victim
+//! order — an idle compute worker steals I/O nodes (capped so blocking
+//! I/O can never occupy *every* compute worker) and an idle I/O worker
+//! steals compute nodes, so neither lane sits idle while the other is
+//! backlogged. With the lane sized zero every node routes to the compute
+//! lane — scheduling changes *when and where* nodes run, never what they
+//! produce, so lane-on and lane-off runs emit identical artifacts.
 
 use crate::latch::CountdownLatch;
 use crate::metrics;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::deque::{self, Steal};
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
@@ -78,12 +89,26 @@ pub struct PoolStats {
     io_dispatches: AtomicU64,
     /// High-water mark of dispatched-but-not-yet-started I/O-lane nodes.
     io_ready_peak: AtomicU64,
+    /// Probes of another worker's deque or a cross-lane queue (hits and
+    /// misses alike).
+    steal_attempts: AtomicU64,
+    /// Compute-tagged jobs obtained by stealing (from a sibling deque or
+    /// across lanes).
+    steals_compute: AtomicU64,
+    /// I/O-tagged jobs obtained by stealing.
+    steals_io: AtomicU64,
+    /// Jobs executed by a worker of the *other* lane than their tag —
+    /// a subset of the steals.
+    cross_lane_steals: AtomicU64,
     /// Threads currently executing a job (workers plus helpers) — an
     /// instantaneous level feeding the `workers-busy` counter track and
     /// gauge, not part of the snapshot.
     busy_threads: AtomicI64,
     /// As `busy_threads`, for the I/O-lane workers (`io-workers-busy`).
     io_busy_threads: AtomicI64,
+    /// Total tasks currently sitting in worker-local deques — feeds the
+    /// `deque-depth` counter track; not part of the snapshot.
+    local_depth: AtomicI64,
 }
 
 impl PoolStats {
@@ -114,6 +139,44 @@ impl PoolStats {
             metrics::workers_busy().sub(1);
         }
     }
+
+    /// One probe of a stealable queue (hit or miss).
+    fn steal_attempted(&self) {
+        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        if arp_metrics::enabled() {
+            metrics::steal_attempts().inc();
+        }
+    }
+
+    /// One successful steal of an `io`-tagged job; `cross` marks a thief
+    /// from the other lane. Publishes the cumulative steal count to the
+    /// `steals` trace counter track and the by-lane live counters.
+    fn steal_recorded(&self, io: bool, cross: bool) {
+        if io {
+            self.steals_io.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.steals_compute.fetch_add(1, Ordering::Relaxed);
+        }
+        if cross {
+            self.cross_lane_steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let total =
+            self.steals_io.load(Ordering::Relaxed) + self.steals_compute.load(Ordering::Relaxed);
+        arp_trace::counter("steals", total as f64);
+        if arp_metrics::enabled() {
+            metrics::steals(io).inc();
+            if cross {
+                metrics::cross_lane_steals().inc();
+            }
+        }
+    }
+
+    /// Worker-local deque depth changed by `delta`; publishes the pool
+    /// total to the `deque-depth` counter track.
+    fn local_depth_changed(&self, delta: i64) {
+        let depth = self.local_depth.fetch_add(delta, Ordering::Relaxed) + delta;
+        arp_trace::counter("deque-depth", depth as f64);
+    }
 }
 
 /// A point-in-time snapshot of [`PoolStats`].
@@ -139,6 +202,14 @@ pub struct PoolStatsSnapshot {
     pub io_dispatches: u64,
     /// Deepest the I/O-lane ready queue ever got.
     pub io_ready_peak: u64,
+    /// Probes of another worker's deque or a cross-lane queue.
+    pub steal_attempts: u64,
+    /// Compute-tagged jobs obtained by stealing.
+    pub steals_compute: u64,
+    /// I/O-tagged jobs obtained by stealing.
+    pub steals_io: u64,
+    /// Jobs executed by a worker of the other lane than their tag.
+    pub cross_lane_steals: u64,
 }
 
 impl PoolStatsSnapshot {
@@ -159,6 +230,12 @@ impl PoolStatsSnapshot {
                 .saturating_sub(before.io_jobs_on_workers),
             io_dispatches: self.io_dispatches.saturating_sub(before.io_dispatches),
             io_ready_peak: self.io_ready_peak,
+            steal_attempts: self.steal_attempts.saturating_sub(before.steal_attempts),
+            steals_compute: self.steals_compute.saturating_sub(before.steals_compute),
+            steals_io: self.steals_io.saturating_sub(before.steals_io),
+            cross_lane_steals: self
+                .cross_lane_steals
+                .saturating_sub(before.cross_lane_steals),
         }
     }
 }
@@ -173,21 +250,372 @@ pub fn default_io_threads(threads: usize) -> usize {
 
 /// A fixed-size worker pool.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
-    /// Kept so blocked constructs can *help*: a thread waiting for its
-    /// latch drains queued jobs instead of sleeping, which is what makes
-    /// nested constructs deadlock-free even when every worker is busy.
-    receiver: Receiver<Job>,
-    /// `None` when the I/O lane is disabled (`io_threads == 0`); every
-    /// node then routes to the compute channel. Only the I/O workers
-    /// drain this channel — helpers never touch it, so an I/O node can
-    /// nest compute constructs without self-deadlock.
-    io_sender: Option<Sender<Job>>,
+    core: Arc<PoolCore>,
     workers: Vec<JoinHandle<()>>,
     io_workers: Vec<JoinHandle<()>>,
     threads: usize,
     io_threads: usize,
     stats: Arc<PoolStats>,
+}
+
+/// A queued work item: the job plus its lane tag. The tag is the node's
+/// affinity *hint* — any worker may execute the job; the tag only decides
+/// which queue it waits in and how thieves prioritize it.
+struct Tagged {
+    job: Job,
+    io: bool,
+}
+
+/// The scheduler core shared by workers, dispatchers, and helpers: one
+/// global injector per lane, a stealer view of every worker's deque, and
+/// the idle/wake machinery.
+///
+/// Queue invariant: a compute worker's deque only ever holds
+/// compute-tagged jobs, an I/O worker's deque only I/O-tagged jobs, and
+/// each injector only its own lane's jobs. Cross-lane execution happens
+/// at *take* time (a thief running the other lane's job immediately),
+/// never by re-queueing — which is what lets helpers drain compute-lane
+/// queues knowing they will never pull a blocking I/O job.
+struct PoolCore {
+    /// Global FIFO queue of compute-lane work.
+    injector: deque::Injector<Tagged>,
+    /// Global FIFO queue of I/O-lane work (`None` = lane disabled; every
+    /// job is then compute-tagged).
+    io_injector: Option<deque::Injector<Tagged>>,
+    /// Stealer views of the compute workers' deques.
+    stealers: Vec<deque::Stealer<Tagged>>,
+    /// Stealer views of the I/O workers' deques.
+    io_stealers: Vec<deque::Stealer<Tagged>>,
+    /// Per-worker deque-depth gauges (compute workers, then I/O workers),
+    /// resolved once at pool construction.
+    depth_gauges: Vec<&'static arp_metrics::Gauge>,
+    /// Compute workers currently executing cross-stolen I/O work. Capped
+    /// at `threads - 1`: lane affinity biases victim order, and this cap
+    /// is the second half of the guarantee — blocking I/O can occupy at
+    /// most all-but-one compute worker.
+    cross_io_active: AtomicUsize,
+    threads: usize,
+    shutdown: AtomicBool,
+    /// Bumped on every push; an idle worker that saw no work re-checks
+    /// this before sleeping so a concurrent push can't be missed for more
+    /// than one `IDLE_WAIT` slice.
+    wake_gen: AtomicU64,
+    /// Threads currently (or imminently) blocked in [`PoolCore::idle_wait`].
+    sleepers: AtomicUsize,
+    idle_lock: parking_lot::Mutex<()>,
+    idle_cv: parking_lot::Condvar,
+    stats: Arc<PoolStats>,
+}
+
+/// Upper bound on how long a missed wakeup can delay an idle worker or a
+/// helper's latch re-check (the old channel scheduler polled its receive
+/// at the same cadence).
+const IDLE_WAIT: Duration = Duration::from_millis(1);
+
+/// The deque owned by the pool worker running on the current thread, if
+/// any — how dispatch knows it can push locally instead of through the
+/// injector.
+struct LocalWorker {
+    core: Arc<PoolCore>,
+    worker: deque::Worker<Tagged>,
+    io: bool,
+    depth_gauge: &'static arp_metrics::Gauge,
+}
+
+thread_local! {
+    /// Set once at worker startup, `None` on every other thread.
+    static LOCAL: RefCell<Option<LocalWorker>> = const { RefCell::new(None) };
+    /// Whether the job currently executing on this thread was taken
+    /// across lanes — read by DAG node spans for steal annotation.
+    static CROSS_LANE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the job currently executing on this thread was stolen across
+/// lanes (an I/O-tagged job on a compute worker or vice versa).
+pub fn current_job_cross_lane() -> bool {
+    CROSS_LANE.with(Cell::get)
+}
+
+/// Resolves a `Steal` probe, spinning through transient `Retry` races
+/// (with the lock-backed deque these only last as long as a competing
+/// lock hold).
+fn resolve<T>(mut attempt: impl FnMut() -> Steal<T>) -> Option<T> {
+    loop {
+        match attempt() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => return None,
+            Steal::Retry => std::hint::spin_loop(),
+        }
+    }
+}
+
+impl PoolCore {
+    /// True when the current thread is one of this pool's workers; the
+    /// payload is its lane.
+    fn local_lane(&self) -> Option<bool> {
+        LOCAL.with(|l| {
+            l.borrow()
+                .as_ref()
+                .filter(|lw| std::ptr::eq(Arc::as_ptr(&lw.core), self))
+                .map(|lw| lw.io)
+        })
+    }
+
+    /// Routes one work item: onto the current worker's own deque when
+    /// `prefer_local` holds, the thread is one of this pool's workers,
+    /// and the lanes match (preserving the queue invariant); onto the
+    /// job's lane injector otherwise. Always wakes a sleeper.
+    fn push(&self, t: Tagged, prefer_local: bool) {
+        let leftover = if prefer_local {
+            self.try_push_local(t)
+        } else {
+            Some(t)
+        };
+        if let Some(t) = leftover {
+            match (&self.io_injector, t.io) {
+                (Some(inj), true) => inj.push(t),
+                _ => self.injector.push(t),
+            }
+        }
+        self.wake();
+    }
+
+    /// Local-deque leg of [`PoolCore::push`]; returns the item back when
+    /// the current thread can't take it.
+    fn try_push_local(&self, t: Tagged) -> Option<Tagged> {
+        LOCAL.with(|l| {
+            let l = l.borrow();
+            match l.as_ref() {
+                Some(lw) if std::ptr::eq(Arc::as_ptr(&lw.core), self) && lw.io == t.io => {
+                    lw.worker.push(t);
+                    lw.depth_gauge.set(lw.worker.len() as i64);
+                    self.stats.local_depth_changed(1);
+                    None
+                }
+                _ => Some(t),
+            }
+        })
+    }
+
+    /// Pops the current worker's own deque (LIFO).
+    fn pop_local(&self) -> Option<Tagged> {
+        LOCAL.with(|l| {
+            let l = l.borrow();
+            let lw = l
+                .as_ref()
+                .filter(|lw| std::ptr::eq(Arc::as_ptr(&lw.core), self))?;
+            let t = lw.worker.pop()?;
+            lw.depth_gauge.set(lw.worker.len() as i64);
+            self.stats.local_depth_changed(-1);
+            Some(t)
+        })
+    }
+
+    /// Steals from the victim deque at `idx` (compute workers first, then
+    /// I/O workers), keeping its depth gauge honest.
+    fn steal_deque(&self, idx: usize) -> Option<Tagged> {
+        let stealer = if idx < self.stealers.len() {
+            &self.stealers[idx]
+        } else {
+            &self.io_stealers[idx - self.stealers.len()]
+        };
+        self.stats.steal_attempted();
+        let t = resolve(|| stealer.steal())?;
+        self.depth_gauges[idx].set(stealer.len() as i64);
+        self.stats.local_depth_changed(-1);
+        Some(t)
+    }
+
+    /// Finds work for a worker of lane `worker_io` with worker index
+    /// `me` (lane-local): own-lane injector first, then sibling deques,
+    /// then — lane affinity permitting — the other lane's injector and
+    /// deques. The returned job may belong to either lane; cross-lane
+    /// I/O work taken by a compute worker has already been counted
+    /// against the occupancy cap (released in [`PoolCore::execute`]).
+    fn find_work(&self, worker_io: bool, me: usize) -> Option<Tagged> {
+        let (own_injector, own_range, other_injector, other_range) = if worker_io {
+            let c = self.stealers.len();
+            let io = self.io_stealers.len();
+            (
+                self.io_injector.as_ref(),
+                c..c + io,
+                Some(&self.injector),
+                0..c,
+            )
+        } else {
+            let c = self.stealers.len();
+            let io = self.io_stealers.len();
+            (
+                Some(&self.injector),
+                0..c,
+                self.io_injector.as_ref(),
+                c..c + io,
+            )
+        };
+        let my_abs = if worker_io {
+            self.stealers.len() + me
+        } else {
+            me
+        };
+        // Own lane: the shared injector, then siblings' deques.
+        if let Some(inj) = own_injector {
+            if let Some(t) = resolve(|| inj.steal()) {
+                return Some(t);
+            }
+        }
+        for idx in own_range {
+            if idx == my_abs {
+                continue;
+            }
+            if let Some(t) = self.steal_deque(idx) {
+                self.stats.steal_recorded(t.io, t.io != worker_io);
+                return Some(t);
+            }
+        }
+        // Cross-lane: compute thieves must reserve an occupancy slot so
+        // blocking I/O never covers every compute worker; I/O thieves
+        // take compute work freely (compute jobs don't block the lane).
+        let reserved = worker_io || self.try_reserve_cross_io();
+        if !reserved {
+            return None;
+        }
+        let found = (|| {
+            if let Some(inj) = other_injector {
+                self.stats.steal_attempted();
+                if let Some(t) = resolve(|| inj.steal()) {
+                    return Some(t);
+                }
+            }
+            for idx in other_range {
+                if let Some(t) = self.steal_deque(idx) {
+                    return Some(t);
+                }
+            }
+            None
+        })();
+        match found {
+            Some(t) => {
+                let cross = t.io != worker_io;
+                self.stats.steal_recorded(t.io, cross);
+                // The reservation covers exactly the cross case a compute
+                // thief was gated on.
+                if !worker_io && !cross {
+                    self.release_cross_io();
+                }
+                Some(t)
+            }
+            None => {
+                if !worker_io {
+                    self.release_cross_io();
+                }
+                None
+            }
+        }
+    }
+
+    /// Claims one cross-lane occupancy slot for a compute worker about to
+    /// take I/O work. At most `threads - 1` slots exist, so a pool always
+    /// keeps one compute worker free of blocking I/O (single-worker pools
+    /// never cross-steal I/O).
+    fn try_reserve_cross_io(&self) -> bool {
+        let cap = self.threads.saturating_sub(1);
+        let mut current = self.cross_io_active.load(Ordering::Relaxed);
+        loop {
+            if current >= cap {
+                return false;
+            }
+            match self.cross_io_active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn release_cross_io(&self) {
+        self.cross_io_active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Compute-lane-only work search for *helping* threads (blocked
+    /// construct callers and nested workers): own deque when the caller
+    /// is one of this pool's compute workers, then the compute injector
+    /// and compute deques. Never touches I/O-lane queues, so an I/O node
+    /// can nest compute constructs without its helper loop swallowing a
+    /// blocking sibling.
+    fn find_help_work(&self) -> Option<Tagged> {
+        if self.local_lane() == Some(false) {
+            if let Some(t) = self.pop_local() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = resolve(|| self.injector.steal()) {
+            return Some(t);
+        }
+        for idx in 0..self.stealers.len() {
+            if let Some(t) = self.steal_deque(idx) {
+                self.stats.steal_recorded(t.io, false);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Executes one taken job with lane-keyed busy accounting and panic
+    /// containment. `helped` selects the helper counter; a cross-lane job
+    /// is flagged for span annotation and, for compute thieves, releases
+    /// the occupancy slot reserved at steal time.
+    fn execute(&self, t: Tagged, worker_io: bool, helped: bool) {
+        let cross = t.io != worker_io;
+        if helped {
+            self.stats.jobs_helped.fetch_add(1, Ordering::Relaxed);
+        } else if worker_io {
+            self.stats
+                .io_jobs_on_workers
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.jobs_on_workers.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.job_started(worker_io);
+        let prev = CROSS_LANE.with(|c| c.replace(cross));
+        if catch_unwind(AssertUnwindSafe(t.job)).is_err() {
+            self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+        }
+        CROSS_LANE.with(|c| c.set(prev));
+        self.stats.job_finished(worker_io);
+        if cross && !worker_io {
+            self.release_cross_io();
+        }
+    }
+
+    /// Wakes every sleeping worker/helper. The generation bump happens
+    /// before the sleeper check, so a thread that re-validates the
+    /// generation under the idle lock cannot sleep through this push.
+    fn wake(&self) {
+        self.wake_gen.fetch_add(1, Ordering::Release);
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _guard = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Sleeps until a wake (or `IDLE_WAIT`, whichever first), unless the
+    /// wake generation moved past `seen_gen` — then returns immediately
+    /// to rescan.
+    fn idle_wait(&self, seen_gen: u64) {
+        let mut guard = self.idle_lock.lock();
+        if self.wake_gen.load(Ordering::Acquire) != seen_gen
+            || self.shutdown.load(Ordering::Acquire)
+        {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        self.idle_cv.wait_for(&mut guard, IDLE_WAIT);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Shared state of one `parallel_for` invocation.
@@ -278,26 +706,6 @@ struct DagState<'env> {
     panicked: AtomicBool,
 }
 
-/// The pair of dispatch channels one `run_dag` invocation sends into.
-/// Cloned into every node job so completions can dispatch successors onto
-/// the correct lane.
-struct LaneSenders {
-    compute: Sender<Job>,
-    io: Option<Sender<Job>>,
-}
-
-impl LaneSenders {
-    /// Resolves a node's lane hint to a channel: the I/O channel when the
-    /// node is tagged I/O *and* the pool has an I/O lane, the compute
-    /// channel otherwise. The returned flag says which lane was picked.
-    fn lane_for(&self, io_hint: bool) -> (&Sender<Job>, bool) {
-        match &self.io {
-            Some(io) if io_hint => (io, true),
-            _ => (&self.compute, false),
-        }
-    }
-}
-
 /// Orders a set of simultaneously-ready node indices for dispatch: highest
 /// priority first, index order breaking ties (and preserved entirely when no
 /// priorities were supplied).
@@ -309,20 +717,24 @@ fn order_ready(ready: &mut [usize], priority: &[u64]) {
     ready.sort_unstable_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
 }
 
-/// Enqueues node `i`: builds its job and sends it to the channel of the
-/// lane its hint selects.
+/// Enqueues node `i`: builds its job and pushes it onto the queue its lane
+/// hint selects. `prefer_local` marks the first successor a completing
+/// node unlocks — it lands on the completing worker's own deque (when the
+/// lanes match) so dependency chains stay on one core; everything else
+/// goes through the lane injector, whose FIFO preserves priority order.
 fn dispatch_dag_node(
     state_ptr: usize,
     i: usize,
-    senders: &Arc<LaneSenders>,
+    core: &Arc<PoolCore>,
     stats: &Arc<PoolStats>,
     latch: &Arc<CountdownLatch>,
+    prefer_local: bool,
 ) {
     // SAFETY: see `DagState` — the caller of `run_dag` keeps the state
     // alive until the latch opens, which requires this node to finish.
     let state = unsafe { &*(state_ptr as *const DagState<'static>) };
     let io_hint = state.io_lane.get(i).copied().unwrap_or(false);
-    let (sender, io) = senders.lane_for(io_hint);
+    let io = io_hint && core.io_injector.is_some();
     stats.dag_dispatches.fetch_add(1, Ordering::Relaxed);
     if io {
         stats.io_dispatches.fetch_add(1, Ordering::Relaxed);
@@ -353,7 +765,7 @@ fn dispatch_dag_node(
         None
     };
 
-    let senders_clone = senders.clone();
+    let core_clone = core.clone();
     let stats_clone = stats.clone();
     let latch_clone = latch.clone();
     let job: Job = Box::new(move || {
@@ -404,6 +816,11 @@ fn dispatch_dag_node(
                         format!("node-{i} [io]")
                     } else {
                         format!("node-{i}")
+                    };
+                    // Mark nodes that ran on the other lane's worker so the
+                    // trace shows where stealing actually rebalanced load.
+                    if current_job_cross_lane() {
+                        a.name.push_str(" [stolen]");
                     }
                 });
                 let exec_start = metrics_on.then(Instant::now);
@@ -423,11 +840,15 @@ fn dispatch_dag_node(
             .filter(|&s| state.pending[s].fetch_sub(1, Ordering::AcqRel) == 1)
             .collect();
         order_ready(&mut unlocked, &state.priority);
+        // The highest-priority successor stays on this worker's deque
+        // (popped next, LIFO); the rest go through the injectors.
+        let mut first = true;
         for s in unlocked {
-            dispatch_dag_node(state_ptr, s, &senders_clone, &stats_clone, &latch);
+            dispatch_dag_node(state_ptr, s, &core_clone, &stats_clone, &latch, first);
+            first = false;
         }
     });
-    sender.send(job).expect("worker channel closed");
+    core.push(Tagged { job, io }, prefer_local);
 }
 
 /// The process-wide shared pool (held at module scope so the sizing hook
@@ -448,32 +869,46 @@ pub fn configure_global_io_threads(io_threads: usize) -> bool {
     GLOBAL.get().is_none()
 }
 
-/// Spawns one worker feeding from `rx`. `io` selects the lane the worker
-/// accounts its jobs to (and the thread-name prefix, which is what the
-/// trace layer keys its timeline lanes on).
+/// Spawns one worker owning `worker_deque`. `io` selects the worker's lane
+/// (its accounting, its victim order, and the thread-name prefix the trace
+/// layer keys its timeline lanes on); `index` is lane-local.
 fn spawn_worker(
     name: String,
     io: bool,
-    rx: Receiver<Job>,
-    stats: Arc<PoolStats>,
+    index: usize,
+    core: Arc<PoolCore>,
+    worker_deque: deque::Worker<Tagged>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(name)
         .spawn(move || {
-            // Jobs carry their own completion/panic accounting;
-            // a panicking job must not kill the worker.
-            while let Ok(job) = rx.recv() {
-                if io {
-                    stats.io_jobs_on_workers.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    stats.jobs_on_workers.fetch_add(1, Ordering::Relaxed);
+            let gauge_idx = if io { core.threads + index } else { index };
+            let depth_gauge = core.depth_gauges[gauge_idx];
+            LOCAL.with(|l| {
+                *l.borrow_mut() = Some(LocalWorker {
+                    core: core.clone(),
+                    worker: worker_deque,
+                    io,
+                    depth_gauge,
+                });
+            });
+            loop {
+                // Snapshot the wake generation *before* scanning: a push
+                // racing the scan bumps it, so `idle_wait` returns at once
+                // and the scan reruns instead of sleeping through work.
+                let gen = core.wake_gen.load(Ordering::Acquire);
+                if let Some(t) = core.pop_local().or_else(|| core.find_work(io, index)) {
+                    // Jobs carry their own completion/panic accounting;
+                    // a panicking job must not kill the worker.
+                    core.execute(t, io, false);
+                    continue;
                 }
-                stats.job_started(io);
-                if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                    stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                if core.shutdown.load(Ordering::Acquire) {
+                    break;
                 }
-                stats.job_finished(io);
+                core.idle_wait(gen);
             }
+            LOCAL.with(|l| *l.borrow_mut() = None);
         })
         .expect("failed to spawn pool worker")
 }
@@ -491,31 +926,44 @@ impl ThreadPool {
     /// no lane hints were given.
     pub fn with_io(threads: usize, io_threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
         let stats = Arc::new(PoolStats::default());
-        let workers = (0..threads)
-            .map(|k| {
-                spawn_worker(
-                    format!("arp-par-{k}"),
-                    false,
-                    receiver.clone(),
-                    stats.clone(),
-                )
-            })
+        let compute_deques: Vec<deque::Worker<Tagged>> =
+            (0..threads).map(|_| deque::Worker::new_lifo()).collect();
+        let io_deques: Vec<deque::Worker<Tagged>> =
+            (0..io_threads).map(|_| deque::Worker::new_lifo()).collect();
+        // Gauges resolve once here; pools sharing a worker name (common in
+        // tests) share the gauge, which is fine for observability.
+        let depth_gauges = (0..threads)
+            .map(|k| metrics::deque_depth(&format!("arp-par-{k}")))
+            .chain((0..io_threads).map(|k| metrics::deque_depth(&format!("arp-io-{k}"))))
             .collect();
-        let (io_sender, io_workers) = if io_threads == 0 {
-            (None, Vec::new())
-        } else {
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
-            let ws = (0..io_threads)
-                .map(|k| spawn_worker(format!("arp-io-{k}"), true, rx.clone(), stats.clone()))
-                .collect();
-            (Some(tx), ws)
-        };
+        let core = Arc::new(PoolCore {
+            injector: deque::Injector::new(),
+            io_injector: (io_threads > 0).then(deque::Injector::new),
+            stealers: compute_deques.iter().map(|w| w.stealer()).collect(),
+            io_stealers: io_deques.iter().map(|w| w.stealer()).collect(),
+            depth_gauges,
+            cross_io_active: AtomicUsize::new(0),
+            threads,
+            shutdown: AtomicBool::new(false),
+            wake_gen: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            idle_lock: parking_lot::Mutex::new(()),
+            idle_cv: parking_lot::Condvar::new(),
+            stats: stats.clone(),
+        });
+        let workers = compute_deques
+            .into_iter()
+            .enumerate()
+            .map(|(k, w)| spawn_worker(format!("arp-par-{k}"), false, k, core.clone(), w))
+            .collect();
+        let io_workers = io_deques
+            .into_iter()
+            .enumerate()
+            .map(|(k, w)| spawn_worker(format!("arp-io-{k}"), true, k, core.clone(), w))
+            .collect();
         ThreadPool {
-            sender: Some(sender),
-            receiver,
-            io_sender,
+            core,
             workers,
             io_workers,
             threads,
@@ -537,27 +985,29 @@ impl ThreadPool {
             io_jobs_on_workers: self.stats.io_jobs_on_workers.load(Ordering::Relaxed),
             io_dispatches: self.stats.io_dispatches.load(Ordering::Relaxed),
             io_ready_peak: self.stats.io_ready_peak.load(Ordering::Relaxed),
+            steal_attempts: self.stats.steal_attempts.load(Ordering::Relaxed),
+            steals_compute: self.stats.steals_compute.load(Ordering::Relaxed),
+            steals_io: self.stats.steals_io.load(Ordering::Relaxed),
+            cross_lane_steals: self.stats.cross_lane_steals.load(Ordering::Relaxed),
         }
     }
 
     /// Runs queued jobs until `latch` opens. This is the cooperative wait
     /// that makes nesting safe: if all workers are blocked inside outer
-    /// constructs, the blocked threads themselves drain the queue.
+    /// constructs, the blocked threads themselves drain the queues.
     ///
-    /// The wait is a *blocking* receive with a short timeout: a helper
-    /// with nothing to run sleeps on the channel (a queued job wakes it
-    /// immediately), and the timeout bounds how long latch-opening can go
-    /// unnoticed. Helpers only ever drain the compute channel — the I/O
-    /// channel belongs exclusively to the I/O workers.
+    /// A helper with nothing to run sleeps on the pool's idle condvar (a
+    /// pushed job wakes it immediately), and the [`IDLE_WAIT`] timeout
+    /// bounds how long latch-opening can go unnoticed. Helpers only ever
+    /// drain compute-lane queues — an I/O-tagged job could block the
+    /// helping thread indefinitely, stalling the very construct it is
+    /// trying to finish.
     fn help_until_open(&self, latch: &CountdownLatch) {
         while !latch.is_open() {
-            if let Ok(job) = self.receiver.recv_timeout(Duration::from_millis(1)) {
-                self.stats.jobs_helped.fetch_add(1, Ordering::Relaxed);
-                self.stats.job_started(false);
-                if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                    self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
-                }
-                self.stats.job_finished(false);
+            let gen = self.core.wake_gen.load(Ordering::Acquire);
+            match self.core.find_help_work() {
+                Some(t) => self.core.execute(t, false, true),
+                None => self.core.idle_wait(gen),
             }
         }
     }
@@ -633,13 +1083,9 @@ impl ThreadPool {
                 let state = unsafe { &*(state_ptr as *const ForState<'static>) };
                 state.drive();
             });
-            // The channel only closes on pool drop; a send failure would
-            // mean using a pool mid-teardown, which the API can't express.
-            self.sender
-                .as_ref()
-                .expect("pool is shutting down")
-                .send(job)
-                .expect("worker channel closed");
+            // Helper jobs go through the injector (not a worker's own
+            // deque) so any free worker can claim one immediately.
+            self.core.push(Tagged { job, io: false }, false);
         }
 
         state.drive();
@@ -843,14 +1289,12 @@ impl ThreadPool {
         };
         let latch = Arc::new(CountdownLatch::new(n));
         let state_ptr = &state as *const DagState<'_> as usize;
-        let senders = Arc::new(LaneSenders {
-            compute: self.sender.as_ref().expect("pool is shutting down").clone(),
-            io: self.io_sender.clone(),
-        });
         let mut roots: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         order_ready(&mut roots, priority);
         for i in roots {
-            dispatch_dag_node(state_ptr, i, &senders, &self.stats, &latch);
+            // Roots all go through the injectors: the caller is about to
+            // help, not to run its own deque as a worker.
+            dispatch_dag_node(state_ptr, i, &self.core, &self.stats, &latch, false);
         }
         self.help_until_open(&latch);
         self.stats.dags_completed.fetch_add(1, Ordering::Relaxed);
@@ -929,9 +1373,10 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channels stops the workers' recv loops.
-        self.sender.take();
-        self.io_sender.take();
+        // Workers exit when a full scan finds nothing after the flag is
+        // raised, so any straggler jobs still drain first.
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.wake();
         for w in self.workers.drain(..).chain(self.io_workers.drain(..)) {
             let _ = w.join();
         }
@@ -1411,7 +1856,7 @@ mod tests {
     }
 
     #[test]
-    fn io_nodes_run_on_io_workers() {
+    fn io_nodes_route_to_io_lane() {
         let p = ThreadPool::with_io(2, 2);
         let names = parking_lot::Mutex::new(Vec::<(usize, String)>::new());
         let names_ref = &names;
@@ -1433,20 +1878,122 @@ mod tests {
         );
         let names = names.into_inner();
         assert_eq!(names.len(), 4);
-        for (i, name) in &names {
-            if lanes[*i] {
-                assert!(name.starts_with("arp-io-"), "io node {i} ran on {name:?}");
-            } else {
-                assert!(
-                    !name.starts_with("arp-io-"),
-                    "compute node {i} ran on {name:?}"
-                );
-            }
+        // Lanes are affinity hints, not placements: any pool thread (or
+        // the helping caller) may have executed any node. What must hold
+        // is the routing accounting.
+        for (_, name) in &names {
+            assert!(
+                name.starts_with("arp-par-") || name.starts_with("arp-io-") || !name.is_empty(),
+                "node ran on an unexpected thread {name:?}"
+            );
         }
         let s = p.stats();
         assert_eq!(s.io_dispatches, 2);
-        assert_eq!(s.io_jobs_on_workers, 2);
         assert!(s.io_ready_peak >= 1);
+    }
+
+    #[test]
+    fn idle_compute_workers_steal_io_nodes() {
+        // One I/O worker, a pile of independent I/O nodes that each block
+        // for a while: the two idle compute workers must steal from the
+        // I/O lane instead of watching it drain serially.
+        let p = ThreadPool::with_io(2, 1);
+        let n = 16;
+        let names = parking_lot::Mutex::new(Vec::<String>::new());
+        let names_ref = &names;
+        p.run_dag_lanes(
+            (0..n)
+                .map(|_| {
+                    task(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        let name = std::thread::current().name().unwrap_or("").to_string();
+                        names_ref.lock().push(name);
+                    })
+                })
+                .collect(),
+            &vec![Vec::new(); n],
+            &[],
+            &vec![true; n],
+        );
+        let names = names.into_inner();
+        assert_eq!(names.len(), n);
+        let s = p.stats();
+        assert_eq!(s.io_dispatches, n as u64);
+        assert!(
+            s.steals_io >= 1,
+            "expected compute workers to steal I/O nodes, stats: {s:?}"
+        );
+        assert!(s.cross_lane_steals >= 1);
+        assert!(s.steal_attempts >= s.steals_io);
+        assert!(
+            names.iter().any(|name| name.starts_with("arp-par-")),
+            "no I/O node ever ran on a compute worker: {names:?}"
+        );
+    }
+
+    #[test]
+    fn io_workers_steal_compute_nodes() {
+        // Inverse direction: one compute worker, two I/O workers, only
+        // compute-tagged nodes. The I/O workers must not sit idle.
+        let p = ThreadPool::with_io(1, 2);
+        let n = 16;
+        let names = parking_lot::Mutex::new(Vec::<String>::new());
+        let names_ref = &names;
+        p.run_dag_lanes(
+            (0..n)
+                .map(|_| {
+                    task(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        let name = std::thread::current().name().unwrap_or("").to_string();
+                        names_ref.lock().push(name);
+                    })
+                })
+                .collect(),
+            &vec![Vec::new(); n],
+            &[],
+            &vec![false; n],
+        );
+        let names = names.into_inner();
+        assert_eq!(names.len(), n);
+        let s = p.stats();
+        assert!(
+            s.steals_compute >= 1,
+            "expected I/O workers to steal compute nodes, stats: {s:?}"
+        );
+        assert!(
+            names.iter().any(|name| name.starts_with("arp-io-")),
+            "no compute node ever ran on an I/O worker: {names:?}"
+        );
+    }
+
+    #[test]
+    fn single_compute_worker_never_cross_steals_io() {
+        // With one compute worker the cross-lane cap is zero: blocking
+        // I/O must never occupy the only compute thread.
+        let p = ThreadPool::with_io(1, 1);
+        let names = parking_lot::Mutex::new(Vec::<String>::new());
+        let names_ref = &names;
+        let n = 8;
+        p.run_dag_lanes(
+            (0..n)
+                .map(|_| {
+                    task(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        let name = std::thread::current().name().unwrap_or("").to_string();
+                        names_ref.lock().push(name);
+                    })
+                })
+                .collect(),
+            &vec![Vec::new(); n],
+            &[],
+            &vec![true; n],
+        );
+        let names = names.into_inner();
+        assert_eq!(names.len(), n);
+        assert!(
+            names.iter().all(|name| !name.starts_with("arp-par-")),
+            "a lone compute worker took blocking I/O work: {names:?}"
+        );
     }
 
     #[test]

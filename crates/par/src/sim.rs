@@ -163,29 +163,37 @@ pub fn dag_makespan(durations: &[Duration], preds: &[Vec<usize>], threads: usize
     makespan
 }
 
-/// As [`dag_makespan`], with the pool's two-lane topology: nodes whose
-/// `io_lane` entry is `true` draw from a separate set of `io_threads`
-/// virtual I/O workers, so an I/O node never occupies (or waits for) a
-/// compute thread — the virtual-time replay of
-/// [`crate::ThreadPool::run_dag_lanes`].
+/// As [`dag_makespan`], with the pool's two-lane work-stealing topology:
+/// the virtual machine has `threads` compute workers *and* `io_threads`
+/// I/O workers, and — mirroring the stealing scheduler of
+/// [`crate::ThreadPool::run_dag_lanes`] — **any** worker may run **any**
+/// node. The `io_lane` hint is an affinity, not a partition: a node goes
+/// to the worker that frees up earliest, and only when workers tie does
+/// the node prefer its own lane. An idle I/O worker therefore steals
+/// compute nodes and vice versa, so the lane-on schedule is effectively
+/// `threads + io_threads` workers with placement bias and can never be
+/// starved the way a strict two-queue split is.
 ///
 /// `io_threads == 0` or an empty `io_lane` slice degenerates to the
 /// single-lane [`dag_makespan`] (the lane-off schedule); otherwise
-/// `io_lane` must have one entry per node.
+/// `io_lane` must have one entry per node. All-`false` hints with a live
+/// lane equal `dag_makespan(durations, preds, threads + io_threads)` —
+/// the extra workers simply steal.
 ///
 /// ```
 /// use std::time::Duration;
 /// let ms = Duration::from_millis;
 /// // Two independent pairs of (compute, I/O) work on one compute thread:
-/// // single-lane they serialize to 20ms, a 1-thread I/O lane overlaps
-/// // each pair's I/O with the next pair's compute.
+/// // single-lane they serialize to 20ms. With a 1-thread I/O lane the
+/// // idle I/O worker *steals* the second chain's compute root, so both
+/// // chains run concurrently: compute 0..5ms, I/O 5..10ms.
 /// let durations = [ms(5), ms(5), ms(5), ms(5)];
 /// let preds = vec![vec![], vec![0], vec![], vec![2]];
 /// let io_lane = [false, true, false, true];
 /// assert_eq!(arp_par::dag_makespan(&durations, &preds, 1), ms(20));
 /// assert_eq!(
 ///     arp_par::dag_makespan_lanes(&durations, &preds, 1, 1, &io_lane),
-///     ms(15)
+///     ms(10)
 /// );
 /// ```
 pub fn dag_makespan_lanes(
@@ -255,12 +263,14 @@ pub fn dag_makespan_lanes(
         rank[i] = durations[i] + down;
     }
 
-    // List scheduling as in `dag_makespan`, except each node draws from
-    // its own lane's thread set.
+    // List scheduling as in `dag_makespan`, except over the union of both
+    // lanes' workers (indices `0..threads` are compute, the rest I/O):
+    // work stealing makes every worker a candidate for every node, and
+    // the lane hint only breaks availability ties in favor of the node's
+    // affine lane — the victim-order bias of the real scheduler.
     let mut finish = vec![Duration::ZERO; n];
     let mut pending: Vec<usize> = preds.iter().map(Vec::len).collect();
-    let mut avail = vec![Duration::ZERO; threads];
-    let mut io_avail = vec![Duration::ZERO; io_threads];
+    let mut avail = vec![Duration::ZERO; threads + io_threads];
     let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
     let mut makespan = Duration::ZERO;
     while let Some(pos) = ready
@@ -275,15 +285,14 @@ pub fn dag_makespan_lanes(
             .map(|&p| finish[p])
             .max()
             .unwrap_or(Duration::ZERO);
-        let lane = if io_lane[i] {
-            &mut io_avail
-        } else {
-            &mut avail
-        };
-        let t = lane.iter_mut().min().expect("lane threads >= 1");
-        let start = (*t).max(node_ready);
+        let (w, _) = avail
+            .iter()
+            .enumerate()
+            .min_by_key(|&(w, &t)| (t, (w >= threads) != io_lane[i], w))
+            .expect("at least one worker");
+        let start = avail[w].max(node_ready);
         finish[i] = start + durations[i];
-        *t = finish[i];
+        avail[w] = finish[i];
         makespan = makespan.max(finish[i]);
         for &s in &succs[i] {
             pending[s] -= 1;
@@ -295,7 +304,7 @@ pub fn dag_makespan_lanes(
     makespan
 }
 
-/// As [`super_dag_makespan`], with the two-lane topology of
+/// As [`super_dag_makespan`], with the two-lane work-stealing topology of
 /// [`dag_makespan_lanes`]: `io_lane[g]` tags graph `g`'s nodes (one entry
 /// per node, or an empty table to disable the lane). The union is
 /// flattened with per-graph offsets exactly as in [`super_dag_makespan`].
@@ -614,26 +623,51 @@ mod tests {
             // io_threads == 0 and empty hints both mean "lane off".
             assert_eq!(dag_makespan_lanes(&d, &preds, threads, 0, &lanes), base);
             assert_eq!(dag_makespan_lanes(&d, &preds, threads, 2, &[]), base);
-            // All-compute hints with a live lane also reproduce it.
+            // All-compute hints with a live lane equal the single-lane
+            // schedule on the *combined* worker count: the otherwise-idle
+            // I/O workers steal compute nodes.
             assert_eq!(
                 dag_makespan_lanes(&d, &preds, threads, 2, &[false; 10]),
-                base
+                dag_makespan(&d, &preds, threads + 2)
             );
         }
     }
 
     #[test]
+    fn stealing_lane_never_loses_to_lane_off() {
+        // The stealing replay schedules on threads + io_threads workers
+        // with affinity bias, so lane-on must not fall behind the lane-off
+        // schedule on the same compute width — the strict-partition
+        // pathology this model replaced.
+        let d: Vec<Duration> = (1..=18).map(|i| ms(i * 5 % 9 + 1)).collect();
+        let preds: Vec<Vec<usize>> = (0..18)
+            .map(|i| if i < 3 { vec![] } else { vec![i - 3] })
+            .collect();
+        let lanes: Vec<bool> = (0..18).map(|i| i % 2 == 0).collect();
+        for threads in [1usize, 2, 4, 8] {
+            for io in [1usize, 2, 4] {
+                let on = dag_makespan_lanes(&d, &preds, threads, io, &lanes);
+                let off = dag_makespan(&d, &preds, threads);
+                assert!(
+                    on <= off,
+                    "lane-on {on:?} beat by lane-off {off:?} at {threads}+{io}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn io_lane_overlaps_disk_with_compute() {
-        // Chain compute -> io -> compute -> io ... on one compute thread:
-        // the lane cannot help a pure chain (dependencies serialize it),
-        // but two such chains overlap perfectly with a 1-wide lane.
+        // Two independent compute -> io chains on one compute thread:
+        // lane-off serializes everything to 20ms. With a 1-wide I/O lane
+        // the idle I/O worker *steals* the second chain's compute root, so
+        // the chains overlap fully: compute 0..5ms, I/O 5..10ms.
         let d = vec![ms(5); 4];
         let preds = vec![vec![], vec![0], vec![], vec![2]];
         let lanes = [false, true, false, true];
         assert_eq!(dag_makespan(&d, &preds, 1), ms(20));
-        assert_eq!(dag_makespan_lanes(&d, &preds, 1, 1, &lanes), ms(15));
-        // A lane as wide as the ready I/O front keeps full overlap: both
-        // chains run concurrently, compute 0..5ms then I/O 5..10ms.
+        assert_eq!(dag_makespan_lanes(&d, &preds, 1, 1, &lanes), ms(10));
+        // Wider lanes can't improve on the critical path (one chain).
         assert_eq!(dag_makespan_lanes(&d, &preds, 2, 2, &lanes), ms(10));
     }
 

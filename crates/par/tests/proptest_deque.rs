@@ -1,0 +1,226 @@
+//! Property tests for the work-stealing deque the pool schedules on: the
+//! owner's LIFO push/pop against a reference model, steal-side FIFO order,
+//! and exactly-once delivery under concurrent stealers — the invariants
+//! `ThreadPool` relies on to neither lose nor duplicate a DAG node.
+
+use crossbeam::deque::{Injector, Steal, Worker};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One scripted operation against the deque and its model.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Owner pushes the next fresh value.
+    Push,
+    /// Owner pops (LIFO — the model's back).
+    Pop,
+    /// A stealer steals (FIFO — the model's front).
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Pushes twice as likely as either consumer, so runs build real depth.
+    (0u8..4).prop_map(|k| match k {
+        0 | 1 => Op::Push,
+        2 => Op::Pop,
+        _ => Op::Steal,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequentially interleaved owner pops and steals agree with a
+    /// double-ended queue model: the owner sees LIFO, the stealer FIFO,
+    /// and both drain the same single copy of every pushed value.
+    #[test]
+    fn deque_matches_vecdeque_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let worker: Worker<u32> = Worker::new_lifo();
+        let stealer = worker.stealer();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                Op::Push => {
+                    worker.push(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(worker.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    // Sequentially there is no contention, so Retry cannot
+                    // happen: the steal is Success or Empty, matching the
+                    // model's front.
+                    match (stealer.steal(), model.pop_front()) {
+                        (Steal::Success(got), Some(want)) => prop_assert_eq!(got, want),
+                        (Steal::Empty, None) => {}
+                        (got, want) => prop_assert!(false, "steal {:?} vs model {:?}", got, want),
+                    }
+                }
+            }
+            prop_assert_eq!(worker.len(), model.len());
+        }
+        // Drain what's left owner-side: still exactly the model, in LIFO.
+        while let Some(want) = model.pop_back() {
+            prop_assert_eq!(worker.pop(), Some(want));
+        }
+        prop_assert!(worker.is_empty());
+    }
+
+    /// The injector is a plain FIFO when driven sequentially.
+    #[test]
+    fn injector_is_fifo(n in 0usize..200) {
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..n {
+            inj.push(i);
+        }
+        for i in 0..n {
+            match inj.steal() {
+                Steal::Success(got) => prop_assert_eq!(got, i),
+                other => prop_assert!(false, "steal {:?} at {}", other, i),
+            }
+        }
+        prop_assert!(inj.is_empty());
+    }
+}
+
+/// Owner push/pop racing multiple stealers: every pushed value is consumed
+/// exactly once, split arbitrarily between the owner and the thieves —
+/// nothing lost, nothing duplicated. This is the scheduler's correctness
+/// contract: a DAG node dispatched once runs once.
+#[test]
+fn concurrent_stealers_never_lose_or_duplicate() {
+    const ITEMS: usize = 2_000;
+    const STEALERS: usize = 3;
+    for _round in 0..8 {
+        let worker: Worker<usize> = Worker::new_lifo();
+        let done = AtomicBool::new(false);
+        let mut owner_got: Vec<usize> = Vec::new();
+        let stolen: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..STEALERS)
+                .map(|_| {
+                    let stealer = worker.stealer();
+                    let done = &done;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match stealer.steal() {
+                                Steal::Success(v) => got.push(v),
+                                Steal::Empty if done.load(Ordering::Acquire) => break,
+                                // Empty-but-not-done or contention (Retry):
+                                // yield instead of spinning so the test
+                                // stays fast on single-core hosts.
+                                _ => std::thread::yield_now(),
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            // The owner interleaves pushes with occasional LIFO pops, like
+            // a pool worker executing its own freshest work.
+            for i in 0..ITEMS {
+                worker.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = worker.pop() {
+                        owner_got.push(v);
+                    }
+                }
+            }
+            while let Some(v) = worker.pop() {
+                owner_got.push(v);
+            }
+            done.store(true, Ordering::Release);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut seen = vec![0u32; ITEMS];
+        for &v in owner_got.iter().chain(stolen.iter().flatten()) {
+            seen[v] += 1;
+        }
+        let lost: Vec<usize> = (0..ITEMS).filter(|&i| seen[i] == 0).collect();
+        let duped: Vec<usize> = (0..ITEMS).filter(|&i| seen[i] > 1).collect();
+        assert!(lost.is_empty(), "lost items: {lost:?}");
+        assert!(duped.is_empty(), "duplicated items: {duped:?}");
+
+        // Steal-side FIFO: each thief's view of one owner's deque is
+        // strictly increasing in push order (steals always take the oldest
+        // surviving item).
+        for (k, got) in stolen.iter().enumerate() {
+            assert!(
+                got.windows(2).all(|w| w[0] < w[1]),
+                "stealer {k} saw out-of-order items: {got:?}"
+            );
+        }
+    }
+}
+
+/// Concurrent producers into the injector, concurrent consumers out of it:
+/// exactly-once delivery again, this time through the shared FIFO the pool
+/// uses for roots and non-local successors.
+#[test]
+fn injector_concurrent_exactly_once() {
+    const PER_PRODUCER: usize = 1_000;
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 3;
+    let inj: Injector<usize> = Injector::new();
+    let done = AtomicBool::new(false);
+    let consumed: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let inj = &inj;
+                let done = &done;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match inj.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty if done.load(Ordering::Acquire) => break,
+                            _ => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let inj = &inj;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        inj.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total = PRODUCERS * PER_PRODUCER;
+    let mut seen = vec![0u32; total];
+    for &v in consumed.iter().flatten() {
+        seen[v] += 1;
+    }
+    assert!(seen.iter().all(|&c| c == 1), "delivery not exactly-once");
+    // Per-producer FIFO: each consumer sees any one producer's items in
+    // push order.
+    for got in &consumed {
+        for p in 0..PRODUCERS {
+            let of_p: Vec<usize> = got
+                .iter()
+                .copied()
+                .filter(|v| v / PER_PRODUCER == p)
+                .collect();
+            assert!(
+                of_p.windows(2).all(|w| w[0] < w[1]),
+                "producer {p} reordered: {of_p:?}"
+            );
+        }
+    }
+}

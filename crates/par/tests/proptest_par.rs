@@ -14,19 +14,26 @@ fn snapshot_strategy() -> impl Strategy<Value = PoolStatsSnapshot> {
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|((a, b, c, d), (e, f, g), (h, i, j))| PoolStatsSnapshot {
-            jobs_on_workers: a,
-            jobs_helped: b,
-            loops_completed: c,
-            panics_caught: d,
-            dag_dispatches: e,
-            dag_ready_peak: f,
-            dags_completed: g,
-            io_dispatches: h,
-            io_jobs_on_workers: i,
-            io_ready_peak: j,
-        })
+        .prop_map(
+            |((a, b, c, d), (e, f, g), (h, i, j), (k, l, m, o))| PoolStatsSnapshot {
+                jobs_on_workers: a,
+                jobs_helped: b,
+                loops_completed: c,
+                panics_caught: d,
+                dag_dispatches: e,
+                dag_ready_peak: f,
+                dags_completed: g,
+                io_dispatches: h,
+                io_jobs_on_workers: i,
+                io_ready_peak: j,
+                steal_attempts: k,
+                steals_compute: l,
+                steals_io: m,
+                cross_lane_steals: o,
+            },
+        )
 }
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
@@ -163,6 +170,13 @@ proptest! {
             d.io_jobs_on_workers,
             after.io_jobs_on_workers.saturating_sub(before.io_jobs_on_workers)
         );
+        prop_assert_eq!(d.steal_attempts, after.steal_attempts.saturating_sub(before.steal_attempts));
+        prop_assert_eq!(d.steals_compute, after.steals_compute.saturating_sub(before.steals_compute));
+        prop_assert_eq!(d.steals_io, after.steals_io.saturating_sub(before.steals_io));
+        prop_assert_eq!(
+            d.cross_lane_steals,
+            after.cross_lane_steals.saturating_sub(before.cross_lane_steals)
+        );
         // The ready-queue peaks are high-water marks, not counters: the
         // later observation is kept verbatim.
         prop_assert_eq!(d.dag_ready_peak, after.dag_ready_peak);
@@ -192,6 +206,10 @@ proptest! {
             io_dispatches: 0,
             io_jobs_on_workers: 0,
             io_ready_peak: 0,
+            steal_attempts: 0,
+            steals_compute: 0,
+            steals_io: 0,
+            cross_lane_steals: 0,
         };
         prop_assert_eq!(s.delta_since(&fresh), s);
     }

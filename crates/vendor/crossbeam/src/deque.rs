@@ -1,0 +1,347 @@
+//! Chase-Lev-style work-stealing deques, API-compatible with
+//! `crossbeam-deque`.
+//!
+//! Three views over two kinds of queue:
+//!
+//! * [`Worker`] — the owner's end of a per-worker deque. The owner pushes
+//!   and pops at the *back* (LIFO), which keeps recently-spawned work hot
+//!   in cache and lets a worker run its own continuations first.
+//! * [`Stealer`] — a cloneable handle other threads use to take work from
+//!   the *front* of a worker's deque (FIFO), so thieves get the oldest —
+//!   typically largest — piece of work and leave the owner's tail alone.
+//! * [`Injector`] — a shared FIFO queue for work submitted from outside
+//!   the pool (or overflowed from a worker); everyone steals from it.
+//!
+//! The build environment has no crates.io access, so like the [`channel`]
+//! sibling this is a lock-backed reimplementation of the crossbeam API
+//! rather than the lock-free original: each queue is a `Mutex<VecDeque>`,
+//! and [`Stealer::steal`]/[`Injector::steal`] translate lock contention
+//! into [`Steal::Retry`] (via `try_lock`) exactly where the lock-free
+//! algorithm would observe a lost race. Tasks here are coarse (whole DAG
+//! nodes, multi-iteration chunks), so queue operations are nowhere near
+//! the scalability bottleneck the original optimizes for.
+//!
+//! [`channel`]: crate::channel
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The attempt lost a race (here: the queue lock was contended) and
+    /// should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when the attempt observed an empty queue.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True when a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True when the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+struct Buffer<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Buffer<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Buffer {
+            queue: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Front removal with contention reported as [`Steal::Retry`].
+    fn steal_front(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(p)) => match p.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+}
+
+/// The owner's end of a work-stealing deque: LIFO push/pop at the back.
+///
+/// Not `Sync` — exactly one thread owns it (matching `crossbeam-deque`);
+/// hand [`Worker::stealer`] handles to everyone else.
+pub struct Worker<T> {
+    buf: Arc<Buffer<T>>,
+    /// Owner-only marker: keeps the type `Send` but not `Sync`.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+// SAFETY: the buffer is internally synchronized; the marker only removes
+// `Sync` to enforce the single-owner discipline at compile time.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> Worker<T> {
+    /// Creates a new LIFO worker deque.
+    pub fn new_lifo() -> Self {
+        Worker {
+            buf: Buffer::new(),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Creates a [`Stealer`] view of this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            buf: self.buf.clone(),
+        }
+    }
+
+    /// Pushes a task onto the back of the deque.
+    pub fn push(&self, task: T) {
+        self.buf
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    /// Pops the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.buf
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A thief's view of a [`Worker`] deque: FIFO steal from the front.
+pub struct Stealer<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            buf: self.buf.clone(),
+        }
+    }
+}
+
+// SAFETY: all access goes through the internal lock.
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the deque (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        self.buf.steal_front()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared FIFO injector queue: push from anywhere, steal from anywhere.
+pub struct Injector<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: all access goes through the internal lock.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector queue.
+    pub fn new() -> Self {
+        Injector { buf: Buffer::new() }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.buf
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    /// Steals the oldest task from the queue (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        self.buf.steal_front()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owner_pop_is_lifo() {
+        let w = Worker::new_lifo();
+        for i in 0..5 {
+            w.push(i);
+        }
+        for i in (0..5).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn steal_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..5 {
+            w.push(i);
+        }
+        for i in 0..5 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn owner_and_stealer_take_opposite_ends() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(s.steal(), Steal::Success(0), "thief takes the oldest");
+        assert_eq!(w.len(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        for i in 0..5 {
+            assert_eq!(inj.steal(), Steal::Success(i));
+        }
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_result_accessors() {
+        assert!(Steal::<u8>::Empty.is_empty());
+        assert!(Steal::Success(1u8).is_success());
+        assert!(Steal::<u8>::Retry.is_retry());
+        assert_eq!(Steal::Success(7u8).success(), Some(7));
+        assert_eq!(Steal::<u8>::Empty.success(), None);
+    }
+
+    #[test]
+    fn concurrent_stealers_consume_everything_exactly_once() {
+        let w = Worker::new_lifo();
+        let n = 10_000;
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..n {
+            w.push(i);
+        }
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = w.stealer();
+            let counters = counters.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(i) => {
+                        counters[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        // The owner pops concurrently with the thieves.
+        while let Some(i) = w.pop() {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+}

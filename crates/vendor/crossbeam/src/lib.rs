@@ -2,7 +2,11 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the slice of crossbeam it uses: an unbounded MPMC
-//! [`channel`] with cloneable senders *and* receivers.
+//! [`channel`] with cloneable senders *and* receivers, and the
+//! work-stealing [`deque`] (`Worker`/`Stealer`/`Injector`) the pool's
+//! scheduler is built on.
+
+pub mod deque;
 
 pub mod channel {
     //! Unbounded multi-producer multi-consumer FIFO channel.

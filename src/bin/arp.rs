@@ -268,6 +268,13 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
                     "  io lane: {} dispatched, {} on io workers (ready peak {})",
                     pool.io_dispatches, pool.io_jobs_on_workers, pool.io_ready_peak
                 );
+                println!(
+                    "  stealing: {} attempts, {} compute + {} io stolen ({} cross-lane)",
+                    pool.steal_attempts,
+                    pool.steals_compute,
+                    pool.steals_io,
+                    pool.cross_lane_steals
+                );
             }
             None => println!("  pool: not used by this run"),
         }

@@ -76,11 +76,17 @@ fn ready_queue_counter_track_peak_matches_pool_stats_peak() {
     assert!((1.0..=4.0).contains(&busy_peak), "busy peak {busy_peak}");
 
     // Per-track timestamps are monotone (the exporter sorts by track, and
-    // the validator enforces it on the JSON form).
+    // the validator enforces it on the JSON form). The stealing scheduler
+    // adds tracks beyond the classic two (deque-depth, steals, and the
+    // io-workers-busy lane once I/O workers pull compute work), so the
+    // exact count is not pinned — only that the classic pair is present.
     let json = trace.to_chrome_json();
     let check = arp_trace::validate_chrome_json(&json).unwrap();
-    assert_eq!(check.counter_tracks, 2);
+    assert!(check.counter_tracks >= 2, "tracks {}", check.counter_tracks);
     assert_eq!(check.counter_events, trace.counters.len());
+    let tracks = trace.counter_tracks();
+    assert!(tracks.contains(&"ready-queue-depth"), "{tracks:?}");
+    assert!(tracks.contains(&"workers-busy"), "{tracks:?}");
 }
 
 #[test]

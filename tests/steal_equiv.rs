@@ -1,0 +1,65 @@
+//! Work-stealing equivalence: cross-lane stealing changes *which worker*
+//! runs a node and *when*, never what the node writes. The six paper
+//! events processed with stealing active (`--io-threads 2`: an I/O lane
+//! plus cross-lane steals) must produce products byte-identical to the
+//! degenerate single-queue schedule (`--io-threads 0`).
+
+use arp_core::output::{diff_snapshots, snapshot};
+use arp_synth::{paper_event, write_event_inputs, PAPER_EVENT_SHAPES};
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn stealing_on_and_off_products_are_byte_identical_six_events() {
+    // Each configuration runs in its own process: the lane width (and with
+    // it, whether cross-lane stealing can happen at all) is fixed when the
+    // global pool first spins up.
+    let base = std::env::temp_dir().join(format!("arp-steal-equiv-{}", std::process::id()));
+    let root = base.join("batch");
+    let mut labels = Vec::new();
+    for (i, &(label, _, _, _)) in PAPER_EVENT_SHAPES.iter().enumerate() {
+        let dir = root.join(label);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_event_inputs(&paper_event(i, 0.002), &dir).unwrap();
+        labels.push(label);
+    }
+
+    let run = |io_threads: usize, work: &Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_arp"))
+            .args([
+                "batch",
+                "--root",
+                root.to_str().unwrap(),
+                "--work",
+                work.to_str().unwrap(),
+                "--impl",
+                "dag",
+                "--io-threads",
+                &io_threads.to_string(),
+            ])
+            .output()
+            .expect("spawn arp batch");
+        assert!(
+            out.status.success(),
+            "io_threads={io_threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+
+    let work_steal = base.join("work-stealing");
+    let work_single = base.join("work-single-queue");
+    run(2, &work_steal);
+    run(0, &work_single);
+
+    for label in labels {
+        let diffs = diff_snapshots(
+            &snapshot(&work_single.join(label)).unwrap(),
+            &snapshot(&work_steal.join(label)).unwrap(),
+        );
+        assert!(
+            diffs.is_empty(),
+            "event {label} diverged between stealing-on and stealing-off: {diffs:#?}"
+        );
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
