@@ -564,6 +564,94 @@ pub struct BatchExperiment {
     pub queue_wait: Option<HistDigest>,
     /// Live-metrics digest of the pool's execute-time histogram.
     pub execute: Option<HistDigest>,
+    /// Format-layer residency comparison: peak reader bytes-in-flight,
+    /// whole-file vs streaming, over the largest paper event.
+    pub reader_peak: ReaderPeak,
+}
+
+/// Peak resident bytes-in-flight of the format layer while parsing every
+/// station file of one event, measured two ways: the whole-file path
+/// (`read_file` + `from_text`, the pre-streaming behaviour) and the
+/// streaming path (`Scanner::open` with its bounded 64 KiB buffer). The
+/// gap is what the streaming readers buy: residency stops scaling with
+/// file size.
+#[derive(Debug, Clone)]
+pub struct ReaderPeak {
+    /// Event the files belong to (the largest paper event).
+    pub event: String,
+    /// Data-point scale the files were synthesized at (floored at 0.05 so
+    /// the largest station file exceeds the streaming buffer).
+    pub scale: f64,
+    /// Station files parsed.
+    pub files: usize,
+    /// Peak bytes-in-flight of the whole-file path.
+    pub whole_bytes: u64,
+    /// Peak bytes-in-flight of the streaming path.
+    pub stream_bytes: u64,
+}
+
+impl ReaderPeak {
+    /// Fractional residency reduction, `1 − stream/whole`.
+    pub fn reduction(&self) -> f64 {
+        if self.whole_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.stream_bytes as f64 / self.whole_bytes as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"event\": {}, \"scale\": {}, \"files\": {}, \"whole_bytes\": {}, \"stream_bytes\": {}, \"reduction\": {:.4}}}",
+            json_str(&self.event),
+            self.scale,
+            self.files,
+            self.whole_bytes,
+            self.stream_bytes,
+            self.reduction()
+        )
+    }
+}
+
+/// Measures [`ReaderPeak`] on the largest paper event. The requested scale
+/// is floored at 0.05: below that every station file fits inside the
+/// streaming buffer and both paths report the same residency.
+pub fn reader_peak_experiment(scale: f64) -> Result<ReaderPeak, PipelineError> {
+    use arp_formats::stats;
+    let scale = scale.max(0.05);
+    let index = PAPER_EVENT_SHAPES.len() - 1;
+    let label = PAPER_EVENT_SHAPES[index].0;
+    let event = paper_event(index, scale);
+    let input_dir = stage_event_inputs(&event, "reader-peak")?;
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&input_dir)
+        .map_err(|e| PipelineError::io(&input_dir, e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "v1"))
+        .collect();
+    files.sort();
+
+    // Whole-file path: the file's full text is resident for the parse.
+    stats::reset_peak();
+    for path in &files {
+        let text = arp_formats::fsio::read_file(path)?;
+        let _ = arp_formats::V1StationFile::from_text(&text)?;
+    }
+    let whole_bytes = stats::peak();
+
+    // Streaming path: only the scanner's bounded buffer is resident.
+    stats::reset_peak();
+    for path in &files {
+        let _ = arp_formats::V1StationFile::read(path)?;
+    }
+    let stream_bytes = stats::peak();
+
+    std::fs::remove_dir_all(&input_dir).map_err(|e| PipelineError::io(&input_dir, e))?;
+    Ok(ReaderPeak {
+        event: label.to_string(),
+        scale,
+        files: files.len(),
+        whole_bytes,
+        stream_bytes,
+    })
 }
 
 /// Percentile digest of one live-metrics histogram, in seconds. The
@@ -701,6 +789,7 @@ pub fn batch_experiment(
             std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
         }
     }
+    let reader_peak = reader_peak_experiment(scale)?;
     Ok(BatchExperiment {
         scale,
         loop_report,
@@ -708,6 +797,7 @@ pub fn batch_experiment(
         trace,
         queue_wait,
         execute,
+        reader_peak,
     })
 }
 
@@ -943,6 +1033,17 @@ pub fn format_batch_experiment(b: &BatchExperiment) -> String {
             ));
         }
     }
+    let rp = &b.reader_peak;
+    out.push_str(&format!(
+        "reader peak bytes-in-flight, event {} at scale {} ({} files): \
+         whole-file {} B vs streaming {} B ({:.0}% lower)\n",
+        rp.event,
+        rp.scale,
+        rp.files,
+        rp.whole_bytes,
+        rp.stream_bytes,
+        rp.reduction() * 100.0
+    ));
     out
 }
 
@@ -993,6 +1094,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
          \"trace_spans\": {},\n  \"mean_utilization\": {:.4},\n  \"queue_wait_us\": \
          {{\"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
          \"metrics\": {{\"queue_wait\": {}, \"execute\": {}}},\n  \
+         \"reader_peak\": {},\n  \
          \"workers\": [\n{}\n  ]\n}}\n",
         b.scale,
         dag.map_or(0, |d| d.threads),
@@ -1020,6 +1122,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         b.trace.queue_wait_max_us,
         digest(&b.queue_wait),
         digest(&b.execute),
+        b.reader_peak.json(),
         lanes,
     )
 }
@@ -1349,6 +1452,17 @@ mod tests {
         assert!(b.queue_wait.is_some(), "queue-wait digest missing");
         assert!(b.execute.is_some(), "execute digest missing");
         assert!(!json.contains(": null"), "null digest leaked: {json}");
+        // The streaming readers must beat the whole-file path on residency:
+        // the experiment floors its scale so files exceed the 64 KiB buffer.
+        assert!(json.contains("\"reader_peak\""), "{json}");
+        assert!(text.contains("reader peak bytes-in-flight"), "{text}");
+        assert!(
+            b.reader_peak.stream_bytes < b.reader_peak.whole_bytes,
+            "streaming {} B not below whole-file {} B",
+            b.reader_peak.stream_bytes,
+            b.reader_peak.whole_bytes
+        );
+        assert!(b.reader_peak.reduction() > 0.0);
     }
 
     #[test]

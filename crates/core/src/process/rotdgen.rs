@@ -59,12 +59,12 @@ impl RotDFile {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> std::result::Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: std::io::BufRead>(
+        sc: &mut Scanner<B>,
+    ) -> std::result::Result<Self, FormatError> {
         sc.expect_magic(Self::MAGIC)?;
-        let station = sc.expect_kv("STATION")?.to_string();
-        let event_id = sc.expect_kv("EVENT")?.to_string();
+        let station = sc.expect_kv("STATION")?;
+        let event_id = sc.expect_kv("EVENT")?;
         let damping = sc.expect_kv_f64("DAMPING")?;
         let periods = sc.read_block("PERIODS")?;
         let rotd50 = sc.read_block("ROTD50")?;
@@ -84,9 +84,15 @@ impl RotDFile {
         })
     }
 
-    /// Reads from `path`.
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> std::result::Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> std::result::Result<Self, FormatError> {
-        Self::from_text(&arp_formats::fsio::read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 

@@ -10,15 +10,21 @@
 
 use crate::context::RunContext;
 use crate::error::Result;
-use arp_formats::{names, V1StationFile};
+use arp_formats::names;
+use arp_formats::v1::V1StationReader;
 
 /// Runs process #3 (or #12 — identical semantics).
+///
+/// Uses the streaming [`V1StationReader`]: each per-component record is
+/// parsed, written, and dropped before the next is read, so a station's
+/// whole multi-component file is never resident at once.
 pub fn separate_components(ctx: &RunContext, parallel: bool) -> Result<()> {
     let stations = ctx.stations()?;
     let body = |i: usize| -> Result<()> {
         let station = &stations[i];
-        let file = V1StationFile::read(&ctx.artifact(&names::v1_station(station)))?;
-        for part in file.split() {
+        let reader = V1StationReader::open(&ctx.artifact(&names::v1_station(station)))?;
+        for part in reader {
+            let part = part?;
             let name = names::v1_component(station, part.component);
             part.write(&ctx.artifact(&name))?;
         }

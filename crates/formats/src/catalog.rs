@@ -7,8 +7,9 @@
 //! with event metadata, and the summary exporter embeds its rows.
 
 use crate::error::FormatError;
-use crate::fsio::{read_file, write_file};
+use crate::fsio::write_file;
 use crate::numio::{write_kv, write_magic, Scanner};
+use std::io::BufRead;
 use std::path::Path;
 
 /// One cataloged seismic event.
@@ -117,9 +118,7 @@ impl Catalog {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
         sc.expect_magic(Self::MAGIC)?;
         let count = sc.expect_kv_usize("COUNT")?;
         let mut entries = Vec::with_capacity(count);
@@ -157,14 +156,20 @@ impl Catalog {
         Ok(catalog)
     }
 
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 

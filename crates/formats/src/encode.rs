@@ -1,0 +1,144 @@
+//! Round-trip record encoder: re-emits a (possibly filtered) record stream.
+//!
+//! [`RecordEncoder`] is the write side of [`RecordReader`](crate::iter::RecordReader):
+//! records stream out in the same text format they stream in, so
+//! read → filter → encode pipelines are byte-identical for the records
+//! that pass the filter.
+//!
+//! ```
+//! use arp_formats::encode::RecordEncoder;
+//! use arp_formats::iter::{Record, RecordReader};
+//! use arp_formats::types::{Component, MotionTriple, RecordHeader};
+//! use arp_formats::v1::V1ComponentFile;
+//!
+//! let rec = V1ComponentFile {
+//!     header: RecordHeader::new("SSLB", "EV1", "2019-07-31T03:04:05Z", 0.01).unwrap(),
+//!     component: Component::Vertical,
+//!     data: MotionTriple::from_acceleration(vec![0.0, 1.0], 0.01).unwrap(),
+//! };
+//! let original = rec.to_text();
+//!
+//! // Stream the record through reader → encoder; bytes survive untouched.
+//! let mut out: Vec<u8> = Vec::new();
+//! let mut enc = RecordEncoder::new(&mut out);
+//! for rec in RecordReader::new(original.as_bytes()) {
+//!     enc.write_record(&rec.unwrap()).unwrap();
+//! }
+//! enc.finish().unwrap();
+//! assert_eq!(out, original.as_bytes());
+//! ```
+
+use crate::error::FormatError;
+use crate::iter::Record;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Streams records back out in the canonical text format.
+pub struct RecordEncoder<W: Write> {
+    sink: W,
+    path: Option<PathBuf>,
+    records_written: usize,
+}
+
+impl RecordEncoder<BufWriter<File>> {
+    /// Creates (or truncates) `path` and encodes into it, creating parent
+    /// directories as needed.
+    pub fn create(path: &Path) -> Result<Self, FormatError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| FormatError::io(path, e))?;
+            }
+        }
+        let file = File::create(path).map_err(|e| FormatError::io(path, e))?;
+        let mut enc = RecordEncoder::new(BufWriter::new(file));
+        enc.path = Some(path.to_path_buf());
+        Ok(enc)
+    }
+}
+
+impl<W: Write> RecordEncoder<W> {
+    /// Encodes into any writer.
+    pub fn new(sink: W) -> Self {
+        RecordEncoder {
+            sink,
+            path: None,
+            records_written: 0,
+        }
+    }
+
+    fn io_err(&self, e: std::io::Error) -> FormatError {
+        let path = self
+            .path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("<stream>"));
+        FormatError::io(path, e)
+    }
+
+    /// Appends one record to the stream.
+    pub fn write_record(&mut self, record: &Record) -> Result<(), FormatError> {
+        self.sink
+            .write_all(record.to_text().as_bytes())
+            .map_err(|e| self.io_err(e))?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> usize {
+        self.records_written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, FormatError> {
+        self.sink.flush().map_err(|e| self.io_err(e))?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use crate::iter::RecordReader;
+    use crate::types::{Component, MotionTriple, RecordHeader};
+    use crate::v1::V1ComponentFile;
+
+    fn v1c(station: &str, n: usize) -> V1ComponentFile {
+        let acc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        V1ComponentFile {
+            header: RecordHeader::new(station, "EV1", "2019-07-31T03:04:05Z", 0.01).unwrap(),
+            component: Component::Longitudinal,
+            data: MotionTriple::from_acceleration(acc, 0.01).unwrap(),
+        }
+    }
+
+    #[test]
+    fn filtered_stream_keeps_surviving_bytes_identical() {
+        let keep = v1c("KEEP", 10).to_text();
+        let drop = v1c("DROP", 10).to_text();
+        let stream = format!("{drop}{keep}{drop}");
+        let mut out = Vec::new();
+        let mut enc = RecordEncoder::new(&mut out);
+        for rec in
+            RecordReader::new(stream.as_bytes()).with_filters(vec![Filter::Station("KEEP".into())])
+        {
+            enc.write_record(&rec.unwrap()).unwrap();
+        }
+        assert_eq!(enc.records_written(), 1);
+        enc.finish().unwrap();
+        assert_eq!(out, keep.as_bytes());
+    }
+
+    #[test]
+    fn create_writes_to_disk_with_parents() {
+        let dir = std::env::temp_dir().join(format!("arp-enc-{}", std::process::id()));
+        let path = dir.join("nested/out.v1");
+        let rec = crate::iter::Record::V1Component(v1c("AAAA", 4));
+        let mut enc = RecordEncoder::create(&path).unwrap();
+        enc.write_record(&rec).unwrap();
+        enc.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), rec.to_text());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

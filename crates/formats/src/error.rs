@@ -41,6 +41,15 @@ pub enum FormatError {
     },
     /// A header value failed validation (e.g. non-positive dt).
     InvalidValue(String),
+    /// An error annotated with the file it occurred in, so parse failures
+    /// carry both the path and (via the inner [`FormatError::Syntax`]) the
+    /// line offset.
+    InFile {
+        /// File being parsed.
+        path: PathBuf,
+        /// The underlying parse error.
+        source: Box<FormatError>,
+    },
 }
 
 impl FormatError {
@@ -57,6 +66,19 @@ impl FormatError {
         FormatError::Syntax {
             line,
             message: message.into(),
+        }
+    }
+
+    /// Annotates the error with the file it came from. Errors that already
+    /// carry a path ([`FormatError::Io`], [`FormatError::InFile`]) are
+    /// returned unchanged.
+    pub fn in_file(self, path: impl Into<PathBuf>) -> Self {
+        match self {
+            FormatError::Io { .. } | FormatError::InFile { .. } => self,
+            other => FormatError::InFile {
+                path: path.into(),
+                source: Box::new(other),
+            },
         }
     }
 }
@@ -81,6 +103,9 @@ impl fmt::Display for FormatError {
                 "block {block}: declared {expected} values but found {found}"
             ),
             FormatError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            FormatError::InFile { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -89,6 +114,7 @@ impl std::error::Error for FormatError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FormatError::Io { source, .. } => Some(source),
+            FormatError::InFile { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -121,6 +147,21 @@ mod tests {
         assert!(FormatError::InvalidValue("dt".into())
             .to_string()
             .contains("dt"));
+    }
+
+    #[test]
+    fn in_file_wraps_once_and_keeps_line() {
+        let inner = FormatError::syntax(12, "bad value");
+        let wrapped = inner.in_file("/work/SSLBl.v2");
+        let msg = wrapped.to_string();
+        assert!(msg.contains("/work/SSLBl.v2"), "{msg}");
+        assert!(msg.contains("line 12"), "{msg}");
+        // Re-wrapping must not nest paths.
+        let again = wrapped.in_file("/other/path");
+        assert!(!again.to_string().contains("/other/path"));
+        // I/O errors already carry their path.
+        let io = FormatError::io("/x", io::Error::other("boom")).in_file("/y");
+        assert!(!io.to_string().contains("/y"));
     }
 
     #[test]

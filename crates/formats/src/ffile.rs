@@ -1,13 +1,22 @@
 //! `F` files — Fourier spectra (`<station><c>.f`), output of process #7.
 
 use crate::error::FormatError;
-use crate::fsio::{read_file, write_file};
+use crate::fsio::write_file;
 use crate::numio::{write_block, write_kv, write_magic, Scanner};
 use crate::types::Component;
 use arp_dsp::spectrum::FourierSpectrum;
+use std::io::BufRead;
 use std::path::Path;
 
-const MAGIC: &str = "ARP-F";
+pub(crate) const MAGIC: &str = "ARP-F";
+
+/// Header portion of an F file: everything before the spectrum blocks.
+pub(crate) struct FHead {
+    pub station: String,
+    pub event_id: String,
+    pub component: Component,
+    pub dt: f64,
+}
 
 /// A Fourier-spectrum file for one component.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,23 +66,32 @@ impl FFile {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
-        sc.expect_magic(MAGIC)?;
-        let station = sc.expect_kv("STATION")?.to_string();
-        let event_id = sc.expect_kv("EVENT")?.to_string();
-        let component = Component::from_name(sc.expect_kv("COMPONENT")?)?;
+    pub(crate) fn scan_head<B: BufRead>(sc: &mut Scanner<B>) -> Result<FHead, FormatError> {
+        let station = sc.expect_kv("STATION")?;
+        let event_id = sc.expect_kv("EVENT")?;
+        let component = Component::from_name(&sc.expect_kv("COMPONENT")?)?;
         let dt = sc.expect_kv_f64("DT")?;
+        Ok(FHead {
+            station,
+            event_id,
+            component,
+            dt,
+        })
+    }
+
+    pub(crate) fn finish_body<B: BufRead>(
+        sc: &mut Scanner<B>,
+        head: FHead,
+    ) -> Result<Self, FormatError> {
         let frequency_hz = sc.read_block("FREQ")?;
         let acceleration = sc.read_block("FAS_ACC")?;
         let velocity = sc.read_block("FAS_VEL")?;
         let displacement = sc.read_block("FAS_DISP")?;
         let file = FFile {
-            station,
-            event_id,
-            component,
-            dt,
+            station: head.station,
+            event_id: head.event_id,
+            component: head.component,
+            dt: head.dt,
             spectrum: FourierSpectrum {
                 frequency_hz,
                 acceleration,
@@ -85,14 +103,31 @@ impl FFile {
         Ok(file)
     }
 
+    pub(crate) fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
+        sc.expect_magic(MAGIC)?;
+        let head = Self::scan_head(sc)?;
+        Self::finish_body(sc, head)
+    }
+
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
+    /// Parses from any buffered reader, consuming one record.
+    pub fn from_reader<B: BufRead>(src: B) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::new(src))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 

@@ -1,0 +1,233 @@
+//! Composable record filters, evaluated during the streaming scan.
+//!
+//! A [`Filter`] is first offered the record's header facts
+//! ([`RecordMeta`]) via [`Filter::match_meta`];
+//! answering `Some(false)` lets the reader skip the record's numeric blocks
+//! without parsing a single float. A filter that cannot decide from the
+//! header alone (e.g. [`Filter::PeriodBand`] needs the period grid) answers
+//! `None` and is re-checked on the fully parsed record.
+//!
+//! ```
+//! use arp_formats::filter::Filter;
+//! use arp_formats::iter::{RecordKind, RecordMeta};
+//! use arp_formats::types::Component;
+//!
+//! let meta = RecordMeta {
+//!     kind: RecordKind::V2,
+//!     station: "SSLB".into(),
+//!     event_id: "EV1".into(),
+//!     component: Some(Component::Vertical),
+//!     pga: Some(41.5),
+//! };
+//! assert_eq!(Filter::Station("SSLB".into()).match_meta(&meta), Some(true));
+//! assert_eq!(Filter::pga_range(Some(50.0), None).match_meta(&meta), Some(false));
+//!
+//! // Period bands defer on response-spectrum headers: no period grid yet.
+//! let spec = RecordMeta { kind: RecordKind::Response, pga: None, ..meta };
+//! assert_eq!(Filter::period_band(Some(0.1), Some(2.0)).match_meta(&spec), None);
+//! ```
+
+use crate::iter::{Record, RecordKind, RecordMeta};
+use crate::types::Component;
+
+/// One predicate over records. Combine several with
+/// [`RecordReader::with_filters`](crate::iter::RecordReader::with_filters)
+/// or [`Query::filter`](crate::query::Query::filter); all must match
+/// (conjunction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Keep only records of this shape.
+    Kind(RecordKind),
+    /// Keep only records of this event (exact match).
+    Event(String),
+    /// Keep only records from this station (exact match).
+    Station(String),
+    /// Keep only records of this component. Station records (`ARP-V1S`)
+    /// hold all components and never match a component filter.
+    Component(Component),
+    /// Keep records whose peak ground acceleration lies in
+    /// `[min, max]` (either bound optional). Only V2 records carry a PGA;
+    /// other kinds never match.
+    PgaRange {
+        /// Inclusive lower bound (cm/s²), if any.
+        min: Option<f64>,
+        /// Inclusive upper bound (cm/s²), if any.
+        max: Option<f64>,
+    },
+    /// Keep response-spectrum records whose period grid overlaps
+    /// `[min, max]` (either bound optional). Other kinds never match.
+    PeriodBand {
+        /// Inclusive lower bound (s), if any.
+        min: Option<f64>,
+        /// Inclusive upper bound (s), if any.
+        max: Option<f64>,
+    },
+}
+
+fn in_range(v: f64, min: Option<f64>, max: Option<f64>) -> bool {
+    min.is_none_or(|m| v >= m) && max.is_none_or(|m| v <= m)
+}
+
+impl Filter {
+    /// Builds a [`Filter::PgaRange`].
+    pub fn pga_range(min: Option<f64>, max: Option<f64>) -> Self {
+        Filter::PgaRange { min, max }
+    }
+
+    /// Builds a [`Filter::PeriodBand`].
+    pub fn period_band(min: Option<f64>, max: Option<f64>) -> Self {
+        Filter::PeriodBand { min, max }
+    }
+
+    /// Decides from header facts alone, where possible.
+    ///
+    /// * `Some(true)` — the record matches regardless of its body;
+    /// * `Some(false)` — the record cannot match; its body may be skipped;
+    /// * `None` — undecidable until the body is parsed (re-check with
+    ///   [`Filter::matches`]).
+    pub fn match_meta(&self, meta: &RecordMeta) -> Option<bool> {
+        match self {
+            Filter::Kind(kind) => Some(meta.kind == *kind),
+            Filter::Event(event) => Some(meta.event_id == *event),
+            Filter::Station(station) => Some(meta.station == *station),
+            Filter::Component(comp) => Some(meta.component == Some(*comp)),
+            Filter::PgaRange { min, max } => match meta.kind {
+                // Only V2 records carry a PGA; for them it is in the header.
+                RecordKind::V2 => Some(meta.pga.is_some_and(|v| in_range(v, *min, *max))),
+                _ => Some(false),
+            },
+            Filter::PeriodBand { .. } => match meta.kind {
+                // The period grid lives in the body; defer.
+                RecordKind::Response => None,
+                _ => Some(false),
+            },
+        }
+    }
+
+    /// Evaluates all filters against header facts. `Some(false)` as soon as
+    /// any filter definitely rejects; `Some(true)` when every filter
+    /// definitely accepts; `None` when undecided.
+    pub fn match_meta_all(filters: &[Filter], meta: &RecordMeta) -> Option<bool> {
+        let mut all_true = true;
+        for f in filters {
+            match f.match_meta(meta) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates against a fully parsed record. Always decidable.
+    pub fn matches(&self, record: &Record) -> bool {
+        match self {
+            Filter::Kind(kind) => record.kind() == *kind,
+            Filter::Event(event) => record.event_id() == event,
+            Filter::Station(station) => record.station() == station,
+            Filter::Component(comp) => record.component() == Some(*comp),
+            Filter::PgaRange { min, max } => record.pga().is_some_and(|v| in_range(v, *min, *max)),
+            Filter::PeriodBand { min, max } => record
+                .periods()
+                .is_some_and(|ps| ps.iter().any(|&p| in_range(p, *min, *max))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(kind: RecordKind) -> RecordMeta {
+        RecordMeta {
+            kind,
+            station: "SSLB".into(),
+            event_id: "EV1".into(),
+            component: match kind {
+                RecordKind::V1Station => None,
+                _ => Some(Component::Longitudinal),
+            },
+            pga: match kind {
+                RecordKind::V2 => Some(25.0),
+                _ => None,
+            },
+        }
+    }
+
+    #[test]
+    fn kind_event_station_decide_on_meta() {
+        let m = meta(RecordKind::V2);
+        assert_eq!(Filter::Kind(RecordKind::V2).match_meta(&m), Some(true));
+        assert_eq!(
+            Filter::Kind(RecordKind::Fourier).match_meta(&m),
+            Some(false)
+        );
+        assert_eq!(Filter::Event("EV1".into()).match_meta(&m), Some(true));
+        assert_eq!(Filter::Event("EV2".into()).match_meta(&m), Some(false));
+        assert_eq!(Filter::Station("SSLB".into()).match_meta(&m), Some(true));
+        assert_eq!(Filter::Station("XXXX".into()).match_meta(&m), Some(false));
+    }
+
+    #[test]
+    fn component_filter_rejects_station_records() {
+        let f = Filter::Component(Component::Longitudinal);
+        assert_eq!(f.match_meta(&meta(RecordKind::V1Station)), Some(false));
+        assert_eq!(f.match_meta(&meta(RecordKind::V1Component)), Some(true));
+        assert_eq!(
+            Filter::Component(Component::Vertical).match_meta(&meta(RecordKind::V2)),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn pga_range_bounds() {
+        let m = meta(RecordKind::V2);
+        assert_eq!(Filter::pga_range(None, None).match_meta(&m), Some(true));
+        assert_eq!(
+            Filter::pga_range(Some(25.0), Some(25.0)).match_meta(&m),
+            Some(true)
+        );
+        assert_eq!(
+            Filter::pga_range(Some(30.0), None).match_meta(&m),
+            Some(false)
+        );
+        assert_eq!(
+            Filter::pga_range(None, Some(10.0)).match_meta(&m),
+            Some(false)
+        );
+        // Non-V2 kinds carry no PGA and never match.
+        assert_eq!(
+            Filter::pga_range(None, None).match_meta(&meta(RecordKind::Fourier)),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn period_band_defers_on_response_only() {
+        let f = Filter::period_band(Some(0.1), Some(1.0));
+        assert_eq!(f.match_meta(&meta(RecordKind::Response)), None);
+        assert_eq!(f.match_meta(&meta(RecordKind::V2)), Some(false));
+    }
+
+    #[test]
+    fn match_meta_all_combines() {
+        let m = meta(RecordKind::Response);
+        let decided = vec![Filter::Station("SSLB".into()), Filter::Event("EV1".into())];
+        assert_eq!(Filter::match_meta_all(&decided, &m), Some(true));
+        let rejecting = vec![
+            Filter::Station("XXXX".into()),
+            Filter::period_band(None, None),
+        ];
+        assert_eq!(Filter::match_meta_all(&rejecting, &m), Some(false));
+        let undecided = vec![
+            Filter::Station("SSLB".into()),
+            Filter::period_band(None, None),
+        ];
+        assert_eq!(Filter::match_meta_all(&undecided, &m), None);
+        assert_eq!(Filter::match_meta_all(&[], &m), Some(true));
+    }
+}

@@ -12,9 +12,10 @@
 //! observatory pipeline.
 
 use crate::error::FormatError;
-use crate::fsio::{read_file, write_file};
+use crate::fsio::write_file;
 use crate::numio::{write_block, write_kv, write_magic, Scanner};
 use crate::types::{Component, Quantity};
+use std::io::BufRead;
 use std::path::Path;
 
 const MAGIC: &str = "ARP-GEM";
@@ -155,20 +156,22 @@ impl GemFile {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
         sc.expect_magic(MAGIC)?;
-        let station = sc.expect_kv("STATION")?.to_string();
-        let event_id = sc.expect_kv("EVENT")?.to_string();
-        let component = Component::from_name(sc.expect_kv("COMPONENT")?)?;
+        let station = sc.expect_kv("STATION")?;
+        let event_id = sc.expect_kv("EVENT")?;
+        let component = Component::from_name(&sc.expect_kv("COMPONENT")?)?;
         let source_str = sc.expect_kv("SOURCE")?;
         let source = GemSource::from_code(source_str.chars().next().unwrap_or(' '))?;
         let quantity_str = sc.expect_kv("QUANTITY")?;
         let quantity = Quantity::from_code(quantity_str.chars().next().unwrap_or(' '))?;
         let peak = sc.expect_kv_f64("PEAK")?;
-        let axis = match sc.peek() {
-            Some(line) if line.trim_start().starts_with("AXIS-UNIFORM") => {
+        let uniform = matches!(
+            sc.peek()?,
+            Some(line) if line.trim_start().starts_with("AXIS-UNIFORM")
+        );
+        let axis = match uniform {
+            true => {
                 let spec = sc.expect_kv("AXIS-UNIFORM")?;
                 let parts: Vec<&str> = spec.split_whitespace().collect();
                 if parts.len() != 3 {
@@ -192,7 +195,7 @@ impl GemFile {
                 }
                 (0..count).map(|i| start + step * i as f64).collect()
             }
-            _ => sc.read_block("AXIS")?,
+            false => sc.read_block("AXIS")?,
         };
         let values = sc.read_block("VALUES")?;
         let f = GemFile {
@@ -209,14 +212,20 @@ impl GemFile {
         Ok(f)
     }
 
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 
     /// The file name this product should be stored under.

@@ -1,0 +1,588 @@
+//! Lazy, fallible record iterators over V1/V2/F/R streams.
+//!
+//! [`RecordReader`] pulls records out of any [`BufRead`] source — a single
+//! product file, or a stream of concatenated records — parsing each record
+//! only as it is reached. Combined with [`Filter`]s
+//! it skips the body of non-matching records entirely: the header is parsed,
+//! the filter decides, and a rejected record's numeric blocks are passed
+//! over without a single float conversion.
+//!
+//! ```
+//! use arp_formats::iter::{Record, RecordReader};
+//! use arp_formats::types::{Component, MotionTriple, RecordHeader};
+//! use arp_formats::v1::V1ComponentFile;
+//!
+//! let rec = V1ComponentFile {
+//!     header: RecordHeader::new("SSLB", "EV1", "2019-07-31T03:04:05Z", 0.01).unwrap(),
+//!     component: Component::Vertical,
+//!     data: MotionTriple::from_acceleration(vec![0.0, 1.0], 0.01).unwrap(),
+//! };
+//! // Two records concatenated into one stream.
+//! let stream = format!("{}{}", rec.to_text(), rec.to_text());
+//! let records: Vec<Record> = RecordReader::new(stream.as_bytes())
+//!     .map(Result::unwrap)
+//!     .collect();
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[0].station(), "SSLB");
+//! ```
+
+use crate::error::FormatError;
+use crate::ffile::{self, FFile};
+use crate::filter::Filter;
+use crate::numio::Scanner;
+use crate::rfile::{self, RFile};
+use crate::types::{names, Component};
+use crate::v1::{self, V1ComponentFile, V1StationFile};
+use crate::v2::{self, V2File};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// The record shapes a [`RecordReader`] can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordKind {
+    /// Raw multi-component station record (`ARP-V1S`).
+    V1Station,
+    /// Uncorrected single-component record (`ARP-V1C`).
+    V1Component,
+    /// Corrected record (`ARP-V2`).
+    V2,
+    /// Fourier spectrum (`ARP-F`).
+    Fourier,
+    /// Response spectrum (`ARP-R`).
+    Response,
+}
+
+impl RecordKind {
+    /// All kinds in pipeline order.
+    pub const ALL: [RecordKind; 5] = [
+        RecordKind::V1Station,
+        RecordKind::V1Component,
+        RecordKind::V2,
+        RecordKind::Fourier,
+        RecordKind::Response,
+    ];
+
+    /// The magic token that introduces this kind of record.
+    pub fn magic(self) -> &'static str {
+        match self {
+            RecordKind::V1Station => v1::MAGIC_STATION,
+            RecordKind::V1Component => v1::MAGIC_COMPONENT,
+            RecordKind::V2 => v2::MAGIC,
+            RecordKind::Fourier => ffile::MAGIC,
+            RecordKind::Response => rfile::MAGIC,
+        }
+    }
+
+    /// Maps a magic token back to a kind.
+    pub fn from_magic(token: &str) -> Option<Self> {
+        RecordKind::ALL.iter().copied().find(|k| k.magic() == token)
+    }
+
+    /// Short name used by `arp query --kind` (`v1s`, `v1c`, `v2`, `f`, `r`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RecordKind::V1Station => "v1s",
+            RecordKind::V1Component => "v1c",
+            RecordKind::V2 => "v2",
+            RecordKind::Fourier => "f",
+            RecordKind::Response => "r",
+        }
+    }
+
+    /// Parses the short name (case-insensitive).
+    pub fn from_short_name(s: &str) -> Result<Self, FormatError> {
+        let lower = s.trim().to_ascii_lowercase();
+        RecordKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.short_name() == lower)
+            .ok_or_else(|| FormatError::InvalidValue(format!("unknown record kind {s:?}")))
+    }
+}
+
+/// One parsed record of any kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Raw multi-component station record.
+    V1Station(V1StationFile),
+    /// Uncorrected single-component record.
+    V1Component(V1ComponentFile),
+    /// Corrected record.
+    V2(V2File),
+    /// Fourier spectrum.
+    Fourier(FFile),
+    /// Response spectrum.
+    Response(RFile),
+}
+
+impl Record {
+    /// Which shape this record is.
+    pub fn kind(&self) -> RecordKind {
+        match self {
+            Record::V1Station(_) => RecordKind::V1Station,
+            Record::V1Component(_) => RecordKind::V1Component,
+            Record::V2(_) => RecordKind::V2,
+            Record::Fourier(_) => RecordKind::Fourier,
+            Record::Response(_) => RecordKind::Response,
+        }
+    }
+
+    /// Station code.
+    pub fn station(&self) -> &str {
+        match self {
+            Record::V1Station(f) => &f.header.station,
+            Record::V1Component(f) => &f.header.station,
+            Record::V2(f) => &f.header.station,
+            Record::Fourier(f) => &f.station,
+            Record::Response(f) => &f.station,
+        }
+    }
+
+    /// Event identifier.
+    pub fn event_id(&self) -> &str {
+        match self {
+            Record::V1Station(f) => &f.header.event_id,
+            Record::V1Component(f) => &f.header.event_id,
+            Record::V2(f) => &f.header.event_id,
+            Record::Fourier(f) => &f.event_id,
+            Record::Response(f) => &f.event_id,
+        }
+    }
+
+    /// Component, when the record holds exactly one.
+    pub fn component(&self) -> Option<Component> {
+        match self {
+            Record::V1Station(_) => None,
+            Record::V1Component(f) => Some(f.component),
+            Record::V2(f) => Some(f.component),
+            Record::Fourier(f) => Some(f.component),
+            Record::Response(f) => Some(f.component),
+        }
+    }
+
+    /// Peak ground acceleration, for records that store one (V2 only).
+    pub fn pga(&self) -> Option<f64> {
+        match self {
+            Record::V2(f) => Some(f.peaks.pga),
+            _ => None,
+        }
+    }
+
+    /// Period grid, for response-spectrum records.
+    pub fn periods(&self) -> Option<&[f64]> {
+        match self {
+            Record::Response(f) => f.spectra.first().map(|s| s.periods.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Number of stored samples: trace samples for time-series records,
+    /// frequency bins for F files, period ordinates (×dampings) for R files.
+    pub fn data_points(&self) -> usize {
+        match self {
+            Record::V1Station(f) => f.data_points(),
+            Record::V1Component(f) => f.data.len(),
+            Record::V2(f) => f.data.len(),
+            Record::Fourier(f) => f.spectrum.len(),
+            Record::Response(f) => f.spectra.iter().map(|s| s.periods.len()).sum(),
+        }
+    }
+
+    /// Sampling interval, for records that carry one.
+    pub fn dt(&self) -> Option<f64> {
+        match self {
+            Record::V1Station(f) => Some(f.header.dt),
+            Record::V1Component(f) => Some(f.header.dt),
+            Record::V2(f) => Some(f.header.dt),
+            Record::Fourier(f) => Some(f.dt),
+            Record::Response(_) => None,
+        }
+    }
+
+    /// The canonical file name for this record.
+    pub fn file_name(&self) -> String {
+        match self {
+            Record::V1Station(f) => names::v1_station(&f.header.station),
+            Record::V1Component(f) => names::v1_component(&f.header.station, f.component),
+            Record::V2(f) => names::v2_component(&f.header.station, f.component),
+            Record::Fourier(f) => names::f_component(&f.station, f.component),
+            Record::Response(f) => names::r_component(&f.station, f.component),
+        }
+    }
+
+    /// Serializes to the record's text format (byte-identical to the file
+    /// the record was parsed from, for files written by this crate).
+    pub fn to_text(&self) -> String {
+        match self {
+            Record::V1Station(f) => f.to_text(),
+            Record::V1Component(f) => f.to_text(),
+            Record::V2(f) => f.to_text(),
+            Record::Fourier(f) => f.to_text(),
+            Record::Response(f) => f.to_text(),
+        }
+    }
+}
+
+/// Header facts shared by every record kind, parsed before the numeric
+/// blocks. Filters use this to accept or reject a record cheaply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordMeta {
+    /// Record shape.
+    pub kind: RecordKind,
+    /// Station code.
+    pub station: String,
+    /// Event identifier.
+    pub event_id: String,
+    /// Component, when the record holds exactly one.
+    pub component: Option<Component>,
+    /// Peak ground acceleration, when stored in the header (V2 only).
+    pub pga: Option<f64>,
+}
+
+/// Typed header halves, so a record body can be finished after filtering.
+enum Head {
+    V1Station(v1::V1StationHead),
+    V1Component(v1::V1ComponentHead),
+    V2(v2::V2Head),
+    Fourier(ffile::FHead),
+    Response(rfile::RHead),
+}
+
+impl Head {
+    fn scan<B: BufRead>(kind: RecordKind, sc: &mut Scanner<B>) -> Result<Self, FormatError> {
+        Ok(match kind {
+            RecordKind::V1Station => Head::V1Station(V1StationFile::scan_head(sc)?),
+            RecordKind::V1Component => Head::V1Component(V1ComponentFile::scan_head(sc)?),
+            RecordKind::V2 => Head::V2(V2File::scan_head(sc)?),
+            RecordKind::Fourier => Head::Fourier(FFile::scan_head(sc)?),
+            RecordKind::Response => Head::Response(RFile::scan_head(sc)?),
+        })
+    }
+
+    fn meta(&self) -> RecordMeta {
+        match self {
+            Head::V1Station(h) => RecordMeta {
+                kind: RecordKind::V1Station,
+                station: h.header.station.clone(),
+                event_id: h.header.event_id.clone(),
+                component: None,
+                pga: None,
+            },
+            Head::V1Component(h) => RecordMeta {
+                kind: RecordKind::V1Component,
+                station: h.header.station.clone(),
+                event_id: h.header.event_id.clone(),
+                component: Some(h.component),
+                pga: None,
+            },
+            Head::V2(h) => RecordMeta {
+                kind: RecordKind::V2,
+                station: h.header.station.clone(),
+                event_id: h.header.event_id.clone(),
+                component: Some(h.component),
+                pga: Some(h.peaks.pga),
+            },
+            Head::Fourier(h) => RecordMeta {
+                kind: RecordKind::Fourier,
+                station: h.station.clone(),
+                event_id: h.event_id.clone(),
+                component: Some(h.component),
+                pga: None,
+            },
+            Head::Response(h) => RecordMeta {
+                kind: RecordKind::Response,
+                station: h.station.clone(),
+                event_id: h.event_id.clone(),
+                component: Some(h.component),
+                pga: None,
+            },
+        }
+    }
+
+    fn finish<B: BufRead>(self, sc: &mut Scanner<B>) -> Result<Record, FormatError> {
+        Ok(match self {
+            Head::V1Station(h) => Record::V1Station(V1StationFile::finish_body(sc, h)?),
+            Head::V1Component(h) => Record::V1Component(V1ComponentFile::finish_body(sc, h)?),
+            Head::V2(h) => Record::V2(V2File::finish_body(sc, h)?),
+            Head::Fourier(h) => Record::Fourier(FFile::finish_body(sc, h)?),
+            Head::Response(h) => Record::Response(RFile::finish_body(sc, h)?),
+        })
+    }
+}
+
+/// A lazy, fallible iterator over the records in a byte stream.
+///
+/// Yields `Result<Record, FormatError>`; the first error fuses the iterator
+/// (subsequent calls return `None`), since a malformed record leaves the
+/// stream position unreliable.
+pub struct RecordReader<B> {
+    sc: Scanner<B>,
+    filters: Vec<Filter>,
+    path: Option<PathBuf>,
+    records_scanned: usize,
+    records_skipped: usize,
+    failed: bool,
+}
+
+impl RecordReader<BufReader<File>> {
+    /// Opens a product file for streaming record iteration.
+    pub fn open(path: &Path) -> Result<Self, FormatError> {
+        let sc = Scanner::open(path)?;
+        let mut reader = RecordReader::from_scanner(sc);
+        reader.path = Some(path.to_path_buf());
+        Ok(reader)
+    }
+}
+
+impl<B: BufRead> RecordReader<B> {
+    /// Streams records from any buffered source.
+    pub fn new(src: B) -> Self {
+        Self::from_scanner(Scanner::new(src))
+    }
+
+    fn from_scanner(sc: Scanner<B>) -> Self {
+        RecordReader {
+            sc,
+            filters: Vec::new(),
+            path: None,
+            records_scanned: 0,
+            records_skipped: 0,
+            failed: false,
+        }
+    }
+
+    /// Applies filters during the scan. Records whose header already fails
+    /// a filter are skipped without parsing their numeric blocks.
+    pub fn with_filters(mut self, filters: Vec<Filter>) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    /// Records encountered so far (matched or skipped).
+    pub fn records_scanned(&self) -> usize {
+        self.records_scanned
+    }
+
+    /// Records rejected by filters so far.
+    pub fn records_skipped(&self) -> usize {
+        self.records_skipped
+    }
+
+    fn annotate(&self, e: FormatError) -> FormatError {
+        match &self.path {
+            Some(p) => e.in_file(p),
+            None => e,
+        }
+    }
+
+    fn next_magic(&mut self) -> Result<Option<RecordKind>, FormatError> {
+        let ln = self.sc.line_number();
+        match self.sc.peek()? {
+            None => Ok(None),
+            Some(line) => {
+                let token = line.split_whitespace().next().unwrap_or("");
+                match RecordKind::from_magic(token) {
+                    Some(kind) => Ok(Some(kind)),
+                    None => Err(FormatError::syntax(
+                        ln,
+                        format!("expected a record magic line, got {line:?}"),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Record>, FormatError> {
+        loop {
+            let Some(kind) = self.next_magic()? else {
+                return Ok(None);
+            };
+            self.records_scanned += 1;
+            self.sc.next_line()?; // consume the magic line
+            let head = Head::scan(kind, &mut self.sc)?;
+            let meta = head.meta();
+            if Filter::match_meta_all(&self.filters, &meta) == Some(false) {
+                // Definitely rejected: skip the body without parsing floats.
+                self.records_skipped += 1;
+                self.sc.skip_to_magic()?;
+                continue;
+            }
+            let record = head.finish(&mut self.sc)?;
+            if self.filters.iter().all(|f| f.matches(&record)) {
+                return Ok(Some(record));
+            }
+            self.records_skipped += 1;
+        }
+    }
+}
+
+impl<B: BufRead> Iterator for RecordReader<B> {
+    type Item = Result<Record, FormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(self.annotate(e)))
+            }
+        }
+    }
+}
+
+/// Reads all records from a product file (convenience for
+/// `RecordReader::open(path)?.collect()`).
+pub fn read_records(path: &Path) -> Result<Vec<Record>, FormatError> {
+    RecordReader::open(path)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{MotionTriple, RecordHeader};
+    use arp_dsp::fir::BandPass;
+    use arp_dsp::peaks::peak_values;
+
+    fn v1c(station: &str, comp: Component, n: usize) -> V1ComponentFile {
+        let acc: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        V1ComponentFile {
+            header: RecordHeader::new(station, "EV1", "2019-07-31T03:04:05Z", 0.01).unwrap(),
+            component: comp,
+            data: MotionTriple::from_acceleration(acc, 0.01).unwrap(),
+        }
+    }
+
+    fn v2(station: &str, scale: f64) -> V2File {
+        let dt = 0.01;
+        let acc: Vec<f64> = (0..64).map(|i| (i as f64 * 0.21).sin() * scale).collect();
+        let peaks = peak_values(&acc, dt).unwrap();
+        let data = MotionTriple::from_acceleration(acc, dt).unwrap();
+        V2File {
+            header: RecordHeader::new(station, "EV1", "2019-07-31T03:04:05Z", dt).unwrap(),
+            component: Component::Longitudinal,
+            band: BandPass::DEFAULT,
+            peaks,
+            data,
+        }
+    }
+
+    #[test]
+    fn multi_record_stream_yields_all() {
+        let stream = format!(
+            "{}{}{}",
+            v1c("AAAA", Component::Longitudinal, 8).to_text(),
+            v2("BBBB", 5.0).to_text(),
+            v1c("CCCC", Component::Vertical, 4).to_text(),
+        );
+        let records: Vec<Record> = RecordReader::new(stream.as_bytes())
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind(), RecordKind::V1Component);
+        assert_eq!(records[1].kind(), RecordKind::V2);
+        assert_eq!(records[1].station(), "BBBB");
+        assert_eq!(records[2].component(), Some(Component::Vertical));
+    }
+
+    #[test]
+    fn filters_skip_bodies() {
+        let stream = format!(
+            "{}{}",
+            v1c("AAAA", Component::Longitudinal, 8).to_text(),
+            v1c("BBBB", Component::Longitudinal, 8).to_text(),
+        );
+        let mut reader =
+            RecordReader::new(stream.as_bytes()).with_filters(vec![Filter::Station("BBBB".into())]);
+        let records: Vec<Record> = reader.by_ref().map(Result::unwrap).collect();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].station(), "BBBB");
+        assert_eq!(reader.records_scanned(), 2);
+        assert_eq!(reader.records_skipped(), 1);
+    }
+
+    #[test]
+    fn skipped_record_bodies_may_be_garbled() {
+        // The skipped record's blocks are never float-parsed, so garbage
+        // numbers in a filtered-out record do not fail the scan. The ACC
+        // block values are replaced wholesale with non-numeric tokens.
+        let mut bad = v1c("AAAA", Component::Longitudinal, 2).to_text();
+        bad = bad.replace("BEGIN ACC 2", "BEGIN ACC 2\nnot numbers");
+        // Remove the two real value lines so the count still works out... the
+        // skip path only counts tokens, it never parses them.
+        let stream = format!("{}{}", bad, v1c("BBBB", Component::Vertical, 2).to_text());
+        let records: Vec<_> = RecordReader::new(stream.as_bytes())
+            .with_filters(vec![Filter::Station("BBBB".into())])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].station(), "BBBB");
+    }
+
+    #[test]
+    fn error_fuses_iterator() {
+        let stream = "ARP-V1C 1.0\nSTATION: X\nbroken\n";
+        let mut reader = RecordReader::new(stream.as_bytes());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn unknown_magic_is_an_error() {
+        let mut reader = RecordReader::new("ARP-NOPE 1.0\n".as_bytes());
+        assert!(reader.next().unwrap().is_err());
+        let mut reader = RecordReader::new("just text\n".as_bytes());
+        assert!(reader.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert!(RecordReader::new("".as_bytes()).next().is_none());
+        assert!(RecordReader::new("\n\n".as_bytes()).next().is_none());
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in RecordKind::ALL {
+            assert_eq!(RecordKind::from_magic(kind.magic()), Some(kind));
+            assert_eq!(
+                RecordKind::from_short_name(kind.short_name()).unwrap(),
+                kind
+            );
+        }
+        assert!(RecordKind::from_short_name("nope").is_err());
+        assert_eq!(RecordKind::from_magic("ARP-LIST"), None);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let rec = Record::V2(v2("QCAL", 3.0));
+        assert_eq!(rec.kind(), RecordKind::V2);
+        assert_eq!(rec.station(), "QCAL");
+        assert_eq!(rec.event_id(), "EV1");
+        assert_eq!(rec.component(), Some(Component::Longitudinal));
+        assert!(rec.pga().is_some());
+        assert!(rec.periods().is_none());
+        assert_eq!(rec.data_points(), 64);
+        assert_eq!(rec.file_name(), "QCALl.v2");
+        assert!(rec.dt().is_some());
+    }
+
+    #[test]
+    fn read_records_from_disk() {
+        let dir = std::env::temp_dir().join(format!("arp-iter-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("AAAAl.v1");
+        v1c("AAAA", Component::Longitudinal, 6)
+            .write(&path)
+            .unwrap();
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].station(), "AAAA");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

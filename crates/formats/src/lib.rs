@@ -17,26 +17,35 @@
 //! corrupt or truncated file is always detected rather than silently
 //! mis-read.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
+pub mod encode;
 pub mod error;
 pub mod ffile;
+pub mod filter;
 pub mod fsio;
 pub mod gem;
+pub mod iter;
 pub mod meta;
 pub mod numio;
+pub mod query;
 pub mod rfile;
 pub mod smc;
+pub mod stats;
 pub mod types;
 pub mod v1;
 pub mod v2;
 
 pub use catalog::{Catalog, CatalogEntry};
+pub use encode::RecordEncoder;
 pub use error::FormatError;
 pub use ffile::FFile;
+pub use filter::Filter;
 pub use gem::{GemFile, GemSource};
+pub use iter::{Record, RecordKind, RecordMeta, RecordReader};
 pub use meta::{FileList, FilterParams, FlagFile, MaxEntry, MaxValues, StationCorners};
+pub use query::{Query, QueryHit, QueryIter};
 pub use rfile::RFile;
 pub use smc::{from_smc, to_smc};
 pub use types::{names, Component, MotionTriple, Quantity, RecordHeader};

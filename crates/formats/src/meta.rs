@@ -13,13 +13,23 @@
 //!   ([`MaxValues`]).
 
 use crate::error::FormatError;
-use crate::fsio::{read_file, write_file};
+use crate::fsio::write_file;
 use crate::numio::{write_kv, write_magic, Scanner};
 use crate::types::Component;
 use arp_dsp::fir::BandPass;
+use std::io::BufRead;
 use std::path::Path;
 
 /// A flag file (`flag<k>.txt`): one boolean used by the legacy control flow.
+///
+/// ```
+/// use arp_formats::FlagFile;
+///
+/// let f = FlagFile { index: 3, value: true };
+/// let back = FlagFile::from_text(&f.to_text()).unwrap();
+/// assert_eq!(back, f);
+/// assert_eq!(FlagFile::file_name(3), "flag3.txt");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlagFile {
     /// Flag index (0..10 in the original pipeline).
@@ -40,9 +50,7 @@ impl FlagFile {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
         sc.expect_magic(Self::MAGIC)?;
         let index = sc.expect_kv_usize("INDEX")?;
         let raw = sc.expect_kv_usize("VALUE")?;
@@ -55,14 +63,20 @@ impl FlagFile {
         })
     }
 
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 
     /// Conventional file name (`flag<k>.txt`).
@@ -73,6 +87,16 @@ impl FlagFile {
 
 /// A named list of file names, used by all the "Initialize metadata"
 /// processes (#1, #5, #8, #17) and consumed by the stage drivers.
+///
+/// ```
+/// use arp_formats::FileList;
+///
+/// let list = FileList::new("v1list", vec!["SSLB.v1".into(), "QCAL.v1".into()]).unwrap();
+/// let back = FileList::from_text(&list.to_text()).unwrap();
+/// assert_eq!(back.entries.len(), 2);
+/// // Entries with newlines would corrupt the line-oriented format.
+/// assert!(FileList::new("bad", vec!["a\nb".into()]).is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileList {
     /// What the list describes (e.g. `acc-graph`, `fourier`, `v1list`).
@@ -123,11 +147,9 @@ impl FileList {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
         sc.expect_magic(Self::MAGIC)?;
-        let kind = sc.expect_kv("KIND")?.to_string();
+        let kind = sc.expect_kv("KIND")?;
         let count = sc.expect_kv_usize("COUNT")?;
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
@@ -138,14 +160,20 @@ impl FileList {
         Ok(list)
     }
 
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 
@@ -160,6 +188,20 @@ pub struct StationCorners {
 
 /// The filter-parameters file: the default band plus any per-station
 /// corners accumulated by the Fourier analysis.
+///
+/// ```
+/// use arp_dsp::fir::BandPass;
+/// use arp_formats::{FilterParams, StationCorners};
+///
+/// let mut fp = FilterParams::new(BandPass::DEFAULT);
+/// fp.stations.push(StationCorners {
+///     station: "SSLB".into(),
+///     corners: vec![(0.08, 0.16); 3],
+/// });
+/// let back = FilterParams::from_text(&fp.to_text()).unwrap();
+/// assert_eq!(back.corners_for("SSLB").unwrap().corners.len(), 3);
+/// assert!(back.corners_for("XXXX").is_none());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FilterParams {
     /// Default band used by process #4.
@@ -209,9 +251,7 @@ impl FilterParams {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
         sc.expect_magic(Self::MAGIC)?;
         let line = sc.expect_kv("DEFAULT")?;
         let vals: Vec<f64> = line
@@ -255,14 +295,20 @@ impl FilterParams {
         })
     }
 
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 
@@ -282,6 +328,20 @@ pub struct MaxEntry {
 }
 
 /// The max-values file accumulated by the correction processes (#4, #13).
+///
+/// ```
+/// use arp_formats::{Component, MaxEntry, MaxValues};
+///
+/// let mut mv = MaxValues::default();
+/// mv.entries.push(MaxEntry {
+///     station: "SSLB".into(),
+///     component: Component::Vertical,
+///     pga: 41.5, pgv: 3.2, pgd: 0.8,
+/// });
+/// let back = MaxValues::from_text(&mv.to_text()).unwrap();
+/// assert_eq!(back.entries[0].station, "SSLB");
+/// assert_eq!(MaxValues::FILE_NAME, "max-values.txt");
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MaxValues {
     /// Entries in processing order.
@@ -312,9 +372,7 @@ impl MaxValues {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
+    fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
         sc.expect_magic(Self::MAGIC)?;
         let count = sc.expect_kv_usize("COUNT")?;
         let mut entries = Vec::with_capacity(count);
@@ -344,14 +402,20 @@ impl MaxValues {
         Ok(MaxValues { entries })
     }
 
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
     /// Writes to `path`.
     pub fn write(&self, path: &Path) -> Result<(), FormatError> {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 

@@ -11,61 +11,161 @@
 //! END <BLOCK>
 //! ```
 //!
-//! [`Scanner`] provides a line-cursor over file contents with positioned
-//! errors; the `write_*` helpers produce the same layout.
+//! [`Scanner`] provides a positioned line cursor over any [`BufRead`]
+//! source. Lines are pulled from the source one at a time, so parsing a
+//! multi-megabyte record keeps only the stream buffer resident — never the
+//! whole file (the [`crate::stats`] gauges measure exactly this). The
+//! `write_*` helpers produce the same layout.
+//!
+//! ```
+//! use arp_formats::numio::Scanner;
+//!
+//! let mut sc = Scanner::from_text("ARP-X 1.0\nNPTS: 3\nBEGIN A 3\n1 2 3\nEND A\n");
+//! sc.expect_magic("ARP-X").unwrap();
+//! assert_eq!(sc.expect_kv_usize("NPTS").unwrap(), 3);
+//! assert_eq!(sc.read_block("A").unwrap(), vec![1.0, 2.0, 3.0]);
+//! ```
 
 use crate::error::FormatError;
+use crate::stats;
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
 
 /// Values printed per line in numeric blocks.
 const VALUES_PER_LINE: usize = 6;
 
-/// A positioned line cursor over file contents.
-pub struct Scanner<'a> {
-    lines: Vec<&'a str>,
-    /// Zero-based index of the next line to consume.
-    pos: usize,
+/// Stream buffer capacity for file-backed scanners (bytes). This bounds the
+/// resident footprint of the streaming path regardless of record size.
+pub const STREAM_BUF_BYTES: usize = 64 * 1024;
+
+/// A positioned line cursor over a buffered byte stream.
+///
+/// Blank lines are skipped; line numbers are 1-based positions in the
+/// underlying stream so parse errors point at the offending line.
+pub struct Scanner<B> {
+    src: B,
+    /// Next non-empty line, already trimmed of the trailing newline.
+    peeked: Option<String>,
+    /// 1-based line number of `peeked`.
+    peeked_no: usize,
+    /// Lines consumed from `src` so far.
+    consumed: usize,
+    /// Path for error annotation, when file-backed.
+    path: Option<PathBuf>,
+    /// Keeps the resident-bytes gauge honest for this scanner's buffer.
+    _in_flight: Option<stats::InFlightGuard>,
 }
 
-impl<'a> Scanner<'a> {
-    /// Creates a scanner over the full text of a file.
-    pub fn new(text: &'a str) -> Self {
+impl<'a> Scanner<&'a [u8]> {
+    /// Creates a scanner over in-memory text.
+    ///
+    /// The whole text is already resident, so the full length is registered
+    /// with the [`crate::stats`] gauges for the scanner's lifetime — this is
+    /// what makes the whole-file and streaming paths comparable.
+    pub fn from_text(text: &'a str) -> Self {
+        let guard = stats::track(text.len() as u64);
+        let mut sc = Scanner::new(text.as_bytes());
+        sc._in_flight = Some(guard);
+        sc
+    }
+}
+
+impl Scanner<BufReader<File>> {
+    /// Opens `path` for streaming with a bounded buffer
+    /// ([`STREAM_BUF_BYTES`], or the file length if smaller).
+    pub fn open(path: &Path) -> Result<Self, FormatError> {
+        let file = File::open(path).map_err(|e| FormatError::io(path, e))?;
+        let len = file
+            .metadata()
+            .map(|m| m.len() as usize)
+            .unwrap_or(STREAM_BUF_BYTES);
+        let cap = len.clamp(1, STREAM_BUF_BYTES);
+        let guard = stats::track(cap as u64);
+        let mut sc = Scanner::new(BufReader::with_capacity(cap, file));
+        sc.path = Some(path.to_path_buf());
+        sc._in_flight = Some(guard);
+        Ok(sc)
+    }
+}
+
+impl<B: BufRead> Scanner<B> {
+    /// Creates a scanner over any buffered source.
+    pub fn new(src: B) -> Self {
         Scanner {
-            lines: text.lines().collect(),
-            pos: 0,
+            src,
+            peeked: None,
+            peeked_no: 0,
+            consumed: 0,
+            path: None,
+            _in_flight: None,
         }
     }
 
-    /// 1-based line number of the next unread line.
-    pub fn line_number(&self) -> usize {
-        self.pos + 1
+    /// The file this scanner reads, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
     }
 
-    /// True when all lines are consumed.
-    pub fn at_end(&self) -> bool {
-        self.pos >= self.lines.len()
+    fn read_err(&self, e: std::io::Error) -> FormatError {
+        let path = self
+            .path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("<stream>"));
+        FormatError::io(path, e)
+    }
+
+    /// Pulls lines from the source until a non-empty one is buffered (or EOF).
+    fn fill_peek(&mut self) -> Result<(), FormatError> {
+        while self.peeked.is_none() {
+            let mut buf = String::new();
+            let n = self.src.read_line(&mut buf).map_err(|e| self.read_err(e))?;
+            if n == 0 {
+                return Ok(());
+            }
+            self.consumed += 1;
+            if buf.trim().is_empty() {
+                continue;
+            }
+            while buf.ends_with('\n') || buf.ends_with('\r') {
+                buf.pop();
+            }
+            self.peeked_no = self.consumed;
+            self.peeked = Some(buf);
+        }
+        Ok(())
+    }
+
+    /// 1-based line number of the next unread non-empty line (blank lines
+    /// are skipped first, so errors point at real content). An I/O failure
+    /// while looking ahead is deferred to the next consuming call.
+    pub fn line_number(&mut self) -> usize {
+        let _ = self.fill_peek();
+        if self.peeked.is_some() {
+            self.peeked_no
+        } else {
+            self.consumed + 1
+        }
+    }
+
+    /// True when only blank lines (or nothing) remain.
+    pub fn at_end(&mut self) -> Result<bool, FormatError> {
+        Ok(self.peek()?.is_none())
     }
 
     /// Returns the next non-empty line without consuming it.
-    pub fn peek(&mut self) -> Option<&'a str> {
-        while self.pos < self.lines.len() && self.lines[self.pos].trim().is_empty() {
-            self.pos += 1;
-        }
-        self.lines.get(self.pos).copied()
+    pub fn peek(&mut self) -> Result<Option<&str>, FormatError> {
+        self.fill_peek()?;
+        Ok(self.peeked.as_deref())
     }
 
     /// Consumes and returns the next non-empty line.
-    pub fn next_line(&mut self) -> Result<&'a str, FormatError> {
-        match self.peek() {
-            Some(line) => {
-                self.pos += 1;
-                Ok(line)
-            }
-            None => Err(FormatError::syntax(
-                self.line_number(),
-                "unexpected end of file",
-            )),
-        }
+    pub fn next_line(&mut self) -> Result<String, FormatError> {
+        self.fill_peek()?;
+        self.peeked
+            .take()
+            .ok_or_else(|| FormatError::syntax(self.line_number(), "unexpected end of file"))
     }
 
     /// Consumes the magic line, checking the leading token.
@@ -74,14 +174,14 @@ impl<'a> Scanner<'a> {
         if line.split_whitespace().next() != Some(magic) {
             return Err(FormatError::BadMagic {
                 expected: magic,
-                found: line.to_string(),
+                found: line,
             });
         }
         Ok(())
     }
 
     /// Consumes a `KEY: value` line with the given key; returns the value.
-    pub fn expect_kv(&mut self, key: &'static str) -> Result<&'a str, FormatError> {
+    pub fn expect_kv(&mut self, key: &'static str) -> Result<String, FormatError> {
         let ln = self.line_number();
         let line = self.next_line()?;
         let (k, v) = line.split_once(':').ok_or_else(|| {
@@ -93,7 +193,7 @@ impl<'a> Scanner<'a> {
                 format!("expected key {key:?}, got {:?}", k.trim()),
             ));
         }
-        Ok(v.trim())
+        Ok(v.trim().to_string())
     }
 
     /// Like [`Scanner::expect_kv`] but parses the value as `f64`.
@@ -112,8 +212,8 @@ impl<'a> Scanner<'a> {
             .map_err(|e| FormatError::syntax(ln, format!("bad integer for {key}: {e}")))
     }
 
-    /// Reads a `BEGIN <name> <count> ... END <name>` numeric block.
-    pub fn read_block(&mut self, name: &str) -> Result<Vec<f64>, FormatError> {
+    /// Consumes a `BEGIN <name> <count>` line, returning the declared count.
+    fn begin_block(&mut self, name: &str) -> Result<usize, FormatError> {
         let ln = self.line_number();
         let line = self.next_line()?;
         let mut parts = line.split_whitespace();
@@ -132,12 +232,16 @@ impl<'a> Scanner<'a> {
                 format!("expected block {name:?}, got {got_name:?}"),
             ));
         }
-        let count: usize = parts
+        parts
             .next()
             .ok_or_else(|| FormatError::syntax(ln, "BEGIN missing count"))?
             .parse()
-            .map_err(|e| FormatError::syntax(ln, format!("bad count: {e}")))?;
+            .map_err(|e| FormatError::syntax(ln, format!("bad count: {e}")))
+    }
 
+    /// Reads a `BEGIN <name> <count> ... END <name>` numeric block.
+    pub fn read_block(&mut self, name: &str) -> Result<Vec<f64>, FormatError> {
+        let count = self.begin_block(name)?;
         let mut values = Vec::with_capacity(count);
         loop {
             let ln = self.line_number();
@@ -175,6 +279,67 @@ impl<'a> Scanner<'a> {
             });
         }
         Ok(values)
+    }
+
+    /// Skips a `BEGIN <name> <count> ... END <name>` block without parsing
+    /// its values as numbers (tokens are only counted). Returns the declared
+    /// count. This is the fast path record filters take when a record's
+    /// header already fails the filter.
+    pub fn skip_block(&mut self, name: &str) -> Result<usize, FormatError> {
+        let count = self.begin_block(name)?;
+        let mut found = 0usize;
+        loop {
+            let ln = self.line_number();
+            let line = self.next_line()?;
+            let trimmed = line.trim();
+            if let Some(rest) = trimmed.strip_prefix("END") {
+                let end_name = rest.trim();
+                if !end_name.is_empty() && end_name != name {
+                    return Err(FormatError::syntax(
+                        ln,
+                        format!("END {end_name:?} does not match BEGIN {name:?}"),
+                    ));
+                }
+                break;
+            }
+            found += trimmed.split_whitespace().count();
+            if found > count {
+                return Err(FormatError::CountMismatch {
+                    block: name.to_string(),
+                    expected: count,
+                    found,
+                });
+            }
+        }
+        if found != count {
+            return Err(FormatError::CountMismatch {
+                block: name.to_string(),
+                expected: count,
+                found,
+            });
+        }
+        Ok(count)
+    }
+
+    /// Consumes lines until the next record magic (a line whose first token
+    /// starts with `ARP-`) or end of stream. Used to skip the remainder of a
+    /// filtered-out record in a multi-record stream.
+    pub fn skip_to_magic(&mut self) -> Result<(), FormatError> {
+        loop {
+            match self.peek()? {
+                None => return Ok(()),
+                Some(line) => {
+                    if line
+                        .split_whitespace()
+                        .next()
+                        .is_some_and(|t| t.starts_with("ARP-"))
+                    {
+                        return Ok(());
+                    }
+                    self.next_line()?;
+                }
+            }
+        }
     }
 }
 
@@ -218,12 +383,12 @@ mod tests {
         write_kv(&mut s, "DT", 0.01);
         write_kv(&mut s, "NPTS", 42usize);
 
-        let mut sc = Scanner::new(&s);
+        let mut sc = Scanner::from_text(&s);
         sc.expect_magic("ARP-TEST").unwrap();
         assert_eq!(sc.expect_kv("STATION").unwrap(), "SSLB");
         assert!((sc.expect_kv_f64("DT").unwrap() - 0.01).abs() < 1e-15);
         assert_eq!(sc.expect_kv_usize("NPTS").unwrap(), 42);
-        assert!(sc.at_end());
+        assert!(sc.at_end().unwrap());
     }
 
     #[test]
@@ -231,7 +396,7 @@ mod tests {
         let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.377).sin() * 1e-3).collect();
         let mut s = String::new();
         write_block(&mut s, "ACC", &values);
-        let mut sc = Scanner::new(&s);
+        let mut sc = Scanner::from_text(&s);
         let back = sc.read_block("ACC").unwrap();
         assert_eq!(back.len(), values.len());
         for (a, b) in back.iter().zip(values.iter()) {
@@ -243,13 +408,13 @@ mod tests {
     fn empty_block_roundtrip() {
         let mut s = String::new();
         write_block(&mut s, "EMPTY", &[]);
-        let mut sc = Scanner::new(&s);
+        let mut sc = Scanner::from_text(&s);
         assert!(sc.read_block("EMPTY").unwrap().is_empty());
     }
 
     #[test]
     fn bad_magic_detected() {
-        let mut sc = Scanner::new("WRONG 1.0\n");
+        let mut sc = Scanner::from_text("WRONG 1.0\n");
         match sc.expect_magic("RIGHT") {
             Err(FormatError::BadMagic { expected, .. }) => assert_eq!(expected, "RIGHT"),
             other => panic!("{other:?}"),
@@ -258,20 +423,20 @@ mod tests {
 
     #[test]
     fn wrong_key_detected() {
-        let mut sc = Scanner::new("FOO: 1\n");
+        let mut sc = Scanner::from_text("FOO: 1\n");
         assert!(sc.expect_kv("BAR").is_err());
     }
 
     #[test]
     fn missing_colon_detected() {
-        let mut sc = Scanner::new("FOO 1\n");
+        let mut sc = Scanner::from_text("FOO 1\n");
         assert!(sc.expect_kv("FOO").is_err());
     }
 
     #[test]
     fn count_mismatch_detected() {
         let text = "BEGIN X 5\n1 2 3\nEND X\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         match sc.read_block("X") {
             Err(FormatError::CountMismatch {
                 expected, found, ..
@@ -286,7 +451,7 @@ mod tests {
     #[test]
     fn overflow_count_detected() {
         let text = "BEGIN X 2\n1 2 3 4\nEND X\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         assert!(matches!(
             sc.read_block("X"),
             Err(FormatError::CountMismatch { .. })
@@ -296,21 +461,21 @@ mod tests {
     #[test]
     fn wrong_block_name_detected() {
         let text = "BEGIN Y 1\n1\nEND Y\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         assert!(sc.read_block("X").is_err());
     }
 
     #[test]
     fn mismatched_end_name_detected() {
         let text = "BEGIN X 1\n1\nEND Y\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         assert!(sc.read_block("X").is_err());
     }
 
     #[test]
     fn garbage_value_detected() {
         let text = "BEGIN X 2\n1 banana\nEND X\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         match sc.read_block("X") {
             Err(FormatError::Syntax { line, .. }) => assert_eq!(line, 2),
             other => panic!("{other:?}"),
@@ -320,15 +485,26 @@ mod tests {
     #[test]
     fn truncated_file_detected() {
         let text = "BEGIN X 10\n1 2 3\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         assert!(sc.read_block("X").is_err());
     }
 
     #[test]
     fn blank_lines_skipped() {
         let text = "\n\nKEY: v\n\n";
-        let mut sc = Scanner::new(text);
+        let mut sc = Scanner::from_text(text);
         assert_eq!(sc.expect_kv("KEY").unwrap(), "v");
+    }
+
+    #[test]
+    fn line_numbers_account_for_blank_lines() {
+        let text = "A: 1\n\n\nB: two\n";
+        let mut sc = Scanner::from_text(text);
+        sc.expect_kv("A").unwrap();
+        match sc.expect_kv_f64("B") {
+            Err(FormatError::Syntax { line, .. }) => assert_eq!(line, 4),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -336,10 +512,62 @@ mod tests {
         let values = vec![0.0, -0.0, 1e-300, -1e300, 123.456789];
         let mut s = String::new();
         write_block(&mut s, "B", &values);
-        let mut sc = Scanner::new(&s);
+        let mut sc = Scanner::from_text(&s);
         let back = sc.read_block("B").unwrap();
         for (a, b) in back.iter().zip(values.iter()) {
             assert!((a - b).abs() <= 1e-9 * b.abs());
         }
+    }
+
+    #[test]
+    fn skip_block_counts_without_parsing() {
+        let text = "BEGIN X 4\n1 banana 3\nmore\nEND X\n";
+        // skip_block tolerates non-numeric tokens but still enforces counts.
+        let mut sc = Scanner::from_text(text);
+        assert_eq!(sc.skip_block("X").unwrap(), 4);
+        let mut sc = Scanner::from_text("BEGIN X 9\n1 2\nEND X\n");
+        assert!(matches!(
+            sc.skip_block("X"),
+            Err(FormatError::CountMismatch { .. })
+        ));
+        let mut sc = Scanner::from_text("BEGIN X 1\n1 2\nEND X\n");
+        assert!(sc.skip_block("X").is_err());
+    }
+
+    #[test]
+    fn skip_to_magic_stops_at_next_record() {
+        let text = "1 2 3\nEND ACC\nARP-V2 1.0\nSTATION: X\n";
+        let mut sc = Scanner::from_text(text);
+        sc.skip_to_magic().unwrap();
+        assert_eq!(sc.peek().unwrap().unwrap(), "ARP-V2 1.0");
+        // And at EOF it simply stops.
+        let mut sc = Scanner::from_text("no magic here\n");
+        sc.skip_to_magic().unwrap();
+        assert!(sc.at_end().unwrap());
+    }
+
+    #[test]
+    fn open_streams_from_disk_with_bounded_buffer() {
+        let dir = std::env::temp_dir().join(format!("arp-numio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("block.txt");
+        let values: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let mut s = String::new();
+        write_block(&mut s, "V", &values);
+        std::fs::write(&path, &s).unwrap();
+
+        let mut sc = Scanner::open(&path).unwrap();
+        assert_eq!(sc.path().unwrap(), path.as_path());
+        let back = sc.read_block("V").unwrap();
+        assert_eq!(back.len(), 5000);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        assert!(matches!(
+            Scanner::open(Path::new("/nonexistent/arp/scan")),
+            Err(FormatError::Io { .. })
+        ));
     }
 }

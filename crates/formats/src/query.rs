@@ -1,0 +1,258 @@
+//! Directory-level queries over pipeline products.
+//!
+//! A [`Query`] scans a work directory for product files (`.v1`, `.v2`,
+//! `.f`, `.r`), streams each through a filtered
+//! [`RecordReader`], and yields the matches in
+//! stable (filename-sorted) order. This backs the `arp query` CLI
+//! subcommand.
+//!
+//! ```no_run
+//! use arp_formats::filter::Filter;
+//! use arp_formats::query::Query;
+//! use std::path::Path;
+//!
+//! // All corrected records of event EV1 with PGA at least 50 cm/s².
+//! let hits = Query::new(Path::new("work"))
+//!     .filter(Filter::Event("EV1".into()))
+//!     .filter(Filter::pga_range(Some(50.0), None))
+//!     .run()
+//!     .unwrap();
+//! for hit in hits {
+//!     let hit = hit.unwrap();
+//!     println!("{} {}", hit.path.display(), hit.record.station());
+//! }
+//! ```
+
+use crate::error::FormatError;
+use crate::filter::Filter;
+use crate::iter::{Record, RecordReader};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// File extensions the query layer scans, in scan order.
+pub const PRODUCT_EXTENSIONS: [&str; 4] = ["v1", "v2", "f", "r"];
+
+/// One matching record, together with the file it came from.
+#[derive(Debug)]
+pub struct QueryHit {
+    /// File the record was read from.
+    pub path: PathBuf,
+    /// The parsed record.
+    pub record: Record,
+}
+
+/// A filtered scan over the product files of a directory.
+#[derive(Debug, Clone)]
+pub struct Query {
+    dir: PathBuf,
+    filters: Vec<Filter>,
+}
+
+impl Query {
+    /// Queries the product files directly inside `dir` (non-recursive —
+    /// pipeline work directories are flat).
+    pub fn new(dir: &Path) -> Self {
+        Query {
+            dir: dir.to_path_buf(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Adds a filter; all filters must match (conjunction).
+    pub fn filter(mut self, filter: Filter) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Adds several filters at once.
+    pub fn filters(mut self, filters: impl IntoIterator<Item = Filter>) -> Self {
+        self.filters.extend(filters);
+        self
+    }
+
+    /// Lists the product files the scan will visit, sorted by file name so
+    /// query output is stable across platforms and runs.
+    pub fn candidate_files(&self) -> Result<Vec<PathBuf>, FormatError> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| FormatError::io(&self.dir, e))?;
+        let mut files = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| FormatError::io(&self.dir, e))?;
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            if PRODUCT_EXTENSIONS.contains(&ext) {
+                files.push(path);
+            }
+        }
+        files.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+        Ok(files)
+    }
+
+    /// Runs the query, returning a lazy iterator over matches. Files are
+    /// opened one at a time; a malformed file surfaces as an `Err` item and
+    /// the scan moves on to the next file.
+    pub fn run(self) -> Result<QueryIter, FormatError> {
+        let files = self.candidate_files()?;
+        Ok(QueryIter {
+            files: files.into_iter(),
+            filters: self.filters,
+            current: None,
+        })
+    }
+}
+
+/// Lazy iterator over query matches; see [`Query::run`].
+pub struct QueryIter {
+    files: std::vec::IntoIter<PathBuf>,
+    filters: Vec<Filter>,
+    current: Option<(PathBuf, RecordReader<BufReader<File>>)>,
+}
+
+impl QueryIter {
+    fn open_next_file(&mut self) -> Option<Result<(), FormatError>> {
+        let path = self.files.next()?;
+        match RecordReader::open(&path) {
+            Ok(reader) => {
+                self.current = Some((path, reader.with_filters(self.filters.clone())));
+                Some(Ok(()))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl Iterator for QueryIter {
+    type Item = Result<QueryHit, FormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match &mut self.current {
+                Some((path, reader)) => match reader.next() {
+                    Some(Ok(record)) => {
+                        let path = path.clone();
+                        return Some(Ok(QueryHit { path, record }));
+                    }
+                    Some(Err(e)) => {
+                        // The reader fuses after an error; drop the file and
+                        // surface the error, then continue with the next one.
+                        self.current = None;
+                        return Some(Err(e));
+                    }
+                    None => self.current = None,
+                },
+                None => match self.open_next_file()? {
+                    Ok(()) => {}
+                    Err(e) => return Some(Err(e)),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::RecordKind;
+    use crate::types::{names, Component, MotionTriple, RecordHeader};
+    use crate::v1::V1ComponentFile;
+
+    fn v1c(station: &str, comp: Component) -> V1ComponentFile {
+        let acc: Vec<f64> = (0..16).map(|i| (i as f64 * 0.23).sin()).collect();
+        V1ComponentFile {
+            header: RecordHeader::new(station, "EV1", "2019-07-31T03:04:05Z", 0.01).unwrap(),
+            component: comp,
+            data: MotionTriple::from_acceleration(acc, 0.01).unwrap(),
+        }
+    }
+
+    fn setup(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arp-query-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (station, comp) in [
+            ("AAAA", Component::Longitudinal),
+            ("AAAA", Component::Vertical),
+            ("BBBB", Component::Longitudinal),
+        ] {
+            let rec = v1c(station, comp);
+            rec.write(&dir.join(names::v1_component(station, comp)))
+                .unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        dir
+    }
+
+    #[test]
+    fn scan_is_sorted_and_filtered_by_extension() {
+        let dir = setup("sorted");
+        let q = Query::new(&dir);
+        let files = q.candidate_files().unwrap();
+        assert_eq!(files.len(), 3);
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(!names.iter().any(|n| n.ends_with(".txt")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn filters_restrict_hits() {
+        let dir = setup("filters");
+        let hits: Vec<QueryHit> = Query::new(&dir)
+            .filter(Filter::Station("AAAA".into()))
+            .filter(Filter::Component(Component::Vertical))
+            .run()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].record.station(), "AAAA");
+        assert_eq!(hits[0].record.component(), Some(Component::Vertical));
+        assert!(hits[0].path.ends_with("AAAAv.v1"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_filter_and_empty_results() {
+        let dir = setup("kinds");
+        let hits: Vec<_> = Query::new(&dir)
+            .filter(Filter::Kind(RecordKind::V2))
+            .run()
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert!(hits.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_surfaces_error_then_scan_continues() {
+        let dir = setup("bad");
+        std::fs::write(dir.join("AAAA0.v2"), "ARP-V2 1.0\nSTATION: X\nbroken\n").unwrap();
+        let results: Vec<_> = Query::new(&dir).run().unwrap().collect();
+        let errors = results.iter().filter(|r| r.is_err()).count();
+        let hits = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(errors, 1);
+        assert_eq!(hits, 3, "good files still scanned after the bad one");
+        // The error names the offending file.
+        let msg = results
+            .iter()
+            .find_map(|r| r.as_ref().err())
+            .unwrap()
+            .to_string();
+        assert!(msg.contains("AAAA0.v2"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let q = Query::new(Path::new("/nonexistent/arp-query-test"));
+        assert!(q.run().is_err());
+    }
+}

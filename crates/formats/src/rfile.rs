@@ -3,13 +3,22 @@
 //! One file holds the spectra for every standard damping ratio.
 
 use crate::error::FormatError;
-use crate::fsio::{read_file, write_file};
+use crate::fsio::write_file;
 use crate::numio::{write_block, write_kv, write_magic, Scanner};
 use crate::types::Component;
 use arp_dsp::respspec::ResponseSpectrum;
+use std::io::BufRead;
 use std::path::Path;
 
-const MAGIC: &str = "ARP-R";
+pub(crate) const MAGIC: &str = "ARP-R";
+
+/// Header portion of an R file: everything before the period grid.
+pub(crate) struct RHead {
+    pub station: String,
+    pub event_id: String,
+    pub component: Component,
+    pub dampings: usize,
+}
 
 /// A response-spectrum file for one component.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,17 +81,26 @@ impl RFile {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
-        sc.expect_magic(MAGIC)?;
-        let station = sc.expect_kv("STATION")?.to_string();
-        let event_id = sc.expect_kv("EVENT")?.to_string();
-        let component = Component::from_name(sc.expect_kv("COMPONENT")?)?;
-        let count = sc.expect_kv_usize("DAMPINGS")?;
+    pub(crate) fn scan_head<B: BufRead>(sc: &mut Scanner<B>) -> Result<RHead, FormatError> {
+        let station = sc.expect_kv("STATION")?;
+        let event_id = sc.expect_kv("EVENT")?;
+        let component = Component::from_name(&sc.expect_kv("COMPONENT")?)?;
+        let dampings = sc.expect_kv_usize("DAMPINGS")?;
+        Ok(RHead {
+            station,
+            event_id,
+            component,
+            dampings,
+        })
+    }
+
+    pub(crate) fn finish_body<B: BufRead>(
+        sc: &mut Scanner<B>,
+        head: RHead,
+    ) -> Result<Self, FormatError> {
         let periods = sc.read_block("PERIODS")?;
-        let mut spectra = Vec::with_capacity(count);
-        for _ in 0..count {
+        let mut spectra = Vec::with_capacity(head.dampings);
+        for _ in 0..head.dampings {
             let damping = sc.expect_kv_f64("DAMPING")?;
             let sd = sc.read_block("SD")?;
             let sv = sc.read_block("SV")?;
@@ -96,13 +114,29 @@ impl RFile {
             });
         }
         let file = RFile {
-            station,
-            event_id,
-            component,
+            station: head.station,
+            event_id: head.event_id,
+            component: head.component,
             spectra,
         };
         file.validate()?;
         Ok(file)
+    }
+
+    pub(crate) fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
+        sc.expect_magic(MAGIC)?;
+        let head = Self::scan_head(sc)?;
+        Self::finish_body(sc, head)
+    }
+
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
+    /// Parses from any buffered reader, consuming one record.
+    pub fn from_reader<B: BufRead>(src: B) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::new(src))
     }
 
     /// Writes to `path`.
@@ -110,9 +144,10 @@ impl RFile {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 
     /// Returns the spectrum closest to the requested damping ratio, if any.

@@ -1,0 +1,83 @@
+//! Reader buffer accounting: resident bytes-in-flight gauges.
+//!
+//! Every reader in this crate registers the bytes it keeps resident while
+//! parsing — the full text for the whole-file path
+//! ([`from_text`](crate::v1::V1StationFile::from_text)), only the stream
+//! buffer for the streaming path ([`Scanner::open`](crate::numio::Scanner)).
+//! The gauges let benchmarks compare the two paths' peak memory footprint
+//! (`report batch` writes the peaks to `BENCH_batch.json`).
+//!
+//! ```
+//! use arp_formats::stats;
+//!
+//! stats::reset_peak();
+//! {
+//!     let _g = stats::track(1024);
+//!     assert!(stats::current() >= 1024);
+//! }
+//! assert!(stats::peak() >= 1024);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes currently resident across all live format readers.
+static IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+/// Highest value [`IN_FLIGHT`] has reached since the last reset.
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes currently held by live readers.
+pub fn current() -> u64 {
+    IN_FLIGHT.load(Ordering::Relaxed)
+}
+
+/// Peak resident reader bytes since the last [`reset_peak`].
+pub fn peak() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak gauge to the current in-flight value.
+pub fn reset_peak() {
+    PEAK.store(IN_FLIGHT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Registers `bytes` as resident until the returned guard drops.
+pub fn track(bytes: u64) -> InFlightGuard {
+    let now = IN_FLIGHT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+    InFlightGuard { bytes }
+}
+
+/// RAII handle for a tracked reader buffer; decrements the gauge on drop.
+#[derive(Debug)]
+pub struct InFlightGuard {
+    bytes: u64,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        IN_FLIGHT.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_tracks_and_releases() {
+        let before = current();
+        let g = track(4096);
+        assert!(current() >= before + 4096);
+        assert!(peak() >= before + 4096);
+        drop(g);
+        // Other threads may hold guards concurrently; only our delta is known.
+        assert!(current() < before + 4096 || current() >= before);
+    }
+
+    #[test]
+    fn peak_survives_drop_until_reset() {
+        let _g = track(123);
+        let p = peak();
+        assert!(p >= 123);
+    }
+}

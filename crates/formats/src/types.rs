@@ -4,6 +4,15 @@ use crate::error::FormatError;
 use std::fmt;
 
 /// The three motion components a strong-motion sensor records.
+///
+/// ```
+/// use arp_formats::Component;
+///
+/// assert_eq!(Component::Longitudinal.code(), 'l');
+/// assert_eq!(Component::from_code('V').unwrap(), Component::Vertical);
+/// assert_eq!(Component::from_name("transversal").unwrap(), Component::Transversal);
+/// assert!(Component::from_code('x').is_err());
+/// ```
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
@@ -116,6 +125,16 @@ impl Quantity {
 }
 
 /// Metadata carried in every record file header.
+///
+/// ```
+/// use arp_formats::RecordHeader;
+///
+/// let h = RecordHeader::new("SSLB", "ES-2019-0731", "2019-07-31T03:04:05Z", 0.01).unwrap();
+/// assert_eq!(h.units, "cm/s2");
+/// // Station codes must be alphanumeric; dt must be positive.
+/// assert!(RecordHeader::new("BAD CODE", "E", "t", 0.01).is_err());
+/// assert!(RecordHeader::new("SSLB", "E", "t", -1.0).is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RecordHeader {
     /// Station code, e.g. `SSLB` (alphanumeric, non-empty).
@@ -172,6 +191,15 @@ impl RecordHeader {
 
 /// Acceleration, velocity and displacement traces of one component, all the
 /// same length and sampling interval.
+///
+/// ```
+/// use arp_formats::{MotionTriple, Quantity};
+///
+/// let t = MotionTriple::from_acceleration(vec![0.0, 1.0, 0.0, -1.0], 0.01).unwrap();
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.get(Quantity::Velocity).len(), 4);
+/// assert!(t.validate().is_ok());
+/// ```
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct MotionTriple {
     /// Acceleration trace (cm/s²).
@@ -224,6 +252,15 @@ impl MotionTriple {
 }
 
 /// File-name helpers implementing the pipeline's naming scheme.
+///
+/// ```
+/// use arp_formats::{names, Component, Quantity};
+///
+/// assert_eq!(names::v1_station("SSLB"), "SSLB.v1");
+/// assert_eq!(names::v2_component("SSLB", Component::Transversal), "SSLBt.v2");
+/// assert_eq!(names::gem("SSLB", Component::Longitudinal, true, Quantity::Acceleration),
+///            "SSLBlGEMRA.gem");
+/// ```
 pub mod names {
     use super::{Component, Quantity};
 

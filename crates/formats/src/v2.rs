@@ -4,16 +4,21 @@
 //! (event-specific band). A V2 file records which band-pass corners produced
 //! it, the peak values ("max values" in the paper's data flow), and the
 //! corrected acceleration/velocity/displacement traces.
+//!
+//! The peaks live in the header, ahead of the trace blocks — so a
+//! [`Filter::PgaRange`](crate::filter::Filter) scan can accept or reject a
+//! V2 record without parsing a single trace value.
 
 use crate::error::FormatError;
-use crate::fsio::{read_file, write_file};
+use crate::fsio::write_file;
 use crate::numio::{write_block, write_kv, write_magic, Scanner};
 use crate::types::{Component, MotionTriple, RecordHeader};
 use arp_dsp::fir::BandPass;
 use arp_dsp::peaks::PeakValues;
+use std::io::BufRead;
 use std::path::Path;
 
-const MAGIC: &str = "ARP-V2";
+pub(crate) const MAGIC: &str = "ARP-V2";
 
 /// A corrected single-component record.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +33,14 @@ pub struct V2File {
     pub peaks: PeakValues,
     /// Corrected motion traces.
     pub data: MotionTriple,
+}
+
+/// Header portion of a V2 file: everything before the trace blocks.
+pub(crate) struct V2Head {
+    pub header: RecordHeader,
+    pub component: Component,
+    pub band: BandPass,
+    pub peaks: PeakValues,
 }
 
 impl V2File {
@@ -80,30 +93,21 @@ impl V2File {
         out
     }
 
-    /// Parses from the text format.
-    pub fn from_text(text: &str) -> Result<Self, FormatError> {
-        let mut sc = Scanner::new(text);
-        sc.expect_magic(MAGIC)?;
-        let station = sc.expect_kv("STATION")?.to_string();
-        let event_id = sc.expect_kv("EVENT")?.to_string();
-        let origin_time = sc.expect_kv("ORIGIN")?.to_string();
+    pub(crate) fn scan_head<B: BufRead>(sc: &mut Scanner<B>) -> Result<V2Head, FormatError> {
+        let station = sc.expect_kv("STATION")?;
+        let event_id = sc.expect_kv("EVENT")?;
+        let origin_time = sc.expect_kv("ORIGIN")?;
         let dt = sc.expect_kv_f64("DT")?;
-        let units = sc.expect_kv("UNITS")?.to_string();
-        let instrument = sc.expect_kv("INSTRUMENT")?.to_string();
-        let component = Component::from_name(sc.expect_kv("COMPONENT")?)?;
+        let units = sc.expect_kv("UNITS")?;
+        let instrument = sc.expect_kv("INSTRUMENT")?;
+        let component = Component::from_name(&sc.expect_kv("COMPONENT")?)?;
 
-        let band_line = sc.expect_kv("BAND")?;
-        let band = parse_band(band_line)?;
+        let band = parse_band(&sc.expect_kv("BAND")?)?;
+        let (pga, pga_time) = parse_peak_pair(&sc.expect_kv("PGA")?)?;
+        let (pgv, pgv_time) = parse_peak_pair(&sc.expect_kv("PGV")?)?;
+        let (pgd, pgd_time) = parse_peak_pair(&sc.expect_kv("PGD")?)?;
 
-        let (pga, pga_time) = parse_peak_pair(sc.expect_kv("PGA")?)?;
-        let (pgv, pgv_time) = parse_peak_pair(sc.expect_kv("PGV")?)?;
-        let (pgd, pgd_time) = parse_peak_pair(sc.expect_kv("PGD")?)?;
-
-        let acc = sc.read_block("ACC")?;
-        let vel = sc.read_block("VEL")?;
-        let disp = sc.read_block("DISP")?;
-
-        let file = V2File {
+        Ok(V2Head {
             header: RecordHeader {
                 station,
                 event_id,
@@ -122,10 +126,41 @@ impl V2File {
                 pgd,
                 pgd_time,
             },
+        })
+    }
+
+    pub(crate) fn finish_body<B: BufRead>(
+        sc: &mut Scanner<B>,
+        head: V2Head,
+    ) -> Result<Self, FormatError> {
+        let acc = sc.read_block("ACC")?;
+        let vel = sc.read_block("VEL")?;
+        let disp = sc.read_block("DISP")?;
+        let file = V2File {
+            header: head.header,
+            component: head.component,
+            band: head.band,
+            peaks: head.peaks,
             data: MotionTriple { acc, vel, disp },
         };
         file.validate()?;
         Ok(file)
+    }
+
+    pub(crate) fn from_scanner<B: BufRead>(sc: &mut Scanner<B>) -> Result<Self, FormatError> {
+        sc.expect_magic(MAGIC)?;
+        let head = Self::scan_head(sc)?;
+        Self::finish_body(sc, head)
+    }
+
+    /// Parses from the text format.
+    pub fn from_text(text: &str) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::from_text(text))
+    }
+
+    /// Parses from any buffered reader, consuming one record.
+    pub fn from_reader<B: BufRead>(src: B) -> Result<Self, FormatError> {
+        Self::from_scanner(&mut Scanner::new(src))
     }
 
     /// Writes to `path`.
@@ -133,9 +168,10 @@ impl V2File {
         write_file(path, &self.to_text())
     }
 
-    /// Reads from `path`.
+    /// Reads from `path`, streaming with a bounded buffer.
     pub fn read(path: &Path) -> Result<Self, FormatError> {
-        Self::from_text(&read_file(path)?)
+        let mut sc = Scanner::open(path)?;
+        Self::from_scanner(&mut sc).map_err(|e| e.in_file(path))
     }
 }
 

@@ -9,7 +9,7 @@ use arp_formats::meta::{FileList, FilterParams, MaxEntry, MaxValues, StationCorn
 use arp_formats::types::{Component, MotionTriple, Quantity, RecordHeader};
 use arp_formats::v1::{V1ComponentFile, V1StationFile};
 use arp_formats::v2::V2File;
-use arp_formats::{FFile, RFile};
+use arp_formats::{FFile, Filter, RFile, RecordEncoder, RecordReader};
 use proptest::prelude::*;
 
 fn station_code() -> impl Strategy<Value = String> {
@@ -182,6 +182,91 @@ proptest! {
         // (the counted blocks and mandatory header fields catch it).
         if cut < text.len() - 1 {
             prop_assert!(V1ComponentFile::from_text(&text[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn reader_encoder_roundtrip_is_byte_identical(
+        (header, data) in triple_strategy(),
+        ci in 0usize..3,
+        n in 2usize..40,
+    ) {
+        // A heterogeneous record stream: V1C + V1S + F, concatenated.
+        let v1c = V1ComponentFile {
+            header: header.clone(),
+            component: Component::ALL[ci],
+            data: data.clone(),
+        };
+        let v1s = V1StationFile {
+            header: header.clone(),
+            components: Component::ALL.iter().map(|&c| (c, data.clone())).collect(),
+        };
+        let freq: Vec<f64> = (0..n).map(|k| k as f64 * 0.1).collect();
+        let f = FFile {
+            station: header.station.clone(),
+            event_id: header.event_id.clone(),
+            component: Component::ALL[ci],
+            dt: header.dt,
+            spectrum: arp_dsp::spectrum::FourierSpectrum {
+                frequency_hz: freq.clone(),
+                acceleration: freq.iter().map(|v| v + 1.0).collect(),
+                velocity: freq.iter().map(|v| v + 2.0).collect(),
+                displacement: freq.iter().map(|v| v + 3.0).collect(),
+            },
+        };
+        let stream = format!("{}{}{}", v1c.to_text(), v1s.to_text(), f.to_text());
+
+        let mut out = Vec::new();
+        let mut enc = RecordEncoder::new(&mut out);
+        let mut reader = RecordReader::new(stream.as_bytes());
+        for rec in reader.by_ref() {
+            enc.write_record(&rec.unwrap()).unwrap();
+        }
+        prop_assert_eq!(reader.records_scanned(), 3);
+        prop_assert_eq!(enc.records_written(), 3);
+        enc.finish().unwrap();
+        prop_assert_eq!(out, stream.into_bytes());
+    }
+
+    #[test]
+    fn filtered_reencode_is_byte_subset(
+        (header, data) in triple_strategy(),
+        keep in 0usize..3,
+    ) {
+        // Three single-component records; keep exactly one by component.
+        let texts: Vec<String> = Component::ALL
+            .iter()
+            .map(|&c| {
+                V1ComponentFile { header: header.clone(), component: c, data: data.clone() }
+                    .to_text()
+            })
+            .collect();
+        let stream = texts.concat();
+        let mut out = Vec::new();
+        let mut enc = RecordEncoder::new(&mut out);
+        for rec in RecordReader::new(stream.as_bytes())
+            .with_filters(vec![Filter::Component(Component::ALL[keep])])
+        {
+            enc.write_record(&rec.unwrap()).unwrap();
+        }
+        prop_assert_eq!(enc.records_written(), 1);
+        enc.finish().unwrap();
+        prop_assert_eq!(out, texts[keep].clone().into_bytes());
+    }
+
+    #[test]
+    fn reader_rejects_truncation_anywhere(
+        (header, data) in triple_strategy(),
+        frac in 0.05f64..0.95,
+    ) {
+        let file = V1ComponentFile { header, component: Component::Vertical, data };
+        let text = file.to_text();
+        let cut = (text.len() as f64 * frac) as usize;
+        if cut < text.len() - 1 {
+            let results: Vec<_> = RecordReader::new(&text.as_bytes()[..cut]).collect();
+            // The streaming reader must surface exactly one error and fuse.
+            prop_assert_eq!(results.len(), 1);
+            prop_assert!(results[0].is_err());
         }
     }
 

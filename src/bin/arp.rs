@@ -5,6 +5,7 @@
 //! arp run --in DIR --work DIR [--impl NAME]         run the pipeline
 //! arp verify --in DIR --work DIR                    verify a completed run
 //! arp inspect --work DIR --station CODE             summarize one station
+//! arp query --dir DIR [filters] [--format F]        filtered record scan
 //! ```
 //!
 //! `--impl` is one of `seq-original`, `seq-optimized`, `partial`, `full`,
@@ -48,7 +49,9 @@ use arp_core::{
     event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
     ReadyOrder, RunContext,
 };
-use arp_formats::{names, Component, MaxValues, RFile, V2File};
+use arp_formats::iter::RecordKind;
+use arp_formats::query::Query;
+use arp_formats::{names, Component, Filter, MaxValues, RFile, RecordEncoder, V2File};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -479,6 +482,136 @@ fn fetch_metrics(addr: &str) -> Result<String, String> {
     Ok(body.to_string())
 }
 
+/// Builds the filter list for `arp query` from its flags.
+fn query_filters(flags: &HashMap<String, String>) -> Result<Vec<Filter>, String> {
+    let mut filters = Vec::new();
+    if let Some(kind) = flags.get("kind") {
+        filters.push(Filter::Kind(
+            RecordKind::from_short_name(kind).map_err(|e| e.to_string())?,
+        ));
+    }
+    if let Some(event) = flags.get("event") {
+        filters.push(Filter::Event(event.clone()));
+    }
+    if let Some(station) = flags.get("station") {
+        filters.push(Filter::Station(station.clone()));
+    }
+    if let Some(comp) = flags.get("component") {
+        let comp = match comp.chars().collect::<Vec<_>>().as_slice() {
+            [c] => Component::from_code(*c),
+            _ => Component::from_name(comp),
+        }
+        .map_err(|e| e.to_string())?;
+        filters.push(Filter::Component(comp));
+    }
+    let bound = |key: &str| -> Result<Option<f64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|e| format!("bad --{key}: {e}")))
+            .transpose()
+    };
+    let (min_pga, max_pga) = (bound("min-pga")?, bound("max-pga")?);
+    if min_pga.is_some() || max_pga.is_some() {
+        filters.push(Filter::pga_range(min_pga, max_pga));
+    }
+    let (period_min, period_max) = (bound("period-min")?, bound("period-max")?);
+    if period_min.is_some() || period_max.is_some() {
+        filters.push(Filter::period_band(period_min, period_max));
+    }
+    Ok(filters)
+}
+
+/// `arp query` — filtered streaming scan over a work directory's products.
+///
+/// ```text
+/// arp query --dir WORK [--kind v1s|v1c|v2|f|r] [--event ID] [--station CODE]
+///           [--component l|t|v] [--min-pga X] [--max-pga X]
+///           [--period-min X] [--period-max X]
+///           [--format table|csv|paths] [--emit DIR]
+/// ```
+///
+/// Records stream through the filters one at a time — non-matching record
+/// bodies are skipped without parsing, so querying a large work directory
+/// never loads whole files. `--emit DIR` re-encodes every match into `DIR`
+/// under its canonical file name (byte-identical to the source records).
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = PathBuf::from(flags.get("dir").ok_or("query needs --dir DIR")?);
+    let format = flags.get("format").map_or("table", |s| s.as_str());
+    if !matches!(format, "table" | "csv" | "paths") {
+        return Err(format!("unknown --format {format:?} (use table|csv|paths)"));
+    }
+    let emit = flags.get("emit").map(PathBuf::from);
+    let filters = query_filters(flags)?;
+    let iter = Query::new(&dir)
+        .filters(filters)
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    if format == "csv" {
+        println!("kind,station,event,component,points,pga,file");
+    }
+    let mut matches = 0usize;
+    let mut errors = 0usize;
+    for item in iter {
+        let hit = match item {
+            Ok(hit) => hit,
+            Err(e) => {
+                errors += 1;
+                eprintln!("warning: {e}");
+                continue;
+            }
+        };
+        matches += 1;
+        let rec = &hit.record;
+        let comp = rec.component().map_or("-".into(), |c| c.code().to_string());
+        let pga = rec.pga().map_or("-".into(), |v| format!("{v:.3}"));
+        match format {
+            "paths" => println!("{}", hit.path.display()),
+            "csv" => println!(
+                "{},{},{},{},{},{},{}",
+                rec.kind().short_name(),
+                rec.station(),
+                rec.event_id(),
+                comp,
+                rec.data_points(),
+                pga,
+                hit.path.display()
+            ),
+            _ => println!(
+                "{:<4} {:<6} {:<10} {:<2} {:>8} {:>10}  {}",
+                rec.kind().short_name(),
+                rec.station(),
+                rec.event_id(),
+                comp,
+                rec.data_points(),
+                pga,
+                hit.path.display()
+            ),
+        }
+        if let Some(out) = &emit {
+            let mut enc =
+                RecordEncoder::create(&out.join(rec.file_name())).map_err(|e| e.to_string())?;
+            enc.write_record(rec).map_err(|e| e.to_string())?;
+            enc.finish().map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!(
+        "query: {matches} record(s) matched{}",
+        if errors > 0 {
+            format!(", {errors} file(s) skipped with errors")
+        } else {
+            String::new()
+        }
+    );
+    if let Some(out) = &emit {
+        eprintln!("query: re-encoded matches into {}", out.display());
+    }
+    if matches == 0 && errors > 0 {
+        return Err("no records matched and some files failed to parse".into());
+    }
+    Ok(())
+}
+
 fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
     let ctx = make_context(flags)?;
     let rows = event_summary(&ctx).map_err(|e| e.to_string())?;
@@ -497,7 +630,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: arp <generate|run|verify|inspect|summary|batch|trace-check|metrics> [--flags]"
+            "usage: arp <generate|run|verify|inspect|query|summary|batch|trace-check|metrics> [--flags]"
         );
         return ExitCode::from(2);
     };
@@ -513,6 +646,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "verify" => cmd_verify(&flags),
         "inspect" => cmd_inspect(&flags),
+        "query" => cmd_query(&flags),
         "summary" => cmd_summary(&flags),
         "batch" => cmd_batch(&flags),
         "trace-check" => cmd_trace_check(&flags),
