@@ -15,14 +15,17 @@
 //!   scaling  execution time vs data points (linearity check, §VII-C)
 //!   batch    six-event cross-event super-DAG vs per-event DAG loop
 //!            (writes BENCH_batch.json, including measured per-worker
-//!            utilization and queue-wait percentiles from the span trace)
+//!            utilization, queue-wait percentiles from the span trace,
+//!            and the diagnostics-ring overhead ratio)
 //!   trace-overhead
 //!            instrumentation cost check: the six-event super-DAG batch run
-//!            uninstrumented vs traced vs live-metrics, best of --reps each
-//!            (budget: ≤1% per collector)
+//!            uninstrumented vs traced vs live-metrics vs diagnostics-armed,
+//!            best of --reps each (budget: ≤1% per collector)
 //!   compare OLD.json NEW.json
 //!            bench regression gate: diff two BENCH_batch.json files and
 //!            exit nonzero when the candidate regressed beyond --tolerance
+//!            (also enforces the ≤1% diagnostics budget on the candidate's
+//!            diag_overhead when the field is present)
 //!   all      run everything
 //!
 //! options:

@@ -564,6 +564,10 @@ pub struct BatchExperiment {
     pub queue_wait: Option<HistDigest>,
     /// Live-metrics digest of the pool's execute-time histogram.
     pub execute: Option<HistDigest>,
+    /// Relative wall-time cost of arming the diagnostics ring on a
+    /// measured super-DAG run (`diag/plain − 1`; negative = within
+    /// noise). Gated at ≤1% by `report compare`.
+    pub diag_overhead: f64,
     /// Format-layer residency comparison: peak reader bytes-in-flight,
     /// whole-file vs streaming, over the largest paper event.
     pub reader_peak: ReaderPeak,
@@ -784,7 +788,41 @@ pub fn batch_experiment(
         }
         None => health_result?,
     };
-    for dir in [&root, &loop_work, &dag_work, &health_work] {
+    // Diagnostics budget check: the measured super-DAG run with the
+    // structured-log ring armed (what `--diag on` enables), sandwiched
+    // between two uninstrumented twins (A-B-A) so monotone host drift and
+    // warm-up cancel to first order in the plain average. Three sandwiches,
+    // median ratio: a single transient stall on a shared CI host can swing
+    // one ratio by tens of percent either way.
+    let diag_work = scratch("batch-diag-w");
+    let mut measured_config = config.clone();
+    measured_config.timing = TimingModel::Measured;
+    let mut ratios = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let mut totals = [0.0f64; 3];
+        for (slot, diag_on) in [(0, false), (1, true), (2, false)] {
+            if diag_work.exists() {
+                std::fs::remove_dir_all(&diag_work).map_err(|e| PipelineError::io(&diag_work, e))?;
+            }
+            arp_diag::set_ring_enabled(diag_on);
+            let result = arp_core::run_batch_dag(
+                &items,
+                &diag_work,
+                &measured_config,
+                arp_core::ReadyOrder::CriticalPath,
+            );
+            arp_diag::set_ring_enabled(false);
+            totals[slot] = result?.total.as_secs_f64();
+        }
+        let plain_mean = (totals[0] + totals[2]) / 2.0;
+        ratios.push(if plain_mean <= 0.0 {
+            0.0
+        } else {
+            totals[1] / plain_mean - 1.0
+        });
+    }
+    let diag_overhead = median(&ratios);
+    for dir in [&root, &loop_work, &dag_work, &health_work, &diag_work] {
         if dir.exists() {
             std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
         }
@@ -797,15 +835,16 @@ pub fn batch_experiment(
         trace,
         queue_wait,
         execute,
+        diag_overhead,
         reader_peak,
     })
 }
 
 /// Instrumentation-overhead measurement: the same cross-event super-DAG
-/// batch run `reps` times in each of three modes — uninstrumented, inside
-/// a trace session, and with live metrics collection on — as `reps`
-/// back-to-back triples. The acceptance budget is ≤1% per collector at
-/// scale 0.05.
+/// batch run `reps` times in each of four modes — uninstrumented, inside
+/// a trace session, with live metrics collection on, and with the
+/// diagnostics ring armed — as `reps` back-to-back quadruples. The
+/// acceptance budget is ≤1% per collector at scale 0.05.
 #[derive(Debug)]
 pub struct TraceOverhead {
     /// Data-point scale of the staged events.
@@ -818,10 +857,14 @@ pub struct TraceOverhead {
     pub traced_s: f64,
     /// Best metrics-enabled wall time, seconds.
     pub metrics_s: f64,
-    /// Per-triple relative overhead `traced/untraced − 1`, one entry per rep.
+    /// Best diagnostics-armed wall time, seconds.
+    pub diag_s: f64,
+    /// Per-quadruple relative overhead `traced/untraced − 1`, one entry per rep.
     pub pair_overheads: Vec<f64>,
-    /// Per-triple relative overhead `metrics/untraced − 1`, one entry per rep.
+    /// Per-quadruple relative overhead `metrics/untraced − 1`, one entry per rep.
     pub metrics_overheads: Vec<f64>,
+    /// Per-quadruple relative overhead `diag/untraced − 1`, one entry per rep.
+    pub diag_overheads: Vec<f64>,
     /// Spans the traced runs recorded (per run).
     pub spans: usize,
 }
@@ -836,18 +879,23 @@ impl TraceOverhead {
         self.traced_s / self.untraced_s - 1.0
     }
 
-    /// Median of the per-triple tracing overheads — the headline number.
-    /// The modes of each triple run back to back (order rotating between
-    /// triples), so slow drift of the host cancels inside a triple instead
-    /// of biasing one mode, and the median discards triples hit by
-    /// interference.
+    /// Median of the per-quadruple tracing overheads — the headline number.
+    /// The modes of each quadruple run back to back (order rotating between
+    /// quadruples), so slow drift of the host cancels inside a quadruple
+    /// instead of biasing one mode, and the median discards quadruples hit
+    /// by interference.
     pub fn median_overhead(&self) -> f64 {
         median(&self.pair_overheads)
     }
 
-    /// Median of the per-triple metrics overheads (same discipline).
+    /// Median of the per-quadruple metrics overheads (same discipline).
     pub fn median_metrics_overhead(&self) -> f64 {
         median(&self.metrics_overheads)
+    }
+
+    /// Median of the per-quadruple diagnostics overheads (same discipline).
+    pub fn median_diag_overhead(&self) -> f64 {
+        median(&self.diag_overheads)
     }
 
     /// Relative overhead of the best metrics-enabled time,
@@ -857,6 +905,15 @@ impl TraceOverhead {
             return 0.0;
         }
         self.metrics_s / self.untraced_s - 1.0
+    }
+
+    /// Relative overhead of the best diagnostics-armed time,
+    /// `diag/untraced − 1`.
+    pub fn diag_overhead_fraction(&self) -> f64 {
+        if self.untraced_s <= 0.0 {
+            return 0.0;
+        }
+        self.diag_s / self.untraced_s - 1.0
     }
 }
 
@@ -875,11 +932,12 @@ fn median(xs: &[f64]) -> f64 {
 }
 
 /// Runs the instrumentation-overhead experiment on the six paper events:
-/// `reps` back-to-back untraced/traced/metrics triples of the super-DAG
-/// batch run, the order within each triple rotating so warm-up bias
-/// cancels. Reports the best wall time per mode and the per-triple
-/// overhead ratios (see [`TraceOverhead::median_overhead`] and
-/// [`TraceOverhead::median_metrics_overhead`]).
+/// `reps` back-to-back untraced/traced/metrics/diag quadruples of the
+/// super-DAG batch run, the order within each quadruple rotating so
+/// warm-up bias cancels. Reports the best wall time per mode and the
+/// per-quadruple overhead ratios (see [`TraceOverhead::median_overhead`],
+/// [`TraceOverhead::median_metrics_overhead`], and
+/// [`TraceOverhead::median_diag_overhead`]).
 pub fn trace_overhead_experiment(
     scale: f64,
     config: &PipelineConfig,
@@ -901,7 +959,8 @@ pub fn trace_overhead_experiment(
         });
     }
     let work = scratch("trace-ovh-w");
-    // Modes: 0 uninstrumented, 1 trace session, 2 live metrics.
+    // Modes: 0 uninstrumented, 1 trace session, 2 live metrics, 3 the
+    // diagnostics ring (structured logging armed, as `--diag on` does).
     let run = |mode: usize| -> Result<(f64, usize), PipelineError> {
         if work.exists() {
             std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
@@ -910,10 +969,16 @@ pub fn trace_overhead_experiment(
         if mode == 2 {
             arp_metrics::set_enabled(true);
         }
+        if mode == 3 {
+            arp_diag::set_ring_enabled(true);
+        }
         let result =
             arp_core::run_batch_dag(&items, &work, config, arp_core::ReadyOrder::CriticalPath);
         if mode == 2 {
             arp_metrics::set_enabled(false);
+        }
+        if mode == 3 {
+            arp_diag::set_ring_enabled(false);
         }
         let spans = session.map_or(0, |s| s.finish().spans.len());
         Ok((result?.total.as_secs_f64(), spans))
@@ -921,13 +986,15 @@ pub fn trace_overhead_experiment(
     let mut untraced_s = f64::INFINITY;
     let mut traced_s = f64::INFINITY;
     let mut metrics_s = f64::INFINITY;
+    let mut diag_s = f64::INFINITY;
     let mut pair_overheads = Vec::with_capacity(reps);
     let mut metrics_overheads = Vec::with_capacity(reps);
+    let mut diag_overheads = Vec::with_capacity(reps);
     let mut spans = 0;
-    const ORDERS: [[usize; 3]; 3] = [[0, 1, 2], [1, 2, 0], [2, 0, 1]];
+    const ORDERS: [[usize; 4]; 4] = [[0, 1, 2, 3], [1, 2, 3, 0], [2, 3, 0, 1], [3, 0, 1, 2]];
     for rep in 0..reps {
-        // Rotate mode order between triples so warm-up bias cancels.
-        let mut t = [0.0f64; 3];
+        // Rotate mode order between quadruples so warm-up bias cancels.
+        let mut t = [0.0f64; 4];
         for &mode in &ORDERS[rep % ORDERS.len()] {
             let (secs, n) = run(mode)?;
             t[mode] = secs;
@@ -938,9 +1005,11 @@ pub fn trace_overhead_experiment(
         untraced_s = untraced_s.min(t[0]);
         traced_s = traced_s.min(t[1]);
         metrics_s = metrics_s.min(t[2]);
+        diag_s = diag_s.min(t[3]);
         if t[0] > 0.0 {
             pair_overheads.push(t[1] / t[0] - 1.0);
             metrics_overheads.push(t[2] / t[0] - 1.0);
+            diag_overheads.push(t[3] / t[0] - 1.0);
         }
     }
     for dir in [&root, &work] {
@@ -954,8 +1023,10 @@ pub fn trace_overhead_experiment(
         untraced_s,
         traced_s,
         metrics_s,
+        diag_s,
         pair_overheads,
         metrics_overheads,
+        diag_overheads,
         spans,
     })
 }
@@ -963,11 +1034,13 @@ pub fn trace_overhead_experiment(
 /// Formats the overhead experiment for the terminal and EXPERIMENTS.md.
 pub fn format_trace_overhead(t: &TraceOverhead) -> String {
     format!(
-        "instrumentation overhead at scale {} ({} tripled reps, {} spans/run):\n  \
+        "instrumentation overhead at scale {} ({} quadrupled reps, {} spans/run):\n  \
          tracing: median overhead {:+.2}%   \
          best-of: untraced {:.3}s  traced {:.3}s  ({:+.2}%)\n  \
          metrics: median overhead {:+.2}%   \
-         best-of: untraced {:.3}s  metrics {:.3}s  ({:+.2}%)\n",
+         best-of: untraced {:.3}s  metrics {:.3}s  ({:+.2}%)\n  \
+         diag:    median overhead {:+.2}%   \
+         best-of: untraced {:.3}s  diag {:.3}s  ({:+.2}%)\n",
         t.scale,
         t.reps,
         t.spans,
@@ -978,7 +1051,11 @@ pub fn format_trace_overhead(t: &TraceOverhead) -> String {
         t.median_metrics_overhead() * 100.0,
         t.untraced_s,
         t.metrics_s,
-        t.metrics_overhead_fraction() * 100.0
+        t.metrics_overhead_fraction() * 100.0,
+        t.median_diag_overhead() * 100.0,
+        t.untraced_s,
+        t.diag_s,
+        t.diag_overhead_fraction() * 100.0
     )
 }
 
@@ -1094,6 +1171,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
          \"trace_spans\": {},\n  \"mean_utilization\": {:.4},\n  \"queue_wait_us\": \
          {{\"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
          \"metrics\": {{\"queue_wait\": {}, \"execute\": {}}},\n  \
+         \"diag_overhead\": {:.6},\n  \
          \"reader_peak\": {},\n  \
          \"workers\": [\n{}\n  ]\n}}\n",
         b.scale,
@@ -1122,6 +1200,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         b.trace.queue_wait_max_us,
         digest(&b.queue_wait),
         digest(&b.execute),
+        b.diag_overhead,
         b.reader_peak.json(),
         lanes,
     )
@@ -1203,6 +1282,13 @@ impl CompareReport {
 /// host noise at small scales, so cross-machine gates (CI comparing
 /// against a checked-in baseline) should not fail on either.
 ///
+/// `diag_overhead` is gated against the *budget*, not the baseline: the
+/// candidate's diagnostics cost must stay within ≤1% (plus the gate's
+/// tolerance as noise headroom — bench-scale runs are jittery). The row
+/// is skipped when the candidate predates the field, so older baselines
+/// still compare. Relative by construction, so it survives
+/// `relative_only`.
+///
 /// An explicitly `null` digest under `"metrics"` (in either file) is an
 /// error, not a silent pass: it means the instrumented scheduler-health
 /// run recorded nothing, so the file cannot vouch for the scheduler at
@@ -1273,6 +1359,22 @@ pub fn compare_batch_json(
         regression: if failed { 1.0 } else { 0.0 },
         failed,
     });
+    // The diagnostics gate is an absolute budget (≤1% + tolerance as
+    // noise headroom), compared against the candidate only; skipped when
+    // the candidate file predates the field.
+    if let Some(n) = new.get("diag_overhead").and_then(|x| x.as_f64()) {
+        let o = old
+            .get("diag_overhead")
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        rows.push(CompareRow {
+            metric: "diag_overhead",
+            old: o,
+            new: n,
+            regression: n,
+            failed: n > 0.01 + tolerance,
+        });
+    }
     Ok(CompareReport {
         rows,
         tolerance,

@@ -34,6 +34,112 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Live super-DAG frontier: per-node execution state for the batch run in
+/// flight, published so `/statusz` and postmortem bundles can render
+/// per-event progress while (or at the instant) the batch runs.
+pub(crate) mod progress {
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::Arc;
+
+    pub(crate) const PENDING: u8 = 0;
+    pub(crate) const RUNNING: u8 = 1;
+    pub(crate) const COMPLETED: u8 = 2;
+    pub(crate) const FAILED: u8 = 3;
+    pub(crate) const SKIPPED: u8 = 4;
+
+    /// Node states of one batch run (event-major flat indexing, aligned
+    /// with [`crate::dag::SuperDag::nodes`]).
+    pub(crate) struct BatchProgress {
+        labels: Vec<String>,
+        node_event: Vec<usize>,
+        states: Vec<AtomicU8>,
+    }
+
+    impl BatchProgress {
+        pub(crate) fn set(&self, node: usize, state: u8) {
+            self.states[node].store(state, Ordering::Relaxed);
+        }
+    }
+
+    static CURRENT: Mutex<Option<Arc<BatchProgress>>> = Mutex::new(None);
+
+    /// Publishes a fresh all-pending frontier for a starting batch.
+    pub(crate) fn install(labels: Vec<String>, node_event: Vec<usize>) -> Arc<BatchProgress> {
+        let p = Arc::new(BatchProgress {
+            states: (0..node_event.len()).map(|_| AtomicU8::new(PENDING)).collect(),
+            labels,
+            node_event,
+        });
+        *CURRENT.lock() = Some(p.clone());
+        p
+    }
+
+    /// Retires the published frontier (batch finished or unwound).
+    pub(crate) fn clear() {
+        *CURRENT.lock() = None;
+    }
+
+    /// Drop guard so the frontier is retired on every exit path.
+    pub(crate) struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            clear();
+        }
+    }
+
+    /// JSON snapshot of the live frontier — per-event pending / running /
+    /// completed / failed / skipped node counts — or `None` when no batch
+    /// is in flight.
+    pub fn frontier_json() -> Option<String> {
+        let guard = CURRENT.lock();
+        let p = guard.as_ref()?;
+        let mut counts = vec![[0u64; 5]; p.labels.len()];
+        for (i, st) in p.states.iter().enumerate() {
+            let s = st.load(Ordering::Relaxed).min(SKIPPED) as usize;
+            counts[p.node_event[i]][s] += 1;
+        }
+        let mut out = String::from("{\"events\":[");
+        for (e, label) in p.labels.iter().enumerate() {
+            if e > 0 {
+                out.push(',');
+            }
+            let c = counts[e];
+            out.push_str(&format!(
+                "{{\"label\":{},\"pending\":{},\"running\":{},\"completed\":{},\"failed\":{},\"skipped\":{}}}",
+                arp_trace::json::escape(label),
+                c[PENDING as usize],
+                c[RUNNING as usize],
+                c[COMPLETED as usize],
+                c[FAILED as usize],
+                c[SKIPPED as usize],
+            ));
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+}
+
+pub use progress::frontier_json;
+
+/// Extracts the message from a caught panic payload so it survives into
+/// [`PipelineError::Panic`] instead of being dropped at the unwind boundary.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Fault injection for the flight-recorder test path: when the
+/// `ARP_INJECT_PANIC` environment variable names this node's label
+/// (`<event>/#<process>`), the node panics mid-batch. Read freshly per
+/// node so a harness can target any node without rebuilding.
+fn injected_panic(node_label: &str) -> bool {
+    std::env::var("ARP_INJECT_PANIC").is_ok_and(|v| v == node_label)
+}
+
 /// One event to process: an input directory of `<station>.v1` files.
 #[derive(Debug, Clone)]
 pub struct BatchItem {
@@ -350,6 +456,20 @@ pub fn run_batch_dag(
     let super_dag = SuperDag::union(&labels);
     let per = super_dag.per_event().nodes().len();
 
+    // Publish the live frontier for /statusz and postmortem capture; the
+    // guard retires it on every exit path, including unwinds.
+    let node_event: Vec<usize> = super_dag.nodes().iter().map(|n| n.event).collect();
+    let progress = progress::install(labels.clone(), node_event);
+    let _progress_guard = progress::Guard;
+    arp_diag::info(|| {
+        format!(
+            "batch start: {} events, {} super-DAG nodes, {} order",
+            items.len(),
+            super_dag.len(),
+            order.label()
+        )
+    });
+
     // Super-DAG node-state accounting: admitted up front, pending drains
     // node by node, an event retires when its last node completes. The
     // enabled flag is sampled once so admission and retirement stay
@@ -375,9 +495,11 @@ pub fn run_batch_dag(
             let mut durations = vec![Duration::ZERO; super_dag.len()];
             for (e, ctx) in ctxs.iter().enumerate() {
                 for (k, &p) in super_dag.per_event().nodes().iter().enumerate() {
+                    let flat = super_dag.event_offset(e) + k;
                     let (parallel, staged) = dag_node_mode(p);
                     let saved0 = ctx.saved_snapshot();
                     let t0 = Instant::now();
+                    progress.set(flat, progress::RUNNING);
                     crate::executor::run_process_span(
                         ctx,
                         p,
@@ -386,12 +508,15 @@ pub fn run_batch_dag(
                         &labels[e],
                         shapes[e].1 as u64 * 8,
                     )
-                    .map_err(|err| PipelineError::Node {
-                        label: super_dag.node_label(super_dag.event_offset(e) + k),
-                        source: Box::new(err),
+                    .map_err(|err| {
+                        progress.set(flat, progress::FAILED);
+                        PipelineError::Node {
+                            label: super_dag.node_label(flat),
+                            source: Box::new(err),
+                        }
                     })?;
-                    durations[super_dag.event_offset(e) + k] =
-                        t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
+                    progress.set(flat, progress::COMPLETED);
+                    durations[flat] = t0.elapsed().saturating_sub(ctx.saved_snapshot() - saved0);
                     if metrics_on {
                         node_done(&remaining[e]);
                     }
@@ -427,6 +552,8 @@ pub fn run_batch_dag(
                     let p = node.process.0;
                     let event_remaining = &remaining[node.event];
                     let node_done = &node_done;
+                    let progress = &progress;
+                    let node_label = super_dag.node_label(i);
                     Box::new(move || {
                         // After any failure the rest of the batch is
                         // skipped: the failing event's artifacts cannot be
@@ -435,17 +562,47 @@ pub fn run_batch_dag(
                         // node still reaches a terminal state, so the
                         // pending gauge drains either way.
                         if !failures.lock().is_empty() {
+                            progress.set(i, progress::SKIPPED);
                             if metrics_on {
                                 node_done(event_remaining);
                             }
                             return;
                         }
+                        progress.set(i, progress::RUNNING);
                         crate::executor::annotate_node(p, label, bytes);
+                        arp_diag::workers::node_started(&node_label, label, p);
                         let (parallel, staged) = dag_node_mode(p);
                         let t0 = Instant::now();
-                        match run_process(ctx, p, parallel, staged) {
-                            Ok(()) => timings.lock().push((i, t0.elapsed())),
-                            Err(e) => failures.lock().push((i, e)),
+                        // The unwind boundary preserves the panic payload:
+                        // a panicking kernel becomes a fail-fast
+                        // `PipelineError::Panic` that names the message,
+                        // instead of poisoning the pool's DAG run. The
+                        // process-global panic hook (flight recorder) has
+                        // already captured the bundle by the time the
+                        // payload lands here.
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || {
+                                if injected_panic(&node_label) {
+                                    panic!("injected panic at {node_label} (ARP_INJECT_PANIC)");
+                                }
+                                run_process(ctx, p, parallel, staged)
+                            },
+                        ))
+                        .unwrap_or_else(|payload| {
+                            Err(PipelineError::Panic(panic_message(&*payload)))
+                        });
+                        arp_diag::workers::node_finished();
+                        arp_diag::clear_context();
+                        match outcome {
+                            Ok(()) => {
+                                progress.set(i, progress::COMPLETED);
+                                timings.lock().push((i, t0.elapsed()));
+                            }
+                            Err(e) => {
+                                arp_diag::error(|| format!("node {node_label} failed: {e}"));
+                                progress.set(i, progress::FAILED);
+                                failures.lock().push((i, e));
+                            }
                         }
                         if metrics_on {
                             node_done(event_remaining);

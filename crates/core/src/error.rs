@@ -27,6 +27,9 @@ pub enum PipelineError {
     },
     /// Invalid pipeline configuration.
     Config(String),
+    /// A worker panicked while executing a process; the payload message is
+    /// preserved so postmortems can name the failure instead of dropping it.
+    Panic(String),
     /// A batch super-DAG node failed, attributed to the event and process
     /// it belonged to (`<event label>/#<process>`).
     Node {
@@ -59,6 +62,7 @@ impl fmt::Display for PipelineError {
                 write!(f, "process {process} requires missing artifact {artifact}")
             }
             PipelineError::Config(msg) => write!(f, "configuration error: {msg}"),
+            PipelineError::Panic(msg) => write!(f, "panic: {msg}"),
             PipelineError::Node { label, source } => {
                 write!(f, "batch node {label}: {source}")
             }

@@ -110,7 +110,9 @@ pub(crate) fn run_process_span(
 ) -> Result<()> {
     let _span = arp_trace::begin(arp_trace::Cat::Process);
     annotate_node(p, event, bytes);
-    run_process(ctx, p, parallel, staged)
+    let result = run_process(ctx, p, parallel, staged);
+    arp_diag::clear_context();
+    result
 }
 
 /// Attaches pipeline attribution (`"{event}/#{p}"`, process id, event
@@ -124,6 +126,17 @@ pub(crate) fn annotate_node(p: u8, event: &str, bytes: u64) {
         a.event = event.to_string();
         a.bytes = bytes;
     });
+    // Attribute subsequent log records (and a possible panic on this
+    // thread) to the node; cleared when the node's executor finishes.
+    // Gated so the diag-off path allocates nothing.
+    if arp_diag::ring_enabled() || arp_diag::enabled(arp_diag::Level::Info) {
+        arp_diag::set_context(
+            Some(event.to_string()),
+            Some(p),
+            Some(format!("{event}/#{p}")),
+        );
+        arp_diag::debug(|| "node started".to_string());
+    }
 }
 
 /// Measures the shape of the input event: `(v1_files, data_points)`.

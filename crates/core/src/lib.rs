@@ -51,7 +51,8 @@ pub mod summary;
 pub mod timeline;
 
 pub use batch::{
-    discover_batch, run_batch, run_batch_dag, BatchDagReport, BatchItem, BatchReport, ReadyOrder,
+    discover_batch, frontier_json, run_batch, run_batch_dag, BatchDagReport, BatchItem,
+    BatchReport, ReadyOrder,
 };
 pub use config::{ParallelBackend, PipelineConfig};
 pub use context::RunContext;

@@ -1,0 +1,574 @@
+//! # arp-diag — structured diagnostics and the flight recorder
+//!
+//! The third observability pillar next to `arp-trace` (spans) and
+//! `arp-metrics` (counters): leveled, attributed **log records**. Every
+//! record carries a monotonic timestamp (nanoseconds since the process
+//! epoch shared with the trace layer), the worker thread that produced it,
+//! and — when the pipeline has told us — the event / process / DAG node it
+//! was working on at the time.
+//!
+//! The design follows the sibling crates' idiom exactly:
+//!
+//! * **One relaxed load when disabled.** [`enabled`] compares the record's
+//!   level against a single atomic gate; below the gate the call site does
+//!   no formatting, no locking, no clock read. The gate is the minimum of
+//!   the console threshold (default [`Level::Warn`], so warnings still
+//!   reach stderr in an unconfigured process) and the ring threshold
+//!   ([`Level::Trace`] while the ring is armed, off otherwise).
+//! * **Thread-local rings.** Armed recording appends to a per-thread ring
+//!   buffer registered under the thread's name (the pool's `arp-par-*` /
+//!   `arp-io-*` workers each get a lane); overflow drops the *oldest*
+//!   record and counts it. No cross-thread contention on the hot path.
+//! * **First-party JSONL.** [`export_jsonl`] writes one JSON object per
+//!   line; [`parse_jsonl`] / [`validate_jsonl`] read it back with the
+//!   workspace's own parser (`arp_trace::json`) — the `arp diag-check`
+//!   validator is built on them.
+//!
+//! On top of the logger sits the flight recorder ([`recorder`]): arm it
+//! with a run id and an output directory, and a worker panic (or an
+//! explicit abort) writes a `postmortem-<run-id>/` bundle — the log-ring
+//! tail, the live super-DAG frontier, per-worker state, and whatever extra
+//! sources (metrics snapshot, trace tail) the host process registered.
+//!
+//! [`workers`] is the shared per-worker state registry: which node each
+//! worker is executing right now, since when, and how many tasks it has
+//! stolen — the data the `/statusz` endpoint and the postmortem bundle
+//! both render.
+
+#![warn(missing_docs)]
+
+pub mod recorder;
+pub mod workers;
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Severity of a log record, ordered `Trace < Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Scheduler-internal chatter (steals, dispatches).
+    Trace,
+    /// Per-node lifecycle records.
+    Debug,
+    /// Run milestones.
+    Info,
+    /// Recoverable anomalies — the default console threshold.
+    Warn,
+    /// Failures: panics, aborted batches.
+    Error,
+}
+
+/// Gate value meaning "no level passes" (one past [`Level::Error`]).
+const LEVEL_OFF: usize = 5;
+
+impl Level {
+    /// Lower-case display name (`"warn"`), also the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a level name as written by [`Level::as_str`].
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "trace" => Level::Trace,
+            "debug" => Level::Debug,
+            "info" => Level::Info,
+            "warn" => Level::Warn,
+            "error" => Level::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Global sequence number — a total order across all threads.
+    pub seq: u64,
+    /// Nanoseconds since the process epoch (monotonic, shared with the
+    /// trace layer's clock).
+    pub t_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Name of the thread that produced the record.
+    pub worker: String,
+    /// Event label the worker was processing, when attributed.
+    pub event: Option<String>,
+    /// Pipeline process number (`#p`), when attributed.
+    pub process: Option<u8>,
+    /// Super-DAG node label (`"<event>/#<p>"`), when attributed.
+    pub node: Option<String>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Minimum level that is recorded *anywhere* (console or ring), encoded as
+/// `Level as usize` (or [`LEVEL_OFF`]). The disabled fast path of [`log`]
+/// is exactly one relaxed load against this.
+static GATE: AtomicUsize = AtomicUsize::new(Level::Warn as usize);
+
+/// Console (stderr) threshold; [`LEVEL_OFF`] silences the console.
+static CONSOLE: AtomicUsize = AtomicUsize::new(Level::Warn as usize);
+
+/// Whether records are captured into the thread-local rings.
+static RING_ON: AtomicBool = AtomicBool::new(false);
+
+/// Global record sequence counter.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn recompute_gate() {
+    let console = CONSOLE.load(Ordering::SeqCst);
+    let ring = if RING_ON.load(Ordering::SeqCst) {
+        Level::Trace as usize
+    } else {
+        LEVEL_OFF
+    };
+    GATE.store(console.min(ring), Ordering::SeqCst);
+}
+
+/// Sets the console (stderr) threshold; `None` silences the console
+/// entirely. The default is [`Level::Warn`].
+pub fn set_console_level(level: Option<Level>) {
+    CONSOLE.store(level.map_or(LEVEL_OFF, |l| l as usize), Ordering::SeqCst);
+    recompute_gate();
+}
+
+/// Arms or disarms ring capture. Arming clears every live lane so the
+/// rings hold only the new run's records.
+pub fn set_ring_enabled(on: bool) {
+    if on {
+        let reg = registry().lock();
+        for lane in reg.iter() {
+            let mut ring = lane.ring.lock();
+            ring.records.clear();
+            ring.dropped = 0;
+        }
+    }
+    RING_ON.store(on, Ordering::SeqCst);
+    recompute_gate();
+}
+
+/// Whether ring capture is armed.
+pub fn ring_enabled() -> bool {
+    RING_ON.load(Ordering::Relaxed)
+}
+
+/// Whether a record at `level` would be recorded anywhere. One relaxed
+/// load — the whole cost of a disabled call site.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as usize >= GATE.load(Ordering::Relaxed)
+}
+
+/// Records per thread-local ring; oldest dropped (and counted) past this.
+const RING_CAPACITY: usize = 8192;
+
+struct Ring {
+    records: VecDeque<Record>,
+    dropped: u64,
+}
+
+/// One thread's ring. Records carry their worker name themselves, so the
+/// lane needs no identity of its own — it is only a drain point.
+struct Lane {
+    ring: Mutex<Ring>,
+}
+
+/// The worker's pipeline attribution, mirrored onto every record it logs.
+#[derive(Default, Clone)]
+struct Context {
+    event: Option<String>,
+    process: Option<u8>,
+    node: Option<String>,
+}
+
+thread_local! {
+    static LANE: RefCell<Option<Arc<Lane>>> = const { RefCell::new(None) };
+    static CONTEXT: RefCell<Context> = RefCell::new(Context::default());
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Lane>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Lane>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Shared monotonic origin for [`Record::t_ns`] — the trace layer's clock,
+/// so log timestamps and span timestamps line up in a postmortem.
+fn now_ns() -> u64 {
+    // `arp_trace::stamp` is gated on *trace* enablement; diag needs the
+    // epoch unconditionally, so keep its own lazily-pinned copy of the
+    // same idea (first use pins the origin).
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+fn lane_for_current_thread() -> Arc<Lane> {
+    LANE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(lane) = slot.as_ref() {
+            return lane.clone();
+        }
+        let lane = Arc::new(Lane {
+            ring: Mutex::new(Ring {
+                records: VecDeque::new(),
+                dropped: 0,
+            }),
+        });
+        registry().lock().push(lane.clone());
+        *slot = Some(lane.clone());
+        lane
+    })
+}
+
+/// Sets this thread's pipeline attribution; subsequent records carry it.
+pub fn set_context(event: Option<String>, process: Option<u8>, node: Option<String>) {
+    CONTEXT.with(|c| {
+        *c.borrow_mut() = Context {
+            event,
+            process,
+            node,
+        }
+    });
+}
+
+/// Clears this thread's pipeline attribution.
+pub fn clear_context() {
+    CONTEXT.with(|c| *c.borrow_mut() = Context::default());
+}
+
+/// Snapshot of this thread's current attribution:
+/// `(event, process, node)`. The recorder stamps the incident record with
+/// it when a panic hook fires on a worker.
+pub fn current_context() -> (Option<String>, Option<u8>, Option<String>) {
+    CONTEXT.with(|c| {
+        let c = c.borrow();
+        (c.event.clone(), c.process, c.node.clone())
+    })
+}
+
+/// Logs a record at `level`. The message closure runs only when the level
+/// passes the gate, so disabled call sites pay one relaxed load and no
+/// formatting.
+#[inline]
+pub fn log(level: Level, message: impl FnOnce() -> String) {
+    if !enabled(level) {
+        return;
+    }
+    log_slow(level, message());
+}
+
+/// Convenience: [`log`] at [`Level::Trace`].
+#[inline]
+pub fn trace(message: impl FnOnce() -> String) {
+    log(Level::Trace, message);
+}
+
+/// Convenience: [`log`] at [`Level::Debug`].
+#[inline]
+pub fn debug(message: impl FnOnce() -> String) {
+    log(Level::Debug, message);
+}
+
+/// Convenience: [`log`] at [`Level::Info`].
+#[inline]
+pub fn info(message: impl FnOnce() -> String) {
+    log(Level::Info, message);
+}
+
+/// Convenience: [`log`] at [`Level::Warn`].
+#[inline]
+pub fn warn(message: impl FnOnce() -> String) {
+    log(Level::Warn, message);
+}
+
+/// Convenience: [`log`] at [`Level::Error`].
+#[inline]
+pub fn error(message: impl FnOnce() -> String) {
+    log(Level::Error, message);
+}
+
+fn log_slow(level: Level, message: String) {
+    let context = CONTEXT.with(|c| c.borrow().clone());
+    let record = Record {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        t_ns: now_ns(),
+        level,
+        worker: std::thread::current()
+            .name()
+            .unwrap_or("caller")
+            .to_string(),
+        event: context.event,
+        process: context.process,
+        node: context.node,
+        message,
+    };
+    if level as usize >= CONSOLE.load(Ordering::Relaxed) {
+        let at = match &record.node {
+            Some(node) => format!(" [{node}]"),
+            None => String::new(),
+        };
+        eprintln!("arp[{level}]{at} {}", record.message);
+    }
+    if RING_ON.load(Ordering::Relaxed) {
+        let lane = lane_for_current_thread();
+        let mut ring = lane.ring.lock();
+        if ring.records.len() >= RING_CAPACITY {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+}
+
+/// Copies every lane's ring (without clearing), merged and sorted by
+/// sequence number. Safe to call mid-run — the flight recorder uses it
+/// from a panic hook while workers are still logging.
+pub fn snapshot() -> Vec<Record> {
+    let mut records = Vec::new();
+    for lane in registry().lock().iter() {
+        records.extend(lane.ring.lock().records.iter().cloned());
+    }
+    records.sort_by_key(|r| r.seq);
+    records
+}
+
+/// Drains every lane's ring, merged and sorted by sequence number.
+pub fn drain() -> Vec<Record> {
+    let mut records = Vec::new();
+    for lane in registry().lock().iter() {
+        let mut ring = lane.ring.lock();
+        records.extend(ring.records.drain(..));
+        ring.dropped = 0;
+    }
+    records.sort_by_key(|r| r.seq);
+    records
+}
+
+/// Total records lost to ring overflow across all lanes.
+pub fn dropped() -> u64 {
+    registry()
+        .lock()
+        .iter()
+        .map(|lane| lane.ring.lock().dropped)
+        .sum()
+}
+
+/// Serializes records as JSONL: one JSON object per line, stable key
+/// order, optional attribution keys omitted when absent.
+pub fn export_jsonl(records: &[Record]) -> String {
+    // `escape` produces the full string literal, quotes included.
+    use arp_trace::json::escape;
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{{\"seq\":{},\"t_ns\":{},\"level\":\"{}\",\"worker\":{}",
+            r.seq,
+            r.t_ns,
+            r.level,
+            escape(&r.worker)
+        ));
+        if let Some(event) = &r.event {
+            out.push_str(&format!(",\"event\":{}", escape(event)));
+        }
+        if let Some(p) = r.process {
+            out.push_str(&format!(",\"process\":{p}"));
+        }
+        if let Some(node) = &r.node {
+            out.push_str(&format!(",\"node\":{}", escape(node)));
+        }
+        out.push_str(&format!(",\"msg\":{}}}\n", escape(&r.message)));
+    }
+    out
+}
+
+/// Parses a JSONL log back into records. Blank lines are ignored; any
+/// malformed line is an error naming its line number.
+pub fn parse_jsonl(text: &str) -> std::result::Result<Vec<Record>, String> {
+    use arp_trace::json;
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let v = json::parse(line).map_err(|e| at(e.to_string()))?;
+        let req_u64 = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| at(format!("missing or non-integer {key:?}")))
+        };
+        let req_str = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| at(format!("missing or non-string {key:?}")))
+        };
+        let level_name = req_str("level")?;
+        let level =
+            Level::parse(&level_name).ok_or_else(|| at(format!("unknown level {level_name:?}")))?;
+        let process = match v.get("process") {
+            None => None,
+            Some(x) => Some(
+                x.as_u64()
+                    .filter(|&p| p <= u8::MAX as u64)
+                    .ok_or_else(|| at("\"process\" out of range".into()))? as u8,
+            ),
+        };
+        records.push(Record {
+            seq: req_u64("seq")?,
+            t_ns: req_u64("t_ns")?,
+            level,
+            worker: req_str("worker")?,
+            event: v.get("event").and_then(|x| x.as_str()).map(str::to_string),
+            process,
+            node: v.get("node").and_then(|x| x.as_str()).map(str::to_string),
+            message: req_str("msg")?,
+        });
+    }
+    Ok(records)
+}
+
+/// Validates a JSONL log: every line parses with the required fields, and
+/// sequence numbers are strictly increasing (the export is seq-sorted and
+/// seqs are globally unique, so duplicates or disorder mean a corrupt or
+/// hand-edited file). Returns the record count.
+pub fn validate_jsonl(text: &str) -> std::result::Result<usize, String> {
+    let records = parse_jsonl(text)?;
+    for pair in records.windows(2) {
+        if pair[1].seq <= pair[0].seq {
+            return Err(format!(
+                "sequence numbers not strictly increasing: {} then {}",
+                pair[0].seq, pair[1].seq
+            ));
+        }
+    }
+    Ok(records.len())
+}
+
+/// Logger/recorder state is process-global; every test that toggles it
+/// (across this crate's modules) serializes on this lock.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_levels_do_not_format() {
+        let _guard = crate::TEST_LOCK.lock();
+        set_console_level(Some(Level::Error));
+        set_ring_enabled(false);
+        let mut ran = false;
+        log(Level::Debug, || {
+            ran = true;
+            String::new()
+        });
+        assert!(!ran, "message closure ran below the gate");
+        set_console_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn ring_captures_attributed_records_in_seq_order() {
+        let _guard = crate::TEST_LOCK.lock();
+        set_console_level(None);
+        set_ring_enabled(true);
+        set_context(Some("ev1".into()), Some(7), Some("ev1/#7".into()));
+        info(|| "first".into());
+        clear_context();
+        error(|| "second".into());
+        let records = drain();
+        set_ring_enabled(false);
+        set_console_level(Some(Level::Warn));
+        assert_eq!(records.len(), 2);
+        assert!(records[0].seq < records[1].seq);
+        assert_eq!(records[0].event.as_deref(), Some("ev1"));
+        assert_eq!(records[0].process, Some(7));
+        assert_eq!(records[0].node.as_deref(), Some("ev1/#7"));
+        assert_eq!(records[1].level, Level::Error);
+        assert_eq!(records[1].event, None);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_validates() {
+        let _guard = crate::TEST_LOCK.lock();
+        set_console_level(None);
+        set_ring_enabled(true);
+        set_context(Some("ev \"q\"".into()), Some(3), Some("ev \"q\"/#3".into()));
+        warn(|| "needs \"escaping\"\n".into());
+        clear_context();
+        debug(|| "plain".into());
+        let records = drain();
+        set_ring_enabled(false);
+        set_console_level(Some(Level::Warn));
+        let text = export_jsonl(&records);
+        assert_eq!(validate_jsonl(&text).expect("valid"), records.len());
+        let parsed = parse_jsonl(&text).expect("parses");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn validator_rejects_corruption() {
+        assert!(validate_jsonl("not json\n").is_err());
+        // Missing "worker".
+        assert!(
+            validate_jsonl("{\"seq\":0,\"t_ns\":1,\"level\":\"info\",\"msg\":\"x\"}\n").is_err()
+        );
+        // Unknown level.
+        assert!(validate_jsonl(
+            "{\"seq\":0,\"t_ns\":1,\"level\":\"loud\",\"worker\":\"w\",\"msg\":\"x\"}\n"
+        )
+        .is_err());
+        // Out-of-order seq.
+        let two = "{\"seq\":5,\"t_ns\":1,\"level\":\"info\",\"worker\":\"w\",\"msg\":\"a\"}\n\
+                   {\"seq\":5,\"t_ns\":2,\"level\":\"info\",\"worker\":\"w\",\"msg\":\"b\"}\n";
+        assert!(validate_jsonl(two).is_err());
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let _guard = crate::TEST_LOCK.lock();
+        set_console_level(None);
+        set_ring_enabled(true);
+        for i in 0..(RING_CAPACITY + 10) {
+            info(move || format!("r{i}"));
+        }
+        let dropped_now = dropped();
+        let records = drain();
+        set_ring_enabled(false);
+        set_console_level(Some(Level::Warn));
+        assert_eq!(records.len(), RING_CAPACITY);
+        assert!(dropped_now >= 10);
+        assert_eq!(records.last().expect("tail").message, "r8201");
+    }
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for level in [
+            Level::Trace,
+            Level::Debug,
+            Level::Info,
+            Level::Warn,
+            Level::Error,
+        ] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("loud"), None);
+    }
+}

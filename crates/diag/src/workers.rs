@@ -1,0 +1,230 @@
+//! Per-worker live state: which DAG node each worker thread is executing
+//! right now (and since when), plus its steal count. The `/statusz`
+//! endpoint renders this registry live; the flight recorder freezes it
+//! into `workers.json` when a postmortem bundle is written.
+//!
+//! Tracking is off by default — every hook's fast path is one relaxed
+//! load — and is switched on by hosts that serve `/statusz` or arm the
+//! flight recorder.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables worker-state tracking.
+pub fn set_tracking(on: bool) {
+    if !on {
+        if let Some(reg) = REGISTRY.get() {
+            reg.lock().clear();
+        }
+    }
+    TRACKING.store(on, Ordering::SeqCst);
+}
+
+/// Whether worker-state tracking is on (one relaxed load).
+#[inline]
+pub fn tracking() -> bool {
+    TRACKING.load(Ordering::Relaxed)
+}
+
+struct Running {
+    node: String,
+    event: String,
+    process: u8,
+    since: Instant,
+}
+
+#[derive(Default)]
+struct Entry {
+    running: Option<Running>,
+    steals: u64,
+}
+
+static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn thread_name() -> String {
+    std::thread::current()
+        .name()
+        .unwrap_or("caller")
+        .to_string()
+}
+
+/// Lane a worker thread belongs to, derived from the pool's thread-name
+/// convention (`arp-par-*` compute, `arp-io-*` I/O, anything else is a
+/// helping caller).
+pub fn lane_of(worker: &str) -> &'static str {
+    if worker.starts_with("arp-io-") {
+        "io"
+    } else if worker.starts_with("arp-par-") {
+        "compute"
+    } else {
+        "caller"
+    }
+}
+
+/// Marks the current thread as executing `node`. Call at node start.
+pub fn node_started(node: &str, event: &str, process: u8) {
+    if !tracking() {
+        return;
+    }
+    registry().lock().entry(thread_name()).or_default().running = Some(Running {
+        node: node.to_string(),
+        event: event.to_string(),
+        process,
+        since: Instant::now(),
+    });
+}
+
+/// Clears the current thread's running node. Call at node end (any
+/// outcome — the postmortem path leaves the failing node in place on
+/// purpose: [`node_started`]'s record survives until the panic hook has
+/// snapshotted it, because the panic unwinds past the clear call).
+pub fn node_finished() {
+    if !tracking() {
+        return;
+    }
+    if let Some(entry) = registry().lock().get_mut(&thread_name()) {
+        entry.running = None;
+    }
+}
+
+/// Credits one successful steal to the current thread.
+pub fn note_steal() {
+    if !tracking() {
+        return;
+    }
+    registry().lock().entry(thread_name()).or_default().steals += 1;
+}
+
+/// One worker's state at snapshot time.
+#[derive(Debug, Clone)]
+pub struct WorkerSnapshot {
+    /// Worker thread name.
+    pub worker: String,
+    /// Lane derived from the thread name (`compute` / `io` / `caller`).
+    pub lane: &'static str,
+    /// `(node, event, process, busy_ns)` when the worker is mid-node.
+    pub running: Option<(String, String, u8, u64)>,
+    /// Tasks this worker has stolen since tracking was enabled.
+    pub steals: u64,
+}
+
+/// Snapshots every tracked worker, name-sorted.
+pub fn snapshot() -> Vec<WorkerSnapshot> {
+    let now = Instant::now();
+    let mut workers: Vec<WorkerSnapshot> = registry()
+        .lock()
+        .iter()
+        .map(|(name, entry)| WorkerSnapshot {
+            worker: name.clone(),
+            lane: lane_of(name),
+            running: entry.running.as_ref().map(|r| {
+                (
+                    r.node.clone(),
+                    r.event.clone(),
+                    r.process,
+                    now.saturating_duration_since(r.since).as_nanos() as u64,
+                )
+            }),
+            steals: entry.steals,
+        })
+        .collect();
+    workers.sort_by(|a, b| a.worker.cmp(&b.worker));
+    workers
+}
+
+/// Renders the registry as JSON: every worker's lane, steal count, and —
+/// when mid-node — the node, its event/process, and how long it has been
+/// running. The `longest_running` list is the in-flight nodes sorted
+/// slowest-first (capped at `top`), the postmortem's "slowest in-flight
+/// nodes" view.
+pub fn to_json(top: usize) -> String {
+    use arp_trace::json::escape;
+    let workers = snapshot();
+    let mut rows = String::new();
+    for (i, w) in workers.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"worker\":{},\"lane\":\"{}\",\"steals\":{}",
+            escape(&w.worker),
+            w.lane,
+            w.steals
+        ));
+        match &w.running {
+            Some((node, event, process, busy_ns)) => rows.push_str(&format!(
+                ",\"node\":{},\"event\":{},\"process\":{},\"busy_ns\":{}}}",
+                escape(node),
+                escape(event),
+                process,
+                busy_ns
+            )),
+            None => rows.push_str(",\"node\":null}"),
+        }
+    }
+    let mut in_flight: Vec<&WorkerSnapshot> =
+        workers.iter().filter(|w| w.running.is_some()).collect();
+    in_flight.sort_by_key(|w| std::cmp::Reverse(w.running.as_ref().map_or(0, |r| r.3)));
+    let mut longest = String::new();
+    for (i, w) in in_flight.iter().take(top.max(1)).enumerate() {
+        let (node, _, _, busy_ns) = w.running.as_ref().expect("filtered to running");
+        if i > 0 {
+            longest.push_str(",\n");
+        }
+        longest.push_str(&format!(
+            "    {{\"node\":{},\"worker\":{},\"busy_ns\":{}}}",
+            escape(node),
+            escape(&w.worker),
+            busy_ns
+        ));
+    }
+    format!("{{\n  \"workers\": [\n{rows}\n  ],\n  \"longest_running\": [\n{longest}\n  ]\n}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tracks_running_node_and_steals() {
+        let _guard = crate::TEST_LOCK.lock();
+        set_tracking(true);
+        node_started("ev1/#7", "ev1", 7);
+        note_steal();
+        note_steal();
+        let me = thread_name();
+        let snap = snapshot();
+        let mine = snap.iter().find(|w| w.worker == me).expect("tracked");
+        let (node, event, process, _) = mine.running.clone().expect("running");
+        assert_eq!((node.as_str(), event.as_str(), process), ("ev1/#7", "ev1", 7));
+        assert_eq!(mine.steals, 2);
+
+        let json = to_json(4);
+        arp_trace::json::parse(&json).expect("valid json");
+        assert!(json.contains("\"node\":\"ev1/#7\""));
+        assert!(json.contains("longest_running"));
+
+        node_finished();
+        let snap = snapshot();
+        let mine = snap.iter().find(|w| w.worker == me).expect("tracked");
+        assert!(mine.running.is_none());
+        set_tracking(false);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn lanes_follow_thread_name_convention() {
+        assert_eq!(lane_of("arp-par-3"), "compute");
+        assert_eq!(lane_of("arp-io-0"), "io");
+        assert_eq!(lane_of("main"), "caller");
+    }
+}

@@ -5,9 +5,12 @@
 //! * `GET /metrics`  → the [`crate::gather`] exposition
 //!   (`text/plain; version=0.0.4`)
 //! * `GET /healthz`  → `ok` (liveness for the CI smoke job)
+//! * `GET /statusz`  → live pipeline view (`application/json`) from the
+//!   provider installed with [`set_statusz_provider`]; `503` until one is
+//!   installed
 //! * non-GET method  → `405` with an `Allow: GET` header
 //! * oversized head  → `431` (head longer than the 4 KiB read cap)
-//! * anything else   → `404`
+//! * anything else   → `404` naming the path
 //!
 //! [`serve`] binds, spawns the accept loop, and returns the bound address
 //! — pass port `0` to let the OS pick one (the CLI prints the resolved
@@ -16,7 +19,22 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// Renders the `/statusz` body on demand (called per request, on the
+/// serving thread).
+type StatuszProvider = Box<dyn Fn() -> String + Send + Sync>;
+
+static STATUSZ: OnceLock<StatuszProvider> = OnceLock::new();
+
+/// Installs the `/statusz` body provider — typically a closure assembling
+/// the live batch frontier, per-worker state, and pool counters into one
+/// JSON document. First install wins; later calls are ignored (the
+/// endpoint is process-global, like the registry).
+pub fn set_statusz_provider(provider: StatuszProvider) {
+    let _ = STATUSZ.set(provider);
+}
 
 /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `/metrics` + `/healthz`
 /// from a detached background thread. Returns the locally bound address.
@@ -82,10 +100,20 @@ fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
                 crate::gather(),
             ),
             "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/statusz" => match STATUSZ.get() {
+                Some(provider) => ("200 OK", "application/json; charset=utf-8", provider()),
+                None => (
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "statusz provider not installed\n".to_string(),
+                ),
+            },
+            // Name the path so a typo'd scrape target is diagnosable from
+            // the response body alone.
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found\n".to_string(),
+                format!("not found: {path}\n"),
             ),
         }
     };
@@ -133,7 +161,19 @@ mod tests {
         let body = metrics.split("\r\n\r\n").nth(1).expect("body");
         crate::expo::parse_exposition(body).expect("valid exposition");
         assert!(get(addr, "/healthz").contains("ok"));
-        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert!(missing.contains("not found: /nope"), "{missing}");
+    }
+
+    #[test]
+    fn statusz_serves_provider_body_as_json() {
+        let addr = serve("127.0.0.1:0").expect("bind");
+        set_statusz_provider(Box::new(|| "{\"pipeline\":\"idle\"}".to_string()));
+        let resp = get(addr, "/statusz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("application/json"), "{resp}");
+        assert!(resp.contains("{\"pipeline\":\"idle\"}"), "{resp}");
     }
 
     fn raw(addr: SocketAddr, request: &[u8]) -> String {

@@ -59,6 +59,17 @@ pub enum Schedule {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` with a literal yields `&str`, with formatting a `String`),
+/// so `catch_unwind` sites preserve it instead of dropping the payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// A borrowed task accepted by [`ThreadPool::run_tasks`].
 pub type BorrowedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
 
@@ -163,6 +174,11 @@ impl PoolStats {
         let total =
             self.steals_io.load(Ordering::Relaxed) + self.steals_compute.load(Ordering::Relaxed);
         arp_trace::counter("steals", total as f64);
+        arp_diag::workers::note_steal();
+        if arp_diag::enabled(arp_diag::Level::Trace) {
+            let lane = if io { "io" } else { "compute" };
+            arp_diag::trace(move || format!("stole a {lane} job (cross-lane: {cross})"));
+        }
         if arp_metrics::enabled() {
             metrics::steals(io).inc();
             if cross {
@@ -581,8 +597,9 @@ impl PoolCore {
         }
         self.stats.job_started(worker_io);
         let prev = CROSS_LANE.with(|c| c.replace(cross));
-        if catch_unwind(AssertUnwindSafe(t.job)).is_err() {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(t.job)) {
             self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            arp_diag::error(|| format!("worker contained a panicking job: {}", panic_message(&*payload)));
         }
         CROSS_LANE.with(|c| c.set(prev));
         self.stats.job_finished(worker_io);
@@ -627,6 +644,8 @@ struct ForState<'f> {
     schedule: Schedule,
     body: &'f (dyn Fn(usize) + Sync),
     panicked: AtomicBool,
+    /// Message of the first observed panic, re-raised on the caller.
+    panic_msg: parking_lot::Mutex<Option<String>>,
 }
 
 impl ForState<'_> {
@@ -676,7 +695,10 @@ impl ForState<'_> {
                     (self.body)(i);
                 }
             }));
-            if result.is_err() {
+            if let Err(payload) = result {
+                let msg = panic_message(&*payload);
+                arp_diag::error(|| format!("parallel_for chunk panicked: {msg}"));
+                self.panic_msg.lock().get_or_insert(msg);
                 self.panicked.store(true, Ordering::Relaxed);
                 break;
             }
@@ -704,6 +726,8 @@ struct DagState<'env> {
     /// As `ready`, for nodes routed to the I/O lane.
     io_ready: AtomicUsize,
     panicked: AtomicBool,
+    /// Message of the first observed panic, re-raised on the caller.
+    panic_msg: parking_lot::Mutex<Option<String>>,
 }
 
 /// Orders a set of simultaneously-ready node indices for dispatch: highest
@@ -824,7 +848,10 @@ fn dispatch_dag_node(
                     }
                 });
                 let exec_start = metrics_on.then(Instant::now);
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    let msg = panic_message(&*payload);
+                    arp_diag::error(|| format!("dag node {i} panicked: {msg}"));
+                    state.panic_msg.lock().get_or_insert(msg);
                     state.panicked.store(true, Ordering::Relaxed);
                     stats_clone.panics_caught.fetch_add(1, Ordering::Relaxed);
                 }
@@ -1059,6 +1086,7 @@ impl ThreadPool {
             schedule,
             body: &body,
             panicked: AtomicBool::new(false),
+            panic_msg: parking_lot::Mutex::new(None),
         };
 
         // Helpers get a raw pointer to the stack-held state. Soundness: the
@@ -1093,7 +1121,10 @@ impl ThreadPool {
         self.stats.loops_completed.fetch_add(1, Ordering::Relaxed);
 
         if state.panicked.load(Ordering::Relaxed) {
-            panic!("a parallel_for iteration panicked");
+            match state.panic_msg.lock().take() {
+                Some(msg) => panic!("a parallel_for iteration panicked: {msg}"),
+                None => panic!("a parallel_for iteration panicked"),
+            }
         }
     }
 
@@ -1286,6 +1317,7 @@ impl ThreadPool {
             ready: AtomicUsize::new(0),
             io_ready: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_msg: parking_lot::Mutex::new(None),
         };
         let latch = Arc::new(CountdownLatch::new(n));
         let state_ptr = &state as *const DagState<'_> as usize;
@@ -1299,7 +1331,10 @@ impl ThreadPool {
         self.help_until_open(&latch);
         self.stats.dags_completed.fetch_add(1, Ordering::Relaxed);
         if state.panicked.load(Ordering::Relaxed) {
-            panic!("a dag task panicked");
+            match state.panic_msg.lock().take() {
+                Some(msg) => panic!("a dag task panicked: {msg}"),
+                None => panic!("a dag task panicked"),
+            }
         }
     }
 

@@ -67,7 +67,7 @@ pub use stats::{LaneLoad, TraceSummary};
 
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -485,6 +485,7 @@ impl TraceSession {
         }
         let start = Instant::now();
         let start_ns = start.saturating_duration_since(process_epoch()).as_nanos() as u64;
+        ACTIVE_START_NS.store(start_ns, Ordering::SeqCst);
         ENABLED.store(true, Ordering::SeqCst);
         TraceSession {
             start,
@@ -539,6 +540,54 @@ impl Drop for TraceSession {
     fn drop(&mut self) {
         ENABLED.store(false, Ordering::SeqCst);
     }
+}
+
+/// Session start timestamp (ns since process epoch) of the active session,
+/// kept so [`snapshot`] can rebase spans the same way `finish` does.
+static ACTIVE_START_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Peeks the active session's rings without draining or stopping it:
+/// returns the spans and counters committed so far, rebased like
+/// [`TraceSession::finish`]. `None` when no session is running. Used by
+/// the flight recorder to freeze a trace tail into a postmortem bundle
+/// while the (crashed) session is still formally open.
+pub fn snapshot() -> Option<Trace> {
+    if !enabled() {
+        return None;
+    }
+    let start_ns = ACTIVE_START_NS.load(Ordering::SeqCst);
+    let now_ns = Instant::now()
+        .saturating_duration_since(process_epoch())
+        .as_nanos() as u64;
+    let mut spans = Vec::new();
+    let mut lanes = Vec::new();
+    let mut counters = Vec::new();
+    let mut dropped = 0u64;
+    for lane in registry().lock().iter() {
+        lanes.push(lane.name.clone());
+        let ring = lane.ring.lock();
+        dropped += ring.dropped;
+        spans.extend(ring.spans.iter().cloned());
+        let cring = lane.counters.lock();
+        dropped += cring.dropped;
+        counters.extend(cring.entries.iter().map(|e| CounterSample {
+            track: e.track.to_string(),
+            ts_ns: e.ts_ns.saturating_sub(start_ns),
+            value: e.value,
+        }));
+    }
+    for span in &mut spans {
+        span.start_ns = span.start_ns.saturating_sub(start_ns);
+    }
+    spans.sort_by_key(|s| (s.lane, s.start_ns, std::cmp::Reverse(s.end_ns())));
+    counters.sort_by(|a, b| (a.track.as_str(), a.ts_ns).cmp(&(b.track.as_str(), b.ts_ns)));
+    Some(Trace {
+        spans,
+        lanes,
+        counters,
+        wall: Duration::from_nanos(now_ns.saturating_sub(start_ns)),
+        dropped,
+    })
 }
 
 /// A drained session: every span, the lane names, and the session wall

@@ -39,11 +39,24 @@
 //!
 //! Live metrics: `--metrics-addr 127.0.0.1:9102` on `run`/`batch` enables
 //! collection and serves Prometheus text exposition at `/metrics` (plus
-//! `/healthz`) from a background thread; `127.0.0.1:0` picks a free port
-//! and the resolved address is printed. `--metrics-hold SECS` keeps the
-//! endpoint alive after the workload so scrapers can catch short runs.
+//! `/healthz` and the live `/statusz` pipeline view: per-event super-DAG
+//! progress, per-worker running node / lane / steal counts, pool totals)
+//! from a background thread; `127.0.0.1:0` picks a free port and the
+//! resolved address is printed. `--metrics-hold SECS` keeps the endpoint
+//! alive after the workload so scrapers can catch short runs.
 //! `arp metrics` prints the full catalog snapshot; `--fetch ADDR` scrapes
 //! a running endpoint and `--check FILE` validates a saved exposition.
+//!
+//! Diagnostics: `--log-level trace|debug|info|warn|error|off` sets the
+//! console log level (default `warn`; structured records go to stderr).
+//! `--diag on` (or `--diag-dir DIR`, which implies it) on `run`/`batch`
+//! arms the **flight recorder**: ring-buffered structured logging plus a
+//! panic/failure hook, so a worker panic or batch abort freezes a
+//! `postmortem-<run-id>/` bundle (log tail as JSONL, metrics snapshot,
+//! trace tail, per-worker state, live super-DAG frontier) under the diag
+//! dir. `arp postmortem BUNDLE` renders a bundle as a human-readable
+//! incident report; `arp diag-check --file LOG.jsonl | --bundle DIR`
+//! validates diagnostics artifacts (CI runs it on forced-failure bundles).
 
 use arp_core::{
     event_summary, run_pipeline_labeled, summary_csv, verify_run, ImplKind, PipelineConfig,
@@ -151,10 +164,83 @@ fn start_metrics(flags: &HashMap<String, String>) -> Result<Option<std::time::Du
     })?;
     arp_metrics::set_enabled(true);
     register_all_metrics();
+    // The `/statusz` view needs the per-worker registry live.
+    arp_diag::workers::set_tracking(true);
+    arp_metrics::http::set_statusz_provider(Box::new(statusz_body));
     let local =
         arp_metrics::http::serve(addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
     println!("metrics: serving http://{local}/metrics");
     Ok(Some(std::time::Duration::from_secs(hold)))
+}
+
+/// Assembles the live `/statusz` body: the in-flight batch's per-event
+/// DAG frontier (`null` between batches), every worker's current node /
+/// lane / steal count with the longest-running in-flight nodes, and the
+/// pool's cumulative counters.
+fn statusz_body() -> String {
+    let frontier = arp_core::frontier_json().unwrap_or_else(|| "null".to_string());
+    let workers = arp_diag::workers::to_json(8);
+    let s = arp_par::ThreadPool::global().stats();
+    format!(
+        "{{\n\"frontier\": {frontier},\n\"workers\": {workers},\n\"pool\": {{\"jobs_on_workers\":{},\"jobs_helped\":{},\"steal_attempts\":{},\"steals_compute\":{},\"steals_io\":{},\"cross_lane_steals\":{},\"panics_caught\":{}}}\n}}\n",
+        s.jobs_on_workers,
+        s.jobs_helped,
+        s.steal_attempts,
+        s.steals_compute,
+        s.steals_io,
+        s.cross_lane_steals,
+        s.panics_caught
+    )
+}
+
+/// Handles `--log-level`, `--diag on|off`, and `--diag-dir DIR`: sets the
+/// console log level, and — when diagnostics are on — arms the flight
+/// recorder (ring logging + worker tracking + the panic hook) with the
+/// bundle sources this binary can capture. Returns whether the recorder
+/// was armed, so the workload's error path can write an abort bundle.
+fn start_diag(flags: &HashMap<String, String>) -> Result<bool, String> {
+    if let Some(level) = flags.get("log-level") {
+        if level == "off" {
+            arp_diag::set_console_level(None);
+        } else {
+            let parsed = arp_diag::Level::parse(level).ok_or_else(|| {
+                format!("bad --log-level {level:?} (use trace|debug|info|warn|error|off)")
+            })?;
+            arp_diag::set_console_level(Some(parsed));
+        }
+    }
+    let on = match flags.get("diag").map(|s| s.as_str()) {
+        Some("on") => true,
+        Some("off") => false,
+        None => flags.contains_key("diag-dir"),
+        Some(other) => return Err(format!("bad --diag {other:?} (use on|off)")),
+    };
+    if !on {
+        return Ok(false);
+    }
+    let dir = flags
+        .get("diag-dir")
+        .or_else(|| flags.get("work"))
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    // Everything this process can freeze into a bundle: the Prometheus
+    // snapshot, the active trace session's tail (absent when untraced),
+    // and the live super-DAG frontier (absent between batches).
+    arp_diag::recorder::add_source("metrics.prom", || Some(arp_metrics::gather()));
+    arp_diag::recorder::add_source("trace.csv", || arp_trace::snapshot().map(|t| t.to_csv()));
+    arp_diag::recorder::add_source("frontier.json", arp_core::frontier_json);
+    let run_id = format!(
+        "{}-{}",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        std::process::id()
+    );
+    arp_diag::recorder::arm(&run_id, &dir);
+    println!(
+        "diag: flight recorder armed (run {run_id}, bundles under {})",
+        dir.display()
+    );
+    Ok(true)
 }
 
 /// After the workload: keep the metrics endpoint reachable for `--metrics-hold`.
@@ -208,7 +294,7 @@ impl TraceSinks {
         }
         print!("{}", trace.summary().render());
         if !trace.lane_violations().is_empty() {
-            eprintln!("warning: trace has overlapping spans within a lane");
+            arp_diag::warn(|| "trace has overlapping spans within a lane".to_string());
         }
         Ok(())
     }
@@ -218,10 +304,18 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = impl_kind(flags.get("impl").map_or("full", |s| s.as_str()))?;
     let ctx = make_context(flags)?;
     configure_io_threads(flags)?;
+    let diag = start_diag(flags)?;
     let hold = start_metrics(flags)?;
     let sinks = TraceSinks::from_flags(flags);
     let session = sinks.session();
     let result = run_pipeline_labeled(&ctx, kind, "cli");
+    if diag {
+        if let Err(e) = &result {
+            // A panic already wrote its bundle from the hook; this covers
+            // ordinary failures (and is a no-op after a hook capture).
+            arp_diag::recorder::write_postmortem(&format!("run failed: {e}"));
+        }
+    }
     let trace = session.map(|s| s.finish());
     let report = result.map_err(|e| e.to_string())?;
     println!(
@@ -284,6 +378,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(trace) = &trace {
         sinks.write(trace)?;
+    }
+    if diag {
+        arp_diag::recorder::disarm();
     }
     hold_metrics(hold);
     Ok(())
@@ -374,6 +471,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("processing {} events...", items.len());
     let config = PipelineConfig::default();
     configure_io_threads(flags)?;
+    let diag = start_diag(flags)?;
     let hold = start_metrics(flags)?;
     let sinks = TraceSinks::from_flags(flags);
     let session = sinks.session();
@@ -382,13 +480,59 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         arp_core::run_batch(&items, &work, &config, kind)
     };
+    if diag {
+        if let Err(e) = &result {
+            // A panic already wrote its bundle from the hook; this covers
+            // ordinary failures (and is a no-op after a hook capture).
+            arp_diag::recorder::write_postmortem(&format!("batch failed: {e}"));
+        }
+    }
     let trace = session.map(|s| s.finish());
     let report = result.map_err(|e| e.to_string())?;
     print!("{}", report.to_table());
     if let Some(trace) = &trace {
         sinks.write(trace)?;
     }
+    if diag {
+        arp_diag::recorder::disarm();
+    }
     hold_metrics(hold);
+    Ok(())
+}
+
+/// `arp diag-check` — validates diagnostics artifacts. `--file LOG.jsonl`
+/// strictly parses a structured-log export (every line a record, strictly
+/// increasing sequence numbers); `--bundle DIR` validates a postmortem
+/// bundle (required files present, log parses, frontier well-formed).
+fn cmd_diag_check(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let n = arp_diag::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: valid diagnostics log — {n} record(s)");
+        return Ok(());
+    }
+    if let Some(dir) = flags.get("bundle") {
+        let summary = arp_diag::recorder::check_bundle(std::path::Path::new(dir))?;
+        println!("{summary}");
+        return Ok(());
+    }
+    Err("diag-check needs --file LOG.jsonl or --bundle DIR".into())
+}
+
+/// `arp postmortem BUNDLE` — renders a flight-recorder bundle as a
+/// human-readable incident report: the failure reason, the failing node
+/// and its event/worker, that worker's last log records, the slowest
+/// in-flight nodes, and per-event progress at capture time.
+fn cmd_postmortem(
+    flags: &HashMap<String, String>,
+    positional: Option<&str>,
+) -> Result<(), String> {
+    let dir = positional
+        .map(str::to_string)
+        .or_else(|| flags.get("bundle").cloned())
+        .ok_or("postmortem needs a bundle directory (arp postmortem DIR)")?;
+    let report = arp_diag::recorder::render_report(std::path::Path::new(&dir))?;
+    print!("{report}");
     Ok(())
 }
 
@@ -429,7 +573,9 @@ fn cmd_trace_check(flags: &HashMap<String, String>) -> Result<(), String> {
 /// fresh process; the naming and format are the point). `--check FILE`
 /// strictly parses a scraped exposition file, `--fetch ADDR` scrapes a
 /// running `--metrics-addr` endpoint over plain TCP and validates the body
-/// — so CI needs no external HTTP client.
+/// — so CI needs no external HTTP client. `--path /statusz` redirects the
+/// fetch to another route on the same endpoint (printed raw, no exposition
+/// check, since `/statusz` serves JSON).
 fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("check") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -442,7 +588,13 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
     if let Some(addr) = flags.get("fetch") {
-        let body = fetch_metrics(addr)?;
+        let path = flags.get("path").map_or("/metrics", String::as_str);
+        let body = fetch_http(addr, path)?;
+        if path != "/metrics" {
+            // /statusz and friends serve JSON, not Prometheus exposition.
+            print!("{body}");
+            return Ok(());
+        }
         let samples =
             arp_metrics::expo::parse_exposition(&body).map_err(|e| format!("{addr}: {e}"))?;
         print!("{body}");
@@ -458,7 +610,7 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Minimal HTTP/1.1 GET against a `--metrics-addr` endpoint.
-fn fetch_metrics(addr: &str) -> Result<String, String> {
+fn fetch_http(addr: &str, path: &str) -> Result<String, String> {
     use std::io::{Read, Write};
     let err = |e: std::io::Error| format!("{addr}: {e}");
     let mut stream = std::net::TcpStream::connect(addr).map_err(err)?;
@@ -467,7 +619,7 @@ fn fetch_metrics(addr: &str) -> Result<String, String> {
         .map_err(err)?;
     write!(
         stream,
-        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )
     .map_err(err)?;
     let mut response = String::new();
@@ -557,7 +709,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
             Ok(hit) => hit,
             Err(e) => {
                 errors += 1;
-                eprintln!("warning: {e}");
+                arp_diag::warn(|| e.to_string());
                 continue;
             }
         };
@@ -630,11 +782,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: arp <generate|run|verify|inspect|query|summary|batch|trace-check|metrics> [--flags]"
+            "usage: arp <generate|run|verify|inspect|query|summary|batch|trace-check|metrics|diag-check|postmortem> [--flags]"
         );
         return ExitCode::from(2);
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `arp postmortem <bundle>` takes its bundle directory positionally.
+    let positional = (command == "postmortem"
+        && args.get(1).is_some_and(|a| !a.starts_with("--")))
+    .then(|| args[1].clone());
+    let flag_args = if positional.is_some() {
+        &args[2..]
+    } else {
+        &args[1..]
+    };
+    let flags = match parse_flags(flag_args) {
         Ok(f) => f,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -651,6 +812,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&flags),
         "trace-check" => cmd_trace_check(&flags),
         "metrics" => cmd_metrics(&flags),
+        "diag-check" => cmd_diag_check(&flags),
+        "postmortem" => cmd_postmortem(&flags, positional.as_deref()),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
