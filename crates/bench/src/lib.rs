@@ -568,6 +568,11 @@ pub struct BatchExperiment {
     /// measured super-DAG run (`diag/plain − 1`; negative = within
     /// noise). Gated at ≤1% by `report compare`.
     pub diag_overhead: f64,
+    /// Attribution profile of the same scheduler-health trace: per-kernel
+    /// exclusive self-time, the realized critical path's composition, the
+    /// accounting identity (gated by `report compare`), and what-if
+    /// speedup curves replayed through the deterministic scheduler.
+    pub profile: arp_trace::profile::Profile,
     /// Format-layer residency comparison: peak reader bytes-in-flight,
     /// whole-file vs streaming, over the largest paper event.
     pub reader_peak: ReaderPeak,
@@ -777,10 +782,23 @@ pub fn batch_experiment(
             arp_core::ReadyOrder::CriticalPath,
         )
     };
-    let trace = session.finish().summary();
+    let health_trace = session.finish();
+    let trace = health_trace.summary();
     arp_metrics::set_enabled(metrics_before);
     let queue_wait = HistDigest::from_snapshot(&arp_par::metrics::queue_wait().snapshot());
     let execute = HistDigest::from_snapshot(&arp_par::metrics::execute_time().snapshot());
+    // Fold the same health trace into the attribution profile: per-kernel
+    // self-time, realized critical path, and what-if curves replayed on
+    // the pool's real worker topology.
+    let pool = arp_par::ThreadPool::global();
+    let profile = arp_core::profile_trace_what_if(
+        &health_trace,
+        pool.threads(),
+        pool.io_threads(),
+        arp_core::WHAT_IF_TOP_K,
+        &arp_core::WHAT_IF_SPEEDUPS,
+    )
+    .map_err(arp_core::PipelineError::Config)?;
     let dag_report = match sim_result {
         Some(sim) => {
             health_result?;
@@ -802,7 +820,8 @@ pub fn batch_experiment(
         let mut totals = [0.0f64; 3];
         for (slot, diag_on) in [(0, false), (1, true), (2, false)] {
             if diag_work.exists() {
-                std::fs::remove_dir_all(&diag_work).map_err(|e| PipelineError::io(&diag_work, e))?;
+                std::fs::remove_dir_all(&diag_work)
+                    .map_err(|e| PipelineError::io(&diag_work, e))?;
             }
             arp_diag::set_ring_enabled(diag_on);
             let result = arp_core::run_batch_dag(
@@ -836,6 +855,7 @@ pub fn batch_experiment(
         queue_wait,
         execute,
         diag_overhead,
+        profile,
         reader_peak,
     })
 }
@@ -1110,6 +1130,38 @@ pub fn format_batch_experiment(b: &BatchExperiment) -> String {
             ));
         }
     }
+    let p = &b.profile;
+    out.push_str(&format!(
+        "profile: Σ self {:.3}s vs Σ worker busy {:.3}s (gap {:.2}%), \
+         realized critical path {:.3}s\n",
+        p.self_total_ns as f64 / 1e9,
+        p.worker_busy_ns as f64 / 1e9,
+        p.accounting_error() * 100.0,
+        p.cp_ns as f64 / 1e9,
+    ));
+    let composition: Vec<String> = p
+        .kernels
+        .iter()
+        .filter(|k| k.cp_ns > 0)
+        .map(|k| format!("#{:02} {} {:.1}%", k.process, k.name, k.cp_share * 100.0))
+        .collect();
+    out.push_str(&format!(
+        "critical-path composition: {}\n",
+        composition.join(" | ")
+    ));
+    for c in &p.what_if {
+        let points: Vec<String> = c
+            .points
+            .iter()
+            .map(|pt| format!("{}x → {:+.1}%", pt.speedup, -pt.saving * 100.0))
+            .collect();
+        out.push_str(&format!(
+            "what-if #{:02} {}: {}\n",
+            c.process,
+            c.name,
+            points.join(", ")
+        ));
+    }
     let rp = &b.reader_peak;
     out.push_str(&format!(
         "reader peak bytes-in-flight, event {} at scale {} ({} files): \
@@ -1161,6 +1213,58 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         ));
     }
     let digest = |d: &Option<HistDigest>| d.as_ref().map_or("null".to_string(), HistDigest::json);
+    let p = &b.profile;
+    let s = |ns: u64| ns as f64 / 1e9;
+    let cp: Vec<String> = p
+        .kernels
+        .iter()
+        .filter(|k| k.cp_ns > 0)
+        .map(|k| {
+            format!(
+                "      {{\"process\": {}, \"kernel\": {}, \"cp_s\": {:.6}, \"cp_share\": {:.4}}}",
+                k.process,
+                json_str(&k.name),
+                s(k.cp_ns),
+                k.cp_share
+            )
+        })
+        .collect();
+    let what_if: Vec<String> = p
+        .what_if
+        .iter()
+        .map(|c| {
+            let points: Vec<String> = c
+                .points
+                .iter()
+                .map(|pt| {
+                    format!(
+                        "{{\"speedup\": {}, \"predicted_s\": {:.6}, \"saving\": {:.4}}}",
+                        pt.speedup,
+                        s(pt.predicted_ns),
+                        pt.saving
+                    )
+                })
+                .collect();
+            format!(
+                "      {{\"process\": {}, \"kernel\": {}, \"points\": [{}]}}",
+                c.process,
+                json_str(&c.name),
+                points.join(", ")
+            )
+        })
+        .collect();
+    let profile = format!(
+        "{{\n    \"self_total_s\": {:.6},\n    \"worker_busy_s\": {:.6},\n    \
+         \"accounting_error\": {:.6},\n    \"cp_s\": {:.6},\n    \"replay_base_s\": {:.6},\n    \
+         \"critical_path\": [\n{}\n    ],\n    \"what_if\": [\n{}\n    ]\n  }}",
+        s(p.self_total_ns),
+        s(p.worker_busy_ns),
+        p.accounting_error(),
+        s(p.cp_ns),
+        s(p.replay_base_ns),
+        cp.join(",\n"),
+        what_if.join(",\n"),
+    );
     format!(
         "{{\n  \"scale\": {},\n  \"threads\": {},\n  \"order\": {},\n  \"events\": [\n{}\n  ],\n  \
          \"per_event_loop_s\": {:.6},\n  \"super_dag_s\": {:.6},\n  \"measured_speedup\": {:.4},\n  \
@@ -1172,6 +1276,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
          {{\"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \
          \"metrics\": {{\"queue_wait\": {}, \"execute\": {}}},\n  \
          \"diag_overhead\": {:.6},\n  \
+         \"profile\": {},\n  \
          \"reader_peak\": {},\n  \
          \"workers\": [\n{}\n  ]\n}}\n",
         b.scale,
@@ -1201,6 +1306,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         digest(&b.queue_wait),
         digest(&b.execute),
         b.diag_overhead,
+        profile,
         b.reader_peak.json(),
         lanes,
     )
@@ -1289,10 +1395,17 @@ impl CompareReport {
 /// still compare. Relative by construction, so it survives
 /// `relative_only`.
 ///
+/// `profile.accounting_error` is likewise gated against an absolute bound
+/// (Σ per-kernel self-time must equal Σ per-worker busy time to within
+/// 0.1%): the profile fold is exact by construction, so any gap means the
+/// attribution layer lost or double-counted work. Skipped when the
+/// candidate predates the profile block.
+///
 /// An explicitly `null` digest under `"metrics"` (in either file) is an
 /// error, not a silent pass: it means the instrumented scheduler-health
 /// run recorded nothing, so the file cannot vouch for the scheduler at
-/// all.
+/// all. Key and digest failures print the baseline and candidate values
+/// side by side.
 pub fn compare_batch_json(
     old: &str,
     new: &str,
@@ -1301,22 +1414,49 @@ pub fn compare_batch_json(
 ) -> Result<CompareReport, String> {
     let old = arp_trace::json::parse(old).map_err(|e| format!("baseline: {e}"))?;
     let new = arp_trace::json::parse(new).map_err(|e| format!("candidate: {e}"))?;
+    // Failure messages quote BOTH files' values side by side, so a broken
+    // gate run names what each file actually holds instead of making the
+    // operator diff two JSON documents by hand.
+    let brief = |v: Option<&arp_trace::json::Value>| -> String {
+        use arp_trace::json::Value;
+        match v {
+            None => "absent".into(),
+            Some(Value::Null) => "null".into(),
+            Some(Value::Bool(b)) => b.to_string(),
+            Some(Value::Num(x)) => format!("{x}"),
+            Some(Value::Str(s)) => format!("{s:?}"),
+            Some(Value::Arr(_)) => "[…]".into(),
+            Some(Value::Obj(_)) => "{…}".into(),
+        }
+    };
+    let digest_of = |file: &arp_trace::json::Value, key: &str| -> String {
+        brief(file.get("metrics").and_then(|m| m.get(key)))
+    };
     for (which, file) in [("baseline", &old), ("candidate", &new)] {
         if let Some(metrics) = file.get("metrics") {
             for key in ["queue_wait", "execute"] {
                 if metrics.get(key) == Some(&arp_trace::json::Value::Null) {
                     return Err(format!(
                         "{which}: metrics.{key} is null — the instrumented run recorded no \
-                         samples; regenerate the file with `report -- batch`"
+                         samples (baseline: {}, candidate: {}); regenerate the file with \
+                         `report -- batch`",
+                        digest_of(&old, key),
+                        digest_of(&new, key),
                     ));
                 }
             }
         }
     }
-    let field = |v: &arp_trace::json::Value, key: &'static str| -> Result<f64, String> {
-        v.get(key)
-            .and_then(|x| x.as_f64())
-            .ok_or_else(|| format!("missing numeric field {key:?}"))
+    let pair = |key: &'static str| -> Result<(f64, f64), String> {
+        let get = |v: &arp_trace::json::Value| v.get(key).and_then(|x| x.as_f64());
+        match (get(&old), get(&new)) {
+            (Some(o), Some(n)) => Ok((o, n)),
+            _ => Err(format!(
+                "missing numeric field {key:?} — baseline: {}, candidate: {}",
+                brief(old.get(key)),
+                brief(new.get(key)),
+            )),
+        }
     };
     // (key, lower_is_better, machine-dependent)
     const GATES: [(&str, bool, bool); 3] = [
@@ -1329,8 +1469,7 @@ pub fn compare_batch_json(
         if relative_only && machine_dependent {
             continue;
         }
-        let o = field(&old, metric)?;
-        let n = field(&new, metric)?;
+        let (o, n) = pair(metric)?;
         let regression = if o.abs() < 1e-12 {
             0.0
         } else if lower_is_better {
@@ -1349,8 +1488,7 @@ pub fn compare_batch_json(
     // The lane gate is a sign test, not a ratio: the saving's magnitude is
     // host noise at bench scales, but its sign is the whole point of the
     // I/O lane. Machine-independent, so it survives `relative_only`.
-    let o = field(&old, "lane_saving_s")?;
-    let n = field(&new, "lane_saving_s")?;
+    let (o, n) = pair("lane_saving_s")?;
     let failed = o > 0.0 && n <= 0.0;
     rows.push(CompareRow {
         metric: "lane_saving_s",
@@ -1373,6 +1511,31 @@ pub fn compare_batch_json(
             new: n,
             regression: n,
             failed: n > 0.01 + tolerance,
+        });
+    }
+    // The accounting-identity gate: the candidate's profile must attribute
+    // every recorded nanosecond — Σ per-kernel self-time ≡ Σ per-worker
+    // busy time. The exclusive fold makes the identity exact by
+    // construction, so the bound only absorbs the JSON fields' decimal
+    // rounding; any real gap means the fold lost or double-counted work.
+    // Absolute and machine-independent, so it survives `relative_only`;
+    // skipped when the candidate predates the profile block.
+    if let Some(n) = new
+        .get("profile")
+        .and_then(|p| p.get("accounting_error"))
+        .and_then(|x| x.as_f64())
+    {
+        let o = old
+            .get("profile")
+            .and_then(|p| p.get("accounting_error"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        rows.push(CompareRow {
+            metric: "accounting_error",
+            old: o,
+            new: n,
+            regression: n,
+            failed: n > 1e-3,
         });
     }
     Ok(CompareReport {
@@ -1554,6 +1717,18 @@ mod tests {
         assert!(b.queue_wait.is_some(), "queue-wait digest missing");
         assert!(b.execute.is_some(), "execute digest missing");
         assert!(!json.contains(": null"), "null digest leaked: {json}");
+        // The attribution profile rides on the same health trace: the
+        // accounting identity holds, what-if curves are present, and the
+        // JSON carries the critical-path composition + sensitivity keys.
+        b.profile.validate(1e-3).unwrap();
+        assert!(!b.profile.what_if.is_empty(), "no what-if curves");
+        assert!(b.profile.cp_ns > 0);
+        assert!(json.contains("\"profile\""), "{json}");
+        assert!(json.contains("\"accounting_error\""), "{json}");
+        assert!(json.contains("\"critical_path\""), "{json}");
+        assert!(json.contains("\"what_if\""), "{json}");
+        assert!(text.contains("critical-path composition"), "{text}");
+        assert!(text.contains("what-if #"), "{text}");
         // The streaming readers must beat the whole-file path on residency:
         // the experiment floors its scale so files exceed the 64 KiB buffer.
         assert!(json.contains("\"reader_peak\""), "{json}");
@@ -1635,6 +1810,46 @@ mod tests {
         assert!(!compare_batch_json(healthy, healthy, 0.10, false)
             .unwrap()
             .failed());
+    }
+
+    #[test]
+    fn compare_gate_accounting_identity_and_side_by_side() {
+        let base = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
+        // A healthy identity passes; a broken one fails at any tolerance
+        // (the bound is absolute, not relative to the baseline).
+        let good = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                       "lane_saving_s": 0.02, "profile": {"accounting_error": 0.0}}"#;
+        assert!(!compare_batch_json(base, good, 0.10, false)
+            .unwrap()
+            .failed());
+        let broken = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                         "lane_saving_s": 0.02, "profile": {"accounting_error": 0.05}}"#;
+        let report = compare_batch_json(base, broken, 100.0, true).unwrap();
+        assert!(report.failed(), "{}", report.render());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "accounting_error")
+            .unwrap();
+        assert!(row.failed);
+        // A candidate predating the profile block gates nothing.
+        assert!(!compare_batch_json(base, base, 0.10, false)
+            .unwrap()
+            .failed());
+
+        // Missing-key failures quote both files' values side by side.
+        let typed = r#"{"super_dag_s": true, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
+        let err = compare_batch_json(base, typed, 0.10, false).unwrap_err();
+        assert!(err.contains("baseline: 10"), "{err}");
+        assert!(err.contains("candidate: true"), "{err}");
+        let err = compare_batch_json(base, "{}", 0.10, false).unwrap_err();
+        assert!(err.contains("candidate: absent"), "{err}");
+        // Null-digest failures do too.
+        let nulled = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                         "lane_saving_s": 0.02, "metrics": {"queue_wait": null, "execute": {"count": 1}}}"#;
+        let err = compare_batch_json(base, nulled, 0.10, false).unwrap_err();
+        assert!(err.contains("baseline: absent"), "{err}");
+        assert!(err.contains("candidate: null"), "{err}");
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub(crate) mod progress {
     /// Publishes a fresh all-pending frontier for a starting batch.
     pub(crate) fn install(labels: Vec<String>, node_event: Vec<usize>) -> Arc<BatchProgress> {
         let p = Arc::new(BatchProgress {
-            states: (0..node_event.len()).map(|_| AtomicU8::new(PENDING)).collect(),
+            states: (0..node_event.len())
+                .map(|_| AtomicU8::new(PENDING))
+                .collect(),
             labels,
             node_event,
         });
@@ -580,17 +582,16 @@ pub fn run_batch_dag(
                         // process-global panic hook (flight recorder) has
                         // already captured the bundle by the time the
                         // payload lands here.
-                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 if injected_panic(&node_label) {
                                     panic!("injected panic at {node_label} (ARP_INJECT_PANIC)");
                                 }
                                 run_process(ctx, p, parallel, staged)
-                            },
-                        ))
-                        .unwrap_or_else(|payload| {
-                            Err(PipelineError::Panic(panic_message(&*payload)))
-                        });
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(PipelineError::Panic(panic_message(&*payload)))
+                            });
                         arp_diag::workers::node_finished();
                         arp_diag::clear_context();
                         match outcome {

@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod output;
 pub mod plan;
 pub mod process;
+pub mod profile;
 pub mod report;
 pub mod stagedir;
 pub mod summary;
@@ -64,6 +65,10 @@ pub use executor::{
 pub use inventory::{expected_artifacts, verify_run, VerifyIssue};
 pub use plan::{StageId, Strategy, STAGE_TABLE};
 pub use process::{ProcessId, ProcessKind, PROCESS_TABLE};
+pub use profile::{
+    kind_label, profile_trace, profile_trace_what_if, realize_batch, RealizedBatch,
+    WHAT_IF_SPEEDUPS, WHAT_IF_TOP_K,
+};
 pub use report::{DagReport, ImplKind, RunReport, StageTiming};
 pub use summary::{event_summary, summary_csv, SummaryRow};
 pub use timeline::{timeline_svg, worker_timeline_svg};

@@ -234,12 +234,12 @@ pub fn render_report(bundle: &Path) -> Result<String, String> {
         .take(LAST)
         .rev()
         .collect();
-    out.push_str(&format!(
-        "\nlast {} record(s) from {worker}:\n",
-        last.len()
-    ));
+    out.push_str(&format!("\nlast {} record(s) from {worker}:\n", last.len()));
     for r in last {
-        let at = r.node.as_deref().map_or(String::new(), |n| format!(" [{n}]"));
+        let at = r
+            .node
+            .as_deref()
+            .map_or(String::new(), |n| format!(" [{n}]"));
         out.push_str(&format!(
             "  {:>12.6}s {:<5}{} {}\n",
             r.t_ns as f64 / 1e9,
@@ -267,9 +267,7 @@ pub fn render_report(bundle: &Path) -> Result<String, String> {
                 out.push_str("\nper-event progress at capture:\n");
                 for ev in events {
                     let label = str_of(ev, "label").unwrap_or_default();
-                    let count = |key: &str| {
-                        ev.get(key).and_then(|x| x.as_u64()).unwrap_or(0)
-                    };
+                    let count = |key: &str| ev.get(key).and_then(|x| x.as_u64()).unwrap_or(0);
                     out.push_str(&format!(
                         "  {label:<12} {} done, {} running, {} pending, {} failed, {} skipped\n",
                         count("completed"),

@@ -205,7 +205,10 @@ mod tests {
         let snap = snapshot();
         let mine = snap.iter().find(|w| w.worker == me).expect("tracked");
         let (node, event, process, _) = mine.running.clone().expect("running");
-        assert_eq!((node.as_str(), event.as_str(), process), ("ev1/#7", "ev1", 7));
+        assert_eq!(
+            (node.as_str(), event.as_str(), process),
+            ("ev1/#7", "ev1", 7)
+        );
         assert_eq!(mine.steals, 2);
 
         let json = to_json(4);

@@ -42,6 +42,7 @@ pub use pool::{
     TaskScope, ThreadPool,
 };
 pub use sim::{
-    dag_makespan, dag_makespan_lanes, loop_makespan, resource_bounded_makespan, super_dag_makespan,
-    super_dag_makespan_lanes, tasks_makespan,
+    dag_makespan, dag_makespan_lanes, loop_makespan, resource_bounded_makespan,
+    scale_super_durations, super_dag_makespan, super_dag_makespan_lanes,
+    super_dag_makespan_lanes_scaled, super_dag_makespan_scaled, tasks_makespan,
 };

@@ -599,7 +599,12 @@ impl PoolCore {
         let prev = CROSS_LANE.with(|c| c.replace(cross));
         if let Err(payload) = catch_unwind(AssertUnwindSafe(t.job)) {
             self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
-            arp_diag::error(|| format!("worker contained a panicking job: {}", panic_message(&*payload)));
+            arp_diag::error(|| {
+                format!(
+                    "worker contained a panicking job: {}",
+                    panic_message(&*payload)
+                )
+            });
         }
         CROSS_LANE.with(|c| c.set(prev));
         self.stats.job_finished(worker_io);
@@ -1063,6 +1068,21 @@ impl ThreadPool {
     /// Number of I/O-lane worker threads (0 = lane disabled).
     pub fn io_threads(&self) -> usize {
         self.io_threads
+    }
+
+    /// Live per-worker deque depth, `(worker name, queued jobs)` for every
+    /// compute and I/O worker. Reads the work-stealing deques directly
+    /// (the same `Stealer::len` the victim-selection loop uses), so it
+    /// works with metrics recording disabled and never blocks a worker.
+    pub fn deque_depths(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::with_capacity(self.threads + self.io_threads);
+        for (k, s) in self.core.stealers.iter().enumerate() {
+            out.push((format!("arp-par-{k}"), s.len()));
+        }
+        for (k, s) in self.core.io_stealers.iter().enumerate() {
+            out.push((format!("arp-io-{k}"), s.len()));
+        }
+        out
     }
 
     /// Executes `body(i)` for every `i` in `range`, in parallel, returning

@@ -411,6 +411,92 @@ pub fn super_dag_makespan(
     dag_makespan(&flat_durations, &flat_preds, threads)
 }
 
+/// Scales selected node durations for a what-if replay: every node with
+/// `select[g][i] == true` has its duration divided by `speedup`; all other
+/// nodes keep their recorded time. An empty `select` table scales nothing.
+///
+/// This is the input half of the Coz-style virtual-speedup question "what
+/// if kernel K were `speedup`× faster?": the caller marks K's nodes and
+/// replays the schedule on the scaled durations.
+pub fn scale_super_durations(
+    durations: &[Vec<Duration>],
+    select: &[Vec<bool>],
+    speedup: f64,
+) -> Vec<Vec<Duration>> {
+    assert!(
+        speedup > 0.0 && speedup.is_finite(),
+        "scale_super_durations: speedup must be positive and finite"
+    );
+    assert!(
+        select.is_empty() || select.len() == durations.len(),
+        "scale_super_durations: one selection table per graph (or none)"
+    );
+    durations
+        .iter()
+        .enumerate()
+        .map(|(g, ds)| {
+            let Some(sel) = select.get(g) else {
+                return ds.clone();
+            };
+            assert_eq!(
+                sel.len(),
+                ds.len(),
+                "scale_super_durations: one selection flag per node"
+            );
+            ds.iter()
+                .zip(sel)
+                .map(|(&d, &hit)| if hit { d.div_f64(speedup) } else { d })
+                .collect()
+        })
+        .collect()
+}
+
+/// What-if replay of a super-graph: the makespan [`super_dag_makespan`]
+/// predicts once the selected nodes run `speedup`× faster.
+///
+/// Purely a composition of [`scale_super_durations`] and the deterministic
+/// list-scheduling replay, so the prediction is *exactly* what rerunning
+/// the simulator on pre-scaled inputs yields — the property the profile
+/// validation test pins down.
+///
+/// ```
+/// use std::time::Duration;
+/// let ms = Duration::from_millis;
+/// // One two-node chain; halving the first node saves exactly 2ms.
+/// let durations = vec![vec![ms(4), ms(3)]];
+/// let preds = vec![vec![vec![], vec![0]]];
+/// let select = vec![vec![true, false]];
+/// assert_eq!(
+///     arp_par::super_dag_makespan_scaled(&durations, &preds, 2, &select, 2.0),
+///     ms(5)
+/// );
+/// ```
+pub fn super_dag_makespan_scaled(
+    durations: &[Vec<Duration>],
+    preds: &[Vec<Vec<usize>>],
+    threads: usize,
+    select: &[Vec<bool>],
+    speedup: f64,
+) -> Duration {
+    let scaled = scale_super_durations(durations, select, speedup);
+    super_dag_makespan(&scaled, preds, threads)
+}
+
+/// As [`super_dag_makespan_scaled`], on the two-lane stealing topology of
+/// [`super_dag_makespan_lanes`].
+pub fn super_dag_makespan_lanes_scaled(
+    durations: &[Vec<Duration>],
+    preds: &[Vec<Vec<usize>>],
+    threads: usize,
+    io_threads: usize,
+    io_lane: &[Vec<bool>],
+    select: &[Vec<bool>],
+    speedup: f64,
+) -> Duration {
+    let scaled = scale_super_durations(durations, select, speedup);
+    super_dag_makespan_lanes(&scaled, preds, threads, io_threads, io_lane)
+}
+
 /// Makespan of a loop whose units spend fraction `serial_fraction` of their
 /// time on a shared serial resource (the disk, in this pipeline).
 ///
@@ -686,6 +772,97 @@ mod tests {
             super_dag_makespan_lanes(&chains, &preds, 1, 1, &lanes)
                 <= super_dag_makespan(&chains, &preds, 1)
         );
+    }
+
+    #[test]
+    fn scaled_replay_matches_rerun_on_scaled_inputs() {
+        // The what-if prediction is *defined* as the replay of pre-scaled
+        // durations, so the two must agree exactly for any selection.
+        let chains: Vec<Vec<Duration>> =
+            vec![vec![ms(8), ms(4), ms(2)], vec![ms(6), ms(6)], vec![ms(5)]];
+        let preds: Vec<Vec<Vec<usize>>> = chains
+            .iter()
+            .map(|c| {
+                (0..c.len())
+                    .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+                    .collect()
+            })
+            .collect();
+        let select: Vec<Vec<bool>> = chains
+            .iter()
+            .map(|c| (0..c.len()).map(|i| i % 2 == 0).collect())
+            .collect();
+        for speedup in [1.0, 1.5, 2.0, 4.0] {
+            for threads in [1usize, 2, 4] {
+                let predicted =
+                    super_dag_makespan_scaled(&chains, &preds, threads, &select, speedup);
+                let rerun = super_dag_makespan(
+                    &scale_super_durations(&chains, &select, speedup),
+                    &preds,
+                    threads,
+                );
+                assert_eq!(predicted, rerun, "speedup {speedup} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_nothing_or_by_one_is_identity() {
+        let chains: Vec<Vec<Duration>> = vec![vec![ms(3), ms(2)], vec![ms(4)]];
+        let preds: Vec<Vec<Vec<usize>>> = vec![vec![vec![], vec![0]], vec![vec![]]];
+        let all: Vec<Vec<bool>> = chains.iter().map(|c| vec![true; c.len()]).collect();
+        let base = super_dag_makespan(&chains, &preds, 2);
+        assert_eq!(
+            super_dag_makespan_scaled(&chains, &preds, 2, &[], 4.0),
+            base
+        );
+        assert_eq!(
+            super_dag_makespan_scaled(&chains, &preds, 2, &all, 1.0),
+            base
+        );
+        // Scaling everything by 2 halves every duration, so the whole
+        // schedule shrinks by exactly 2.
+        assert_eq!(
+            super_dag_makespan_scaled(&chains, &preds, 2, &all, 2.0),
+            base / 2
+        );
+    }
+
+    #[test]
+    fn speeding_a_kernel_up_never_slows_the_batch() {
+        let chains: Vec<Vec<Duration>> = vec![
+            vec![ms(8), ms(4), ms(2), ms(7)],
+            vec![ms(6), ms(6), ms(1)],
+            vec![ms(5), ms(9)],
+        ];
+        let preds: Vec<Vec<Vec<usize>>> = chains
+            .iter()
+            .map(|c| {
+                (0..c.len())
+                    .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+                    .collect()
+            })
+            .collect();
+        let select: Vec<Vec<bool>> = chains
+            .iter()
+            .map(|c| (0..c.len()).map(|i| i == 1).collect())
+            .collect();
+        let lanes: Vec<Vec<bool>> = chains
+            .iter()
+            .map(|c| (0..c.len()).map(|i| i % 2 == 0).collect())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let mut last = Duration::MAX;
+            for speedup in [1.0, 2.0, 4.0, 8.0] {
+                let m = super_dag_makespan_scaled(&chains, &preds, threads, &select, speedup);
+                assert!(m <= last, "speedup {speedup} threads {threads}");
+                last = m;
+                let lanes_m = super_dag_makespan_lanes_scaled(
+                    &chains, &preds, threads, 2, &lanes, &select, speedup,
+                );
+                assert!(lanes_m <= m, "lanes at speedup {speedup} threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Flame/icicle graphs from folded stacks.
+//!
+//! Consumes the standard collapsed format (`frame;frame;frame value`, one
+//! line per aggregated stack) and renders an icicle layout — root row on
+//! top, each frame's width proportional to its inclusive value — through
+//! the [`crate::backend::Svg`] backend. The profile layer emits
+//! `batch;<event>;<class>;<kernel> µs` stacks, so the picture reads
+//! top-down as *batch → event → workload class → kernel*.
+
+use crate::backend::{Anchor, Backend, Color, Svg};
+
+/// One frame of the merged stack tree. `value` is inclusive: the sum of
+/// every folded line passing through this frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameFrame {
+    /// Frame label.
+    pub name: String,
+    /// Inclusive value (sum over the subtree's folded lines).
+    pub value: u64,
+    /// Child frames, in first-appearance order.
+    pub children: Vec<FlameFrame>,
+}
+
+impl FlameFrame {
+    fn child(&mut self, name: &str) -> &mut FlameFrame {
+        // Two-phase lookup keeps the borrow checker happy on stable.
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(FlameFrame {
+            name: name.to_string(),
+            value: 0,
+            children: Vec::new(),
+        });
+        self.children.last_mut().expect("just pushed")
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(FlameFrame::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A merged folded-stack tree, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameGraph {
+    roots: Vec<FlameFrame>,
+}
+
+impl FlameGraph {
+    /// Parses collapsed folded-stack text: one `frame;…;frame value` line
+    /// per stack. Blank lines are skipped; a line without a positive
+    /// integer value or with an empty frame is an error.
+    pub fn from_folded(text: &str) -> Result<FlameGraph, String> {
+        let mut holder = FlameFrame {
+            name: String::new(),
+            value: 0,
+            children: Vec::new(),
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (stack, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("folded line {}: no value field", lineno + 1))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("folded line {}: bad value {value:?}", lineno + 1))?;
+            let mut cursor = &mut holder;
+            cursor.value += value;
+            for frame in stack.split(';') {
+                let frame = frame.trim();
+                if frame.is_empty() {
+                    return Err(format!("folded line {}: empty frame", lineno + 1));
+                }
+                cursor = cursor.child(frame);
+                cursor.value += value;
+            }
+        }
+        Ok(FlameGraph {
+            roots: holder.children,
+        })
+    }
+
+    /// Sum over all stacks (the width of the root row).
+    pub fn total(&self) -> u64 {
+        self.roots.iter().map(|r| r.value).sum()
+    }
+
+    /// Depth of the deepest stack.
+    pub fn depth(&self) -> usize {
+        self.roots.iter().map(FlameFrame::depth).max().unwrap_or(0)
+    }
+
+    /// Renders the icicle SVG: root frames on top, children below, width
+    /// proportional to inclusive value. `width` is the canvas width in
+    /// pixels; the height follows from the stack depth.
+    pub fn to_svg(&self, width: f64, title: &str) -> String {
+        const ROW: f64 = 18.0;
+        const PAD: f64 = 4.0;
+        const HEADER: f64 = 24.0;
+        let depth = self.depth().max(1);
+        let height = HEADER + depth as f64 * ROW + PAD;
+        let mut svg = Box::new(Svg::new(width, height));
+        svg.text(PAD, HEADER - 8.0, 12.0, Anchor::Start, title);
+        let total = self.total();
+        if total > 0 {
+            let inner = width - 2.0 * PAD;
+            let mut x = PAD;
+            for root in &self.roots {
+                let w = inner * root.value as f64 / total as f64;
+                draw_frame(svg.as_mut(), root, x, HEADER, w, ROW, 0);
+                x += w;
+            }
+        }
+        svg.finish()
+    }
+}
+
+/// Deterministic per-label palette color, darkened slightly with depth so
+/// adjacent rows never blur together.
+fn frame_color(name: &str, depth: usize) -> Color {
+    let hash = name
+        .bytes()
+        .fold(0usize, |h, b| h.wrapping_mul(131).wrapping_add(b as usize));
+    let base = Color::PALETTE[hash % Color::PALETTE.len()];
+    let fade = 1.0 - 0.08 * (depth % 4) as f64;
+    Color {
+        r: base.r * fade,
+        g: base.g * fade,
+        b: base.b * fade,
+    }
+}
+
+fn draw_frame(svg: &mut Svg, frame: &FlameFrame, x: f64, y: f64, w: f64, row: f64, depth: usize) {
+    if w <= 0.0 {
+        return;
+    }
+    svg.fill_rect(x, y, w, row - 1.0, frame_color(&frame.name, depth));
+    svg.rect(x, y, w, row - 1.0, Color::BLACK, 0.3);
+    // Label if it fits (≈6.5px per glyph at 11px Helvetica); truncate with
+    // an ellipsis rather than spilling into the neighbour frame.
+    let fit = ((w - 4.0) / 6.5) as usize;
+    if fit >= 2 {
+        let label: String = if frame.name.chars().count() <= fit {
+            frame.name.clone()
+        } else {
+            frame
+                .name
+                .chars()
+                .take(fit.saturating_sub(1))
+                .chain(std::iter::once('…'))
+                .collect()
+        };
+        svg.text(x + 2.0, y + row - 6.0, 11.0, Anchor::Start, &label);
+    }
+    if frame.value == 0 {
+        return;
+    }
+    let mut cx = x;
+    for child in &frame.children {
+        let cw = w * child.value as f64 / frame.value as f64;
+        draw_frame(svg, child, cx, y + row, cw, row, depth + 1);
+        cx += cw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOLDED: &str = "batch;ev-a;heavy-io;#01 Gather 120\n\
+                          batch;ev-a;heavy-flops;#04 Filters 300\n\
+                          batch;ev-b;heavy-flops;#04 Filters 180\n\
+                          batch;ev-b;plotting;#09 Plots 60\n";
+
+    #[test]
+    fn folded_lines_merge_into_a_tree() {
+        let g = FlameGraph::from_folded(FOLDED).unwrap();
+        assert_eq!(g.total(), 660);
+        assert_eq!(g.depth(), 4);
+        assert_eq!(g.roots.len(), 1);
+        let batch = &g.roots[0];
+        assert_eq!(batch.name, "batch");
+        assert_eq!(batch.value, 660);
+        assert_eq!(batch.children.len(), 2);
+        let ev_a = &batch.children[0];
+        assert_eq!((ev_a.name.as_str(), ev_a.value), ("ev-a", 420));
+    }
+
+    #[test]
+    fn svg_contains_a_rect_per_frame_and_the_title() {
+        let g = FlameGraph::from_folded(FOLDED).unwrap();
+        let svg = g.to_svg(800.0, "batch profile");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("batch profile"));
+        // 1 root + 2 events + 4 classes (heavy-flops under both events) +
+        // 4 kernels = 11 frames, one fill and one outline rect each, plus
+        // the white background.
+        assert_eq!(svg.matches("<rect").count(), 2 * 11 + 1);
+    }
+
+    #[test]
+    fn empty_and_malformed_inputs() {
+        let empty = FlameGraph::from_folded("").unwrap();
+        assert_eq!(empty.total(), 0);
+        assert!(empty.to_svg(400.0, "empty").starts_with("<svg"));
+        assert!(FlameGraph::from_folded("no-value-here").is_err());
+        assert!(FlameGraph::from_folded("a;b notanumber").is_err());
+        assert!(FlameGraph::from_folded(";; 5").is_err());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let g = FlameGraph::from_folded(FOLDED).unwrap();
+        assert_eq!(g.to_svg(640.0, "t"), g.to_svg(640.0, "t"));
+    }
+}

@@ -6,7 +6,8 @@
 //!
 //! * [`axis`] — linear/log scales and nice tick generation;
 //! * [`backend`] — PostScript and SVG emitters;
-//! * [`chart`] — line charts, stacked-panel figures, grouped bar charts.
+//! * [`chart`] — line charts, stacked-panel figures, grouped bar charts;
+//! * [`flame`] — flame/icicle graphs from folded stacks (profiling).
 //!
 //! No external dependencies; output is plain text in both formats.
 
@@ -15,9 +16,11 @@
 pub mod axis;
 pub mod backend;
 pub mod chart;
+pub mod flame;
 pub mod histogram;
 
 pub use axis::{Axis, Scale};
 pub use backend::{Anchor, Backend, Color, PostScript, Svg};
 pub use chart::{Figure, GroupedBarChart, LineChart, Series};
+pub use flame::{FlameFrame, FlameGraph};
 pub use histogram::Histogram;

@@ -60,9 +60,11 @@
 
 pub mod chrome;
 pub mod json;
+pub mod profile;
 pub mod stats;
 
 pub use chrome::{from_chrome_json, to_chrome_json, validate_chrome_json, ChromeCheck};
+pub use profile::{Profile, ProfileNode, WhatIfCurve, WhatIfPoint};
 pub use stats::{LaneLoad, TraceSummary};
 
 use parking_lot::{Mutex, MutexGuard};

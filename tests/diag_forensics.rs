@@ -78,7 +78,10 @@ fn injected_panic_writes_a_bundle_that_validates_and_names_the_node() {
     assert!(!out.status.success(), "batch must fail: {stderr}");
     // The failure is attributed: the Node wrapper names the label and the
     // preserved panic payload travels in the message.
-    assert!(stderr.contains(&target), "stderr lacks node label: {stderr}");
+    assert!(
+        stderr.contains(&target),
+        "stderr lacks node label: {stderr}"
+    );
     assert!(stderr.contains("injected panic"), "{stderr}");
 
     // The hook froze a bundle; `arp diag-check` accepts it whole and its
