@@ -3,7 +3,8 @@
 //! stated sequential complexity of process #16 and quantifies what its
 //! "advanced optimization" future work would buy.
 
-use arp_dsp::respspec::{sdof_peaks, ResponseMethod};
+use arp_dsp::backend::DspBackend;
+use arp_dsp::respspec::{response_spectrum_with, sdof_peaks, ResponseMethod};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn record(n: usize) -> Vec<f64> {
@@ -31,5 +32,36 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Scalar vs SIMD backend rows for the full spectrum (`--dsp-backend`):
+/// the SIMD backend integrates four periods' independent SDOF recurrences
+/// per step, breaking the per-period serial dependency chain that bounds
+/// the scalar Nigam–Jennings kernel.
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/respspec_backend");
+    group.sample_size(10);
+    let periods: Vec<f64> = (1..=64).map(|i| 0.05 * i as f64).collect();
+    // Records sized so one iteration stays sub-second: Duhamel is O(D²)
+    // per period, Nigam–Jennings O(D).
+    for (tag, method, n) in [
+        ("duhamel", ResponseMethod::Duhamel, 500usize),
+        ("nigam_jennings", ResponseMethod::NigamJennings, 2000),
+    ] {
+        let acc = record(n);
+        group.throughput(Throughput::Elements((acc.len() * periods.len()) as u64));
+        for backend in [DspBackend::Scalar, DspBackend::Simd] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{tag}_{backend}"), periods.len()),
+                &acc,
+                |b, acc| {
+                    b.iter(|| {
+                        response_spectrum_with(acc, 0.01, &periods, 0.05, method, backend).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_backends);
 criterion_main!(benches);

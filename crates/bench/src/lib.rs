@@ -576,6 +576,278 @@ pub struct BatchExperiment {
     /// Format-layer residency comparison: peak reader bytes-in-flight,
     /// whole-file vs streaming, over the largest paper event.
     pub reader_peak: ReaderPeak,
+    /// Scalar-vs-SIMD DSP backend comparison: per-kernel micro throughput,
+    /// the measured whole-batch saving of `--dsp-backend simd` over
+    /// `scalar`, and the saving the profile's what-if curves *predicted*
+    /// for the measured kernel speedups.
+    pub simd: SimdExperiment,
+}
+
+/// One DSP kernel measured under both backends (`--dsp-backend`), seconds
+/// per call on a fixed synthetic input. Backends are bitwise-identical, so
+/// the ratio is pure throughput.
+#[derive(Debug, Clone)]
+pub struct SimdKernelRow {
+    /// Kernel tag (`fir_convolve`, `fir_apply_fft`, `frequency_gain`,
+    /// `fft_radix2`, `respspec_nj`).
+    pub kernel: &'static str,
+    /// Elements processed per call (for throughput context).
+    pub elements: usize,
+    /// Seconds per call, scalar backend.
+    pub scalar_s: f64,
+    /// Seconds per call, SIMD backend.
+    pub simd_s: f64,
+}
+
+impl SimdKernelRow {
+    /// Scalar-to-SIMD speedup (`> 1` = SIMD faster).
+    pub fn speedup(&self) -> f64 {
+        if self.simd_s > 0.0 {
+            self.scalar_s / self.simd_s
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"kernel\": {}, \"elements\": {}, \"scalar_s\": {:.9}, \"simd_s\": {:.9}, \"speedup\": {:.4}}}",
+            json_str(self.kernel),
+            self.elements,
+            self.scalar_s,
+            self.simd_s,
+            self.speedup()
+        )
+    }
+}
+
+/// Results of the SIMD-backend experiment: what the 4-lane kernels buy at
+/// micro scale (per kernel) and at batch scale (whole super-DAG run), next
+/// to what the critical-path profiler's what-if curves predicted a kernel
+/// speedup of that size would buy.
+#[derive(Debug, Clone)]
+pub struct SimdExperiment {
+    /// Per-kernel micro rows.
+    pub kernels: Vec<SimdKernelRow>,
+    /// Measured super-DAG batch wall time, `--dsp-backend scalar`
+    /// (mean of the two bracketing scalar runs).
+    pub batch_scalar_s: f64,
+    /// Measured super-DAG batch wall time, `--dsp-backend simd`.
+    pub batch_simd_s: f64,
+    /// Batch saving the what-if curves predict for the measured per-kernel
+    /// speedups: Σ over profiled kernels of the curve interpolated at that
+    /// kernel's measured micro speedup. `0` when no curve maps.
+    pub predicted_saving: f64,
+}
+
+impl SimdExperiment {
+    /// Measured whole-batch saving, `1 − simd/scalar` (positive = SIMD
+    /// batch faster).
+    pub fn measured_saving(&self) -> f64 {
+        if self.batch_scalar_s > 0.0 {
+            1.0 - self.batch_simd_s / self.batch_scalar_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest per-kernel speedup — the headline the compare gate holds:
+    /// the SIMD backend must keep beating scalar on at least one kernel.
+    pub fn best_kernel_speedup(&self) -> f64 {
+        self.kernels
+            .iter()
+            .map(SimdKernelRow::speedup)
+            .fold(0.0, f64::max)
+    }
+
+    fn json(&self) -> String {
+        let rows: Vec<String> = self.kernels.iter().map(SimdKernelRow::json).collect();
+        format!(
+            "{{\n  \"kernels\": [\n{}\n  ],\n  \"best_kernel_speedup\": {:.4},\n  \
+             \"batch_scalar_s\": {:.6},\n  \"batch_simd_s\": {:.6},\n  \
+             \"measured_saving\": {:.4},\n  \"predicted_saving\": {:.4}\n  }}",
+            rows.join(",\n"),
+            self.best_kernel_speedup(),
+            self.batch_scalar_s,
+            self.batch_simd_s,
+            self.measured_saving(),
+            self.predicted_saving
+        )
+    }
+}
+
+/// Seconds per call of `f`: one warmup call, then doubling iteration
+/// counts until the timed block covers ≥10 ms.
+fn time_call<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut iters = 1usize;
+    loop {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs >= 0.01 || iters >= 1 << 22 {
+            return secs / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+/// Linear interpolation of a what-if curve's predicted saving at the
+/// measured kernel `speedup`. The curve starts implicitly at `(1.0, 0.0)`
+/// (no speedup saves nothing); beyond the last point the saving plateaus
+/// (the kernel has left the critical path).
+fn interp_what_if_saving(curve: &arp_trace::profile::WhatIfCurve, speedup: f64) -> f64 {
+    if speedup <= 1.0 {
+        return 0.0;
+    }
+    let (mut x0, mut y0) = (1.0, 0.0);
+    for p in &curve.points {
+        if speedup <= p.speedup {
+            let span = p.speedup - x0;
+            if span <= 0.0 {
+                return p.saving;
+            }
+            return y0 + (p.saving - y0) * (speedup - x0) / span;
+        }
+        (x0, y0) = (p.speedup, p.saving);
+    }
+    y0
+}
+
+/// Runs the SIMD-backend experiment: micro-times each vectorized kernel
+/// under both backends, replays the measured speedups through `profile`'s
+/// what-if curves (prediction), and measures the real batch saving by
+/// running the super-DAG batch with `--dsp-backend scalar` vs `simd`
+/// (scalar–simd–scalar, bracketing scalar runs averaged so monotone host
+/// drift cancels to first order).
+pub fn simd_experiment(
+    items: &[arp_core::BatchItem],
+    measured_config: &PipelineConfig,
+    profile: &arp_trace::profile::Profile,
+) -> Result<SimdExperiment, PipelineError> {
+    use arp_dsp::backend::DspBackend;
+    use arp_dsp::fir::{frequency_gain_with, BandPass, FirFilter};
+    use arp_dsp::respspec::{response_spectrum_with, ResponseMethod};
+    use arp_dsp::window::WindowKind;
+
+    let dt = 0.01;
+    let n = 4096usize;
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 13 % 101) as f64 - 50.0) * 0.1)
+        .collect();
+    let filt = FirFilter::band_pass(
+        BandPass::new(1.0, 3.0, 20.0, 24.0).unwrap(),
+        dt,
+        WindowKind::Hamming,
+    )?;
+    let coeffs = filt.coeffs().to_vec();
+    let periods: Vec<f64> = (1..=16).map(|i| 0.05 * i as f64).collect();
+    let pair = |mut f: Box<dyn FnMut(DspBackend)>| -> (f64, f64) {
+        (
+            time_call(|| f(DspBackend::Scalar)),
+            time_call(|| f(DspBackend::Simd)),
+        )
+    };
+    let mut kernels = Vec::new();
+    let mut push = |kernel: &'static str, elements: usize, (scalar_s, simd_s): (f64, f64)| {
+        kernels.push(SimdKernelRow {
+            kernel,
+            elements,
+            scalar_s,
+            simd_s,
+        });
+    };
+    push(
+        "fir_convolve",
+        n,
+        pair(Box::new(|b| {
+            std::hint::black_box(filt.apply_with(&x, b));
+        })),
+    );
+    push(
+        "fir_apply_fft",
+        n,
+        pair(Box::new(|b| {
+            std::hint::black_box(filt.apply_fft_with(&x, b));
+        })),
+    );
+    push(
+        "frequency_gain",
+        coeffs.len(),
+        pair(Box::new(|b| {
+            std::hint::black_box(frequency_gain_with(&coeffs, 7.3, dt, b));
+        })),
+    );
+    push(
+        "fft_radix2",
+        n,
+        pair(Box::new(|b| {
+            std::hint::black_box(arp_dsp::fft::rfft_with(&x, b));
+        })),
+    );
+    push(
+        "respspec_nj",
+        n * periods.len(),
+        pair(Box::new(|b| {
+            std::hint::black_box(
+                response_spectrum_with(&x, dt, &periods, 0.05, ResponseMethod::NigamJennings, b)
+                    .unwrap(),
+            );
+        })),
+    );
+
+    // Predicted batch saving: each profiled kernel's what-if curve,
+    // interpolated at the measured micro speedup of the DSP kernel that
+    // dominates it (#4/#13 filter → FFT-based FIR apply, #7 fourier →
+    // rfft, #16 respspec → the Nigam–Jennings recurrence). Savings of
+    // disjoint kernels add to first order on the replayed makespan.
+    let speedup_of = |kernel: &str| {
+        kernels
+            .iter()
+            .find(|k| k.kernel == kernel)
+            .map_or(1.0, SimdKernelRow::speedup)
+    };
+    let predicted_saving = profile
+        .what_if
+        .iter()
+        .map(|curve| {
+            let measured = match curve.process {
+                4 | 13 => speedup_of("fir_apply_fft"),
+                7 => speedup_of("fft_radix2"),
+                16 => speedup_of("respspec_nj"),
+                _ => return 0.0,
+            };
+            interp_what_if_saving(curve, measured)
+        })
+        .sum();
+
+    // Measured batch saving: the same super-DAG batch under each backend,
+    // scalar runs bracketing the SIMD run.
+    let work = scratch("batch-simd-w");
+    let run = |backend: DspBackend| -> Result<f64, PipelineError> {
+        if work.exists() {
+            std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
+        }
+        let mut config = measured_config.clone();
+        config.dsp_backend = backend;
+        let report =
+            arp_core::run_batch_dag(items, &work, &config, arp_core::ReadyOrder::CriticalPath)?;
+        Ok(report.total.as_secs_f64())
+    };
+    let scalar_a = run(DspBackend::Scalar)?;
+    let batch_simd_s = run(DspBackend::Simd)?;
+    let scalar_b = run(DspBackend::Scalar)?;
+    if work.exists() {
+        std::fs::remove_dir_all(&work).map_err(|e| PipelineError::io(&work, e))?;
+    }
+    Ok(SimdExperiment {
+        kernels,
+        batch_scalar_s: (scalar_a + scalar_b) / 2.0,
+        batch_simd_s,
+        predicted_saving,
+    })
 }
 
 /// Peak resident bytes-in-flight of the format layer while parsing every
@@ -841,6 +1113,9 @@ pub fn batch_experiment(
         });
     }
     let diag_overhead = median(&ratios);
+    // The SIMD-backend comparison reuses the staged inputs and the profile's
+    // what-if curves, so it runs before the input root is torn down.
+    let simd = simd_experiment(&items, &measured_config, &profile)?;
     for dir in [&root, &loop_work, &dag_work, &health_work, &diag_work] {
         if dir.exists() {
             std::fs::remove_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
@@ -857,6 +1132,7 @@ pub fn batch_experiment(
         diag_overhead,
         profile,
         reader_peak,
+        simd,
     })
 }
 
@@ -1173,6 +1449,25 @@ pub fn format_batch_experiment(b: &BatchExperiment) -> String {
         rp.stream_bytes,
         rp.reduction() * 100.0
     ));
+    out.push_str("simd backend (scalar vs 4-lane kernels, bitwise-identical output):\n");
+    for k in &b.simd.kernels {
+        out.push_str(&format!(
+            "  {:<16} {:>8} elems  scalar {:>10.1} us  simd {:>10.1} us  ({:.2}x)\n",
+            k.kernel,
+            k.elements,
+            k.scalar_s * 1e6,
+            k.simd_s * 1e6,
+            k.speedup()
+        ));
+    }
+    out.push_str(&format!(
+        "  batch: scalar {:.3}s vs simd {:.3}s — measured saving {:+.1}% \
+         (what-if curves predicted {:+.1}%)\n",
+        b.simd.batch_scalar_s,
+        b.simd.batch_simd_s,
+        b.simd.measured_saving() * 100.0,
+        b.simd.predicted_saving * 100.0
+    ));
     out
 }
 
@@ -1278,6 +1573,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
          \"diag_overhead\": {:.6},\n  \
          \"profile\": {},\n  \
          \"reader_peak\": {},\n  \
+         \"simd\": {},\n  \
          \"workers\": [\n{}\n  ]\n}}\n",
         b.scale,
         dag.map_or(0, |d| d.threads),
@@ -1308,6 +1604,7 @@ pub fn batch_json(b: &BatchExperiment) -> String {
         b.diag_overhead,
         profile,
         b.reader_peak.json(),
+        b.simd.json(),
         lanes,
     )
 }
@@ -1538,6 +1835,31 @@ pub fn compare_batch_json(
             failed: n > 1e-3,
         });
     }
+    // The SIMD gate holds the backend's headline: the best per-kernel
+    // scalar-to-SIMD speedup. It fails when the candidate's SIMD kernels
+    // stop beating scalar outright (best ≤ 1, an absolute sign-style
+    // bound) or when the speedup collapses vs the baseline beyond
+    // tolerance. A same-host throughput ratio, so it survives
+    // `relative_only`; skipped when the candidate predates the block.
+    if let Some(n) = new
+        .get("simd")
+        .and_then(|s| s.get("best_kernel_speedup"))
+        .and_then(|x| x.as_f64())
+    {
+        let o = old
+            .get("simd")
+            .and_then(|s| s.get("best_kernel_speedup"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(n);
+        let regression = if o.abs() < 1e-12 { 0.0 } else { 1.0 - n / o };
+        rows.push(CompareRow {
+            metric: "simd_best_speedup",
+            old: o,
+            new: n,
+            regression,
+            failed: n <= 1.0 || regression > tolerance,
+        });
+    }
     Ok(CompareReport {
         rows,
         tolerance,
@@ -1740,6 +2062,80 @@ mod tests {
             b.reader_peak.whole_bytes
         );
         assert!(b.reader_peak.reduction() > 0.0);
+        // The SIMD block rides along: five kernel rows, batch times from
+        // real (measured-timing) runs, and the JSON keys the compare gate
+        // reads.
+        assert_eq!(b.simd.kernels.len(), 5);
+        for k in &b.simd.kernels {
+            assert!(k.scalar_s > 0.0 && k.simd_s > 0.0, "{k:?}");
+        }
+        // `best_kernel_speedup > 1` is a release-build property (the blocked
+        // kernels only vectorize under opt); here we pin structure, and the
+        // CI simd-smoke gate pins the floor on the release binary.
+        assert!(b.simd.best_kernel_speedup() > 0.0, "{:?}", b.simd);
+        assert!(b.simd.batch_scalar_s > 0.0 && b.simd.batch_simd_s > 0.0);
+        assert!(json.contains("\"simd\""), "{json}");
+        assert!(json.contains("\"best_kernel_speedup\""), "{json}");
+        assert!(json.contains("\"measured_saving\""), "{json}");
+        assert!(json.contains("\"predicted_saving\""), "{json}");
+        assert!(text.contains("simd backend"), "{text}");
+    }
+
+    #[test]
+    fn what_if_interpolation_clamps_and_interpolates() {
+        use arp_trace::profile::{WhatIfCurve, WhatIfPoint};
+        let point = |speedup: f64, saving: f64| WhatIfPoint {
+            speedup,
+            predicted_ns: 0,
+            saving,
+            bottleneck: String::new(),
+        };
+        let curve = WhatIfCurve {
+            process: 16,
+            name: "respspec".into(),
+            points: vec![point(1.5, 0.10), point(2.0, 0.15), point(4.0, 0.20)],
+        };
+        // Below 1× saves nothing; the curve starts implicitly at (1, 0).
+        assert_eq!(interp_what_if_saving(&curve, 0.8), 0.0);
+        assert_eq!(interp_what_if_saving(&curve, 1.0), 0.0);
+        // Midway between (1, 0) and (1.5, 0.10).
+        assert!((interp_what_if_saving(&curve, 1.25) - 0.05).abs() < 1e-12);
+        // Exactly on and between points.
+        assert!((interp_what_if_saving(&curve, 1.5) - 0.10).abs() < 1e-12);
+        assert!((interp_what_if_saving(&curve, 3.0) - 0.175).abs() < 1e-12);
+        // Beyond the last point the saving plateaus.
+        assert!((interp_what_if_saving(&curve, 16.0) - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_gate_simd_speedup() {
+        let base = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0, "lane_saving_s": 0.02}"#;
+        // A healthy SIMD block passes in both modes.
+        let good = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                       "lane_saving_s": 0.02, "simd": {"best_kernel_speedup": 2.4}}"#;
+        for relative_only in [false, true] {
+            let report = compare_batch_json(good, good, 0.10, relative_only).unwrap();
+            assert!(!report.failed(), "{}", report.render());
+            assert!(report.rows.iter().any(|r| r.metric == "simd_best_speedup"));
+        }
+        // SIMD no longer beating scalar fails at any tolerance.
+        let lost = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                       "lane_saving_s": 0.02, "simd": {"best_kernel_speedup": 0.9}}"#;
+        let report = compare_batch_json(good, lost, 100.0, true).unwrap();
+        assert!(report.failed(), "{}", report.render());
+        // A collapse vs the baseline beyond tolerance fails even above 1×.
+        let collapsed = r#"{"super_dag_s": 10.0, "mean_utilization": 0.80, "measured_speedup": 2.0,
+                            "lane_saving_s": 0.02, "simd": {"best_kernel_speedup": 1.3}}"#;
+        assert!(compare_batch_json(good, collapsed, 0.10, true)
+            .unwrap()
+            .failed());
+        assert!(!compare_batch_json(good, collapsed, 0.60, true)
+            .unwrap()
+            .failed());
+        // A candidate predating the block gates nothing.
+        assert!(!compare_batch_json(good, base, 0.10, false)
+            .unwrap()
+            .failed());
     }
 
     #[test]

@@ -674,6 +674,7 @@ pub fn run_batch_dag(
             stages: Vec::new(),
             dag: Some(dag),
             pool: None,
+            dsp_backend: config.dsp_backend.to_string(),
         });
         per_event_durations.push(ds);
     }
@@ -895,6 +896,7 @@ mod tests {
             stages: vec![],
             dag: None,
             pool: None,
+            dsp_backend: "auto".into(),
         }
     }
 

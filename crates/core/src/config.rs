@@ -1,6 +1,7 @@
 //! Pipeline configuration: numeric choices and parallel backend.
 
 use crate::error::{PipelineError, Result};
+use arp_dsp::backend::DspBackend;
 use arp_dsp::fir::BandPass;
 use arp_dsp::inflection::InflectionConfig;
 use arp_dsp::respspec::ResponseMethod;
@@ -74,6 +75,10 @@ pub struct PipelineConfig {
     /// Cap on FIR taps (keeps the default-band filter affordable on records
     /// with very fine sampling).
     pub max_fir_taps: usize,
+    /// DSP kernel backend for the hot kernels (FIR convolution, FFT
+    /// butterflies, response-spectrum recurrence). Scalar and SIMD produce
+    /// bitwise-identical output; `Auto` resolves to SIMD.
+    pub dsp_backend: DspBackend,
 }
 
 impl Default for PipelineConfig {
@@ -91,6 +96,7 @@ impl Default for PipelineConfig {
             timing: TimingModel::default(),
             emit_rotd: false,
             max_fir_taps: 1201,
+            dsp_backend: DspBackend::Auto,
         }
     }
 }

@@ -261,6 +261,7 @@ pub fn run_pipeline_labeled(ctx: &RunContext, kind: ImplKind, event: &str) -> Re
         stages,
         dag,
         pool: touched_pool.then_some(pool_delta),
+        dsp_backend: ctx.config.dsp_backend.to_string(),
     })
 }
 

@@ -49,7 +49,7 @@ pub fn correct_component(
     remove_baseline(&mut acc, Baseline::Linear)?;
     cosine_taper(&mut acc, TAPER_FRACTION);
     let filt = FirFilter::band_pass_with_max_taps(band, dt, config.window, config.max_fir_taps)?;
-    let acc = filt.apply_fft(&acc);
+    let acc = filt.apply_fft_with(&acc, config.dsp_backend);
     let peaks = peak_values(&acc, dt)?;
     let data = MotionTriple::from_acceleration(acc, dt)?;
     Ok(V2File {

@@ -12,7 +12,7 @@
 
 use crate::context::RunContext;
 use crate::error::Result;
-use arp_dsp::respspec::response_spectrum;
+use arp_dsp::respspec::response_spectrum_with;
 use arp_formats::{names, Component, RFile, V2File};
 
 /// Runs process #16.
@@ -30,12 +30,13 @@ pub fn response_spectrum_calc(ctx: &RunContext, parallel: bool) -> Result<()> {
             .dampings
             .iter()
             .map(|&z| {
-                response_spectrum(
+                response_spectrum_with(
                     &v2.data.acc,
                     v2.header.dt,
                     &periods,
                     z,
                     ctx.config.response_method,
+                    ctx.config.dsp_backend,
                 )
             })
             .collect::<std::result::Result<Vec<_>, _>>()?;

@@ -132,6 +132,10 @@ pub struct RunReport {
     /// helped jobs, DAG scheduler activity). `None` when the run never
     /// touched the shared pool.
     pub pool: Option<PoolStatsSnapshot>,
+    /// DSP kernel backend the run was configured with (`auto`/`scalar`/
+    /// `simd`; empty on reports written before the selector existed).
+    #[serde(default)]
+    pub dsp_backend: String,
 }
 
 impl RunReport {
@@ -189,6 +193,7 @@ mod tests {
             }],
             dag: None,
             pool: None,
+            dsp_backend: "auto".into(),
         }
     }
 

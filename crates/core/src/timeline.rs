@@ -212,6 +212,7 @@ mod tests {
                 .collect(),
             dag: None,
             pool: None,
+            dsp_backend: "auto".into(),
         }
     }
 
@@ -244,6 +245,7 @@ mod tests {
             stages: vec![],
             dag: None,
             pool: None,
+            dsp_backend: "auto".into(),
         };
         let svg = timeline_svg(&report);
         assert!(svg.contains("#19"));
@@ -261,6 +263,7 @@ mod tests {
             stages: vec![],
             dag: None,
             pool: None,
+            dsp_backend: "auto".into(),
         };
         let svg = timeline_svg(&report);
         assert!(svg.starts_with("<svg"));
@@ -286,6 +289,7 @@ mod tests {
                 .collect(),
             dag: None,
             pool: None,
+            dsp_backend: "auto".into(),
         };
         let svg = timeline_svg(&report);
         assert!(!svg.contains("NaN"), "NaN leaked into SVG geometry");

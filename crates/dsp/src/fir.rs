@@ -12,8 +12,9 @@
 //! count is derived from the narrower transition band using the standard
 //! Hamming design rule (normalized transition width ≈ 3.3 / taps).
 
+use crate::backend::{DspBackend, LANES};
 use crate::error::DspError;
-use crate::fft::fft_convolve;
+use crate::fft::fft_convolve_with;
 use crate::window::WindowKind;
 use std::f64::consts::PI;
 
@@ -126,28 +127,43 @@ impl FirFilter {
             )));
         }
 
-        // Effective high cut: clamp the high transition inside Nyquist. A
+        // Effective band: clamp the high transition inside Nyquist, and use
+        // the clamped corners *consistently* from here on (transition width,
+        // cutoffs, normalization frequency all read `eff`, never `band`). A
         // record sampled more slowly than the default 27 Hz stop band simply
         // keeps everything up to Nyquist on the high side.
-        let (fph, fsh) = if band.fsh >= nyquist {
+        let eff = if band.fsh >= nyquist {
             let fsh = nyquist * 0.999;
             let fph = (band.fph.min(fsh * 0.95)).max(band.fpl * 1.01);
-            (fph, fsh)
+            BandPass {
+                fsl: band.fsl,
+                fpl: band.fpl,
+                fph,
+                fsh,
+            }
         } else {
-            (band.fph, band.fsh)
+            band
         };
 
-        let trans = (band.fpl - band.fsl).min(fsh - fph).max(1e-6);
+        let trans = eff.min_transition().max(1e-6);
         let norm_trans = trans * dt; // transition width as fraction of fs
+        let cap = max_taps.max(11);
         let mut taps = (3.3 / norm_trans).ceil() as usize;
-        taps = taps.clamp(11, max_taps.max(11));
+        taps = taps.clamp(11, cap);
         if taps.is_multiple_of(2) {
-            taps += 1;
+            // Force an odd tap count without ever exceeding the cap: grow
+            // when there is room, otherwise round down to the odd count just
+            // below it (an even cap must not yield `cap + 1` taps).
+            if taps < cap {
+                taps += 1;
+            } else {
+                taps -= 1;
+            }
         }
 
         // Cutoffs at transition-band midpoints.
-        let f_lo = 0.5 * (band.fsl + band.fpl);
-        let f_hi = 0.5 * (fph + fsh);
+        let f_lo = 0.5 * (eff.fsl + eff.fpl);
+        let f_hi = 0.5 * (eff.fph + eff.fsh);
         let w_lo = 2.0 * f_lo * dt; // normalized to Nyquist=1
         let w_hi = (2.0 * f_hi * dt).min(1.0 - 1e-9);
 
@@ -166,12 +182,20 @@ impl FirFilter {
         }
 
         // Normalize to unit gain at band center (geometric mean frequency).
+        // A numerically zero gain there means the band is degenerate (the
+        // designed filter passes essentially nothing at its own center);
+        // returning the unnormalized near-zero filter would silently destroy
+        // the signal downstream, so reject the band instead.
         let fc = (f_lo.max(1e-6) * f_hi).sqrt();
         let gain = frequency_gain(&coeffs, fc, dt);
-        if gain.abs() > 1e-12 {
-            for c in coeffs.iter_mut() {
-                *c /= gain;
-            }
+        if gain.abs() <= 1e-12 {
+            return Err(DspError::InvalidBand(format!(
+                "band-center gain {gain:.3e} at {fc:.6} Hz is numerically zero; \
+                 cannot normalize filter designed for {band:?} at dt={dt}"
+            )));
+        }
+        for c in coeffs.iter_mut() {
+            *c /= gain;
         }
 
         Ok(FirFilter { coeffs, dt })
@@ -201,7 +225,13 @@ impl FirFilter {
     /// delay of `(taps-1)/2` samples is compensated), returning an output of
     /// the same length as the input. Uses direct convolution — `O(N·taps)`.
     pub fn apply(&self, input: &[f64]) -> Vec<f64> {
-        let full = convolve_direct(input, &self.coeffs);
+        self.apply_with(input, DspBackend::Auto)
+    }
+
+    /// As [`FirFilter::apply`] with an explicit [`DspBackend`]. Scalar and
+    /// SIMD backends produce bitwise-identical output.
+    pub fn apply_with(&self, input: &[f64], backend: DspBackend) -> Vec<f64> {
+        let full = convolve_direct_with(input, &self.coeffs, backend);
         center_slice(full, input.len(), self.coeffs.len())
     }
 
@@ -209,38 +239,140 @@ impl FirFilter {
     /// `O(N log N)`, faster for long filters. Produces the same output to
     /// within numerical tolerance.
     pub fn apply_fft(&self, input: &[f64]) -> Vec<f64> {
+        self.apply_fft_with(input, DspBackend::Auto)
+    }
+
+    /// As [`FirFilter::apply_fft`] with an explicit [`DspBackend`]. Scalar
+    /// and SIMD backends produce bitwise-identical output.
+    pub fn apply_fft_with(&self, input: &[f64], backend: DspBackend) -> Vec<f64> {
         if input.is_empty() {
             return Vec::new();
         }
-        let full = fft_convolve(input, &self.coeffs);
+        let full = fft_convolve_with(input, &self.coeffs, backend);
         center_slice(full, input.len(), self.coeffs.len())
     }
 }
 
 /// Frequency-response magnitude of a real FIR filter at frequency `f` Hz.
 fn frequency_gain(coeffs: &[f64], f: f64, dt: f64) -> f64 {
+    frequency_gain_with(coeffs, f, dt, DspBackend::Auto)
+}
+
+/// Frequency-response magnitude of a real FIR filter at frequency `f` Hz,
+/// with an explicit [`DspBackend`].
+///
+/// Both backends accumulate the real/imaginary parts into four partial sums
+/// (lane `l` owns taps `l, l+4, l+8, …`), reduced with the fixed tree
+/// `(s0 + s1) + (s2 + s3)`. The per-lane operation sequences are identical,
+/// so the backends are bitwise-equal; the SIMD form merely phrases the
+/// multiply-accumulate so LLVM can keep the four lanes packed.
+pub fn frequency_gain_with(coeffs: &[f64], f: f64, dt: f64, backend: DspBackend) -> f64 {
     let w = 2.0 * PI * f * dt;
-    let mut re = 0.0;
-    let mut im = 0.0;
-    for (n, &c) in coeffs.iter().enumerate() {
-        re += c * (w * n as f64).cos();
-        im -= c * (w * n as f64).sin();
+    let mut re = [0.0f64; LANES];
+    let mut im = [0.0f64; LANES];
+    let chunks = coeffs.chunks_exact(LANES);
+    let rem = chunks.remainder();
+    match backend.resolve() {
+        DspBackend::Scalar => {
+            for (blk, ch) in chunks.enumerate() {
+                for l in 0..LANES {
+                    let n = (blk * LANES + l) as f64;
+                    let (s, c) = (w * n).sin_cos();
+                    re[l] += ch[l] * c;
+                    im[l] -= ch[l] * s;
+                }
+            }
+        }
+        _ => {
+            for (blk, ch) in chunks.enumerate() {
+                // Trig stays scalar (libm); the mul-accumulate below is the
+                // packed part. Same per-lane op order as the scalar arm.
+                let mut s4 = [0.0f64; LANES];
+                let mut c4 = [0.0f64; LANES];
+                for l in 0..LANES {
+                    let n = (blk * LANES + l) as f64;
+                    let (s, c) = (w * n).sin_cos();
+                    s4[l] = s;
+                    c4[l] = c;
+                }
+                for l in 0..LANES {
+                    re[l] += ch[l] * c4[l];
+                    im[l] -= ch[l] * s4[l];
+                }
+            }
+        }
     }
-    re.hypot(im)
+    let base = coeffs.len() - rem.len();
+    for (l, &cf) in rem.iter().enumerate() {
+        let n = (base + l) as f64;
+        let (s, c) = (w * n).sin_cos();
+        re[l] += cf * c;
+        im[l] -= cf * s;
+    }
+    let re_t = (re[0] + re[1]) + (re[2] + re[3]);
+    let im_t = (im[0] + im[1]) + (im[2] + im[3]);
+    re_t.hypot(im_t)
 }
 
 /// Direct (time-domain) full convolution; output length `a+b-1`.
-fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+///
+/// Both backends evaluate output `k` as the gather-form dot product
+/// `Σ_i b_rev[i] · apad[k+i]` over a zero-padded copy of `a`, with `i`
+/// ascending over the reversed taps. The SIMD path computes four consecutive
+/// outputs per step — lane `l` reads the contiguous window `apad[k+l ..]` —
+/// with per-output accumulation order identical to the scalar path, so the
+/// backends are bitwise-equal. The scalar path is a single serial reduction
+/// chain (latency-bound); the four independent SIMD accumulators are what
+/// buy the throughput.
+pub fn convolve_direct_with(a: &[f64], b: &[f64], backend: DspBackend) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
-    let mut out = vec![0.0; a.len() + b.len() - 1];
-    for (i, &x) in a.iter().enumerate() {
-        if x == 0.0 {
-            continue;
+    let n = a.len();
+    let m = b.len();
+    let out_len = n + m - 1;
+
+    // apad[m-1 .. m-1+n] = a, zeros elsewhere; br = reversed taps. Every
+    // output then sums the full `m` taps — edge outputs just multiply into
+    // the zero padding, keeping one accumulation order for all `k`.
+    let mut apad = vec![0.0f64; n + 2 * (m - 1)];
+    apad[m - 1..m - 1 + n].copy_from_slice(a);
+    let br: Vec<f64> = b.iter().rev().copied().collect();
+
+    let mut out = vec![0.0f64; out_len];
+    match backend.resolve() {
+        DspBackend::Scalar => {
+            for (k, o) in out.iter_mut().enumerate() {
+                let win = &apad[k..k + m];
+                let mut acc = 0.0f64;
+                for (x, y) in br.iter().zip(win.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
         }
-        for (j, &y) in b.iter().enumerate() {
-            out[i + j] += x * y;
+        _ => {
+            let mut k = 0;
+            while k + LANES <= out_len {
+                let mut acc = [0.0f64; LANES];
+                for (i, &x) in br.iter().enumerate() {
+                    let win = &apad[k + i..k + i + LANES];
+                    for l in 0..LANES {
+                        acc[l] += x * win[l];
+                    }
+                }
+                out[k..k + LANES].copy_from_slice(&acc);
+                k += LANES;
+            }
+            // Remainder outputs: same serial per-output loop as scalar.
+            for (k, o) in out.iter_mut().enumerate().skip(k) {
+                let win = &apad[k..k + m];
+                let mut acc = 0.0f64;
+                for (x, y) in br.iter().zip(win.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
         }
     }
     out
@@ -404,6 +536,67 @@ mod tests {
         assert!(FirFilter::band_pass(BandPass::DEFAULT, 0.0, WindowKind::Hamming).is_err());
         assert!(FirFilter::band_pass(BandPass::DEFAULT, -0.01, WindowKind::Hamming).is_err());
         assert!(FirFilter::band_pass(BandPass::DEFAULT, f64::NAN, WindowKind::Hamming).is_err());
+    }
+
+    #[test]
+    fn even_max_taps_cap_is_respected() {
+        // Regression: the cap used to be applied before the force-odd
+        // adjustment, so an even `max_taps` yielded `max_taps + 1` taps.
+        let band = BandPass::new(0.05, 0.10, 25.0, 27.0).unwrap();
+        for cap in [100usize, 101, 1200, 1201] {
+            let f =
+                FirFilter::band_pass_with_max_taps(band, 0.005, WindowKind::Hamming, cap).unwrap();
+            assert!(f.taps() <= cap, "cap {cap} produced {} taps", f.taps());
+            assert_eq!(f.taps() % 2, 1, "cap {cap} produced even tap count");
+        }
+    }
+
+    #[test]
+    fn degenerate_band_zero_gain_is_rejected() {
+        // Regression: a band so narrow that the designed filter has
+        // numerically zero gain at its own center used to skip normalization
+        // silently and return a filter that annihilates the signal.
+        let band = BandPass::new(1e-13, 2e-13, 3e-13, 4e-13).unwrap();
+        let r = FirFilter::band_pass_with_max_taps(band, 0.01, WindowKind::Hamming, 101);
+        assert!(
+            matches!(r, Err(DspError::InvalidBand(_))),
+            "expected InvalidBand, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn low_sample_rate_clamped_corners_are_consistent() {
+        // Regression/pin: with fsh >= Nyquist the high corners are clamped;
+        // the transition width and cutoffs must all come from the clamped
+        // band (one `eff` local), never a mix of raw and clamped corners.
+        let dt = 0.02; // Nyquist 25 Hz < DEFAULT fsh 27 Hz -> clamp kicks in
+        let f = FirFilter::band_pass(BandPass::DEFAULT, dt, WindowKind::Hamming).unwrap();
+        // Narrow side is the low transition (0.05 Hz): 3.3/(0.05*0.02) =
+        // 3300 taps, forced odd below the 4001 cap.
+        assert_eq!(f.taps(), 3301);
+        // Passband intact; clamped high stop (24.975 Hz) rolls off hard.
+        assert!(f.gain_at(10.0) > 0.9);
+        assert!(f.gain_at(24.99) < 0.5);
+    }
+
+    #[test]
+    fn scalar_and_simd_apply_are_bitwise_identical() {
+        let dt = 0.005;
+        let filt = FirFilter::band_pass(BandPass::DEFAULT, dt, WindowKind::Hamming).unwrap();
+        let x: Vec<f64> = (0..3000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.13 - 6.0)
+            .collect();
+        for n in [0usize, 1, 3, 4, 5, 257, 3000] {
+            let a = filt.apply_with(&x[..n], DspBackend::Scalar);
+            let b = filt.apply_with(&x[..n], DspBackend::Simd);
+            assert_eq!(a, b, "direct apply diverged at n={n}");
+            let a = filt.apply_fft_with(&x[..n], DspBackend::Scalar);
+            let b = filt.apply_fft_with(&x[..n], DspBackend::Simd);
+            assert_eq!(a, b, "fft apply diverged at n={n}");
+        }
+        let g_s = frequency_gain_with(filt.coeffs(), 1.7, dt, DspBackend::Scalar);
+        let g_v = frequency_gain_with(filt.coeffs(), 1.7, dt, DspBackend::Simd);
+        assert_eq!(g_s.to_bits(), g_v.to_bits());
     }
 
     #[test]

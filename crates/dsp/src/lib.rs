@@ -17,9 +17,13 @@
 //!   legacy `O(D²)`-per-period Duhamel kernel and the exact Nigam–Jennings
 //!   recurrence.
 //! * [`resample`] / [`stats`] — sampling-rate utilities and statistics.
+//! * [`backend`] — the [`DspBackend`] selector: every hot kernel above
+//!   exists in a scalar and a 4-lane (SIMD) form sharing one blocked
+//!   accumulation order, so the backends are bitwise-equal.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
 pub mod complex;
 pub mod error;
@@ -40,6 +44,7 @@ pub mod trigger;
 pub mod window;
 pub mod xcorr;
 
+pub use backend::DspBackend;
 pub use baseline::{remove_baseline, Baseline};
 pub use complex::Complex;
 pub use error::DspError;
@@ -49,8 +54,8 @@ pub use iir::IirFilter;
 pub use inflection::{find_filter_corners, FilterCorners, InflectionConfig};
 pub use peaks::{intensity_measures, peak_values, IntensityMeasures, PeakValues};
 pub use respspec::{
-    response_spectrum, sdof_peaks, standard_periods, ResponseMethod, ResponseSpectrum,
-    STANDARD_DAMPINGS,
+    response_spectrum, response_spectrum_with, sdof_peaks, standard_periods, ResponseMethod,
+    ResponseSpectrum, STANDARD_DAMPINGS,
 };
 pub use rotd::{rotd_sd, rotd_spectrum, RotD};
 pub use smoothing::konno_ohmachi;

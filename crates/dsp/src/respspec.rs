@@ -18,6 +18,7 @@
 //!   fast alternative and as an ablation of the paper's "advanced
 //!   optimization" future work.
 
+use crate::backend::{DspBackend, LANES};
 use crate::error::DspError;
 use rayon::prelude::*;
 
@@ -149,14 +150,103 @@ fn validate_sdof_args(acc: &[f64], dt: f64, period: f64, damping: f64) -> Result
     Ok(())
 }
 
+/// Per-period SDOF constants shared by both solvers and both backends.
+///
+/// Computed once per period by [`sdof_consts`] so the scalar and 4-lane
+/// kernels see exactly the same values (the transcendentals here are the
+/// only `exp`/`sin_cos` calls in the Nigam–Jennings path).
+#[derive(Debug, Clone, Copy)]
+struct SdofConsts {
+    /// Natural circular frequency `ω = 2π/T`.
+    w: f64,
+    /// Damped frequency `ωd = ω·√(1-ζ²)`.
+    wd: f64,
+    /// Decay rate `ζω`.
+    bw: f64,
+    /// `ω²`.
+    w2: f64,
+    /// Step decay `e^{-ζω·dt}`.
+    e: f64,
+    /// `sin(ωd·dt)`.
+    s: f64,
+    /// `cos(ωd·dt)`.
+    c: f64,
+}
+
+fn sdof_consts(dt: f64, period: f64, damping: f64) -> SdofConsts {
+    let w = 2.0 * std::f64::consts::PI / period;
+    let wd = w * (1.0 - damping * damping).sqrt();
+    let bw = damping * w;
+    let w2 = w * w;
+    let e = (-bw * dt).exp();
+    let (s, c) = (wd * dt).sin_cos();
+    SdofConsts {
+        w,
+        wd,
+        bw,
+        w2,
+        e,
+        s,
+        c,
+    }
+}
+
+/// One Nigam–Jennings step: advances `(u, v)` across one sample interval
+/// with ground acceleration linear from `a0` to `a1`, returning
+/// `(u', v', absolute acceleration)`.
+///
+/// `#[inline(always)]` and shared by the scalar and 4-lane kernels: both
+/// backends execute this exact expression tree per period per step, which is
+/// what makes them bitwise-equal.
+#[inline(always)]
+fn nj_step(k: &SdofConsts, dt: f64, u: f64, v: f64, a0: f64, a1: f64) -> (f64, f64, f64) {
+    let gamma = (a1 - a0) / dt;
+
+    // Particular solution u_p = cc + dd·τ for forcing -(a0 + γτ).
+    let dd = -gamma / k.w2;
+    let cc = (-a0 - 2.0 * k.bw * dd) / k.w2;
+
+    // Homogeneous constants from initial conditions at τ = 0.
+    let p = u - cc;
+    let q = (v - dd + k.bw * p) / k.wd;
+
+    // Advance to τ = dt.
+    let rot = p * k.c + q * k.s;
+    let u_next = k.e * rot + cc + dd * dt;
+    let v_next = k.e * (-k.bw * rot + k.wd * (q * k.c - p * k.s)) + dd;
+
+    let a_abs = -(2.0 * k.bw * v_next + k.w2 * u_next);
+    (u_next, v_next, a_abs)
+}
+
+/// One Duhamel accumulation term at lag `lag`, and the sample evaluation.
+/// Shared between backends for the same bitwise-equality reason as
+/// [`nj_step`].
+#[inline(always)]
+fn duhamel_term(k: &SdofConsts, a: f64, lag: f64, sum_sin: &mut f64, sum_cos: &mut f64) {
+    let decay = (-k.bw * lag).exp();
+    let (s, c) = (k.wd * lag).sin_cos();
+    *sum_sin += a * decay * s;
+    *sum_cos += a * decay * c;
+}
+
+/// Converts the Duhamel convolution sums at one output sample into
+/// `(u, v, absolute acceleration)`.
+#[inline(always)]
+fn duhamel_sample(k: &SdofConsts, dt: f64, sum_sin: f64, sum_cos: f64) -> (f64, f64, f64) {
+    let u = -(dt / k.wd) * sum_sin;
+    // u'(t) = d/dt of the integral: -(dt) * [cos kernel - (ζω/ωd) sin kernel]
+    let v = -dt * (sum_cos - (k.bw / k.wd) * sum_sin);
+    let a_abs = -(2.0 * k.bw * v + k.w * k.w * u);
+    (u, v, a_abs)
+}
+
 /// Direct Duhamel integral: `u(t) = -(1/ωd) ∫ a(τ) e^{-ζω(t-τ)} sin(ωd(t-τ)) dτ`,
 /// evaluated with the rectangle rule at every output sample — `O(D²)`.
 /// Velocity comes from the companion cosine kernel; absolute acceleration
 /// from the equation of motion.
 fn duhamel_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> SdofPeaks {
-    let w = 2.0 * std::f64::consts::PI / period;
-    let wd = w * (1.0 - damping * damping).sqrt();
-    let bw = damping * w;
+    let k = sdof_consts(dt, period, damping);
     let n = acc.len();
 
     let mut sd = 0.0f64;
@@ -170,15 +260,9 @@ fn duhamel_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> SdofPeaks {
         let tj = j as f64 * dt;
         for (i, &a) in acc.iter().take(j + 1).enumerate() {
             let lag = tj - i as f64 * dt;
-            let decay = (-bw * lag).exp();
-            let (s, c) = (wd * lag).sin_cos();
-            sum_sin += a * decay * s;
-            sum_cos += a * decay * c;
+            duhamel_term(&k, a, lag, &mut sum_sin, &mut sum_cos);
         }
-        let u = -(dt / wd) * sum_sin;
-        // u'(t) = d/dt of the integral: -(dt) * [cos kernel - (ζω/ωd) sin kernel]
-        let v = -dt * (sum_cos - (bw / wd) * sum_sin);
-        let a_abs = -(2.0 * bw * v + w * w * u);
+        let (u, v, a_abs) = duhamel_sample(&k, dt, sum_sin, sum_cos);
         sd = sd.max(u.abs());
         sv = sv.max(v.abs());
         sa = sa.max(a_abs.abs());
@@ -187,18 +271,54 @@ fn duhamel_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> SdofPeaks {
     SdofPeaks { sd, sv, sa }
 }
 
+/// Duhamel peaks for four periods at once. The lag grid is shared across
+/// lanes; the per-lane transcendentals (the dominant cost) stay scalar libm
+/// calls, so this form is about bitwise-matched lane layout, not speedup —
+/// the Nigam–Jennings lane kernel is where the across-period win lives.
+fn duhamel_peaks_x4(
+    acc: &[f64],
+    dt: f64,
+    periods: &[f64; LANES],
+    damping: f64,
+) -> [SdofPeaks; LANES] {
+    let k: [SdofConsts; LANES] = std::array::from_fn(|l| sdof_consts(dt, periods[l], damping));
+    let n = acc.len();
+
+    let mut sd = [0.0f64; LANES];
+    let mut sv = [0.0f64; LANES];
+    let mut sa = [0.0f64; LANES];
+
+    for j in 0..n {
+        let mut sum_sin = [0.0f64; LANES];
+        let mut sum_cos = [0.0f64; LANES];
+        let tj = j as f64 * dt;
+        for (i, &a) in acc.iter().take(j + 1).enumerate() {
+            let lag = tj - i as f64 * dt;
+            for l in 0..LANES {
+                duhamel_term(&k[l], a, lag, &mut sum_sin[l], &mut sum_cos[l]);
+            }
+        }
+        for l in 0..LANES {
+            let (u, v, a_abs) = duhamel_sample(&k[l], dt, sum_sin[l], sum_cos[l]);
+            sd[l] = sd[l].max(u.abs());
+            sv[l] = sv[l].max(v.abs());
+            sa[l] = sa[l].max(a_abs.abs());
+        }
+    }
+
+    std::array::from_fn(|l| SdofPeaks {
+        sd: sd[l],
+        sv: sv[l],
+        sa: sa[l],
+    })
+}
+
 /// Exact recurrence for piecewise-linear ground acceleration
 /// (Nigam–Jennings). For each step the analytic solution of
 /// `u'' + 2ζω u' + ω² u = -a_g(τ)` with `a_g` linear on the step is used to
 /// advance `(u, v)` — `O(D)`.
 fn nigam_jennings_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> SdofPeaks {
-    let w = 2.0 * std::f64::consts::PI / period;
-    let wd = w * (1.0 - damping * damping).sqrt();
-    let bw = damping * w;
-    let w2 = w * w;
-
-    let e = (-bw * dt).exp();
-    let (s, c) = (wd * dt).sin_cos();
+    let k = sdof_consts(dt, period, damping);
 
     let mut u = 0.0f64;
     let mut v = 0.0f64;
@@ -208,26 +328,9 @@ fn nigam_jennings_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> Sdof
     let mut sa = 0.0f64;
 
     for i in 0..acc.len() - 1 {
-        let a0 = acc[i];
-        let a1 = acc[i + 1];
-        let gamma = (a1 - a0) / dt;
-
-        // Particular solution u_p = cc + dd·τ for forcing -(a0 + γτ).
-        let dd = -gamma / w2;
-        let cc = (-a0 - 2.0 * bw * dd) / w2;
-
-        // Homogeneous constants from initial conditions at τ = 0.
-        let p = u - cc;
-        let q = (v - dd + bw * p) / wd;
-
-        // Advance to τ = dt.
-        let u_next = e * (p * c + q * s) + cc + dd * dt;
-        let v_next = e * (-bw * (p * c + q * s) + wd * (q * c - p * s)) + dd;
-
+        let (u_next, v_next, a_abs) = nj_step(&k, dt, u, v, acc[i], acc[i + 1]);
         u = u_next;
         v = v_next;
-
-        let a_abs = -(2.0 * bw * v + w2 * u);
         sd = sd.max(u.abs());
         sv = sv.max(v.abs());
         sa = sa.max(a_abs.abs());
@@ -238,6 +341,62 @@ fn nigam_jennings_peaks(acc: &[f64], dt: f64, period: f64, damping: f64) -> Sdof
     SdofPeaks { sd, sv, sa }
 }
 
+/// Nigam–Jennings peaks for four periods at once — the across-period lane
+/// layout: each period's `(u, v)` recurrence is an independent serial chain,
+/// so four of them advance in lockstep over one sweep of the record. The
+/// scalar kernel is latency-bound on its single dependent chain; the four
+/// independent chains here are what the SIMD backend's throughput comes
+/// from. Per lane, [`nj_step`] runs with identical inputs and expression
+/// order as the scalar kernel — bitwise-equal by construction.
+fn nigam_jennings_peaks_x4(
+    acc: &[f64],
+    dt: f64,
+    periods: &[f64; LANES],
+    damping: f64,
+) -> [SdofPeaks; LANES] {
+    let k: [SdofConsts; LANES] = std::array::from_fn(|l| sdof_consts(dt, periods[l], damping));
+
+    let mut u = [0.0f64; LANES];
+    let mut v = [0.0f64; LANES];
+    let mut sd = [0.0f64; LANES];
+    let mut sv = [0.0f64; LANES];
+    let mut sa = [0.0f64; LANES];
+
+    for i in 0..acc.len() - 1 {
+        let a0 = acc[i];
+        let a1 = acc[i + 1];
+        for l in 0..LANES {
+            let (u_next, v_next, a_abs) = nj_step(&k[l], dt, u[l], v[l], a0, a1);
+            u[l] = u_next;
+            v[l] = v_next;
+            sd[l] = sd[l].max(u_next.abs());
+            sv[l] = sv[l].max(v_next.abs());
+            sa[l] = sa[l].max(a_abs.abs());
+        }
+        debug_assert!(u.iter().all(|x| x.is_finite()));
+    }
+
+    std::array::from_fn(|l| SdofPeaks {
+        sd: sd[l],
+        sv: sv[l],
+        sa: sa[l],
+    })
+}
+
+/// Peaks for four periods at once with the given solver.
+fn sdof_peaks_x4(
+    acc: &[f64],
+    dt: f64,
+    periods: &[f64; LANES],
+    damping: f64,
+    method: ResponseMethod,
+) -> [SdofPeaks; LANES] {
+    match method {
+        ResponseMethod::Duhamel => duhamel_peaks_x4(acc, dt, periods, damping),
+        ResponseMethod::NigamJennings => nigam_jennings_peaks_x4(acc, dt, periods, damping),
+    }
+}
+
 /// Computes a response spectrum over `periods` at one damping ratio.
 pub fn response_spectrum(
     acc: &[f64],
@@ -246,14 +405,56 @@ pub fn response_spectrum(
     damping: f64,
     method: ResponseMethod,
 ) -> Result<ResponseSpectrum, DspError> {
+    response_spectrum_with(acc, dt, periods, damping, method, DspBackend::Auto)
+}
+
+/// As [`response_spectrum`] with an explicit [`DspBackend`].
+///
+/// The SIMD backend integrates periods in blocks of four (each period's SDOF
+/// is an independent chain — the perfect lane layout for this
+/// `O(periods × points)` loop), with a scalar tail for the remainder.
+/// Backends are bitwise-equal.
+pub fn response_spectrum_with(
+    acc: &[f64],
+    dt: f64,
+    periods: &[f64],
+    damping: f64,
+    method: ResponseMethod,
+    backend: DspBackend,
+) -> Result<ResponseSpectrum, DspError> {
     let mut sd = Vec::with_capacity(periods.len());
     let mut sv = Vec::with_capacity(periods.len());
     let mut sa = Vec::with_capacity(periods.len());
-    for &t in periods {
-        let p = sdof_peaks(acc, dt, t, damping, method)?;
-        sd.push(p.sd);
-        sv.push(p.sv);
-        sa.push(p.sa);
+    match backend.resolve() {
+        DspBackend::Scalar => {
+            for &t in periods {
+                let p = sdof_peaks(acc, dt, t, damping, method)?;
+                sd.push(p.sd);
+                sv.push(p.sv);
+                sa.push(p.sa);
+            }
+        }
+        _ => {
+            let chunks = periods.chunks_exact(LANES);
+            let tail = chunks.remainder();
+            for chunk in chunks {
+                for &t in chunk {
+                    validate_sdof_args(acc, dt, t, damping)?;
+                }
+                let block: &[f64; LANES] = chunk.try_into().expect("chunk of LANES");
+                for p in sdof_peaks_x4(acc, dt, block, damping, method) {
+                    sd.push(p.sd);
+                    sv.push(p.sv);
+                    sa.push(p.sa);
+                }
+            }
+            for &t in tail {
+                let p = sdof_peaks(acc, dt, t, damping, method)?;
+                sd.push(p.sd);
+                sv.push(p.sv);
+                sa.push(p.sa);
+            }
+        }
     }
     Ok(ResponseSpectrum {
         periods: periods.to_vec(),

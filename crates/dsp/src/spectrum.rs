@@ -6,8 +6,9 @@
 //! spectrum by division by `iω` and `(iω)²` in the frequency domain, the
 //! standard relationship for time-integrated signals.
 
+use crate::backend::DspBackend;
 use crate::error::DspError;
-use crate::fft::{bin_frequency, rfft};
+use crate::fft::{bin_frequency, rfft_with};
 
 /// One-sided Fourier amplitude spectrum sampled at `n/2 + 1` frequencies.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,16 @@ impl FourierSpectrum {
 /// transform magnitude. Velocity/displacement follow by `1/ω`, `1/ω²`; their
 /// DC values are set to 0 (the division is singular there).
 pub fn fourier_spectrum(acc: &[f64], dt: f64) -> Result<FourierSpectrum, DspError> {
+    fourier_spectrum_with(acc, dt, DspBackend::Auto)
+}
+
+/// As [`fourier_spectrum`] with an explicit [`DspBackend`]. Backends are
+/// bitwise-equal.
+pub fn fourier_spectrum_with(
+    acc: &[f64],
+    dt: f64,
+    backend: DspBackend,
+) -> Result<FourierSpectrum, DspError> {
     if !(dt.is_finite() && dt > 0.0) {
         return Err(DspError::InvalidSampling(dt));
     }
@@ -60,7 +71,7 @@ pub fn fourier_spectrum(acc: &[f64], dt: f64) -> Result<FourierSpectrum, DspErro
         });
     }
     let n = acc.len();
-    let spec = rfft(acc);
+    let spec = rfft_with(acc, backend);
     let half = n / 2 + 1;
 
     let mut frequency_hz = Vec::with_capacity(half);

@@ -1,0 +1,130 @@
+//! Property tests for the scalar ↔ SIMD backend contract: for every
+//! vectorized kernel, the two backends must produce **bitwise-identical**
+//! results (`f64::to_bits` equality, not approximate closeness). This is
+//! what makes `--dsp-backend` a pure performance knob — pipeline products
+//! stay byte-identical whichever backend runs.
+
+use arp_dsp::backend::DspBackend;
+use arp_dsp::complex::Complex;
+use arp_dsp::fft::{fft_convolve_with, fft_with, ifft_with, irfft_with, rfft_with};
+use arp_dsp::fir::{convolve_direct_with, frequency_gain_with, BandPass, FirFilter};
+use arp_dsp::respspec::{response_spectrum_with, ResponseMethod};
+use arp_dsp::spectrum::fourier_spectrum_with;
+use arp_dsp::window::WindowKind;
+use proptest::prelude::*;
+
+const S: DspBackend = DspBackend::Scalar;
+const V: DspBackend = DspBackend::Simd;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..max_len)
+}
+
+fn complex_signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "index {i}: scalar {x} vs simd {y}"
+        );
+    }
+}
+
+fn complex_bits_eq(a: &[Complex], b: &[Complex]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "re at {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "im at {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fir_apply_is_bitwise_backend_invariant(x in signal_strategy(500)) {
+        let filt = FirFilter::band_pass(BandPass::DEFAULT, 0.01, WindowKind::Hamming).unwrap();
+        bits_eq(&filt.apply_with(&x, S), &filt.apply_with(&x, V));
+        bits_eq(&filt.apply_fft_with(&x, S), &filt.apply_fft_with(&x, V));
+    }
+
+    #[test]
+    fn convolve_direct_is_bitwise_backend_invariant(
+        a in signal_strategy(300),
+        b in signal_strategy(80),
+    ) {
+        bits_eq(&convolve_direct_with(&a, &b, S), &convolve_direct_with(&a, &b, V));
+        bits_eq(&fft_convolve_with(&a, &b, S), &fft_convolve_with(&a, &b, V));
+    }
+
+    #[test]
+    fn frequency_gain_is_bitwise_backend_invariant(
+        coeffs in signal_strategy(200),
+        f in 0.01f64..40.0,
+    ) {
+        let scalar = frequency_gain_with(&coeffs, f, 0.01, S);
+        let simd = frequency_gain_with(&coeffs, f, 0.01, V);
+        prop_assert_eq!(scalar.to_bits(), simd.to_bits(), "{} vs {}", scalar, simd);
+    }
+
+    #[test]
+    fn fft_roundtrip_is_bitwise_backend_invariant(x in complex_signal_strategy(300)) {
+        // Lengths 1..300 exercise both the pure radix-2 path and Bluestein.
+        let fwd_s = fft_with(&x, S);
+        let fwd_v = fft_with(&x, V);
+        complex_bits_eq(&fwd_s, &fwd_v);
+        complex_bits_eq(&ifft_with(&fwd_s, S), &ifft_with(&fwd_s, V));
+    }
+
+    #[test]
+    fn rfft_roundtrip_is_bitwise_backend_invariant(x in signal_strategy(300)) {
+        let fwd_s = rfft_with(&x, S);
+        let fwd_v = rfft_with(&x, V);
+        complex_bits_eq(&fwd_s, &fwd_v);
+        bits_eq(&irfft_with(&fwd_s, S), &irfft_with(&fwd_s, V));
+    }
+
+    #[test]
+    fn response_spectrum_is_bitwise_backend_invariant(
+        acc in prop::collection::vec(-500.0f64..500.0, 16..300),
+        n_periods in 1usize..11,
+        damping in 0.01f64..0.2,
+        method_nj in any::<bool>(),
+    ) {
+        // 1..=10 periods exercises full 4-lane blocks and every tail length.
+        let periods: Vec<f64> = (1..=n_periods).map(|i| 0.05 * i as f64).collect();
+        let method = if method_nj {
+            ResponseMethod::NigamJennings
+        } else {
+            ResponseMethod::Duhamel
+        };
+        let rs = response_spectrum_with(&acc, 0.01, &periods, damping, method, S).unwrap();
+        let rv = response_spectrum_with(&acc, 0.01, &periods, damping, method, V).unwrap();
+        bits_eq(&rs.sd, &rv.sd);
+        bits_eq(&rs.sv, &rv.sv);
+        bits_eq(&rs.sa, &rv.sa);
+    }
+
+    #[test]
+    fn fourier_spectrum_is_bitwise_backend_invariant(x in signal_strategy(400)) {
+        let fs = fourier_spectrum_with(&x, 0.005, S).unwrap();
+        let fv = fourier_spectrum_with(&x, 0.005, V).unwrap();
+        bits_eq(&fs.frequency_hz, &fv.frequency_hz);
+        bits_eq(&fs.acceleration, &fv.acceleration);
+        bits_eq(&fs.velocity, &fv.velocity);
+        bits_eq(&fs.displacement, &fv.displacement);
+    }
+
+    #[test]
+    fn auto_backend_is_bitwise_equal_to_simd(x in signal_strategy(300)) {
+        // `Auto` must resolve to the same kernels as an explicit `simd`.
+        let filt = FirFilter::band_pass(BandPass::DEFAULT, 0.01, WindowKind::Hamming).unwrap();
+        bits_eq(&filt.apply_with(&x, DspBackend::Auto), &filt.apply_with(&x, V));
+    }
+}

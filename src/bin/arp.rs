@@ -29,6 +29,14 @@
 //! nodes run, never what they compute). Unset, the lane defaults to
 //! `max(2, threads/4)`.
 //!
+//! Both `run` and `batch` accept `--dsp-backend auto|scalar|simd`: the
+//! kernel implementation the DSP layer uses (FIR convolution, FFT
+//! butterflies, response-spectrum recurrence). `auto` (the default)
+//! resolves to the 4-lane blocked `simd` kernels; `scalar` forces the
+//! reference loops. Both backends are bitwise-identical — the flag trades
+//! speed, never results — and the chosen backend is recorded in the run
+//! report.
+//!
 //! Both `run` and `batch` accept trace sinks: `--trace out.json` writes a
 //! Chrome Trace Event file (load it in Perfetto or `chrome://tracing`),
 //! `--trace-svg out.svg` a per-worker Gantt, `--trace-csv out.csv` a flat
@@ -129,10 +137,20 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the pipeline configuration a command runs with, applying
+/// `--dsp-backend auto|scalar|simd` (default `auto`).
+fn pipeline_config(flags: &HashMap<String, String>) -> Result<PipelineConfig, String> {
+    let mut config = PipelineConfig::default();
+    if let Some(raw) = flags.get("dsp-backend") {
+        config.dsp_backend = raw.parse::<arp_dsp::DspBackend>()?;
+    }
+    Ok(config)
+}
+
 fn make_context(flags: &HashMap<String, String>) -> Result<RunContext, String> {
     let input = flags.get("in").ok_or("needs --in DIR")?;
     let work = flags.get("work").ok_or("needs --work DIR")?;
-    RunContext::new(input, work, PipelineConfig::default()).map_err(|e| e.to_string())
+    RunContext::new(input, work, pipeline_config(flags)?).map_err(|e| e.to_string())
 }
 
 /// Handles `--io-threads N`: sizes the shared pool's dedicated I/O lane
@@ -336,12 +354,13 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let trace = session.map(|s| s.finish());
     let report = result.map_err(|e| e.to_string())?;
     println!(
-        "{}: {} V1 files, {} data points, {:?} ({:.0} points/s)",
+        "{}: {} V1 files, {} data points, {:?} ({:.0} points/s, dsp {})",
         report.implementation.label(),
         report.v1_files,
         report.data_points,
         report.total,
-        report.throughput()
+        report.throughput(),
+        report.dsp_backend
     );
     for stage in &report.stages {
         println!("  stage {:<5} {:?}", stage.stage.label(), stage.elapsed);
@@ -486,7 +505,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         ));
     }
     println!("processing {} events...", items.len());
-    let config = PipelineConfig::default();
+    let config = pipeline_config(flags)?;
     configure_io_threads(flags)?;
     let diag = start_diag(flags)?;
     let hold = start_metrics(flags)?;

@@ -1,0 +1,91 @@
+//! SIMD-backend equivalence: `--dsp-backend` picks which kernel
+//! implementation services the DSP hot paths (FIR convolution, FFT
+//! butterflies, response-spectrum recurrence) — it must never change what
+//! the pipeline writes. The six paper events processed with
+//! `--dsp-backend simd` must produce products byte-identical to
+//! `--dsp-backend scalar` (and to the default `auto`, which resolves to
+//! the SIMD kernels).
+
+use arp_core::output::{diff_snapshots, snapshot};
+use arp_synth::{paper_event, write_event_inputs, PAPER_EVENT_SHAPES};
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn simd_and_scalar_products_are_byte_identical_six_events() {
+    let base = std::env::temp_dir().join(format!("arp-simd-equiv-{}", std::process::id()));
+    let root = base.join("batch");
+    let mut labels = Vec::new();
+    for (i, &(label, _, _, _)) in PAPER_EVENT_SHAPES.iter().enumerate() {
+        let dir = root.join(label);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_event_inputs(&paper_event(i, 0.002), &dir).unwrap();
+        labels.push(label);
+    }
+
+    let run = |backend: &str, work: &Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_arp"))
+            .args([
+                "batch",
+                "--root",
+                root.to_str().unwrap(),
+                "--work",
+                work.to_str().unwrap(),
+                "--impl",
+                "dag",
+                "--dsp-backend",
+                backend,
+            ])
+            .output()
+            .expect("spawn arp batch");
+        assert!(
+            out.status.success(),
+            "--dsp-backend {backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+
+    let work_scalar = base.join("work-scalar");
+    let work_simd = base.join("work-simd");
+    let work_auto = base.join("work-auto");
+    run("scalar", &work_scalar);
+    run("simd", &work_simd);
+    run("auto", &work_auto);
+
+    for label in labels {
+        let scalar = snapshot(&work_scalar.join(label)).unwrap();
+        let diffs = diff_snapshots(&scalar, &snapshot(&work_simd.join(label)).unwrap());
+        assert!(
+            diffs.is_empty(),
+            "event {label} diverged between scalar and simd backends: {diffs:#?}"
+        );
+        let diffs = diff_snapshots(&scalar, &snapshot(&work_auto.join(label)).unwrap());
+        assert!(
+            diffs.is_empty(),
+            "event {label} diverged between scalar and auto backends: {diffs:#?}"
+        );
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn run_rejects_unknown_dsp_backend() {
+    let out = Command::new(env!("CARGO_BIN_EXE_arp"))
+        .args([
+            "run",
+            "--in",
+            "x",
+            "--work",
+            "y",
+            "--dsp-backend",
+            "avx1024",
+        ])
+        .output()
+        .expect("spawn arp run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown DSP backend"),
+        "stderr was: {stderr}"
+    );
+}
